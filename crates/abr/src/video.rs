@@ -1,0 +1,173 @@
+//! The chunked-video model: every chunk is encoded at six bitrate ladders
+//! (the Pensieve ladder, §5 of the paper) with deterministic per-chunk size
+//! variation mimicking VBR encoding.
+
+use serde::{Deserialize, Serialize};
+
+/// The bitrate ladder used by Pensieve and by all experiments (kbps).
+pub const BITRATES_KBPS: [f64; 6] = [300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0];
+
+/// Chunk play-time in seconds.
+pub const CHUNK_DURATION_S: f64 = 4.0;
+
+/// Display labels for the ladder (used in tree rendering and reports).
+pub fn bitrate_labels() -> Vec<String> {
+    BITRATES_KBPS.iter().map(|b| format!("{}kbps", *b as u64)).collect()
+}
+
+/// A video asset: `n_chunks` chunks, each encoded at every ladder rung.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoModel {
+    n_chunks: usize,
+    chunk_duration_s: f64,
+    bitrates_kbps: Vec<f64>,
+    /// `sizes_bytes[chunk][quality]`.
+    sizes_bytes: Vec<Vec<f64>>,
+}
+
+/// SplitMix64 — deterministic per-chunk hash for VBR size jitter.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl VideoModel {
+    /// Build a video with the standard ladder. `seed` controls the VBR
+    /// jitter (±15% around the nominal chunk size, deterministic).
+    pub fn standard(n_chunks: usize, seed: u64) -> Self {
+        assert!(n_chunks > 0, "VideoModel: need at least one chunk");
+        let bitrates = BITRATES_KBPS.to_vec();
+        let sizes_bytes = (0..n_chunks)
+            .map(|c| {
+                // All qualities of one chunk share the same scene-complexity
+                // jitter: complex scenes are bigger at every rung.
+                let h = splitmix(seed ^ (c as u64).wrapping_mul(0x5851F42D4C957F2D));
+                let jitter = 0.85 + 0.30 * (h as f64 / u64::MAX as f64);
+                bitrates
+                    .iter()
+                    .map(|&b| b * 1000.0 / 8.0 * CHUNK_DURATION_S * jitter)
+                    .collect()
+            })
+            .collect();
+        VideoModel {
+            n_chunks,
+            chunk_duration_s: CHUNK_DURATION_S,
+            bitrates_kbps: bitrates,
+            sizes_bytes,
+        }
+    }
+
+    /// The short (~190 s) sample video of the original Pensieve setup.
+    pub fn pensieve_default(seed: u64) -> Self {
+        Self::standard(48, seed)
+    }
+
+    /// The 1000-second video used by the paper's debugging deep dive (§6.3).
+    pub fn long_debug_video(seed: u64) -> Self {
+        Self::standard(250, seed)
+    }
+
+    pub fn n_chunks(&self) -> usize {
+        self.n_chunks
+    }
+
+    pub fn n_qualities(&self) -> usize {
+        self.bitrates_kbps.len()
+    }
+
+    pub fn chunk_duration_s(&self) -> f64 {
+        self.chunk_duration_s
+    }
+
+    pub fn bitrates_kbps(&self) -> &[f64] {
+        &self.bitrates_kbps
+    }
+
+    pub fn bitrate_kbps(&self, quality: usize) -> f64 {
+        self.bitrates_kbps[quality]
+    }
+
+    /// Size in bytes of one chunk at one quality.
+    pub fn chunk_size_bytes(&self, chunk: usize, quality: usize) -> f64 {
+        self.sizes_bytes[chunk][quality]
+    }
+
+    /// Sizes of every quality for a chunk (the "next chunk sizes" feature).
+    pub fn chunk_sizes(&self, chunk: usize) -> &[f64] {
+        &self.sizes_bytes[chunk]
+    }
+
+    /// Total play time in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.n_chunks as f64 * self.chunk_duration_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_video_shape() {
+        let v = VideoModel::standard(48, 7);
+        assert_eq!(v.n_chunks(), 48);
+        assert_eq!(v.n_qualities(), 6);
+        assert_eq!(v.duration_s(), 192.0);
+    }
+
+    #[test]
+    fn sizes_scale_with_bitrate() {
+        let v = VideoModel::standard(10, 7);
+        for c in 0..10 {
+            for q in 1..6 {
+                assert!(
+                    v.chunk_size_bytes(c, q) > v.chunk_size_bytes(c, q - 1),
+                    "higher quality must be bigger"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_near_nominal() {
+        let v = VideoModel::standard(100, 3);
+        for c in 0..100 {
+            for (q, &b) in BITRATES_KBPS.iter().enumerate() {
+                let nominal = b * 1000.0 / 8.0 * CHUNK_DURATION_S;
+                let s = v.chunk_size_bytes(c, q);
+                assert!(s >= 0.84 * nominal && s <= 1.16 * nominal, "size {s} vs nominal {nominal}");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_varies_across_chunks_not_qualities() {
+        let v = VideoModel::standard(20, 11);
+        // Ratio size/bitrate must be constant within a chunk...
+        for c in 0..20 {
+            let r0 = v.chunk_size_bytes(c, 0) / BITRATES_KBPS[0];
+            for q in 1..6 {
+                let rq = v.chunk_size_bytes(c, q) / BITRATES_KBPS[q];
+                assert!((r0 - rq).abs() < 1e-9);
+            }
+        }
+        // ...but differ between chunks.
+        let r0 = v.chunk_size_bytes(0, 0);
+        assert!((0..20).any(|c| (v.chunk_size_bytes(c, 0) - r0).abs() > 1.0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(VideoModel::standard(5, 42), VideoModel::standard(5, 42));
+        assert_ne!(VideoModel::standard(5, 42), VideoModel::standard(5, 43));
+    }
+
+    #[test]
+    fn labels_match_ladder() {
+        let l = bitrate_labels();
+        assert_eq!(l[0], "300kbps");
+        assert_eq!(l[5], "4300kbps");
+    }
+}

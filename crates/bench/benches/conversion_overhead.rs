@@ -1,0 +1,69 @@
+//! Criterion benches behind Figure 31: CART fitting cost at several leaf
+//! budgets and the per-step cost of the hypergraph mask search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metis_dt::{fit, prune_to_leaves, Criterion as SplitCriterion, Dataset, TreeConfig};
+use metis_hypergraph::{MaskConfig, MaskedSystem};
+use metis_routing::{optimize_routing, LatencyModel, RouteNetModel, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn pensieve_like_dataset(n: usize, rng: &mut StdRng) -> Dataset {
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..metis_abr::OBS_DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let y: Vec<usize> = x.iter().map(|xi| ((xi[0] * 3.0 + xi[1] * 2.0) as usize) % 6).collect();
+    Dataset::classification(x, y, 6).unwrap()
+}
+
+fn bench_tree_fit(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let ds = pensieve_like_dataset(5000, &mut rng);
+    let mut group = c.benchmark_group("tree_extraction");
+    for leaves in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(leaves), &leaves, |b, &leaves| {
+            b.iter(|| {
+                let grown = fit(
+                    &ds,
+                    &TreeConfig {
+                        max_leaf_nodes: leaves * 2,
+                        criterion: SplitCriterion::Gini,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                black_box(prune_to_leaves(&grown, leaves))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mask_step(c: &mut Criterion) {
+    let topo = Topology::nsfnet();
+    let latency = LatencyModel::default();
+    let sample = metis_routing::demand_corpus(14, 12, 1, 5)[0].clone();
+    let routing = optimize_routing(&topo, &sample.demands, &latency, 1);
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = RouteNetModel::new(6, &mut rng);
+    let system = metis_core::MaskedRouting::new(&model, &topo, &sample.demands, &routing);
+    let n = system.n_connections();
+
+    let mut group = c.benchmark_group("mask_search");
+    group.sample_size(10);
+    group.bench_function(format!("10_steps_{n}_connections"), |b| {
+        b.iter(|| {
+            let cfg = MaskConfig { steps: 10, ..Default::default() };
+            black_box(metis_hypergraph::optimize_mask(&system, &cfg))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tree_fit, bench_mask_step
+}
+criterion_main!(benches);

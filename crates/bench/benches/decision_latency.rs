@@ -1,0 +1,73 @@
+//! Criterion benches behind Figure 16(a): per-decision inference latency of
+//! the paper-scale AuTO DNNs vs the Metis decision tree (plain and
+//! compiled), plus the Pensieve actor for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metis_abr::{PensieveArch, PensieveNet};
+use metis_dt::{fit, CompiledTree, Criterion as SplitCriterion, Dataset, TreeConfig};
+use metis_flowsched::{lrla_net_paper_scale, srla_net_paper_scale, LRLA_STATE_DIM, SRLA_STATE_DIM};
+use metis_nn::Network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A synthetic 2000-leaf tree over the lRLA feature space (content does not
+/// affect traversal cost; only depth/branching does).
+fn make_tree(rng: &mut StdRng) -> metis_dt::DecisionTree {
+    let n = 6000;
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..LRLA_STATE_DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let y: Vec<usize> = x
+        .iter()
+        .map(|xi| ((xi[0] * 17.0 + xi[5] * 9.0 + xi[40] * 4.0) as usize) % 108)
+        .collect();
+    let ds = Dataset::classification(x, y, 108).unwrap();
+    fit(
+        &ds,
+        &TreeConfig {
+            max_leaf_nodes: 2000,
+            criterion: SplitCriterion::Gini,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let srla = srla_net_paper_scale(&mut rng);
+    let lrla = lrla_net_paper_scale(&mut rng);
+    let pensieve = PensieveNet::new(PensieveArch::Original, metis_abr::OBS_DIM, 128, 6, &mut rng);
+    let tree = make_tree(&mut rng);
+    let compiled = CompiledTree::compile(&tree);
+
+    let obs_s = vec![0.3; SRLA_STATE_DIM];
+    let obs_l = vec![0.3; LRLA_STATE_DIM];
+    let obs_p = vec![0.3; metis_abr::OBS_DIM];
+
+    let mut group = c.benchmark_group("decision_latency");
+    group.bench_function("srla_dnn_700x600x600x3", |b| {
+        b.iter(|| black_box(srla.predict(black_box(&obs_s))))
+    });
+    group.bench_function("lrla_dnn_143x600x600x108", |b| {
+        b.iter(|| black_box(lrla.predict(black_box(&obs_l))))
+    });
+    group.bench_function("pensieve_dnn_25x128x128x6", |b| {
+        b.iter(|| black_box(pensieve.predict(black_box(&obs_p))))
+    });
+    group.bench_function("metis_tree_2000_leaves", |b| {
+        b.iter(|| black_box(tree.predict_class(black_box(&obs_l))))
+    });
+    group.bench_function("metis_compiled_tree", |b| {
+        b.iter(|| black_box(compiled.predict_class(black_box(&obs_l))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_latency
+}
+criterion_main!(benches);

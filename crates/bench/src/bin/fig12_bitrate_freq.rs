@@ -1,0 +1,4 @@
+//! Thin wrapper: regenerates the `fig12_bitrate_freq` result (see DESIGN.md §3).
+fn main() -> std::io::Result<()> {
+    metis_bench::run_by_name("fig12_bitrate_freq")
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper: regenerates the `fig13_fixed_link` result (see DESIGN.md §3).
+fn main() -> std::io::Result<()> {
+    metis_bench::run_by_name("fig13_fixed_link")
+}

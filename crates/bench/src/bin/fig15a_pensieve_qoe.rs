@@ -1,0 +1,4 @@
+//! Thin wrapper: regenerates the `fig15a_pensieve_qoe` result (see DESIGN.md §3).
+fn main() -> std::io::Result<()> {
+    metis_bench::run_by_name("fig15a_pensieve_qoe")
+}

@@ -1,0 +1,10 @@
+//! Run the complete experiment suite, teeing each result into `results/`.
+fn main() -> std::io::Result<()> {
+    for (name, f) in metis_bench::experiments::registry() {
+        eprintln!(">>> running {name}");
+        let t0 = std::time::Instant::now();
+        metis_bench::run_and_tee(name, f)?;
+        eprintln!(">>> {name} done in {:.1}s\n", t0.elapsed().as_secs_f64());
+    }
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper: regenerates the `table3_top_masks` result (see DESIGN.md §3).
+fn main() -> std::io::Result<()> {
+    metis_bench::run_by_name("table3_top_masks")
+}

@@ -1,0 +1,128 @@
+//! k-means clustering (Lloyd's algorithm) — Appendix E groups samples into
+//! k clusters before fitting the LIME/LEMNA local surrogates.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// k-means result.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    pub centroids: Vec<Vec<f64>>,
+    pub assignments: Vec<usize>,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Run Lloyd's algorithm with random-sample initialization.
+pub fn kmeans(x: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut StdRng) -> KMeans {
+    assert!(!x.is_empty(), "kmeans on empty data");
+    let k = k.max(1).min(x.len());
+    // Initialize with k distinct random samples.
+    let mut chosen = std::collections::HashSet::new();
+    let mut centroids = Vec::with_capacity(k);
+    while centroids.len() < k {
+        let i = rng.gen_range(0..x.len());
+        if chosen.insert(i) || chosen.len() >= x.len() {
+            centroids.push(x[i].clone());
+        }
+    }
+    let mut assignments = vec![0usize; x.len()];
+    for _ in 0..max_iters {
+        // Assign.
+        let mut changed = false;
+        for (i, xi) in x.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    sq_dist(xi, &centroids[a])
+                        .partial_cmp(&sq_dist(xi, &centroids[b]))
+                        .unwrap()
+                })
+                .unwrap();
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update (always, so centroids settle on the cluster means even
+        // when the initial assignment was already optimal).
+        let d = x[0].len();
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut counts = vec![0usize; k];
+        for (i, xi) in x.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (s, &v) in sums[assignments[i]].iter_mut().zip(xi.iter()) {
+                *s += v;
+            }
+        }
+        let mut moved = false;
+        for c in 0..k {
+            if counts[c] > 0 {
+                let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+                if new != centroids[c] {
+                    moved = true;
+                    centroids[c] = new;
+                }
+            }
+        }
+        if !changed && !moved {
+            break;
+        }
+    }
+    KMeans { centroids, assignments }
+}
+
+impl KMeans {
+    /// Nearest centroid of a query point.
+    pub fn assign(&self, x: &[f64]) -> usize {
+        (0..self.centroids.len())
+            .min_by(|&a, &b| {
+                sq_dist(x, &self.centroids[a])
+                    .partial_cmp(&sq_dist(x, &self.centroids[b]))
+                    .unwrap()
+            })
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut x = Vec::new();
+        for i in 0..20 {
+            x.push(vec![i as f64 * 0.01, 0.0]);
+            x.push(vec![10.0 + i as f64 * 0.01, 0.0]);
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let km = kmeans(&x, 2, 50, &mut rng);
+        // Points in the same blob share a cluster.
+        let c0 = km.assign(&[0.1, 0.0]);
+        let c1 = km.assign(&[10.1, 0.0]);
+        assert_ne!(c0, c1);
+        for i in 0..20 {
+            assert_eq!(km.assignments[2 * i], c0);
+            assert_eq!(km.assignments[2 * i + 1], c1);
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_sample_count() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let mut rng = StdRng::seed_from_u64(1);
+        let km = kmeans(&x, 10, 10, &mut rng);
+        assert!(km.centroids.len() <= 2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let x = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let mut rng = StdRng::seed_from_u64(2);
+        let km = kmeans(&x, 1, 20, &mut rng);
+        assert!((km.centroids[0][0] - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! Ridge-regularized multi-output linear regression (normal equations +
+//! Gaussian elimination) — the shared solver under LIME and LEMNA.
+
+/// A fitted linear model `y = W x + b` (multi-output).
+#[derive(Debug, Clone)]
+pub struct LinearModel {
+    /// `weights[k]` is the coefficient row of output `k`.
+    pub weights: Vec<Vec<f64>>,
+    pub bias: Vec<f64>,
+}
+
+impl LinearModel {
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(self.bias.iter())
+            .map(|(w, b)| b + w.iter().zip(x.iter()).map(|(wi, xi)| wi * xi).sum::<f64>())
+            .collect()
+    }
+}
+
+/// Solve `A Z = RHS` for all right-hand-side columns at once (Gaussian
+/// elimination with partial pivoting; one factorization amortized over
+/// every output dimension). Returns `None` for singular systems.
+fn solve_multi(mut a: Vec<Vec<f64>>, mut rhs: Vec<Vec<f64>>) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap()
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        rhs.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            for k in 0..rhs[row].len() {
+                let v = f * rhs[col][k];
+                rhs[row][k] -= v;
+            }
+        }
+    }
+    // Back substitution, per RHS column.
+    let out_dim = rhs[0].len();
+    let mut z = vec![vec![0.0; out_dim]; n];
+    for row in (0..n).rev() {
+        for k in 0..out_dim {
+            let mut acc = rhs[row][k];
+            for j in row + 1..n {
+                acc -= a[row][j] * z[j][k];
+            }
+            z[row][k] = acc / a[row][row];
+        }
+    }
+    Some(z)
+}
+
+/// Weighted ridge regression: minimizes
+/// `Σ_i w_i ‖y_i − (W x_i + b)‖² + ridge·‖W‖²`.
+///
+/// Returns `None` only if the normal equations are singular even with the
+/// ridge term (e.g. zero samples).
+pub fn fit_ridge(
+    x: &[Vec<f64>],
+    y: &[Vec<f64>],
+    sample_weights: Option<&[f64]>,
+    ridge: f64,
+) -> Option<LinearModel> {
+    if x.is_empty() || x.len() != y.len() {
+        return None;
+    }
+    let d = x[0].len();
+    let out_dim = y[0].len();
+    let aug = d + 1; // bias column
+    // Normal matrix: X^T diag(w) X + ridge I  (bias unregularized).
+    let mut xtx = vec![vec![0.0; aug]; aug];
+    let mut xty = vec![vec![0.0; out_dim]; aug];
+    for (i, xi) in x.iter().enumerate() {
+        let w = sample_weights.map_or(1.0, |sw| sw[i]);
+        let mut row = xi.clone();
+        row.push(1.0);
+        for a in 0..aug {
+            for b in 0..aug {
+                xtx[a][b] += w * row[a] * row[b];
+            }
+            for k in 0..out_dim {
+                xty[a][k] += w * row[a] * y[i][k];
+            }
+        }
+    }
+    for a in 0..d {
+        xtx[a][a] += ridge;
+    }
+    // One factorization for every output dimension.
+    let z = solve_multi(xtx, xty)?;
+    let mut weights = Vec::with_capacity(out_dim);
+    let mut bias = Vec::with_capacity(out_dim);
+    for k in 0..out_dim {
+        weights.push((0..d).map(|a| z[a][k]).collect());
+        bias.push(z[d][k]);
+    }
+    Some(LinearModel { weights, bias })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_of_linear_data() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let y: Vec<Vec<f64>> =
+            x.iter().map(|xi| vec![3.0 * xi[0] - 2.0 * xi[1] + 5.0]).collect();
+        let m = fit_ridge(&x, &y, None, 1e-9).unwrap();
+        assert!((m.weights[0][0] - 3.0).abs() < 1e-6);
+        assert!((m.weights[0][1] + 2.0).abs() < 1e-6);
+        assert!((m.bias[0] - 5.0).abs() < 1e-5);
+        let p = m.predict(&[10.0, 3.0]);
+        assert!((p[0] - (30.0 - 6.0 + 5.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn multi_output() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|xi| vec![2.0 * xi[0], -xi[0] + 1.0]).collect();
+        let m = fit_ridge(&x, &y, None, 1e-9).unwrap();
+        let p = m.predict(&[4.0]);
+        assert!((p[0] - 8.0).abs() < 1e-6);
+        assert!((p[1] + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_weights_bias_the_fit() {
+        // Two clusters of contradictory data; weights pick the winner.
+        let x = vec![vec![1.0], vec![1.0]];
+        let y = vec![vec![0.0], vec![10.0]];
+        let m = fit_ridge(&x, &y, Some(&[100.0, 1.0]), 1e-6).unwrap();
+        let p = m.predict(&[1.0]);
+        assert!(p[0] < 1.0, "weighted fit should track the heavy sample, got {}", p[0]);
+    }
+
+    #[test]
+    fn ridge_handles_degenerate_features() {
+        // Constant feature column would be singular without the ridge.
+        let x = vec![vec![1.0, 5.0], vec![1.0, 5.0], vec![1.0, 5.0]];
+        let y = vec![vec![2.0], vec![2.0], vec![2.0]];
+        let m = fit_ridge(&x, &y, None, 1e-3).unwrap();
+        assert!((m.predict(&[1.0, 5.0])[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(fit_ridge(&[], &[], None, 1.0).is_none());
+    }
+}

@@ -1,0 +1,81 @@
+//! The Appendix-E interpretation baselines Metis is compared against:
+//! **LIME** (per-cluster linear surrogates) and **LEMNA** (per-cluster
+//! mixture-of-linear-regressions fitted by EM), plus the k-means
+//! clustering both are wrapped in and the shared ridge solver.
+
+pub mod kmeans;
+pub mod lemna;
+pub mod lime;
+pub mod linreg;
+
+pub use kmeans::{kmeans, KMeans};
+pub use lemna::Lemna;
+pub use lime::Lime;
+pub use linreg::{fit_ridge, LinearModel};
+
+/// A surrogate interpretation model fitted to (state, teacher-output)
+/// pairs. Outputs are vectors: action logits/probabilities for
+/// classification teachers, raw values for regression teachers.
+pub trait Surrogate {
+    /// Predicted output vector for a state.
+    fn predict(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Predicted class (argmax of the output vector).
+    fn predict_class(&self, x: &[f64]) -> usize {
+        metis_nn::argmax(&self.predict(x))
+    }
+}
+
+/// Agreement between a surrogate's argmax and teacher labels.
+pub fn surrogate_accuracy<S: Surrogate + ?Sized>(s: &S, x: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(x.len(), labels.len());
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter()
+        .zip(labels.iter())
+        .filter(|(xi, &y)| s.predict_class(xi) == y)
+        .count() as f64
+        / x.len() as f64
+}
+
+/// Root-mean-square error between surrogate outputs and teacher outputs.
+pub fn surrogate_rmse<S: Surrogate + ?Sized>(s: &S, x: &[Vec<f64>], y: &[Vec<f64>]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    for (xi, yi) in x.iter().zip(y.iter()) {
+        let p = s.predict(xi);
+        for (pk, yk) in p.iter().zip(yi.iter()) {
+            acc += (pk - yk) * (pk - yk);
+            count += 1;
+        }
+    }
+    (acc / count as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Surrogate for Echo {
+        fn predict(&self, x: &[f64]) -> Vec<f64> {
+            x.to_vec()
+        }
+    }
+
+    #[test]
+    fn accuracy_and_rmse_of_echo() {
+        let x = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let labels = vec![0, 1];
+        assert_eq!(surrogate_accuracy(&Echo, &x, &labels), 1.0);
+        assert_eq!(surrogate_rmse(&Echo, &x, &x.clone()), 0.0);
+        let y_off = vec![vec![2.0, 0.0], vec![0.0, 2.0]];
+        let rmse = surrogate_rmse(&Echo, &x, &y_off);
+        assert!((rmse - (0.5_f64).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+//! Table-4 hyperparameters of the paper, as defaults.
+
+use metis_hypergraph::MaskConfig;
+
+/// The paper's per-system defaults (Table 4).
+#[derive(Debug, Clone)]
+pub struct MetisDefaults {
+    /// Leaf budget for the Pensieve student tree (`M = 200`).
+    pub pensieve_leaves: usize,
+    /// Leaf budget for AuTO's lRLA student tree (`M = 2000`).
+    pub lrla_leaves: usize,
+    /// Leaf budget for AuTO's sRLA student trees (`M = 2000`).
+    pub srla_leaves: usize,
+    /// Hypergraph mask weights for RouteNet* (`λ₁ = 0.25`, `λ₂ = 1`).
+    pub mask: MaskConfig,
+}
+
+impl Default for MetisDefaults {
+    fn default() -> Self {
+        MetisDefaults {
+            pensieve_leaves: 200,
+            lrla_leaves: 2000,
+            srla_leaves: 2000,
+            mask: MaskConfig { lambda1: 0.25, lambda2: 1.0, ..Default::default() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table4() {
+        let d = MetisDefaults::default();
+        assert_eq!(d.pensieve_leaves, 200);
+        assert_eq!(d.lrla_leaves, 2000);
+        assert_eq!(d.srla_leaves, 2000);
+        assert_eq!(d.mask.lambda1, 0.25);
+        assert_eq!(d.mask.lambda2, 1.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Hypergraph formulations of the paper's Table-2 scenarios beyond SDN
+//! routing (Appendix B): NFV placement, ultra-dense cellular networks, and
+//! cluster job scheduling — each with a small reference policy so the
+//! formulation can actually be exercised and interpreted.
+
+use metis_hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+// ---------------------------------------------------------------------
+// Appendix B.1 — NFV placement: servers are vertices, NFs are hyperedges;
+// I_ev = 1 means an instance of NF e runs on server v.
+// ---------------------------------------------------------------------
+
+/// A network-function placement problem.
+#[derive(Debug, Clone)]
+pub struct NfvProblem {
+    /// Per-server capacity.
+    pub server_capacity: Vec<f64>,
+    /// Per-NF (demand, per-instance load) — instances are spread across
+    /// servers until demand is covered.
+    pub nf_demand: Vec<f64>,
+    pub instance_load: Vec<f64>,
+}
+
+/// A placement: for each NF, the set of servers hosting an instance.
+pub type NfvPlacement = Vec<Vec<usize>>;
+
+/// Greedy first-fit placement (the interpretable reference policy).
+pub fn greedy_placement(p: &NfvProblem) -> NfvPlacement {
+    let mut used = vec![0.0; p.server_capacity.len()];
+    p.nf_demand
+        .iter()
+        .zip(p.instance_load.iter())
+        .map(|(&demand, &load)| {
+            let mut servers = Vec::new();
+            let mut covered = 0.0;
+            while covered < demand {
+                // First server with room that doesn't already host this NF.
+                let slot = (0..used.len())
+                    .find(|&s| {
+                        !servers.contains(&s) && used[s] + load <= p.server_capacity[s] + 1e-12
+                    })
+                    .unwrap_or_else(|| {
+                        panic!("placement infeasible: demand {demand} unsatisfiable")
+                    });
+                used[slot] += load;
+                servers.push(slot);
+                covered += load;
+            }
+            servers
+        })
+        .collect()
+}
+
+/// Formulate a placement as a hypergraph (Figure 21).
+pub fn nfv_hypergraph(p: &NfvProblem, placement: &NfvPlacement) -> Hypergraph {
+    let mut h = Hypergraph::new(p.server_capacity.len());
+    for servers in placement {
+        h.add_edge(servers).expect("placement produces valid hyperedges");
+    }
+    h.set_vertex_features(p.server_capacity.iter().map(|&c| vec![c]).collect()).unwrap();
+    h.set_edge_features(
+        p.nf_demand
+            .iter()
+            .zip(p.instance_load.iter())
+            .map(|(&d, &l)| vec![d, l])
+            .collect(),
+    )
+    .unwrap();
+    h.vertex_names = Some((0..p.server_capacity.len()).map(|s| format!("server {s}")).collect());
+    h.edge_names = Some((0..p.nf_demand.len()).map(|i| format!("NF{i}")).collect());
+    h
+}
+
+// ---------------------------------------------------------------------
+// Appendix B.2 — ultra-dense cellular: users are vertices, base-station
+// coverage areas are hyperedges; I_ev = 1 means station e covers user v.
+// ---------------------------------------------------------------------
+
+/// An ultra-dense network instance on the unit square.
+#[derive(Debug, Clone)]
+pub struct UdnProblem {
+    pub user_pos: Vec<(f64, f64)>,
+    pub station_pos: Vec<(f64, f64)>,
+    pub station_radius: f64,
+    pub user_demand: Vec<f64>,
+    pub station_capacity: Vec<f64>,
+}
+
+impl UdnProblem {
+    /// Random instance.
+    pub fn random(n_users: usize, n_stations: usize, radius: f64, rng: &mut StdRng) -> Self {
+        UdnProblem {
+            user_pos: (0..n_users)
+                .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+                .collect(),
+            station_pos: (0..n_stations)
+                .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+                .collect(),
+            station_radius: radius,
+            user_demand: (0..n_users).map(|_| rng.gen_range(0.1..1.0)).collect(),
+            station_capacity: (0..n_stations).map(|_| rng.gen_range(2.0..6.0)).collect(),
+        }
+    }
+
+    fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+        ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+    }
+
+    /// Users covered by each station.
+    pub fn coverage(&self) -> Vec<Vec<usize>> {
+        self.station_pos
+            .iter()
+            .map(|&sp| {
+                (0..self.user_pos.len())
+                    .filter(|&u| Self::dist(self.user_pos[u], sp) <= self.station_radius)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Formulate coverage as a hypergraph (Figure 22). Stations covering no
+/// user are skipped (hyperedges must be non-empty).
+pub fn udn_hypergraph(p: &UdnProblem) -> Hypergraph {
+    let mut h = Hypergraph::new(p.user_pos.len());
+    let mut names = Vec::new();
+    for (s, covered) in p.coverage().iter().enumerate() {
+        if !covered.is_empty() {
+            h.add_edge(covered).unwrap();
+            names.push(format!("station {s}"));
+        }
+    }
+    h.set_vertex_features(p.user_demand.iter().map(|&d| vec![d]).collect()).unwrap();
+    let feats: Vec<Vec<f64>> = p
+        .coverage()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.is_empty())
+        .map(|(s, _)| vec![p.station_capacity[s]])
+        .collect();
+    h.set_edge_features(feats).unwrap();
+    h.edge_names = Some(names);
+    h
+}
+
+// ---------------------------------------------------------------------
+// Appendix B.3 — cluster scheduling: job-DAG nodes are vertices,
+// dependencies are hyperedges over {parents..., child}.
+// ---------------------------------------------------------------------
+
+/// A job DAG: `deps[i]` lists the parents of node `i`.
+#[derive(Debug, Clone)]
+pub struct JobDag {
+    pub work: Vec<f64>,
+    pub deps: Vec<Vec<usize>>,
+}
+
+impl JobDag {
+    /// Validate acyclicity (parents must have smaller indices — the
+    /// builder convention) and return the DAG.
+    pub fn new(work: Vec<f64>, deps: Vec<Vec<usize>>) -> Self {
+        assert_eq!(work.len(), deps.len());
+        for (i, parents) in deps.iter().enumerate() {
+            assert!(parents.iter().all(|&p| p < i), "node {i} has a forward dependency");
+        }
+        JobDag { work, deps }
+    }
+
+    /// Critical-path length to each node (the reference scheduler policy
+    /// prioritizes the longest critical path).
+    pub fn critical_path(&self) -> Vec<f64> {
+        let mut cp = vec![0.0; self.work.len()];
+        for i in 0..self.work.len() {
+            let parent_max =
+                self.deps[i].iter().map(|&p| cp[p]).fold(0.0, f64::max);
+            cp[i] = parent_max + self.work[i];
+        }
+        cp
+    }
+}
+
+/// Formulate the DAG as a hypergraph (Figure 23): one hyperedge per
+/// dependency group {parents ∪ child}.
+pub fn dag_hypergraph(dag: &JobDag) -> Hypergraph {
+    let mut h = Hypergraph::new(dag.work.len());
+    for (i, parents) in dag.deps.iter().enumerate() {
+        if parents.is_empty() {
+            continue;
+        }
+        let mut members = parents.clone();
+        members.push(i);
+        h.add_edge(&members).unwrap();
+    }
+    h.set_vertex_features(dag.work.iter().map(|&w| vec![w]).collect()).unwrap();
+    let n_edges = h.n_edges();
+    h.set_edge_features(vec![vec![1.0]; n_edges]).unwrap();
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nfv_greedy_respects_capacity() {
+        let p = NfvProblem {
+            server_capacity: vec![2.0, 2.0, 2.0, 2.0],
+            nf_demand: vec![2.0, 1.0, 3.0],
+            instance_load: vec![1.0, 1.0, 1.0],
+        };
+        let placement = greedy_placement(&p);
+        // NF0 needs 2 instances, NF1 one, NF2 three.
+        assert_eq!(placement[0].len(), 2);
+        assert_eq!(placement[1].len(), 1);
+        assert_eq!(placement[2].len(), 3);
+        // Capacity: count instances per server.
+        let mut used = vec![0.0; 4];
+        for (nf, servers) in placement.iter().enumerate() {
+            for &s in servers {
+                used[s] += p.instance_load[nf];
+            }
+        }
+        for (s, &u) in used.iter().enumerate() {
+            assert!(u <= p.server_capacity[s] + 1e-9, "server {s} overloaded: {u}");
+        }
+        let h = nfv_hypergraph(&p, &placement);
+        assert_eq!(h.n_edges(), 3);
+        assert_eq!(h.n_vertices(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn nfv_infeasible_panics() {
+        let p = NfvProblem {
+            server_capacity: vec![1.0],
+            nf_demand: vec![5.0],
+            instance_load: vec![1.0],
+        };
+        let _ = greedy_placement(&p);
+    }
+
+    #[test]
+    fn udn_coverage_and_hypergraph() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = UdnProblem::random(30, 8, 0.4, &mut rng);
+        let cov = p.coverage();
+        assert_eq!(cov.len(), 8);
+        let h = udn_hypergraph(&p);
+        assert_eq!(h.n_vertices(), 30);
+        assert!(h.n_edges() <= 8);
+        // Every hyperedge's vertices must be inside the radius.
+        for e in 0..h.n_edges() {
+            assert!(!h.edge_vertices(e).is_empty());
+        }
+    }
+
+    #[test]
+    fn dag_critical_path() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3 with works 1, 2, 5, 1.
+        let dag = JobDag::new(
+            vec![1.0, 2.0, 5.0, 1.0],
+            vec![vec![], vec![0], vec![0], vec![1, 2]],
+        );
+        let cp = dag.critical_path();
+        assert_eq!(cp, vec![1.0, 3.0, 6.0, 7.0]);
+        let h = dag_hypergraph(&dag);
+        assert_eq!(h.n_edges(), 3);
+        // The join node's hyperedge covers both parents and itself.
+        assert_eq!(h.edge_vertices(2), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward dependency")]
+    fn dag_rejects_cycles() {
+        let _ = JobDag::new(vec![1.0, 1.0], vec![vec![1], vec![]]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # metis-core — the Metis framework (SIGCOMM 2020)
+//!
+//! *"Interpreting Deep Learning-Based Networking Systems"*, Meng et al.
+//! Metis interprets **local** systems (Pensieve, AuTO) by converting their
+//! DNN policies into decision trees, and **global** systems (RouteNet*) by
+//! formulating them as hypergraphs and searching for critical connections.
+//!
+//! * [`convert`] — the §3.2 pipeline: DAgger-style trace collection with
+//!   teacher takeover, Eq.-1 advantage resampling, CCP pruning, the
+//!   deployable [`convert::TreePolicy`], the §6.3 oversampling debug
+//!   interface, and the multi-output regression student for sRLA,
+//! * [`interpret`] — the §4 hypergraph interpretation of RouteNet*:
+//!   formulation, masked-GNN critical-connection search, Table-3
+//!   classification, Figure-9 statistics, Figure-18 ad-hoc rerouting,
+//! * [`formulate`] — the Appendix-B scenario formulations (NFV placement,
+//!   ultra-dense cellular, cluster scheduling),
+//! * [`baselines`] — LIME and LEMNA (Appendix E) over k-means clusters,
+//! * [`deploy`] — artifact/latency cost model (§6.4),
+//! * [`config`] — Table-4 defaults,
+//! * [`stats`] — experiment statistics helpers.
+
+pub mod baselines;
+pub mod config;
+pub mod convert;
+pub mod deploy;
+pub mod formulate;
+pub mod interpret;
+pub mod stats;
+
+pub use config::MetisDefaults;
+pub use convert::{
+    convert_policy, oversample_rare_actions, ConversionConfig, ConversionResult, MultiRegressor,
+    TreePolicy,
+};
+pub use deploy::{measure_latency, ArtifactCost, LatencyStats};
+pub use interpret::{
+    adhoc_points, classify_connection, interpret_routing, mask_mass_per_link, routing_hypergraph,
+    AdhocPoint, ConnectionReport, InterpretationKind, MaskedRouting,
+};
+pub use stats::{ecdf, mean, pearson, quadrant13_fraction, std_dev};

@@ -1,0 +1,261 @@
+//! Human-readable tree rendering: the ASCII equivalent of the paper's
+//! Figure 7 (top-k layers with per-node decision-frequency annotations) and
+//! a Graphviz exporter for offline viewing.
+
+use crate::tree::{DecisionTree, NodeStats, Prediction};
+use std::fmt::Write as _;
+
+/// Options for ASCII rendering.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Only render this many layers below the root (like Figure 7's "top 4
+    /// layers"). `None` renders everything.
+    pub max_depth: Option<usize>,
+    /// Class labels (e.g. `["300kbps", ...]`). Falls back to `class k`.
+    pub class_labels: Option<Vec<String>>,
+    /// Show full class-frequency annotations on internal nodes.
+    pub show_frequencies: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions { max_depth: None, class_labels: None, show_frequencies: true }
+    }
+}
+
+fn feature_name(tree: &DecisionTree, f: usize) -> String {
+    tree.feature_names
+        .as_ref()
+        .and_then(|n| n.get(f).cloned())
+        .unwrap_or_else(|| format!("x[{f}]"))
+}
+
+fn class_name(opts: &RenderOptions, c: usize) -> String {
+    opts.class_labels
+        .as_ref()
+        .and_then(|l| l.get(c).cloned())
+        .unwrap_or_else(|| format!("class {c}"))
+}
+
+fn describe_stats(stats: &NodeStats, opts: &RenderOptions) -> String {
+    match stats {
+        NodeStats::Class { .. } => {
+            let freqs = stats.class_frequencies().unwrap_or_default();
+            if opts.show_frequencies {
+                let mut ranked: Vec<(usize, f64)> =
+                    freqs.iter().cloned().enumerate().collect();
+                ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                let parts: Vec<String> = ranked
+                    .iter()
+                    .filter(|(_, f)| *f >= 0.005)
+                    .take(4)
+                    .map(|(c, f)| format!("{} {:.0}%", class_name(opts, *c), f * 100.0))
+                    .collect();
+                format!("[{}]", parts.join(", "))
+            } else {
+                match stats.prediction() {
+                    Prediction::Class(c) => format!("-> {}", class_name(opts, c)),
+                    Prediction::Value(_) => unreachable!(),
+                }
+            }
+        }
+        NodeStats::Value { .. } => match stats.prediction() {
+            Prediction::Value(v) => format!("-> {v:.4}"),
+            Prediction::Class(_) => unreachable!(),
+        },
+    }
+}
+
+/// Render the tree as indented ASCII (stable output; used in golden tests
+/// and the Figure-7 experiment binary).
+pub fn render(tree: &DecisionTree, opts: &RenderOptions) -> String {
+    let mut out = String::new();
+    render_node(tree, 0, 0, "", true, opts, &mut out);
+    out
+}
+
+fn render_node(
+    tree: &DecisionTree,
+    idx: usize,
+    depth: usize,
+    prefix: &str,
+    is_root: bool,
+    opts: &RenderOptions,
+    out: &mut String,
+) {
+    let node = tree.node(idx);
+    let truncated = opts.max_depth.is_some_and(|m| depth >= m) && node.split.is_some();
+    let label = match (&node.split, truncated) {
+        (Some(s), false) => format!(
+            "{} < {:.3}?  {}",
+            feature_name(tree, s.feature),
+            s.threshold,
+            describe_stats(&node.stats, opts)
+        ),
+        (Some(_), true) => format!("...  {}", describe_stats(&node.stats, opts)),
+        (None, _) => describe_stats(
+            &node.stats,
+            &RenderOptions { show_frequencies: false, ..opts.clone() },
+        ),
+    };
+    if is_root {
+        let _ = writeln!(out, "{label}");
+    } else {
+        let _ = writeln!(out, "{prefix}{label}");
+    }
+    if truncated {
+        return;
+    }
+    if let Some(s) = &node.split {
+        let child_prefix = if is_root {
+            String::new()
+        } else {
+            // Replace the branch glyph of our own line with continuation.
+            let base = &prefix[..prefix.len().saturating_sub("├── ".len())];
+            format!("{base}│   ")
+        };
+        let lp = format!("{child_prefix}├── ");
+        let rp = format!("{child_prefix}└── ");
+        render_node(tree, s.left, depth + 1, &lp, false, opts, out);
+        render_node(tree, s.right, depth + 1, &rp, false, opts, out);
+    }
+}
+
+/// Export in Graphviz `dot` format.
+pub fn to_graphviz(tree: &DecisionTree, opts: &RenderOptions) -> String {
+    let mut out = String::from("digraph tree {\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut stack = vec![0usize];
+    let mut visited_depth = vec![(0usize, 0usize)];
+    visited_depth.clear();
+    stack.clear();
+    stack.push(0);
+    let mut depths = std::collections::HashMap::new();
+    depths.insert(0usize, 0usize);
+    while let Some(idx) = stack.pop() {
+        let depth = depths[&idx];
+        if opts.max_depth.is_some_and(|m| depth > m) {
+            continue;
+        }
+        let node = tree.node(idx);
+        let label = match &node.split {
+            Some(s) => format!(
+                "{} < {:.3}\\n{}",
+                feature_name(tree, s.feature),
+                s.threshold,
+                describe_stats(&node.stats, opts).replace('"', "'")
+            ),
+            None => describe_stats(
+                &node.stats,
+                &RenderOptions { show_frequencies: false, ..opts.clone() },
+            )
+            .replace('"', "'"),
+        };
+        let _ = writeln!(out, "  n{idx} [label=\"{label}\"];");
+        if let Some(s) = &node.split {
+            if !opts.max_depth.is_some_and(|m| depth >= m) {
+                let _ = writeln!(out, "  n{idx} -> n{} [label=\"yes\"];", s.left);
+                let _ = writeln!(out, "  n{idx} -> n{} [label=\"no\"];", s.right);
+                depths.insert(s.left, depth + 1);
+                depths.insert(s.right, depth + 1);
+                stack.push(s.left);
+                stack.push(s.right);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{fit, TreeConfig};
+    use crate::dataset::Dataset;
+
+    fn sample_tree() -> DecisionTree {
+        let x = vec![
+            vec![0.0, 9.0],
+            vec![0.2, 1.0],
+            vec![0.4, 8.0],
+            vec![0.6, 2.0],
+            vec![0.8, 7.0],
+            vec![1.0, 3.0],
+        ];
+        let y = vec![0, 0, 1, 1, 2, 2];
+        let mut tree = fit(
+            &Dataset::classification(x, y, 3).unwrap(),
+            &TreeConfig::default(),
+        )
+        .unwrap();
+        tree.feature_names = Some(vec!["buffer".into(), "throughput".into()]);
+        tree
+    }
+
+    #[test]
+    fn render_contains_feature_names_and_percentages() {
+        let tree = sample_tree();
+        let opts = RenderOptions {
+            class_labels: Some(vec!["300kbps".into(), "750kbps".into(), "1200kbps".into()]),
+            ..Default::default()
+        };
+        let s = render(&tree, &opts);
+        assert!(s.contains("buffer"), "render:\n{s}");
+        assert!(s.contains('%'), "render:\n{s}");
+        assert!(s.contains("300kbps"), "render:\n{s}");
+        assert!(s.contains("├──"));
+        assert!(s.contains("└──"));
+    }
+
+    #[test]
+    fn render_depth_truncation() {
+        let tree = sample_tree();
+        let full = render(&tree, &RenderOptions::default());
+        let top = render(&tree, &RenderOptions { max_depth: Some(1), ..Default::default() });
+        assert!(top.lines().count() <= full.lines().count());
+        assert!(top.contains("..."), "truncated render should mark cut subtrees:\n{top}");
+    }
+
+    #[test]
+    fn render_single_leaf() {
+        let ds = Dataset::classification(vec![vec![1.0]], vec![0], 2).unwrap();
+        let tree = fit(&ds, &TreeConfig::default()).unwrap();
+        let s = render(&tree, &RenderOptions::default());
+        assert!(s.contains("class 0"), "got: {s}");
+    }
+
+    #[test]
+    fn graphviz_wellformed() {
+        let tree = sample_tree();
+        let dot = to_graphviz(&tree, &RenderOptions::default());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 ->"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Every declared edge references a declared node. Edge lines are
+        // exactly those with a yes/no label (leaf labels may contain "->").
+        for line in dot.lines() {
+            let trimmed = line.trim();
+            if trimmed.ends_with("[label=\"yes\"];") || trimmed.ends_with("[label=\"no\"];") {
+                let target: String = trimmed
+                    .split(" -> n")
+                    .nth(1)
+                    .expect("edge line must contain ' -> n'")
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect();
+                assert!(dot.contains(&format!("n{target} [label=")));
+            }
+        }
+    }
+
+    #[test]
+    fn regression_tree_renders_values() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| if i < 5 { 1.5 } else { 7.5 }).collect();
+        let ds = Dataset::regression(x, y).unwrap();
+        let cfg = TreeConfig { criterion: crate::builder::Criterion::Mse, ..Default::default() };
+        let tree = fit(&ds, &cfg).unwrap();
+        let s = render(&tree, &RenderOptions::default());
+        assert!(s.contains("-> 1.5"), "got: {s}");
+        assert!(s.contains("-> 7.5"), "got: {s}");
+    }
+}

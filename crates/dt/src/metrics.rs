@@ -1,0 +1,132 @@
+//! Fidelity metrics between a tree and a labelled dataset (or between two
+//! prediction sequences) — the accuracy/RMSE axes of the paper's Figures 27
+//! and 28.
+
+use crate::dataset::{Dataset, Targets};
+use crate::tree::DecisionTree;
+
+/// Fraction of samples whose predicted class matches the label.
+pub fn accuracy(tree: &DecisionTree, ds: &Dataset) -> f64 {
+    let Targets::Class { labels, .. } = &ds.y else {
+        panic!("accuracy requires a classification dataset");
+    };
+    if ds.is_empty() {
+        return 0.0;
+    }
+    let correct = ds
+        .x
+        .iter()
+        .zip(labels.iter())
+        .filter(|(x, &y)| tree.predict_class(x) == y)
+        .count();
+    correct as f64 / ds.len() as f64
+}
+
+/// Root-mean-square error of tree predictions against regression targets.
+pub fn rmse(tree: &DecisionTree, ds: &Dataset) -> f64 {
+    let Targets::Value(values) = &ds.y else {
+        panic!("rmse requires a regression dataset");
+    };
+    rmse_slices(
+        &ds.x.iter().map(|x| tree.predict_value(x)).collect::<Vec<_>>(),
+        values,
+    )
+}
+
+/// RMSE between two prediction sequences.
+pub fn rmse_slices(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "rmse_slices: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = pred
+        .iter()
+        .zip(truth.iter())
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64;
+    mse.sqrt()
+}
+
+/// Agreement rate between two class sequences (mimicry accuracy between a
+/// student tree and its teacher DNN).
+pub fn agreement(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "agreement: length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b.iter()).filter(|(x, y)| x == y).count() as f64 / a.len() as f64
+}
+
+/// Confusion matrix `m[truth][pred]` for `n_classes` classes.
+pub fn confusion_matrix(truth: &[usize], pred: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(truth.len(), pred.len());
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in truth.iter().zip(pred.iter()) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{fit, Criterion, TreeConfig};
+
+    #[test]
+    fn accuracy_perfect_and_partial() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0, 0, 1, 1];
+        let ds = Dataset::classification(x, y, 2).unwrap();
+        let tree = fit(&ds, &TreeConfig::default()).unwrap();
+        assert_eq!(accuracy(&tree, &ds), 1.0);
+        // Evaluate on shifted labels: half should now mismatch.
+        let ds2 = Dataset::classification(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            vec![1, 1, 1, 1],
+            2,
+        )
+        .unwrap();
+        assert_eq!(accuracy(&tree, &ds2), 0.5);
+    }
+
+    #[test]
+    fn rmse_zero_for_perfect_fit() {
+        let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..8).map(|i| if i < 4 { 2.0 } else { 6.0 }).collect();
+        let ds = Dataset::regression(x, y).unwrap();
+        let cfg = TreeConfig { criterion: Criterion::Mse, ..Default::default() };
+        let tree = fit(&ds, &cfg).unwrap();
+        assert!(rmse(&tree, &ds) < 1e-12);
+    }
+
+    #[test]
+    fn rmse_slices_known_value() {
+        assert!((rmse_slices(&[0.0, 0.0], &[3.0, 4.0]) - (12.5_f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse_slices(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn agreement_counts() {
+        assert_eq!(agreement(&[1, 2, 3], &[1, 2, 4]), 2.0 / 3.0);
+        assert_eq!(agreement(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal() {
+        let m = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 0], 2);
+        assert_eq!(m[0][0], 2);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[1][0], 1);
+        assert_eq!(m[0][1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "classification dataset")]
+    fn accuracy_on_regression_panics() {
+        let ds = Dataset::regression(vec![vec![0.0]], vec![1.0]).unwrap();
+        let cfg = TreeConfig { criterion: Criterion::Mse, ..Default::default() };
+        let tree = fit(&ds, &cfg).unwrap();
+        let _ = accuracy(&tree, &ds);
+    }
+}

@@ -1,0 +1,266 @@
+//! Cost-complexity pruning (CCP, Breiman et al. 1984) — the pruning method
+//! Metis adopts in conversion Step 3 — plus a naive depth-truncation
+//! baseline used by the ablation benchmarks.
+//!
+//! CCP repeatedly collapses the internal node with the smallest
+//! "weakest-link" value `g(t) = (R(t) − R(T_t)) / (|leaves(T_t)| − 1)`,
+//! where `R` is resubstitution error (weighted misclassification for
+//! classifiers, SSE for regressors).
+
+use crate::tree::{DecisionTree, Node};
+
+/// One step of the pruning sequence: collapsing at `alpha` leaves
+/// `n_leaves` leaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneStep {
+    pub alpha: f64,
+    pub n_leaves: usize,
+}
+
+/// Subtree summary: (error sum over leaves, number of leaves).
+fn subtree_stats(nodes: &[Node], idx: usize) -> (f64, usize) {
+    match &nodes[idx].split {
+        None => (nodes[idx].stats.leaf_error(), 1),
+        Some(s) => {
+            let (el, ll) = subtree_stats(nodes, s.left);
+            let (er, lr) = subtree_stats(nodes, s.right);
+            (el + er, ll + lr)
+        }
+    }
+}
+
+/// Find the internal node with the smallest weakest-link value.
+/// Returns `(node index, g value)` or `None` if the tree is a single leaf.
+fn weakest_link(nodes: &[Node]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    // Walk every reachable internal node from the root.
+    let mut stack = vec![0usize];
+    while let Some(idx) = stack.pop() {
+        if let Some(s) = &nodes[idx].split {
+            stack.push(s.left);
+            stack.push(s.right);
+            let (err_subtree, leaves) = subtree_stats(nodes, idx);
+            let err_leaf = nodes[idx].stats.leaf_error();
+            let g = (err_leaf - err_subtree) / (leaves.saturating_sub(1)).max(1) as f64;
+            // Prefer strictly smaller g; on ties prefer the *deeper* node is
+            // not tracked, instead prefer larger index for determinism.
+            match best {
+                None => best = Some((idx, g)),
+                Some((bi, bg)) => {
+                    if g < bg - 1e-15 || (g <= bg + 1e-15 && idx > bi) {
+                        best = Some((idx, g));
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+fn count_leaves(nodes: &[Node]) -> usize {
+    let mut n = 0;
+    let mut stack = vec![0usize];
+    while let Some(idx) = stack.pop() {
+        match &nodes[idx].split {
+            None => n += 1,
+            Some(s) => {
+                stack.push(s.left);
+                stack.push(s.right);
+            }
+        }
+    }
+    n
+}
+
+/// Prune the tree with CCP until it has at most `max_leaves` leaves.
+pub fn prune_to_leaves(tree: &DecisionTree, max_leaves: usize) -> DecisionTree {
+    let max_leaves = max_leaves.max(1);
+    let mut work = tree.compact();
+    while count_leaves(&work.nodes) > max_leaves {
+        let Some((idx, _)) = weakest_link(&work.nodes) else { break };
+        work.nodes[idx].split = None;
+    }
+    work.compact()
+}
+
+/// Prune every subtree whose weakest-link value is `<= alpha`.
+pub fn prune_alpha(tree: &DecisionTree, alpha: f64) -> DecisionTree {
+    let mut work = tree.compact();
+    loop {
+        match weakest_link(&work.nodes) {
+            Some((idx, g)) if g <= alpha => work.nodes[idx].split = None,
+            _ => break,
+        }
+    }
+    work.compact()
+}
+
+/// The full weakest-link sequence down to the root-only tree.
+///
+/// The returned alphas are non-decreasing (a classic CCP invariant, checked
+/// by the property tests).
+pub fn alpha_sequence(tree: &DecisionTree) -> Vec<PruneStep> {
+    let mut work = tree.compact();
+    let mut steps = Vec::new();
+    while let Some((idx, g)) = weakest_link(&work.nodes) {
+        work.nodes[idx].split = None;
+        steps.push(PruneStep { alpha: g, n_leaves: count_leaves(&work.nodes) });
+    }
+    steps
+}
+
+/// Ablation baseline: truncate all splits below `max_depth` (root = 0),
+/// replacing them with leaves. Unlike CCP this ignores error contributions.
+pub fn truncate_depth(tree: &DecisionTree, max_depth: usize) -> DecisionTree {
+    let mut work = tree.compact();
+    fn rec(nodes: &mut Vec<Node>, idx: usize, depth: usize, max_depth: usize) {
+        if depth >= max_depth {
+            nodes[idx].split = None;
+            return;
+        }
+        if let Some(s) = nodes[idx].split.clone() {
+            rec(nodes, s.left, depth + 1, max_depth);
+            rec(nodes, s.right, depth + 1, max_depth);
+        }
+    }
+    rec(&mut work.nodes, 0, 0, max_depth);
+    work.compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{fit, TreeConfig};
+    use crate::dataset::Dataset;
+    use crate::metrics;
+
+    /// Alternating-block dataset: 16 blocks of 4 samples.
+    fn blocks() -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..64 {
+            x.push(vec![i as f64]);
+            y.push((i / 4) % 2);
+        }
+        Dataset::classification(x, y, 2).unwrap()
+    }
+
+    /// A noisy dataset where a large tree overfits: strong signal on f0 with
+    /// a few label flips.
+    fn noisy() -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            x.push(vec![i as f64, (i * 37 % 17) as f64]);
+            let mut label = usize::from(i >= 50);
+            if i % 23 == 0 {
+                label = 1 - label; // flip ~4% of labels
+            }
+            y.push(label);
+        }
+        Dataset::classification(x, y, 2).unwrap()
+    }
+
+    #[test]
+    fn prune_to_leaves_reduces_and_respects_bound() {
+        let ds = blocks();
+        let full = fit(&ds, &TreeConfig::with_max_leaves(64)).unwrap();
+        assert_eq!(full.n_leaves(), 16);
+        for target in [1, 2, 4, 8, 16, 100] {
+            let pruned = prune_to_leaves(&full, target);
+            assert!(pruned.n_leaves() <= target.max(1));
+            assert!(pruned.n_leaves() >= 1);
+        }
+    }
+
+    #[test]
+    fn prune_keeps_strongest_structure() {
+        let ds = noisy();
+        let full = fit(&ds, &TreeConfig::with_max_leaves(64)).unwrap();
+        let pruned = prune_to_leaves(&full, 2);
+        // With 2 leaves the tree must keep the dominant i>=50 split.
+        assert_eq!(pruned.n_leaves(), 2);
+        let acc = metrics::accuracy(&pruned, &ds);
+        assert!(acc > 0.9, "pruned accuracy {acc}");
+        let split = pruned.node(0).split.as_ref().unwrap();
+        assert_eq!(split.feature, 0);
+        assert!((split.threshold - 50.0).abs() < 3.0, "threshold {}", split.threshold);
+    }
+
+    #[test]
+    fn alpha_sequence_nondecreasing() {
+        let ds = noisy();
+        let full = fit(&ds, &TreeConfig::with_max_leaves(64)).unwrap();
+        let seq = alpha_sequence(&full);
+        assert!(!seq.is_empty());
+        for pair in seq.windows(2) {
+            assert!(
+                pair[1].alpha >= pair[0].alpha - 1e-9,
+                "alphas must be non-decreasing: {:?}",
+                pair
+            );
+            assert!(pair[1].n_leaves < pair[0].n_leaves + 1);
+        }
+        assert_eq!(seq.last().unwrap().n_leaves, 1);
+    }
+
+    #[test]
+    fn prune_alpha_zero_removes_only_free_splits() {
+        let ds = blocks();
+        let full = fit(&ds, &TreeConfig::with_max_leaves(64)).unwrap();
+        // Every split in the perfect tree reduces error, so alpha<0 keeps all.
+        let pruned = prune_alpha(&full, -1.0);
+        assert_eq!(pruned.n_leaves(), full.n_leaves());
+        // A huge alpha collapses to a stump.
+        let stump = prune_alpha(&full, 1e18);
+        assert_eq!(stump.n_leaves(), 1);
+    }
+
+    #[test]
+    fn truncate_depth_caps_depth() {
+        let ds = blocks();
+        let full = fit(&ds, &TreeConfig::with_max_leaves(64)).unwrap();
+        for d in [0, 1, 2, 3] {
+            let t = truncate_depth(&full, d);
+            assert!(t.depth() <= d, "depth {} > {d}", t.depth());
+        }
+    }
+
+    #[test]
+    fn ccp_beats_truncation_at_same_leaf_budget() {
+        // The paper argues CCP yields smaller trees at similar error [54].
+        // Here: at an equal leaf budget, CCP accuracy >= truncation accuracy.
+        let ds = noisy();
+        let full = fit(&ds, &TreeConfig::with_max_leaves(64)).unwrap();
+        let ccp = prune_to_leaves(&full, 4);
+        let mut trunc = truncate_depth(&full, 2); // at most 4 leaves
+        while trunc.n_leaves() > ccp.n_leaves() {
+            trunc = prune_to_leaves(&trunc, ccp.n_leaves());
+        }
+        let acc_ccp = metrics::accuracy(&ccp, &ds);
+        let acc_trunc = metrics::accuracy(&trunc, &ds);
+        assert!(
+            acc_ccp >= acc_trunc - 1e-9,
+            "ccp {acc_ccp} should be >= truncation {acc_trunc}"
+        );
+    }
+
+    #[test]
+    fn pruning_regression_tree() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..40)
+            .map(|i| if i < 20 { 1.0 } else { 5.0 } + if i % 7 == 0 { 0.2 } else { 0.0 })
+            .collect();
+        let ds = Dataset::regression(x, y).unwrap();
+        let cfg = TreeConfig {
+            criterion: crate::builder::Criterion::Mse,
+            max_leaf_nodes: 32,
+            ..Default::default()
+        };
+        let full = fit(&ds, &cfg).unwrap();
+        let pruned = prune_to_leaves(&full, 2);
+        assert_eq!(pruned.n_leaves(), 2);
+        assert!((pruned.predict_value(&[0.0]) - 1.0).abs() < 0.3);
+        assert!((pruned.predict_value(&[39.0]) - 5.0).abs() < 0.3);
+    }
+}

@@ -1,0 +1,376 @@
+//! The decision-tree data structure: an arena of nodes with per-node
+//! weighted statistics (needed both for pruning and for the paper's
+//! Figure-7-style "decision frequency" annotations).
+
+use serde::{Deserialize, Serialize};
+
+/// Weighted statistics carried by every node (internal and leaf).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeStats {
+    /// Classification: weighted class histogram.
+    Class { dist: Vec<f64> },
+    /// Regression: total weight, weighted sum, weighted sum of squares.
+    Value { w: f64, sum: f64, sumsq: f64 },
+}
+
+impl NodeStats {
+    /// Total sample weight at this node.
+    pub fn weight(&self) -> f64 {
+        match self {
+            NodeStats::Class { dist } => dist.iter().sum(),
+            NodeStats::Value { w, .. } => *w,
+        }
+    }
+
+    /// Prediction if this node were a leaf.
+    pub fn prediction(&self) -> Prediction {
+        match self {
+            NodeStats::Class { dist } => {
+                let mut best = 0;
+                for (i, &d) in dist.iter().enumerate() {
+                    if d > dist[best] {
+                        best = i;
+                    }
+                }
+                Prediction::Class(best)
+            }
+            NodeStats::Value { w, sum, .. } => {
+                Prediction::Value(if *w > 0.0 { sum / w } else { 0.0 })
+            }
+        }
+    }
+
+    /// Resubstitution error if this node were a leaf (weighted
+    /// misclassification for classification, SSE for regression). This is
+    /// the `R(t)` of cost-complexity pruning.
+    pub fn leaf_error(&self) -> f64 {
+        match self {
+            NodeStats::Class { dist } => {
+                let total: f64 = dist.iter().sum();
+                let max = dist.iter().cloned().fold(0.0, f64::max);
+                total - max
+            }
+            NodeStats::Value { w, sum, sumsq } => {
+                if *w > 0.0 {
+                    (sumsq - sum * sum / w).max(0.0)
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Normalized class distribution (classification only).
+    pub fn class_frequencies(&self) -> Option<Vec<f64>> {
+        match self {
+            NodeStats::Class { dist } => {
+                let total: f64 = dist.iter().sum();
+                if total <= 0.0 {
+                    return None;
+                }
+                Some(dist.iter().map(|d| d / total).collect())
+            }
+            NodeStats::Value { .. } => None,
+        }
+    }
+}
+
+/// A tree prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Prediction {
+    Class(usize),
+    Value(f64),
+}
+
+impl Prediction {
+    /// Class index; panics on a regression prediction.
+    pub fn class(self) -> usize {
+        match self {
+            Prediction::Class(c) => c,
+            Prediction::Value(_) => panic!("expected a class prediction"),
+        }
+    }
+
+    /// Regression value; panics on a classification prediction.
+    pub fn value(self) -> f64 {
+        match self {
+            Prediction::Value(v) => v,
+            Prediction::Class(_) => panic!("expected a value prediction"),
+        }
+    }
+}
+
+/// One node in the arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    pub stats: NodeStats,
+    pub split: Option<Split>,
+}
+
+/// A binary split: `x[feature] < threshold` goes left, else right.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Split {
+    pub feature: usize,
+    pub threshold: f64,
+    pub left: usize,
+    pub right: usize,
+}
+
+/// Kind of tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeKind {
+    Classifier { n_classes: usize },
+    Regressor,
+}
+
+/// A trained CART decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) kind: TreeKind,
+    pub(crate) n_features: usize,
+    /// Optional human-readable feature names for export.
+    pub feature_names: Option<Vec<String>>,
+}
+
+pub(crate) const ROOT: usize = 0;
+
+impl DecisionTree {
+    pub(crate) fn new(nodes: Vec<Node>, kind: TreeKind, n_features: usize) -> Self {
+        DecisionTree { nodes, kind, n_features, feature_names: None }
+    }
+
+    pub fn kind(&self) -> TreeKind {
+        self.kind
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    pub fn node(&self, idx: usize) -> &Node {
+        &self.nodes[idx]
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.reachable(ROOT).filter(|&i| self.nodes[i].split.is_none()).count()
+    }
+
+    /// Maximum depth (root = depth 0; a single-leaf tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx].split {
+                None => 0,
+                Some(s) => 1 + rec(nodes, s.left).max(rec(nodes, s.right)),
+            }
+        }
+        rec(&self.nodes, ROOT)
+    }
+
+    /// Iterator over node indices reachable from `start` (preorder).
+    pub(crate) fn reachable(&self, start: usize) -> impl Iterator<Item = usize> + '_ {
+        let mut stack = vec![start];
+        std::iter::from_fn(move || {
+            let idx = stack.pop()?;
+            if let Some(s) = &self.nodes[idx].split {
+                stack.push(s.right);
+                stack.push(s.left);
+            }
+            Some(idx)
+        })
+    }
+
+    /// Walk the tree for a feature vector, returning the leaf node index.
+    pub fn leaf_for(&self, x: &[f64]) -> usize {
+        assert_eq!(
+            x.len(),
+            self.n_features,
+            "leaf_for: expected {} features, got {}",
+            self.n_features,
+            x.len()
+        );
+        let mut idx = ROOT;
+        while let Some(s) = &self.nodes[idx].split {
+            idx = if x[s.feature] < s.threshold { s.left } else { s.right };
+        }
+        idx
+    }
+
+    /// The root-to-leaf node index path for a feature vector.
+    pub fn decision_path(&self, x: &[f64]) -> Vec<usize> {
+        let mut idx = ROOT;
+        let mut path = vec![idx];
+        while let Some(s) = &self.nodes[idx].split {
+            idx = if x[s.feature] < s.threshold { s.left } else { s.right };
+            path.push(idx);
+        }
+        path
+    }
+
+    /// Predict for a single feature vector.
+    pub fn predict(&self, x: &[f64]) -> Prediction {
+        self.nodes[self.leaf_for(x)].stats.prediction()
+    }
+
+    /// Predicted class index (classification trees only).
+    pub fn predict_class(&self, x: &[f64]) -> usize {
+        self.predict(x).class()
+    }
+
+    /// Predicted value (regression trees only).
+    pub fn predict_value(&self, x: &[f64]) -> f64 {
+        self.predict(x).value()
+    }
+
+    /// Leaf class distribution for a sample (classification trees only).
+    pub fn predict_proba(&self, x: &[f64]) -> Option<Vec<f64>> {
+        self.nodes[self.leaf_for(x)].stats.class_frequencies()
+    }
+
+    /// Sum of impurity decreases per feature ("which inputs drive the
+    /// decisions"), normalized to sum to 1. Used in interpretation reports.
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.n_features];
+        for idx in self.reachable(ROOT).collect::<Vec<_>>() {
+            if let Some(s) = &self.nodes[idx].split {
+                let parent = self.nodes[idx].stats.leaf_error();
+                let child =
+                    self.nodes[s.left].stats.leaf_error() + self.nodes[s.right].stats.leaf_error();
+                imp[s.feature] += (parent - child).max(0.0);
+            }
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+
+    /// Serialized size in bytes (JSON) — the deployment cost model input.
+    pub fn artifact_bytes(&self) -> usize {
+        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Compact the arena, dropping nodes that became unreachable after
+    /// pruning. Indices are remapped; statistics are preserved.
+    pub fn compact(&self) -> DecisionTree {
+        let order: Vec<usize> = self.reachable(ROOT).collect();
+        let mut remap = vec![usize::MAX; self.nodes.len()];
+        for (new, &old) in order.iter().enumerate() {
+            remap[old] = new;
+        }
+        let nodes = order
+            .iter()
+            .map(|&old| {
+                let n = &self.nodes[old];
+                Node {
+                    stats: n.stats.clone(),
+                    split: n.split.as_ref().map(|s| Split {
+                        feature: s.feature,
+                        threshold: s.threshold,
+                        left: remap[s.left],
+                        right: remap[s.right],
+                    }),
+                }
+            })
+            .collect();
+        DecisionTree {
+            nodes,
+            kind: self.kind,
+            n_features: self.n_features,
+            feature_names: self.feature_names.clone(),
+        }
+    }
+}
+
+/// A flattened, branch-only evaluator: structure-of-arrays layout with no
+/// enum dispatch, demonstrating the paper's "decision trees can be
+/// implemented with branching clauses only" deployment claim (§6.4) and
+/// used by the latency benchmarks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompiledTree {
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    /// Child indices; for leaves, `left == u32::MAX` and `right` encodes the
+    /// class index or an index into `values`.
+    left: Vec<u32>,
+    right: Vec<u32>,
+    values: Vec<f64>,
+    n_features: usize,
+}
+
+impl CompiledTree {
+    /// Flatten a [`DecisionTree`].
+    pub fn compile(tree: &DecisionTree) -> Self {
+        let tree = tree.compact();
+        let n = tree.nodes.len();
+        let mut out = CompiledTree {
+            feature: vec![0; n],
+            threshold: vec![0.0; n],
+            left: vec![u32::MAX; n],
+            right: vec![0; n],
+            values: Vec::new(),
+            n_features: tree.n_features,
+        };
+        for (i, node) in tree.nodes.iter().enumerate() {
+            match &node.split {
+                Some(s) => {
+                    out.feature[i] = s.feature as u32;
+                    out.threshold[i] = s.threshold;
+                    out.left[i] = s.left as u32;
+                    out.right[i] = s.right as u32;
+                }
+                None => match node.stats.prediction() {
+                    Prediction::Class(c) => {
+                        out.right[i] = c as u32;
+                    }
+                    Prediction::Value(v) => {
+                        out.right[i] = out.values.len() as u32;
+                        out.values.push(v);
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    /// Evaluate to a raw leaf payload (class index or value index).
+    #[inline]
+    fn eval_raw(&self, x: &[f64]) -> u32 {
+        let mut idx = 0usize;
+        loop {
+            let l = self.left[idx];
+            if l == u32::MAX {
+                return self.right[idx];
+            }
+            idx = if x[self.feature[idx] as usize] < self.threshold[idx] {
+                l as usize
+            } else {
+                self.right[idx] as usize
+            };
+        }
+    }
+
+    /// Predicted class (classification trees).
+    #[inline]
+    pub fn predict_class(&self, x: &[f64]) -> usize {
+        self.eval_raw(x) as usize
+    }
+
+    /// Predicted value (regression trees).
+    #[inline]
+    pub fn predict_value(&self, x: &[f64]) -> f64 {
+        self.values[self.eval_raw(x) as usize]
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+}

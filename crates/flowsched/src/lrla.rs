@@ -1,0 +1,304 @@
+//! lRLA — AuTO's long-flow RL agent: at each long-flow decision point it
+//! observes the active long flows (the paper's 143-dimensional state) and
+//! picks one of 108 actions = 4 priorities × 27 rate-limit levels.
+
+use crate::mlfq::N_PRIORITIES;
+use crate::sim::{DecisionPoint, FlowDecision, FlowSim, SimConfig};
+use crate::workload::FlowRequest;
+use metis_nn::{Activation, Mlp};
+use metis_rl::{ActorCritic, Env, Step, TrainConfig};
+use rand::rngs::StdRng;
+
+/// Long flows tracked in the lRLA state.
+pub const LRLA_FLOWS: usize = 20;
+/// Features per tracked flow.
+pub const LRLA_FEATURES: usize = 7;
+/// Global summary features.
+pub const LRLA_GLOBALS: usize = 3;
+/// Total state dimensionality (the paper's "143 states").
+pub const LRLA_STATE_DIM: usize = LRLA_FLOWS * LRLA_FEATURES + LRLA_GLOBALS;
+/// Rate-limit levels (level 26 = uncapped).
+pub const RATE_LEVELS: usize = 27;
+/// Total discrete actions (the paper's 108 = 4 × 27).
+pub const LRLA_ACTIONS: usize = N_PRIORITIES * RATE_LEVELS;
+
+/// Decode an action index into a [`FlowDecision`].
+pub fn decode_action(action: usize, link_bps: f64) -> FlowDecision {
+    assert!(action < LRLA_ACTIONS, "action out of range");
+    let priority = action / RATE_LEVELS;
+    let level = action % RATE_LEVELS;
+    let rate_cap_bps = if level == RATE_LEVELS - 1 {
+        None // uncapped
+    } else {
+        // Log-spaced caps from 1% to ~92% of the link rate.
+        Some(link_bps * 10f64.powf(-2.0 + 2.0 * level as f64 / (RATE_LEVELS - 1) as f64))
+    };
+    FlowDecision { priority, rate_cap_bps }
+}
+
+/// Encode the inverse (used by tests and by the tree-policy wrapper).
+pub fn encode_action(priority: usize, level: usize) -> usize {
+    assert!(priority < N_PRIORITIES && level < RATE_LEVELS);
+    priority * RATE_LEVELS + level
+}
+
+/// Build the lRLA observation at a decision point: features of up to 20
+/// active long flows (the flow awaiting a decision first), then globals.
+pub fn lrla_state(sim: &FlowSim, deciding_flow: usize) -> Vec<f64> {
+    let fabric = &sim.config().fabric;
+    let cutoff = sim.config().long_flow_cutoff_bytes;
+    let mut state = vec![0.0; LRLA_STATE_DIM];
+    // Order: the deciding flow first, then other long flows by remaining.
+    let mut long: Vec<&crate::sim::ActiveFlow> = sim
+        .active_flows()
+        .iter()
+        .filter(|f| f.req.size_bytes >= cutoff)
+        .collect();
+    long.sort_by(|a, b| {
+        let key_a = (a.req.id != deciding_flow, -a.remaining_bytes());
+        let key_b = (b.req.id != deciding_flow, -b.remaining_bytes());
+        key_a.partial_cmp(&key_b).unwrap()
+    });
+    for (slot, f) in long.iter().take(LRLA_FLOWS).enumerate() {
+        let base = slot * LRLA_FEATURES;
+        state[base] = f.req.src as f64 / fabric.n_servers as f64;
+        state[base + 1] = f.req.dst as f64 / fabric.n_servers as f64;
+        state[base + 2] = f.req.size_bytes.max(1.0).log10() / 12.0;
+        state[base + 3] = f.bytes_sent / f.req.size_bytes.max(1.0);
+        state[base + 4] = f.rate_bps / fabric.link_bps;
+        state[base + 5] = f.priority(&sim.config().thresholds) as f64 / N_PRIORITIES as f64;
+        state[base + 6] = if f.req.id == deciding_flow { 1.0 } else { 0.0 };
+    }
+    let n_long = long.len();
+    let n_total = sim.active_flows().len();
+    state[LRLA_FLOWS * LRLA_FEATURES] = (n_long as f64 / LRLA_FLOWS as f64).min(1.0);
+    state[LRLA_FLOWS * LRLA_FEATURES + 1] = (n_total as f64 / 100.0).min(1.0);
+    state[LRLA_FLOWS * LRLA_FEATURES + 2] =
+        (sim.time_s() / 0.1).min(1.0); // episode progress on a 100 ms horizon
+    state
+}
+
+/// The lRLA training environment: one episode = one workload run; one step
+/// = one long-flow decision. Reward is the negative mean slowdown of flows
+/// completed since the previous decision (0 when none completed).
+#[derive(Debug, Clone)]
+pub struct LrlaEnv {
+    flows: Vec<FlowRequest>,
+    config: SimConfig,
+    sim: FlowSim,
+    pending_decision: Option<DecisionPoint>,
+    completed_seen: usize,
+}
+
+impl LrlaEnv {
+    pub fn new(flows: Vec<FlowRequest>, config: SimConfig) -> Self {
+        let sim = FlowSim::new(flows.clone(), config.clone());
+        LrlaEnv { flows, config, sim, pending_decision: None, completed_seen: 0 }
+    }
+
+    /// The underlying simulator (post-episode inspection).
+    pub fn sim(&self) -> &FlowSim {
+        &self.sim
+    }
+
+    fn reward_since_last(&mut self) -> f64 {
+        let fabric = &self.config.fabric;
+        let new = &self.sim.completed()[self.completed_seen..];
+        self.completed_seen = self.sim.completed().len();
+        if new.is_empty() {
+            return 0.0;
+        }
+        let mean_slowdown: f64 = new
+            .iter()
+            .map(|f| {
+                let ideal = f.size_bytes * 8.0 / fabric.link_bps;
+                (f.fct_s / ideal.max(1e-12)).min(1e4)
+            })
+            .sum::<f64>()
+            / new.len() as f64;
+        -mean_slowdown.log10()
+    }
+}
+
+impl Env for LrlaEnv {
+    fn reset(&mut self) -> Vec<f64> {
+        self.sim = FlowSim::new(self.flows.clone(), self.config.clone());
+        self.completed_seen = 0;
+        self.pending_decision = self.sim.run_until_decision();
+        match &self.pending_decision {
+            Some(dp) => lrla_state(&self.sim, dp.flow_id),
+            // Degenerate workload without long flows: a zero observation;
+            // the first step will immediately terminate.
+            None => vec![0.0; LRLA_STATE_DIM],
+        }
+    }
+
+    fn step(&mut self, action: usize) -> Step {
+        let Some(dp) = self.pending_decision.take() else {
+            return Step { obs: vec![0.0; LRLA_STATE_DIM], reward: 0.0, done: true };
+        };
+        let decision = decode_action(action, self.config.fabric.link_bps);
+        self.sim.apply_decision(dp.flow_id, decision);
+        self.pending_decision = self.sim.run_until_decision();
+        let reward = self.reward_since_last();
+        match &self.pending_decision {
+            Some(next) => Step { obs: lrla_state(&self.sim, next.flow_id), reward, done: false },
+            None => Step { obs: vec![0.0; LRLA_STATE_DIM], reward, done: true },
+        }
+    }
+
+    fn n_actions(&self) -> usize {
+        LRLA_ACTIONS
+    }
+
+    fn obs_dim(&self) -> usize {
+        LRLA_STATE_DIM
+    }
+}
+
+/// Build an lRLA actor-critic with the given hidden widths.
+pub fn lrla_agent(hidden: &[usize], config: TrainConfig, rng: &mut StdRng) -> ActorCritic<Mlp> {
+    ActorCritic::new(LRLA_STATE_DIM, LRLA_ACTIONS, hidden, config, rng)
+}
+
+/// The paper-scale lRLA network (600×600 hidden), used by the latency and
+/// deployment benchmarks.
+pub fn lrla_net_paper_scale(rng: &mut StdRng) -> Mlp {
+    Mlp::new(
+        &[LRLA_STATE_DIM, 600, 600, LRLA_ACTIONS],
+        Activation::Tanh,
+        Activation::Linear,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlfq::MlfqThresholds;
+    use crate::sim::FabricConfig;
+    use crate::workload::{generate_flows, SizeDistribution};
+    use metis_rl::{rollout, ActionMode, UniformPolicy};
+    use rand::SeedableRng;
+
+    fn test_config() -> SimConfig {
+        SimConfig {
+            fabric: FabricConfig { n_servers: 8, link_bps: 10e9 },
+            thresholds: MlfqThresholds::default_web_search(),
+            long_flow_cutoff_bytes: 1e6,
+            decision_latency_s: 0.0,
+        }
+    }
+
+    fn test_flows(seed: u64) -> Vec<FlowRequest> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_flows(&SizeDistribution::web_search(), 8, 10e9, 0.5, 0.01, &mut rng)
+    }
+
+    #[test]
+    fn constants_match_paper() {
+        assert_eq!(LRLA_STATE_DIM, 143);
+        assert_eq!(LRLA_ACTIONS, 108);
+    }
+
+    #[test]
+    fn action_codec_roundtrip() {
+        for p in 0..N_PRIORITIES {
+            for l in 0..RATE_LEVELS {
+                let a = encode_action(p, l);
+                let d = decode_action(a, 10e9);
+                assert_eq!(d.priority, p);
+                if l == RATE_LEVELS - 1 {
+                    assert!(d.rate_cap_bps.is_none());
+                } else {
+                    let cap = d.rate_cap_bps.unwrap();
+                    assert!(cap > 0.0 && cap <= 10e9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rate_caps_log_spaced_increasing() {
+        let caps: Vec<f64> = (0..RATE_LEVELS - 1)
+            .map(|l| decode_action(encode_action(0, l), 10e9).rate_cap_bps.unwrap())
+            .collect();
+        assert!(caps.windows(2).all(|w| w[1] > w[0]));
+        assert!((caps[0] - 1e8).abs() / 1e8 < 0.01, "lowest cap ~1% of 10G");
+    }
+
+    #[test]
+    fn env_episode_with_random_policy() {
+        let mut env = LrlaEnv::new(test_flows(3), test_config());
+        let obs = env.reset();
+        assert_eq!(obs.len(), 143);
+        let mut rng = StdRng::seed_from_u64(0);
+        let traj = rollout(
+            &mut env,
+            &UniformPolicy { n_actions: LRLA_ACTIONS },
+            ActionMode::Sample,
+            10_000,
+            &mut rng,
+        );
+        assert!(traj.terminated, "episode must reach the end of the workload");
+        assert!(!traj.is_empty(), "workload must contain long flows");
+        // After the episode every flow must have finished.
+        assert!(env.sim().done());
+    }
+
+    #[test]
+    fn deciding_flow_is_marked_in_state() {
+        let mut env = LrlaEnv::new(test_flows(5), test_config());
+        let obs = env.reset();
+        // Slot 0 is the deciding flow: its marker feature must be 1.
+        assert_eq!(obs[6], 1.0);
+    }
+
+    #[test]
+    fn bad_decisions_hurt_fct() {
+        // Capping every long flow to 1% of the link must increase long-flow
+        // FCT versus leaving them uncapped at top priority.
+        let flows = test_flows(11);
+        let run = |action: usize| {
+            let mut env = LrlaEnv::new(flows.clone(), test_config());
+            env.reset();
+            loop {
+                let s = env.step(action);
+                if s.done {
+                    break;
+                }
+            }
+            let done = env.sim().completed().to_vec();
+            let long: Vec<_> = done.into_iter().filter(|f| f.size_bytes >= 1e6).collect();
+            long.iter().map(|f| f.fct_s).sum::<f64>() / long.len().max(1) as f64
+        };
+        let uncapped = run(encode_action(0, RATE_LEVELS - 1));
+        let strangled = run(encode_action(3, 0));
+        assert!(
+            strangled > uncapped * 2.0,
+            "1% cap should badly hurt long flows: {strangled} vs {uncapped}"
+        );
+    }
+
+    #[test]
+    fn env_clone_is_deterministic() {
+        let mut a = LrlaEnv::new(test_flows(7), test_config());
+        a.reset();
+        let mut b = a.clone();
+        let sa = a.step(5);
+        let sb = b.step(5);
+        assert_eq!(sa.obs, sb.obs);
+        assert_eq!(sa.reward, sb.reward);
+    }
+
+    #[test]
+    fn agent_constructs_at_both_scales() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ac = lrla_agent(&[32], TrainConfig::default(), &mut rng);
+        let probs = metis_rl::Policy::action_probs(&ac.policy, &vec![0.0; 143]);
+        assert_eq!(probs.len(), 108);
+        let big = lrla_net_paper_scale(&mut rng);
+        assert_eq!(metis_nn::Network::in_dim(&big), 143);
+        assert_eq!(metis_nn::Network::out_dim(&big), 108);
+    }
+}

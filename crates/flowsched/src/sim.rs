@@ -1,0 +1,597 @@
+//! Flow-level discrete-event simulator of the AuTO fabric: 16 servers
+//! behind one switch, strict-priority queueing with max-min fair sharing
+//! within each priority, MLFQ demotion for undecided flows, and optional
+//! per-flow decisions (priority + rate cap) that activate after a
+//! configurable decision latency — the mechanism behind Figures 15(b),
+//! 16 and 17(a).
+
+use crate::mlfq::{MlfqThresholds, N_PRIORITIES};
+use crate::workload::FlowRequest;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Fabric shape (AuTO: 16 servers, one switch, 10 Gbps edges).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    pub n_servers: usize,
+    pub link_bps: f64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig { n_servers: 16, link_bps: 10e9 }
+    }
+}
+
+/// A per-flow decision from the long-flow agent (lRLA).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowDecision {
+    /// Static priority (0 = highest, < [`N_PRIORITIES`]).
+    pub priority: usize,
+    /// Optional rate limit in bits/s.
+    pub rate_cap_bps: Option<f64>,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub fabric: FabricConfig,
+    /// MLFQ demotion thresholds for undecided flows (sRLA's output).
+    pub thresholds: MlfqThresholds,
+    /// Flows at least this large receive per-flow decisions.
+    pub long_flow_cutoff_bytes: f64,
+    /// Delay between a long flow's arrival and its decision taking effect
+    /// (the agent's decision latency; Figure 16).
+    pub decision_latency_s: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            fabric: FabricConfig::default(),
+            thresholds: MlfqThresholds::default_web_search(),
+            long_flow_cutoff_bytes: 1e6,
+            decision_latency_s: 0.0,
+        }
+    }
+}
+
+/// A finished flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedFlow {
+    pub id: usize,
+    pub src: usize,
+    pub dst: usize,
+    pub size_bytes: f64,
+    pub arrival_s: f64,
+    pub fct_s: f64,
+}
+
+/// A live flow (exposed through [`FlowSim::active_flows`] snapshots).
+#[derive(Debug, Clone)]
+pub struct ActiveFlow {
+    pub req: FlowRequest,
+    pub bytes_sent: f64,
+    pub decision: Option<FlowDecision>,
+    /// When a pending per-flow decision activates (None once applied or for
+    /// short flows).
+    decision_due_s: Option<f64>,
+    pub rate_bps: f64,
+}
+
+impl ActiveFlow {
+    /// Current scheduling priority.
+    pub fn priority(&self, thresholds: &MlfqThresholds) -> usize {
+        match self.decision {
+            Some(d) => d.priority,
+            None => thresholds.priority(self.bytes_sent),
+        }
+    }
+
+    pub fn remaining_bytes(&self) -> f64 {
+        (self.req.size_bytes - self.bytes_sent).max(0.0)
+    }
+}
+
+/// A point where the simulator pauses for a per-flow decision.
+#[derive(Debug, Clone)]
+pub struct DecisionPoint {
+    pub flow_id: usize,
+    pub time_s: f64,
+}
+
+/// The incremental flow-level simulator.
+#[derive(Debug, Clone)]
+pub struct FlowSim {
+    config: SimConfig,
+    pending: VecDeque<FlowRequest>,
+    active: Vec<ActiveFlow>,
+    completed: Vec<CompletedFlow>,
+    time_s: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+impl FlowSim {
+    /// Build a simulator over a pre-generated (arrival-sorted) flow list.
+    pub fn new(mut flows: Vec<FlowRequest>, config: SimConfig) -> Self {
+        flows.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).unwrap());
+        for f in &flows {
+            assert!(f.src != f.dst, "flow {} has src == dst", f.id);
+            assert!(
+                f.src < config.fabric.n_servers && f.dst < config.fabric.n_servers,
+                "flow endpoints out of range"
+            );
+        }
+        FlowSim {
+            config,
+            pending: flows.into(),
+            active: Vec::new(),
+            completed: Vec::new(),
+            time_s: 0.0,
+        }
+    }
+
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    pub fn active_flows(&self) -> &[ActiveFlow] {
+        &self.active
+    }
+
+    pub fn completed(&self) -> &[CompletedFlow] {
+        &self.completed
+    }
+
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    pub fn done(&self) -> bool {
+        self.pending.is_empty() && self.active.is_empty()
+    }
+
+    /// Exact max-min rates under strict priority, edge-link capacities and
+    /// per-flow caps (progressive filling per priority level).
+    fn compute_rates(&self) -> Vec<f64> {
+        let ns = self.config.fabric.n_servers;
+        let cap = self.config.fabric.link_bps;
+        let mut tx = vec![cap; ns];
+        let mut rx = vec![cap; ns];
+        let mut rates = vec![0.0; self.active.len()];
+
+        for p in 0..N_PRIORITIES {
+            let members: Vec<usize> = (0..self.active.len())
+                .filter(|&i| self.active[i].priority(&self.config.thresholds) == p)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut unfrozen: Vec<usize> = members;
+            while !unfrozen.is_empty() {
+                // Per-link unfrozen counts.
+                let mut tx_count = vec![0usize; ns];
+                let mut rx_count = vec![0usize; ns];
+                for &i in &unfrozen {
+                    tx_count[self.active[i].req.src] += 1;
+                    rx_count[self.active[i].req.dst] += 1;
+                }
+                // Candidate rate per flow: min of link fair shares and cap.
+                let mut min_rate = f64::INFINITY;
+                let candidates: Vec<f64> = unfrozen
+                    .iter()
+                    .map(|&i| {
+                        let f = &self.active[i];
+                        let fair_tx = tx[f.req.src] / tx_count[f.req.src] as f64;
+                        let fair_rx = rx[f.req.dst] / rx_count[f.req.dst] as f64;
+                        let mut c = fair_tx.min(fair_rx);
+                        if let Some(d) = f.decision {
+                            if let Some(rc) = d.rate_cap_bps {
+                                c = c.min(rc);
+                            }
+                        }
+                        min_rate = min_rate.min(c);
+                        c
+                    })
+                    .collect();
+                // Freeze every flow at the global minimum candidate.
+                let mut still = Vec::with_capacity(unfrozen.len());
+                for (k, &i) in unfrozen.iter().enumerate() {
+                    if candidates[k] <= min_rate * (1.0 + 1e-12) {
+                        rates[i] = min_rate.max(0.0);
+                        tx[self.active[i].req.src] =
+                            (tx[self.active[i].req.src] - rates[i]).max(0.0);
+                        rx[self.active[i].req.dst] =
+                            (rx[self.active[i].req.dst] - rates[i]).max(0.0);
+                    } else {
+                        still.push(i);
+                    }
+                }
+                debug_assert!(still.len() < unfrozen.len(), "progressive filling stalled");
+                unfrozen = still;
+            }
+        }
+        rates
+    }
+
+    /// Advance to the next event. Returns a [`DecisionPoint`] when a
+    /// long-flow decision activates (the caller should then invoke
+    /// [`FlowSim::apply_decision`]); returns `None` for internal events.
+    ///
+    /// # Panics
+    /// Panics if called when [`FlowSim::done`].
+    fn advance(&mut self) -> Option<DecisionPoint> {
+        assert!(!self.done(), "advance called on a finished simulation");
+        let rates = self.compute_rates();
+        for (f, &r) in self.active.iter_mut().zip(rates.iter()) {
+            f.rate_bps = r;
+        }
+
+        // Earliest next event.
+        #[derive(PartialEq)]
+        enum Ev {
+            Arrival,
+            Completion(usize),
+            Threshold(usize),
+            Decision(usize),
+        }
+        let mut best_dt = f64::INFINITY;
+        let mut best_ev = Ev::Arrival;
+        if let Some(next) = self.pending.front() {
+            let dt = (next.arrival_s - self.time_s).max(0.0);
+            if dt < best_dt {
+                best_dt = dt;
+                best_ev = Ev::Arrival;
+            }
+        }
+        for (i, f) in self.active.iter().enumerate() {
+            let bytes_per_s = f.rate_bps / 8.0;
+            if bytes_per_s > 0.0 {
+                let dt_done = f.remaining_bytes() / bytes_per_s;
+                if dt_done < best_dt {
+                    best_dt = dt_done;
+                    best_ev = Ev::Completion(i);
+                }
+                if f.decision.is_none() {
+                    if let Some(th) = self.config.thresholds.next_threshold(f.bytes_sent) {
+                        let dt_th = (th - f.bytes_sent) / bytes_per_s;
+                        if dt_th < best_dt - EPS && dt_th > EPS {
+                            best_dt = dt_th;
+                            best_ev = Ev::Threshold(i);
+                        }
+                    }
+                }
+            }
+            if let Some(due) = f.decision_due_s {
+                let dt_dec = (due - self.time_s).max(0.0);
+                if dt_dec < best_dt {
+                    best_dt = dt_dec;
+                    best_ev = Ev::Decision(i);
+                }
+            }
+        }
+        assert!(
+            best_dt.is_finite(),
+            "no progress possible: {} active flows all starved with no arrivals",
+            self.active.len()
+        );
+
+        // Transfer bytes over the interval.
+        for f in &mut self.active {
+            f.bytes_sent = (f.bytes_sent + f.rate_bps / 8.0 * best_dt).min(f.req.size_bytes);
+        }
+        self.time_s += best_dt;
+
+        match best_ev {
+            Ev::Arrival => {
+                let req = self.pending.pop_front().unwrap();
+                let is_long = req.size_bytes >= self.config.long_flow_cutoff_bytes;
+                let decision_due_s = if is_long {
+                    Some(self.time_s + self.config.decision_latency_s)
+                } else {
+                    None
+                };
+                self.active.push(ActiveFlow {
+                    req,
+                    bytes_sent: 0.0,
+                    decision: None,
+                    decision_due_s,
+                    rate_bps: 0.0,
+                });
+                None
+            }
+            Ev::Completion(i) => {
+                let f = self.active.swap_remove(i);
+                self.completed.push(CompletedFlow {
+                    id: f.req.id,
+                    src: f.req.src,
+                    dst: f.req.dst,
+                    size_bytes: f.req.size_bytes,
+                    arrival_s: f.req.arrival_s,
+                    fct_s: self.time_s - f.req.arrival_s,
+                });
+                None
+            }
+            Ev::Threshold(_) => None, // demotion shows up in the next rate computation
+            Ev::Decision(i) => {
+                self.active[i].decision_due_s = None;
+                Some(DecisionPoint { flow_id: self.active[i].req.id, time_s: self.time_s })
+            }
+        }
+    }
+
+    /// Run until the next per-flow decision point, or to completion.
+    pub fn run_until_decision(&mut self) -> Option<DecisionPoint> {
+        while !self.done() {
+            if let Some(dp) = self.advance() {
+                return Some(dp);
+            }
+        }
+        None
+    }
+
+    /// Apply a per-flow decision (from lRLA or a heuristic). No-op if the
+    /// flow already finished — decisions can race with completion.
+    pub fn apply_decision(&mut self, flow_id: usize, decision: FlowDecision) {
+        assert!(decision.priority < N_PRIORITIES, "priority out of range");
+        if let Some(f) = self.active.iter_mut().find(|f| f.req.id == flow_id) {
+            f.decision = Some(decision);
+        }
+    }
+
+    /// Run to completion, applying `decide` at every decision point.
+    pub fn run_with(
+        &mut self,
+        mut decide: impl FnMut(&FlowSim, &DecisionPoint) -> FlowDecision,
+    ) -> &[CompletedFlow] {
+        while let Some(dp) = self.run_until_decision() {
+            let d = decide(self, &dp);
+            self.apply_decision(dp.flow_id, d);
+        }
+        &self.completed
+    }
+
+    /// Run to completion with pure MLFQ (no per-flow decisions applied).
+    pub fn run_mlfq_only(&mut self) -> &[CompletedFlow] {
+        while self.run_until_decision().is_some() {}
+        &self.completed
+    }
+}
+
+/// FCT summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FctStats {
+    pub count: usize,
+    pub mean_s: f64,
+    pub p50_s: f64,
+    pub p75_s: f64,
+    pub p90_s: f64,
+    pub p99_s: f64,
+}
+
+impl FctStats {
+    pub fn from_flows(flows: &[CompletedFlow]) -> Self {
+        assert!(!flows.is_empty(), "FctStats of empty flow set");
+        let mut fcts: Vec<f64> = flows.iter().map(|f| f.fct_s).collect();
+        fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| {
+            let rank = (p / 100.0 * (fcts.len() - 1) as f64).round() as usize;
+            fcts[rank.min(fcts.len() - 1)]
+        };
+        FctStats {
+            count: fcts.len(),
+            mean_s: fcts.iter().sum::<f64>() / fcts.len() as f64,
+            p50_s: pct(50.0),
+            p75_s: pct(75.0),
+            p90_s: pct(90.0),
+            p99_s: pct(99.0),
+        }
+    }
+
+    /// Stats restricted to a size band `[lo, hi)` in bytes.
+    pub fn from_flows_sized(flows: &[CompletedFlow], lo: f64, hi: f64) -> Option<Self> {
+        let subset: Vec<CompletedFlow> = flows
+            .iter()
+            .filter(|f| f.size_bytes >= lo && f.size_bytes < hi)
+            .cloned()
+            .collect();
+        if subset.is_empty() {
+            None
+        } else {
+            Some(Self::from_flows(&subset))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_flows, SizeDistribution};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn req(id: usize, src: usize, dst: usize, size: f64, at: f64) -> FlowRequest {
+        FlowRequest { id, src, dst, size_bytes: size, arrival_s: at }
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            fabric: FabricConfig { n_servers: 4, link_bps: 1e9 },
+            thresholds: MlfqThresholds::new(vec![10_000.0, 100_000.0, 1_000_000.0]).unwrap(),
+            long_flow_cutoff_bytes: f64::INFINITY, // MLFQ-only by default
+            decision_latency_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_full_link() {
+        let mut sim = FlowSim::new(vec![req(0, 0, 1, 1_000_000.0, 0.0)], cfg());
+        let done = sim.run_mlfq_only();
+        assert_eq!(done.len(), 1);
+        // 1 MB at 1 Gbps = 8 ms.
+        assert!((done[0].fct_s - 0.008).abs() < 1e-9, "fct {}", done[0].fct_s);
+    }
+
+    #[test]
+    fn two_flows_share_sender_link() {
+        // Same src, different dst: the tx link is the bottleneck.
+        let flows = vec![req(0, 0, 1, 1_000_000.0, 0.0), req(1, 0, 2, 1_000_000.0, 0.0)];
+        let mut sim = FlowSim::new(flows, cfg());
+        let done = sim.run_mlfq_only().to_vec();
+        // Same priority path throughout (identical sizes): both finish at
+        // 2 MB / 1 Gbps = 16 ms.
+        for f in &done {
+            assert!((f.fct_s - 0.016).abs() < 1e-6, "fct {}", f.fct_s);
+        }
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interfere() {
+        let flows = vec![req(0, 0, 1, 1_000_000.0, 0.0), req(1, 2, 3, 1_000_000.0, 0.0)];
+        let mut sim = FlowSim::new(flows, cfg());
+        let done = sim.run_mlfq_only();
+        for f in done {
+            assert!((f.fct_s - 0.008).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mlfq_prioritizes_new_small_flow_over_demoted_elephant() {
+        // Elephant starts first and demotes below the first threshold; a
+        // mouse arriving later preempts it entirely.
+        let flows = vec![
+            req(0, 0, 1, 10_000_000.0, 0.0),
+            req(1, 0, 1, 5_000.0, 0.01),
+        ];
+        let mut sim = FlowSim::new(flows, cfg());
+        let done: Vec<_> = sim.run_mlfq_only().to_vec();
+        let mouse = done.iter().find(|f| f.id == 1).unwrap();
+        // Mouse sees (almost) the full link: 5 KB at 1 Gbps = 40 µs.
+        assert!(
+            mouse.fct_s < 0.0001,
+            "mouse should preempt the demoted elephant, fct {}",
+            mouse.fct_s
+        );
+    }
+
+    #[test]
+    fn strict_priority_starves_lower_queue() {
+        // Two permanent-priority flows via decisions.
+        let mut config = cfg();
+        config.long_flow_cutoff_bytes = 0.0; // everything gets decisions
+        let flows = vec![req(0, 0, 1, 1_000_000.0, 0.0), req(1, 2, 1, 1_000_000.0, 0.0)];
+        let mut sim = FlowSim::new(flows, config);
+        let done = sim
+            .run_with(|_, dp| {
+                if dp.flow_id == 0 {
+                    FlowDecision { priority: 0, rate_cap_bps: None }
+                } else {
+                    FlowDecision { priority: 3, rate_cap_bps: None }
+                }
+            })
+            .to_vec();
+        let hi = done.iter().find(|f| f.id == 0).unwrap();
+        let lo = done.iter().find(|f| f.id == 1).unwrap();
+        // Receiver link shared: high priority finishes at full rate, the
+        // low one only then proceeds: 8 ms vs 16 ms.
+        assert!((hi.fct_s - 0.008).abs() < 1e-6, "hi fct {}", hi.fct_s);
+        assert!((lo.fct_s - 0.016).abs() < 1e-6, "lo fct {}", lo.fct_s);
+    }
+
+    #[test]
+    fn rate_cap_respected() {
+        let mut config = cfg();
+        config.long_flow_cutoff_bytes = 0.0;
+        let mut sim = FlowSim::new(vec![req(0, 0, 1, 1_000_000.0, 0.0)], config);
+        let done = sim
+            .run_with(|_, _| FlowDecision { priority: 0, rate_cap_bps: Some(1e8) })
+            .to_vec();
+        // 1 MB at 100 Mbps = 80 ms.
+        assert!((done[0].fct_s - 0.08).abs() < 1e-6, "fct {}", done[0].fct_s);
+    }
+
+    #[test]
+    fn decision_latency_delays_activation() {
+        let mut config = cfg();
+        config.long_flow_cutoff_bytes = 0.0;
+        config.decision_latency_s = 0.005;
+        let mut sim = FlowSim::new(vec![req(0, 0, 1, 10_000_000.0, 0.0)], config);
+        let dp = sim.run_until_decision().expect("must pause for a decision");
+        assert_eq!(dp.flow_id, 0);
+        assert!((dp.time_s - 0.005).abs() < 1e-9, "decision at {}", dp.time_s);
+        // Before the decision the flow already transferred bytes via MLFQ.
+        assert!(sim.active_flows()[0].bytes_sent > 0.0);
+        sim.apply_decision(0, FlowDecision { priority: 1, rate_cap_bps: None });
+        assert!(sim.run_until_decision().is_none());
+        assert_eq!(sim.completed().len(), 1);
+    }
+
+    #[test]
+    fn all_flows_complete_conservation() {
+        let dist = SizeDistribution::web_search();
+        let mut rng = StdRng::seed_from_u64(11);
+        let flows = generate_flows(&dist, 16, 10e9, 0.5, 0.05, &mut rng);
+        let n = flows.len();
+        assert!(n > 20, "want a non-trivial flow count, got {n}");
+        let mut config = SimConfig::default();
+        config.thresholds = MlfqThresholds::default_web_search();
+        let mut sim = FlowSim::new(flows, config);
+        let done = sim.run_mlfq_only();
+        assert_eq!(done.len(), n, "every flow must finish");
+        assert!(done.iter().all(|f| f.fct_s > 0.0));
+        // No flow can beat the line rate.
+        for f in done {
+            let ideal = f.size_bytes * 8.0 / 10e9;
+            assert!(f.fct_s >= ideal - 1e-12, "fct {} < ideal {ideal}", f.fct_s);
+        }
+    }
+
+    #[test]
+    fn mlfq_beats_single_queue_on_mean_fct() {
+        // The whole point of MLFQ: short flows escape elephants.
+        let dist = SizeDistribution::web_search();
+        let mut rng = StdRng::seed_from_u64(5);
+        let flows = generate_flows(&dist, 8, 10e9, 0.7, 0.05, &mut rng);
+
+        let mut mlfq_cfg = SimConfig::default();
+        mlfq_cfg.fabric.n_servers = 8;
+        let mut fair_cfg = mlfq_cfg.clone();
+        // One giant first threshold => effectively a single queue.
+        fair_cfg.thresholds =
+            MlfqThresholds::new(vec![1e15, 2e15, 3e15]).unwrap();
+
+        let mut sim_a = FlowSim::new(flows.clone(), mlfq_cfg);
+        let mut sim_b = FlowSim::new(flows, fair_cfg);
+        let a = FctStats::from_flows(sim_a.run_mlfq_only());
+        let b = FctStats::from_flows(sim_b.run_mlfq_only());
+        assert!(
+            a.mean_s < b.mean_s,
+            "MLFQ mean FCT {} should beat fair-share {}",
+            a.mean_s,
+            b.mean_s
+        );
+    }
+
+    #[test]
+    fn fct_stats_percentiles() {
+        let flows: Vec<CompletedFlow> = (1..=100)
+            .map(|i| CompletedFlow {
+                id: i,
+                src: 0,
+                dst: 1,
+                size_bytes: 1.0,
+                arrival_s: 0.0,
+                fct_s: i as f64,
+            })
+            .collect();
+        let s = FctStats::from_flows(&flows);
+        assert_eq!(s.count, 100);
+        assert!((s.mean_s - 50.5).abs() < 1e-9);
+        assert!((s.p50_s - 50.0).abs() < 2.0);
+        assert!((s.p99_s - 99.0).abs() < 2.0);
+        let banded = FctStats::from_flows_sized(&flows, 0.0, 2.0).unwrap();
+        assert_eq!(banded.count, 100);
+        assert!(FctStats::from_flows_sized(&flows, 5.0, 6.0).is_none());
+    }
+}

@@ -1,0 +1,240 @@
+//! Datacenter traffic workloads: the two empirical flow-size distributions
+//! AuTO evaluates on — **web search** (DCTCP, Alizadeh et al. 2010) and
+//! **data mining** (VL2, Greenberg et al. 2009) — encoded as published-shape
+//! CDFs with log-linear interpolation, plus Poisson arrival generation at a
+//! target fabric load.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A named flow-size CDF.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeDistribution {
+    pub name: String,
+    /// `(size_bytes, cumulative_probability)`, strictly increasing in both.
+    points: Vec<(f64, f64)>,
+}
+
+impl SizeDistribution {
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "CDF needs at least two points");
+        assert!(
+            points.windows(2).all(|w| w[1].0 > w[0].0 && w[1].1 >= w[0].1),
+            "CDF points must be increasing"
+        );
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-9, "CDF must end at 1.0");
+        SizeDistribution { name: name.into(), points }
+    }
+
+    /// The web-search workload (DCTCP): query/response traffic, mean
+    /// ≈ 1.6 MB, with a mix of small RPCs and multi-MB responses.
+    pub fn web_search() -> Self {
+        SizeDistribution::new(
+            "web-search",
+            vec![
+                (6_000.0, 0.15),
+                (13_000.0, 0.20),
+                (19_000.0, 0.30),
+                (33_000.0, 0.40),
+                (53_000.0, 0.53),
+                (133_000.0, 0.60),
+                (667_000.0, 0.70),
+                (1_467_000.0, 0.80),
+                (3_333_000.0, 0.90),
+                (6_667_000.0, 0.95),
+                (20_000_000.0, 0.98),
+                (30_000_000.0, 1.00),
+            ],
+        )
+    }
+
+    /// The data-mining workload (VL2): dominated by tiny control flows with
+    /// an extremely heavy elephant tail (most *bytes* live in a few flows).
+    pub fn data_mining() -> Self {
+        SizeDistribution::new(
+            "data-mining",
+            vec![
+                (100.0, 0.30),
+                (300.0, 0.50),
+                (1_000.0, 0.60),
+                (2_000.0, 0.70),
+                (10_000.0, 0.78),
+                (100_000.0, 0.85),
+                (1_000_000.0, 0.91),
+                (10_000_000.0, 0.95),
+                (100_000_000.0, 0.98),
+                (1_000_000_000.0, 1.00),
+            ],
+        )
+    }
+
+    /// Inverse-CDF sample with log-linear interpolation between points.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.quantile(u)
+    }
+
+    /// Size at cumulative probability `u` (log-linear interpolation).
+    pub fn quantile(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let first = self.points[0];
+        if u <= first.1 {
+            // Below the first knot: interpolate from a nominal minimum.
+            let min_size = (first.0 / 10.0).max(64.0);
+            let frac = u / first.1.max(1e-12);
+            return (min_size.ln() + frac * (first.0.ln() - min_size.ln())).exp();
+        }
+        for w in self.points.windows(2) {
+            let (s0, p0) = w[0];
+            let (s1, p1) = w[1];
+            if u <= p1 {
+                if p1 - p0 < 1e-12 {
+                    return s1;
+                }
+                let frac = (u - p0) / (p1 - p0);
+                return (s0.ln() + frac * (s1.ln() - s0.ln())).exp();
+            }
+        }
+        self.points.last().unwrap().0
+    }
+
+    /// Mean flow size (numerical integral of the quantile function).
+    pub fn mean_bytes(&self) -> f64 {
+        let n = 10_000;
+        (0..n).map(|i| self.quantile((i as f64 + 0.5) / n as f64)).sum::<f64>() / n as f64
+    }
+}
+
+/// One flow request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowRequest {
+    pub id: usize,
+    pub src: usize,
+    pub dst: usize,
+    pub size_bytes: f64,
+    pub arrival_s: f64,
+}
+
+/// Generate Poisson flow arrivals at `load` (fraction of per-host capacity)
+/// for a fabric of `n_servers` hosts with `link_bps` edge links.
+pub fn generate_flows(
+    dist: &SizeDistribution,
+    n_servers: usize,
+    link_bps: f64,
+    load: f64,
+    duration_s: f64,
+    rng: &mut StdRng,
+) -> Vec<FlowRequest> {
+    assert!(n_servers >= 2, "need at least two servers");
+    assert!((0.0..1.5).contains(&load), "load should be a sane fraction");
+    let mean_size = dist.mean_bytes();
+    // Aggregate ingress capacity is n_servers * link; target load applies
+    // per receiving host on average.
+    let lambda = load * link_bps / 8.0 / mean_size * n_servers as f64;
+    let mut flows = Vec::new();
+    let mut t = 0.0;
+    let mut id = 0;
+    loop {
+        // Exponential inter-arrival via inverse transform.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        t += -u.ln() / lambda;
+        if t >= duration_s {
+            break;
+        }
+        let src = rng.gen_range(0..n_servers);
+        let mut dst = rng.gen_range(0..n_servers - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        flows.push(FlowRequest { id, src, dst, size_bytes: dist.sample(rng), arrival_s: t });
+        id += 1;
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantile_monotone() {
+        for dist in [SizeDistribution::web_search(), SizeDistribution::data_mining()] {
+            let mut last = 0.0;
+            for i in 0..100 {
+                let q = dist.quantile(i as f64 / 99.0);
+                assert!(q >= last, "{} quantile not monotone", dist.name);
+                last = q;
+            }
+        }
+    }
+
+    #[test]
+    fn web_search_mean_near_published() {
+        let m = SizeDistribution::web_search().mean_bytes();
+        // DCTCP reports ~1.6 MB mean.
+        assert!(m > 800_000.0 && m < 3_000_000.0, "ws mean {m}");
+    }
+
+    #[test]
+    fn data_mining_heavier_tail_than_web_search() {
+        let ws = SizeDistribution::web_search();
+        let dm = SizeDistribution::data_mining();
+        // DM median is tiny compared to WS...
+        assert!(dm.quantile(0.5) < ws.quantile(0.5) / 10.0);
+        // ...but its tail is far heavier.
+        assert!(dm.quantile(0.99) > ws.quantile(0.99));
+    }
+
+    #[test]
+    fn samples_follow_cdf() {
+        let dist = SizeDistribution::web_search();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut below_median = 0;
+        let n = 20_000;
+        let median = dist.quantile(0.5);
+        for _ in 0..n {
+            if dist.sample(&mut rng) <= median {
+                below_median += 1;
+            }
+        }
+        let frac = below_median as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "median check failed: {frac}");
+    }
+
+    #[test]
+    fn flows_generated_at_load() {
+        let dist = SizeDistribution::web_search();
+        let mut rng = StdRng::seed_from_u64(3);
+        let link = 10e9;
+        let flows = generate_flows(&dist, 16, link, 0.6, 2.0, &mut rng);
+        assert!(!flows.is_empty());
+        // Offered bytes per second per server should be ~load * capacity/8.
+        let total_bytes: f64 = flows.iter().map(|f| f.size_bytes).sum();
+        let offered = total_bytes / 2.0 / 16.0; // per server per second
+        let target = 0.6 * link / 8.0;
+        assert!(
+            offered > 0.4 * target && offered < 1.7 * target,
+            "offered {offered:.3e} vs target {target:.3e}"
+        );
+        // Arrivals sorted, ids unique, src != dst.
+        assert!(flows.windows(2).all(|w| w[1].arrival_s >= w[0].arrival_s));
+        assert!(flows.iter().all(|f| f.src != f.dst));
+        assert!(flows.iter().all(|f| f.src < 16 && f.dst < 16));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let dist = SizeDistribution::data_mining();
+        let a = generate_flows(&dist, 4, 10e9, 0.3, 1.0, &mut StdRng::seed_from_u64(7));
+        let b = generate_flows(&dist, 4, 10e9, 0.3, 1.0, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must end at 1.0")]
+    fn rejects_incomplete_cdf() {
+        let _ = SizeDistribution::new("bad", vec![(1.0, 0.1), (2.0, 0.5)]);
+    }
+}

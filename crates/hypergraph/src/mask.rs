@@ -1,0 +1,360 @@
+//! Critical-connection search (§4.2, Figure 6 / Eqs. 4–9).
+//!
+//! We optimize a fractional incidence mask `W ∈ [0,1]^{|E|×|V|}` so that
+//!
+//! ```text
+//! min ℓ(W) = D(Y_W, Y_I) + λ₁·‖W‖ + λ₂·H(W)      s.t. 0 ≤ W_ev ≤ I_ev
+//! ```
+//!
+//! * `D` — output similarity when features are damped by the mask
+//!   (KL divergence for discrete outputs, MSE for continuous, Eq. 6),
+//! * `‖W‖` — conciseness: Σ|W_ev| (Eq. 7),
+//! * `H(W)` — determinism: binary entropy pushing each mask to 0 or 1
+//!   (Eq. 8).
+//!
+//! The constraint is enforced with the gating of Eq. 9:
+//! `W = I ∘ sigmoid(W′)` — we only parameterize logits for *existing*
+//! connections, so `W_ev = 0` wherever `I_ev = 0` by construction.
+//!
+//! A *high* surviving mask value marks a connection whose damping would
+//! change the system output a lot — a **critical** connection.
+
+use metis_nn::tape::{sum, Tape, Var};
+use metis_nn::{Adam, Optimizer, ParamGrad};
+
+/// What the system's masked output represents, selecting the `D` metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputKind {
+    /// Probability vectors (possibly several distributions concatenated):
+    /// compared with KL divergence `Σ Y_W ln(Y_W / Y_I)`.
+    Discrete,
+    /// Real-valued outputs: compared with squared error `Σ (Y_W − Y_I)²`.
+    Continuous,
+}
+
+/// A system whose output can be recomputed under a connection mask.
+///
+/// `mask[i]` aligns with the `i`-th entry of
+/// [`crate::structure::Hypergraph::connections`] of the formulated system.
+/// Implementations damp the corresponding input features and rebuild their
+/// output *on the tape* so gradients flow back to the mask.
+pub trait MaskedSystem {
+    /// Number of maskable connections.
+    fn n_connections(&self) -> usize;
+
+    /// Reference output `Y_I` (all-ones mask).
+    fn reference_output(&self) -> Vec<f64>;
+
+    /// Output under the given mask, recorded on `tape`.
+    fn masked_output<'t>(&self, tape: &'t Tape, mask: &[Var<'t>]) -> Vec<Var<'t>>;
+
+    /// Which `D` to use.
+    fn output_kind(&self) -> OutputKind;
+}
+
+/// Hyperparameters (paper Table 4: λ₁ = 0.25, λ₂ = 1 for RouteNet*).
+#[derive(Debug, Clone)]
+pub struct MaskConfig {
+    pub lambda1: f64,
+    pub lambda2: f64,
+    pub learning_rate: f64,
+    pub steps: usize,
+    /// Initial logit for all connections. The default 0.0 (mask 0.5) sits
+    /// at the saddle of the entropy term, so the similarity and
+    /// conciseness terms pick each connection's direction before the
+    /// determinism term locks it toward 0 or 1. Starting near a pole
+    /// instead lets H(W) freeze every mask at that pole — the degenerate
+    /// interpretation the paper's Eq. 8 discussion warns about.
+    pub init_logit: f64,
+    /// Fraction of steps during which λ₂ is held at 0. Early in the search
+    /// the D residual is large and briefly drags even unimportant masks
+    /// upward; Adam's scale-invariant steps mean they climb as fast as the
+    /// truly critical ones. Holding the determinism term off until the
+    /// D-vs-λ₁ equilibrium settles prevents that transient from being
+    /// frozen at the W=1 pole.
+    pub entropy_warmup: f64,
+}
+
+impl Default for MaskConfig {
+    fn default() -> Self {
+        MaskConfig {
+            lambda1: 0.25,
+            lambda2: 1.0,
+            learning_rate: 0.05,
+            steps: 300,
+            init_logit: 0.0,
+            entropy_warmup: 0.5,
+        }
+    }
+}
+
+/// Result of the mask search.
+#[derive(Debug, Clone)]
+pub struct MaskResult {
+    /// Final mask value per connection (same order as `connections()`).
+    pub mask: Vec<f64>,
+    /// Total loss per optimization step.
+    pub loss_history: Vec<f64>,
+    /// Final loss decomposition.
+    pub final_d: f64,
+    pub final_l1: f64,
+    pub final_entropy: f64,
+}
+
+impl MaskResult {
+    /// Connection indices sorted by descending mask value.
+    pub fn ranked(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.mask.len()).collect();
+        idx.sort_by(|&a, &b| self.mask[b].partial_cmp(&self.mask[a]).unwrap());
+        idx
+    }
+
+    /// `‖W‖ / ‖I‖`: mean mask value (the Fig.-30 y-axis).
+    pub fn scale(&self) -> f64 {
+        if self.mask.is_empty() {
+            return 0.0;
+        }
+        self.mask.iter().sum::<f64>() / self.mask.len() as f64
+    }
+
+    /// Mean binary entropy of the mask (the other Fig.-30 y-axis).
+    pub fn mean_entropy(&self) -> f64 {
+        if self.mask.is_empty() {
+            return 0.0;
+        }
+        metis_nn::loss::binary_entropy_sum(&self.mask) / self.mask.len() as f64
+    }
+
+    /// Fraction of masks in the "undetermined" middle band (Fig. 9a).
+    pub fn median_fraction(&self, lo: f64, hi: f64) -> f64 {
+        if self.mask.is_empty() {
+            return 0.0;
+        }
+        self.mask.iter().filter(|&&m| m > lo && m < hi).count() as f64 / self.mask.len() as f64
+    }
+}
+
+/// Run the critical-connection search (Adam on the gating logits).
+pub fn optimize_mask<S: MaskedSystem>(system: &S, cfg: &MaskConfig) -> MaskResult {
+    let n = system.n_connections();
+    let reference = system.reference_output();
+    let mut logits = vec![cfg.init_logit; n];
+    let mut opt = Adam::new(cfg.learning_rate);
+    let mut loss_history = Vec::with_capacity(cfg.steps);
+    let (mut final_d, mut final_l1, mut final_entropy) = (0.0, 0.0, 0.0);
+
+    for step in 0..cfg.steps {
+        let warmup_steps = cfg.entropy_warmup * cfg.steps as f64;
+        let l2_now = if (step as f64) < warmup_steps { 0.0 } else { cfg.lambda2 };
+        let tape = Tape::new();
+        let logit_vars = tape.vars(&logits);
+        let mask: Vec<Var<'_>> = logit_vars.iter().map(|v| v.sigmoid()).collect();
+
+        let output = system.masked_output(&tape, &mask);
+        assert_eq!(
+            output.len(),
+            reference.len(),
+            "masked_output length must match reference_output"
+        );
+
+        // D(Y_W, Y_I) — Eq. 6.
+        let d = match system.output_kind() {
+            OutputKind::Discrete => {
+                let terms: Vec<Var<'_>> = output
+                    .iter()
+                    .zip(reference.iter())
+                    .map(|(yw, &yi)| {
+                        // y_w ln(y_w / y_i); reference floored for safety.
+                        let ratio = *yw / yi.max(1e-12);
+                        *yw * ratio.ln()
+                    })
+                    .collect();
+                sum(&tape, &terms)
+            }
+            OutputKind::Continuous => {
+                let terms: Vec<Var<'_>> = output
+                    .iter()
+                    .zip(reference.iter())
+                    .map(|(yw, &yi)| (*yw - yi).square())
+                    .collect();
+                sum(&tape, &terms)
+            }
+        };
+
+        // ‖W‖ — Eq. 7 (masks are already in (0,1): |W| = W).
+        let l1_terms: Vec<Var<'_>> = mask.to_vec();
+        let l1 = sum(&tape, &l1_terms);
+
+        // H(W) — Eq. 8.
+        let ent_terms: Vec<Var<'_>> = mask.iter().map(|w| w.binary_entropy()).collect();
+        let entropy = sum(&tape, &ent_terms);
+
+        let loss = d + l1 * cfg.lambda1 + entropy * l2_now;
+        loss_history.push(loss.value());
+        final_d = d.value();
+        final_l1 = l1.value();
+        final_entropy = entropy.value();
+
+        let grads = loss.grad();
+        let mut grad_vec: Vec<f64> = logit_vars.iter().map(|v| grads.wrt(*v)).collect();
+        let mut params = [ParamGrad { param: &mut logits, grad: &mut grad_vec }];
+        opt.step(&mut params);
+    }
+
+    let mask = logits.iter().map(|&l| 1.0 / (1.0 + (-l).exp())).collect();
+    MaskResult { mask, loss_history, final_d, final_l1, final_entropy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A linear toy system: output_j = Σ_c mask_c · a_jc · x_c, continuous.
+    /// Connections with large |a·x| contributions are "critical".
+    struct LinearSystem {
+        /// contributions[j][c]
+        contributions: Vec<Vec<f64>>,
+    }
+
+    impl MaskedSystem for LinearSystem {
+        fn n_connections(&self) -> usize {
+            self.contributions[0].len()
+        }
+
+        fn reference_output(&self) -> Vec<f64> {
+            self.contributions.iter().map(|row| row.iter().sum()).collect()
+        }
+
+        fn masked_output<'t>(&self, tape: &'t Tape, mask: &[Var<'t>]) -> Vec<Var<'t>> {
+            self.contributions
+                .iter()
+                .map(|row| {
+                    let terms: Vec<Var<'t>> = row
+                        .iter()
+                        .zip(mask.iter())
+                        .map(|(&a, m)| *m * a)
+                        .collect();
+                    sum(tape, &terms)
+                })
+                .collect()
+        }
+
+        fn output_kind(&self) -> OutputKind {
+            OutputKind::Continuous
+        }
+    }
+
+    fn toy() -> LinearSystem {
+        // Connection 0 dominates the output; connections 1, 2 are noise.
+        LinearSystem { contributions: vec![vec![10.0, 0.05, 0.02]] }
+    }
+
+    #[test]
+    fn critical_connection_survives_unimportant_pruned() {
+        let result = optimize_mask(&toy(), &MaskConfig::default());
+        assert!(
+            result.mask[0] > 0.9,
+            "critical connection should stay on: {:?}",
+            result.mask
+        );
+        assert!(
+            result.mask[1] < 0.1 && result.mask[2] < 0.1,
+            "noise connections should be suppressed: {:?}",
+            result.mask
+        );
+    }
+
+    #[test]
+    fn masks_respect_unit_interval() {
+        let result = optimize_mask(&toy(), &MaskConfig::default());
+        assert!(result.mask.iter().all(|&m| m > 0.0 && m < 1.0));
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let result = optimize_mask(&toy(), &MaskConfig { steps: 200, ..Default::default() });
+        let first = result.loss_history[0];
+        let last = *result.loss_history.last().unwrap();
+        assert!(last < first, "loss should decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn lambda1_shrinks_masks() {
+        // Figure 29(a): increasing λ₁ penalizes ‖W‖ and shifts the mask CDF
+        // downward.
+        let lo = optimize_mask(&toy(), &MaskConfig { lambda1: 0.05, ..Default::default() });
+        let hi = optimize_mask(&toy(), &MaskConfig { lambda1: 2.0, ..Default::default() });
+        assert!(
+            hi.scale() < lo.scale(),
+            "higher lambda1 must shrink scale: {} vs {}",
+            hi.scale(),
+            lo.scale()
+        );
+    }
+
+    #[test]
+    fn lambda2_reduces_median_masks() {
+        // Figure 29(b): higher λ₂ pushes masks toward {0,1}.
+        let sys = LinearSystem {
+            contributions: vec![vec![2.0, 1.5, 1.0, 0.75, 0.5, 0.25, 0.1, 0.05]],
+        };
+        let lo = optimize_mask(
+            &sys,
+            &MaskConfig { lambda2: 0.0, steps: 400, ..Default::default() },
+        );
+        let hi = optimize_mask(
+            &sys,
+            &MaskConfig { lambda2: 3.0, steps: 400, ..Default::default() },
+        );
+        assert!(
+            hi.mean_entropy() <= lo.mean_entropy() + 1e-9,
+            "higher lambda2 must reduce entropy: {} vs {}",
+            hi.mean_entropy(),
+            lo.mean_entropy()
+        );
+    }
+
+    #[test]
+    fn discrete_kl_system() {
+        /// Two-way distribution steered by one connection; masking it moves
+        /// probability mass, which KL penalizes.
+        struct DistSystem;
+        impl MaskedSystem for DistSystem {
+            fn n_connections(&self) -> usize {
+                2
+            }
+            fn reference_output(&self) -> Vec<f64> {
+                vec![0.8, 0.2]
+            }
+            fn masked_output<'t>(&self, tape: &'t Tape, mask: &[Var<'t>]) -> Vec<Var<'t>> {
+                // p0 = (0.8·m0 + eps) / norm; p1 = (0.2·m1 + eps) / norm
+                let a = mask[0] * 0.8 + 1e-6;
+                let b = mask[1] * 0.2 + 1e-6;
+                let norm = a + b;
+                let _ = tape;
+                vec![a / norm, b / norm]
+            }
+            fn output_kind(&self) -> OutputKind {
+                OutputKind::Discrete
+            }
+        }
+        let result = optimize_mask(&DistSystem, &MaskConfig { steps: 400, ..Default::default() });
+        // The dominant-mass connection must rank first.
+        assert_eq!(result.ranked()[0], 0);
+        assert!(result.final_d.is_finite());
+    }
+
+    #[test]
+    fn ranked_orders_by_mask() {
+        let r = MaskResult {
+            mask: vec![0.2, 0.9, 0.5],
+            loss_history: vec![],
+            final_d: 0.0,
+            final_l1: 0.0,
+            final_entropy: 0.0,
+        };
+        assert_eq!(r.ranked(), vec![1, 2, 0]);
+        assert!((r.scale() - (0.2 + 0.9 + 0.5) / 3.0).abs() < 1e-12);
+        assert!((r.median_fraction(0.3, 0.7) - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,291 @@
+//! The hypergraph structure of §4.1: vertices, hyperedges covering multiple
+//! vertices, per-vertex features `F_V` and per-hyperedge features `F_E`,
+//! and the incidence-matrix view (Eq. 3).
+
+use metis_nn::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a hyperedge (index into the edge list).
+pub type EdgeId = usize;
+/// Identifier of a vertex.
+pub type VertexId = usize;
+
+/// Errors raised by hypergraph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HypergraphError {
+    VertexOutOfRange { vertex: VertexId, n_vertices: usize },
+    EmptyEdge,
+    DuplicateVertexInEdge,
+    FeatureLengthMismatch,
+}
+
+impl std::fmt::Display for HypergraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HypergraphError::VertexOutOfRange { vertex, n_vertices } => {
+                write!(f, "vertex {vertex} out of range (n_vertices={n_vertices})")
+            }
+            HypergraphError::EmptyEdge => write!(f, "hyperedge must cover at least one vertex"),
+            HypergraphError::DuplicateVertexInEdge => {
+                write!(f, "hyperedge covers the same vertex twice")
+            }
+            HypergraphError::FeatureLengthMismatch => {
+                write!(f, "feature vector count does not match element count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HypergraphError {}
+
+/// A hypergraph with optional features and element names.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hypergraph {
+    n_vertices: usize,
+    /// Per-hyperedge sorted vertex lists.
+    edges: Vec<Vec<VertexId>>,
+    /// `F_V`: one feature vector per vertex (may be empty).
+    pub vertex_features: Vec<Vec<f64>>,
+    /// `F_E`: one feature vector per hyperedge (may be empty).
+    pub edge_features: Vec<Vec<f64>>,
+    /// Optional display names (e.g. `"link 6->7"`).
+    pub vertex_names: Option<Vec<String>>,
+    pub edge_names: Option<Vec<String>>,
+}
+
+impl Hypergraph {
+    /// Create a hypergraph over `n_vertices` vertices with no edges.
+    pub fn new(n_vertices: usize) -> Self {
+        Hypergraph {
+            n_vertices,
+            edges: Vec::new(),
+            vertex_features: Vec::new(),
+            edge_features: Vec::new(),
+            vertex_names: None,
+            edge_names: None,
+        }
+    }
+
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a hyperedge covering `vertices`. Order is normalized (sorted).
+    pub fn add_edge(&mut self, vertices: &[VertexId]) -> Result<EdgeId, HypergraphError> {
+        if vertices.is_empty() {
+            return Err(HypergraphError::EmptyEdge);
+        }
+        let mut vs = vertices.to_vec();
+        vs.sort_unstable();
+        if vs.windows(2).any(|w| w[0] == w[1]) {
+            return Err(HypergraphError::DuplicateVertexInEdge);
+        }
+        if let Some(&max) = vs.last() {
+            if max >= self.n_vertices {
+                return Err(HypergraphError::VertexOutOfRange {
+                    vertex: max,
+                    n_vertices: self.n_vertices,
+                });
+            }
+        }
+        self.edges.push(vs);
+        Ok(self.edges.len() - 1)
+    }
+
+    /// Set `F_V` (must supply one vector per vertex).
+    pub fn set_vertex_features(&mut self, fv: Vec<Vec<f64>>) -> Result<(), HypergraphError> {
+        if fv.len() != self.n_vertices {
+            return Err(HypergraphError::FeatureLengthMismatch);
+        }
+        self.vertex_features = fv;
+        Ok(())
+    }
+
+    /// Set `F_E` (must supply one vector per hyperedge).
+    pub fn set_edge_features(&mut self, fe: Vec<Vec<f64>>) -> Result<(), HypergraphError> {
+        if fe.len() != self.n_edges() {
+            return Err(HypergraphError::FeatureLengthMismatch);
+        }
+        self.edge_features = fe;
+        Ok(())
+    }
+
+    /// Vertices covered by a hyperedge (sorted).
+    pub fn edge_vertices(&self, e: EdgeId) -> &[VertexId] {
+        &self.edges[e]
+    }
+
+    /// Number of vertices a hyperedge covers.
+    pub fn edge_size(&self, e: EdgeId) -> usize {
+        self.edges[e].len()
+    }
+
+    /// Hyperedges covering a vertex.
+    pub fn vertex_edges(&self, v: VertexId) -> Vec<EdgeId> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, vs)| vs.binary_search(&v).is_ok())
+            .map(|(e, _)| e)
+            .collect()
+    }
+
+    /// Vertex degree: number of hyperedges covering it.
+    pub fn vertex_degree(&self, v: VertexId) -> usize {
+        self.vertex_edges(v).len()
+    }
+
+    /// Whether hyperedge `e` covers vertex `v` (`I_ev = 1`).
+    pub fn contains(&self, e: EdgeId, v: VertexId) -> bool {
+        self.edges[e].binary_search(&v).is_ok()
+    }
+
+    /// All (edge, vertex) connections in a stable order: edges in insertion
+    /// order, vertices sorted within each edge. This ordering defines the
+    /// layout of mask vectors in the critical-connection search.
+    pub fn connections(&self) -> Vec<(EdgeId, VertexId)> {
+        let mut out = Vec::new();
+        for (e, vs) in self.edges.iter().enumerate() {
+            for &v in vs {
+                out.push((e, v));
+            }
+        }
+        out
+    }
+
+    /// Total number of (edge, vertex) connections.
+    pub fn n_connections(&self) -> usize {
+        self.edges.iter().map(|vs| vs.len()).sum()
+    }
+
+    /// The dense `|E| x |V|` 0-1 incidence matrix of Eq. 3.
+    pub fn incidence_matrix(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n_edges(), self.n_vertices);
+        for (e, vs) in self.edges.iter().enumerate() {
+            for &v in vs {
+                m[(e, v)] = 1.0;
+            }
+        }
+        m
+    }
+
+    /// Human-readable name of a vertex.
+    pub fn vertex_name(&self, v: VertexId) -> String {
+        self.vertex_names
+            .as_ref()
+            .and_then(|n| n.get(v).cloned())
+            .unwrap_or_else(|| format!("v{v}"))
+    }
+
+    /// Human-readable name of a hyperedge.
+    pub fn edge_name(&self, e: EdgeId) -> String {
+        self.edge_names
+            .as_ref()
+            .and_then(|n| n.get(e).cloned())
+            .unwrap_or_else(|| format!("e{e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact Figure-5(c) example from the paper: links 1..8 are
+    /// vertices (we use 0-based ids 0..7), path e1 covers links {2,5,6} and
+    /// e2 covers {1,3,6,8} (1-based), so the incidence matrix must equal
+    /// Eq. 3.
+    fn figure5() -> Hypergraph {
+        let mut h = Hypergraph::new(8);
+        // 1-based link ids from the paper mapped to 0-based vertex ids.
+        h.add_edge(&[1, 4, 5]).unwrap(); // e1: links 2,5,6
+        h.add_edge(&[0, 2, 5, 7]).unwrap(); // e2: links 1,3,6,8
+        h
+    }
+
+    #[test]
+    fn figure5_incidence_matches_eq3() {
+        let h = figure5();
+        let i = h.incidence_matrix();
+        let expected = Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0],
+            &[1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0],
+        ]);
+        assert_eq!(i, expected);
+    }
+
+    #[test]
+    fn figure5_connections_match_eq2() {
+        let h = figure5();
+        // Eq. 2 in 0-based form: {(1,e1),(4,e1),(5,e1),(0,e2),(2,e2),(5,e2),(7,e2)}
+        assert_eq!(
+            h.connections(),
+            vec![(0, 1), (0, 4), (0, 5), (1, 0), (1, 2), (1, 5), (1, 7)]
+        );
+        assert_eq!(h.n_connections(), 7);
+    }
+
+    #[test]
+    fn shared_vertex_has_degree_two() {
+        let h = figure5();
+        assert_eq!(h.vertex_degree(5), 2); // link 6 is on both paths
+        assert_eq!(h.vertex_edges(5), vec![0, 1]);
+        assert_eq!(h.vertex_degree(3), 0); // link 4 unused
+    }
+
+    #[test]
+    fn contains_queries() {
+        let h = figure5();
+        assert!(h.contains(0, 4));
+        assert!(!h.contains(0, 0));
+        assert!(h.contains(1, 7));
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut h = Hypergraph::new(3);
+        assert_eq!(h.add_edge(&[]).unwrap_err(), HypergraphError::EmptyEdge);
+        assert_eq!(
+            h.add_edge(&[0, 3]).unwrap_err(),
+            HypergraphError::VertexOutOfRange { vertex: 3, n_vertices: 3 }
+        );
+        assert_eq!(
+            h.add_edge(&[1, 1]).unwrap_err(),
+            HypergraphError::DuplicateVertexInEdge
+        );
+    }
+
+    #[test]
+    fn features_validated() {
+        let mut h = figure5();
+        assert!(h.set_vertex_features(vec![vec![1.0]; 8]).is_ok());
+        assert_eq!(
+            h.set_vertex_features(vec![vec![1.0]; 7]).unwrap_err(),
+            HypergraphError::FeatureLengthMismatch
+        );
+        assert!(h.set_edge_features(vec![vec![2.0], vec![3.0]]).is_ok());
+        assert_eq!(
+            h.set_edge_features(vec![]).unwrap_err(),
+            HypergraphError::FeatureLengthMismatch
+        );
+    }
+
+    #[test]
+    fn names_fall_back_to_indices() {
+        let mut h = figure5();
+        assert_eq!(h.vertex_name(2), "v2");
+        h.vertex_names = Some((0..8).map(|i| format!("link {}", i + 1)).collect());
+        assert_eq!(h.vertex_name(2), "link 3");
+        assert_eq!(h.edge_name(0), "e0");
+    }
+
+    #[test]
+    fn edge_vertex_order_normalized() {
+        let mut h = Hypergraph::new(5);
+        let e = h.add_edge(&[4, 0, 2]).unwrap();
+        assert_eq!(h.edge_vertices(e), &[0, 2, 4]);
+    }
+}

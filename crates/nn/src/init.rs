@@ -1,0 +1,79 @@
+//! Weight initialization schemes.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Initialization scheme for layer weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    /// Good default for tanh/sigmoid/linear layers.
+    XavierUniform,
+    /// He/Kaiming uniform: `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+    /// Good default for ReLU layers.
+    HeUniform,
+    /// All zeros (used for biases and in tests).
+    Zeros,
+}
+
+impl Init {
+    /// Sample a `fan_out x fan_in`-shaped weight matrix.
+    ///
+    /// The convention in this crate is `W: (in, out)` for dense layers, so
+    /// callers pass `(rows=fan_in, cols=fan_out)` and the scheme internally
+    /// derives the fans from the shape.
+    pub fn sample(self, rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+        let (fan_in, fan_out) = (rows as f64, cols as f64);
+        match self {
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out)).sqrt();
+                Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+            }
+            Init::HeUniform => {
+                let a = (6.0 / fan_in).sqrt();
+                Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+            }
+            Init::Zeros => Matrix::zeros(rows, cols),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = Init::XavierUniform.sample(10, 20, &mut rng);
+        let a = (6.0_f64 / 30.0).sqrt();
+        assert!(w.data().iter().all(|&x| x > -a && x < a));
+    }
+
+    #[test]
+    fn he_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = Init::HeUniform.sample(16, 4, &mut rng);
+        let a = (6.0_f64 / 16.0).sqrt();
+        assert!(w.data().iter().all(|&x| x > -a && x < a));
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = Init::Zeros.sample(3, 3, &mut rng);
+        assert!(w.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        assert_eq!(
+            Init::XavierUniform.sample(4, 4, &mut r1),
+            Init::XavierUniform.sample(4, 4, &mut r2)
+        );
+    }
+}

@@ -1,0 +1,468 @@
+//! Scalar reverse-mode automatic differentiation on a tape.
+//!
+//! This is the engine behind the hypergraph mask search (§4.2 of the paper)
+//! and the RouteNet message-passing model: ad-hoc differentiable programs
+//! whose structure does not fit the layered MLP API. Usage:
+//!
+//! ```
+//! use metis_nn::tape::Tape;
+//! let tape = Tape::new();
+//! let x = tape.var(2.0);
+//! let y = tape.var(3.0);
+//! let z = (x * y + x.sin_approx()).tanh();
+//! let grads = z.grad();
+//! let dz_dx = grads.wrt(x);
+//! # assert!(dz_dx.is_finite());
+//! ```
+//!
+//! Nodes are appended to an append-only arena; `grad()` walks the arena in
+//! reverse. Each node has at most two parents, which covers every operator
+//! we need and keeps the node representation a flat POD.
+
+use std::cell::RefCell;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+const NO_PARENT: usize = usize::MAX;
+
+#[derive(Clone, Copy)]
+struct Node {
+    parents: [usize; 2],
+    partials: [f64; 2],
+}
+
+/// Arena of computation nodes. Create [`Var`]s with [`Tape::var`].
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    pub fn new() -> Self {
+        Tape { nodes: RefCell::new(Vec::new()) }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Create a leaf variable.
+    pub fn var(&self, val: f64) -> Var<'_> {
+        let idx = self.push(NO_PARENT, 0.0, NO_PARENT, 0.0);
+        Var { tape: self, idx, val }
+    }
+
+    /// Create many leaf variables at once.
+    pub fn vars(&self, vals: &[f64]) -> Vec<Var<'_>> {
+        vals.iter().map(|&v| self.var(v)).collect()
+    }
+
+    fn push(&self, p0: usize, d0: f64, p1: usize, d1: f64) -> usize {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { parents: [p0, p1], partials: [d0, d1] });
+        nodes.len() - 1
+    }
+
+    fn unary(&self, a: &Var<'_>, val: f64, da: f64) -> Var<'_> {
+        let idx = self.push(a.idx, da, NO_PARENT, 0.0);
+        Var { tape: self, idx, val }
+    }
+
+    fn binary(&self, a: &Var<'_>, b: &Var<'_>, val: f64, da: f64, db: f64) -> Var<'_> {
+        let idx = self.push(a.idx, da, b.idx, db);
+        Var { tape: self, idx, val }
+    }
+}
+
+/// A value tracked on a [`Tape`]. Copyable; arithmetic operators record
+/// nodes onto the owning tape.
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    tape: &'t Tape,
+    idx: usize,
+    val: f64,
+}
+
+impl<'t> Var<'t> {
+    /// Current value.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.val
+    }
+
+    /// Run the backward pass from this variable and collect all adjoints.
+    pub fn grad(&self) -> Grads {
+        let nodes = self.tape.nodes.borrow();
+        let mut adjoints = vec![0.0; nodes.len()];
+        adjoints[self.idx] = 1.0;
+        for i in (0..=self.idx).rev() {
+            let a = adjoints[i];
+            if a == 0.0 {
+                continue;
+            }
+            let node = nodes[i];
+            for k in 0..2 {
+                let p = node.parents[k];
+                if p != NO_PARENT {
+                    adjoints[p] += a * node.partials[k];
+                }
+            }
+        }
+        Grads { adjoints }
+    }
+
+    pub fn exp(self) -> Var<'t> {
+        let v = self.val.exp();
+        self.tape.unary(&self, v, v)
+    }
+
+    /// Natural log; input is floored at 1e-300 to avoid -inf.
+    pub fn ln(self) -> Var<'t> {
+        let x = self.val.max(1e-300);
+        self.tape.unary(&self, x.ln(), 1.0 / x)
+    }
+
+    pub fn sigmoid(self) -> Var<'t> {
+        let s = 1.0 / (1.0 + (-self.val).exp());
+        self.tape.unary(&self, s, s * (1.0 - s))
+    }
+
+    pub fn tanh(self) -> Var<'t> {
+        let t = self.val.tanh();
+        self.tape.unary(&self, t, 1.0 - t * t)
+    }
+
+    pub fn relu(self) -> Var<'t> {
+        if self.val > 0.0 {
+            self.tape.unary(&self, self.val, 1.0)
+        } else {
+            self.tape.unary(&self, 0.0, 0.0)
+        }
+    }
+
+    pub fn sqrt(self) -> Var<'t> {
+        let s = self.val.max(0.0).sqrt();
+        self.tape.unary(&self, s, 0.5 / s.max(1e-12))
+    }
+
+    pub fn powi(self, n: i32) -> Var<'t> {
+        let v = self.val.powi(n);
+        self.tape.unary(&self, v, n as f64 * self.val.powi(n - 1))
+    }
+
+    pub fn square(self) -> Var<'t> {
+        self.powi(2)
+    }
+
+    pub fn abs(self) -> Var<'t> {
+        self.tape.unary(&self, self.val.abs(), self.val.signum())
+    }
+
+    /// Reciprocal `1/x`.
+    pub fn recip(self) -> Var<'t> {
+        let v = 1.0 / self.val;
+        self.tape.unary(&self, v, -v * v)
+    }
+
+    /// A 7th-order polynomial sine approximation — present mostly so the doc
+    /// example shows a non-trivial composite; accurate on [-pi, pi].
+    pub fn sin_approx(self) -> Var<'t> {
+        let x = self;
+        let x3 = x * x * x;
+        let x5 = x3 * x * x;
+        let x7 = x5 * x * x;
+        x - x3 / 6.0 + x5 / 120.0 - x7 / 5040.0
+    }
+
+    /// Smooth maximum of (self, 0) via softplus-like construction is not
+    /// needed; for hard `max` against a constant use `relu` shifts:
+    /// `max(x, c) = relu(x - c) + c`.
+    pub fn max_const(self, c: f64) -> Var<'t> {
+        (self - c).relu() + c
+    }
+
+    /// Binary entropy `-(w ln w + (1-w) ln(1-w))` with clamping, the
+    /// determinism term of the Metis mask objective (Eq. 8).
+    pub fn binary_entropy(self) -> Var<'t> {
+        // Clamp via a pass-through node so gradients vanish smoothly at the
+        // boundary instead of exploding.
+        let w = self;
+        let one_minus = -w + 1.0;
+        -(w * w.ln() + one_minus * one_minus.ln())
+    }
+}
+
+/// Adjoints produced by [`Var::grad`].
+pub struct Grads {
+    adjoints: Vec<f64>,
+}
+
+impl Grads {
+    /// Gradient of the root with respect to `v`.
+    #[inline]
+    pub fn wrt(&self, v: Var<'_>) -> f64 {
+        self.adjoints[v.idx]
+    }
+}
+
+/// Sum a slice of vars (returns a fresh zero var for an empty slice).
+pub fn sum<'t>(tape: &'t Tape, vars: &[Var<'t>]) -> Var<'t> {
+    match vars.split_first() {
+        None => tape.var(0.0),
+        Some((&first, rest)) => rest.iter().fold(first, |acc, &v| acc + v),
+    }
+}
+
+// ---- operator impls ----
+
+impl<'t> Add for Var<'t> {
+    type Output = Var<'t>;
+    fn add(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.binary(&self, &rhs, self.val + rhs.val, 1.0, 1.0)
+    }
+}
+
+impl<'t> Sub for Var<'t> {
+    type Output = Var<'t>;
+    fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.binary(&self, &rhs, self.val - rhs.val, 1.0, -1.0)
+    }
+}
+
+impl<'t> Mul for Var<'t> {
+    type Output = Var<'t>;
+    fn mul(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.binary(&self, &rhs, self.val * rhs.val, rhs.val, self.val)
+    }
+}
+
+impl<'t> Div for Var<'t> {
+    type Output = Var<'t>;
+    fn div(self, rhs: Var<'t>) -> Var<'t> {
+        let inv = 1.0 / rhs.val;
+        self.tape
+            .binary(&self, &rhs, self.val * inv, inv, -self.val * inv * inv)
+    }
+}
+
+impl<'t> Neg for Var<'t> {
+    type Output = Var<'t>;
+    fn neg(self) -> Var<'t> {
+        self.tape.unary(&self, -self.val, -1.0)
+    }
+}
+
+impl<'t> Add<f64> for Var<'t> {
+    type Output = Var<'t>;
+    fn add(self, rhs: f64) -> Var<'t> {
+        self.tape.unary(&self, self.val + rhs, 1.0)
+    }
+}
+
+impl<'t> Sub<f64> for Var<'t> {
+    type Output = Var<'t>;
+    fn sub(self, rhs: f64) -> Var<'t> {
+        self.tape.unary(&self, self.val - rhs, 1.0)
+    }
+}
+
+impl<'t> Mul<f64> for Var<'t> {
+    type Output = Var<'t>;
+    fn mul(self, rhs: f64) -> Var<'t> {
+        self.tape.unary(&self, self.val * rhs, rhs)
+    }
+}
+
+impl<'t> Div<f64> for Var<'t> {
+    type Output = Var<'t>;
+    fn div(self, rhs: f64) -> Var<'t> {
+        self.tape.unary(&self, self.val / rhs, 1.0 / rhs)
+    }
+}
+
+impl<'t> Add<Var<'t>> for f64 {
+    type Output = Var<'t>;
+    fn add(self, rhs: Var<'t>) -> Var<'t> {
+        rhs + self
+    }
+}
+
+impl<'t> Sub<Var<'t>> for f64 {
+    type Output = Var<'t>;
+    fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        -rhs + self
+    }
+}
+
+impl<'t> Mul<Var<'t>> for f64 {
+    type Output = Var<'t>;
+    fn mul(self, rhs: Var<'t>) -> Var<'t> {
+        rhs * self
+    }
+}
+
+impl<'t> Div<Var<'t>> for f64 {
+    type Output = Var<'t>;
+    fn div(self, rhs: Var<'t>) -> Var<'t> {
+        rhs.recip() * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fd(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+        let eps = 1e-6;
+        (f(x + eps) - f(x - eps)) / (2.0 * eps)
+    }
+
+    #[test]
+    fn add_mul_grads() {
+        let t = Tape::new();
+        let x = t.var(2.0);
+        let y = t.var(5.0);
+        let z = x * y + x;
+        assert_eq!(z.value(), 12.0);
+        let g = z.grad();
+        assert_eq!(g.wrt(x), 6.0); // y + 1
+        assert_eq!(g.wrt(y), 2.0); // x
+    }
+
+    #[test]
+    fn div_grads() {
+        let t = Tape::new();
+        let x = t.var(3.0);
+        let y = t.var(4.0);
+        let z = x / y;
+        let g = z.grad();
+        assert!((g.wrt(x) - 0.25).abs() < 1e-12);
+        assert!((g.wrt(y) + 3.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_rule_through_composite() {
+        // f(x) = tanh(sigmoid(x) * x^2)
+        let f = |x: f64| ((1.0 / (1.0 + (-x).exp())) * x * x).tanh();
+        let t = Tape::new();
+        let x = t.var(0.7);
+        let z = (x.sigmoid() * x.square()).tanh();
+        assert!((z.value() - f(0.7)).abs() < 1e-12);
+        let g = z.grad();
+        assert!((g.wrt(x) - fd(f, 0.7)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // z = x*x + x => dz/dx = 2x + 1
+        let t = Tape::new();
+        let x = t.var(3.0);
+        let z = x * x + x;
+        assert!((z.grad().wrt(x) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_mixed_ops() {
+        let t = Tape::new();
+        let x = t.var(2.0);
+        let z = 3.0 * x + 1.0 - x / 2.0;
+        assert!((z.value() - 6.0).abs() < 1e-12);
+        assert!((z.grad().wrt(x) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f64_minus_and_div_var() {
+        let t = Tape::new();
+        let x = t.var(4.0);
+        let z = 1.0 - x;
+        assert_eq!(z.value(), -3.0);
+        assert_eq!(z.grad().wrt(x), -1.0);
+        let w = 8.0 / x;
+        assert_eq!(w.value(), 2.0);
+        assert!((w.grad().wrt(x) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_and_max_const() {
+        let t = Tape::new();
+        let x = t.var(-2.0);
+        assert_eq!(x.relu().value(), 0.0);
+        assert_eq!(x.relu().grad().wrt(x), 0.0);
+        let m = x.max_const(1.5);
+        assert_eq!(m.value(), 1.5);
+        let y = t.var(3.0);
+        let m2 = y.max_const(1.5);
+        assert_eq!(m2.value(), 3.0);
+        assert_eq!(m2.grad().wrt(y), 1.0);
+    }
+
+    #[test]
+    fn binary_entropy_grad_matches_fd() {
+        let h = |w: f64| -(w * w.ln() + (1.0 - w) * (1.0 - w).ln());
+        for &w0 in &[0.2, 0.5, 0.9] {
+            let t = Tape::new();
+            let w = t.var(w0);
+            let e = w.binary_entropy();
+            assert!((e.value() - h(w0)).abs() < 1e-9);
+            assert!((e.grad().wrt(w) - fd(h, w0)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sum_helper() {
+        let t = Tape::new();
+        let vs = t.vars(&[1.0, 2.0, 3.0]);
+        let s = sum(&t, &vs);
+        assert_eq!(s.value(), 6.0);
+        let g = s.grad();
+        for v in &vs {
+            assert_eq!(g.wrt(*v), 1.0);
+        }
+        let empty = sum(&t, &[]);
+        assert_eq!(empty.value(), 0.0);
+    }
+
+    #[test]
+    fn unused_vars_have_zero_grad() {
+        let t = Tape::new();
+        let x = t.var(1.0);
+        let y = t.var(2.0);
+        let z = x * 2.0;
+        assert_eq!(z.grad().wrt(y), 0.0);
+    }
+
+    proptest! {
+        /// Gradient of a random rational/exponential composite matches
+        /// central finite differences.
+        #[test]
+        fn prop_grad_matches_fd(x0 in -2.0_f64..2.0) {
+            let f = |x: f64| (x * x + 1.0).ln() + (x * 0.5).exp() / (x * x + 2.0);
+            let t = Tape::new();
+            let x = t.var(x0);
+            let z = (x * x + 1.0).ln() + (x * 0.5).exp() / (x * x + 2.0);
+            prop_assert!((z.value() - f(x0)).abs() < 1e-9);
+            let g = z.grad().wrt(x);
+            prop_assert!((g - fd(f, x0)).abs() < 1e-4, "grad {} vs fd {}", g, fd(f, x0));
+        }
+
+        #[test]
+        fn prop_sigmoid_bounds(x0 in -20.0_f64..20.0) {
+            let t = Tape::new();
+            let x = t.var(x0);
+            let s = x.sigmoid();
+            prop_assert!(s.value() > 0.0 && s.value() < 1.0);
+            let g = s.grad().wrt(x);
+            prop_assert!(g >= 0.0 && g <= 0.25 + 1e-12);
+        }
+    }
+}

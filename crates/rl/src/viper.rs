@@ -1,0 +1,296 @@
+//! Teacher–student dataset collection: the RL side of Metis' conversion
+//! methodology (§3.2 / Appendix A).
+//!
+//! * **Step 1 (trace collection)** — follow the teacher DNN's trajectories;
+//!   in later rounds the student controls, the teacher labels, and —
+//!   matching the paper — the teacher *takes over* when the student
+//!   deviates, so the state distribution stays near the teacher's.
+//! * **Step 2 (resampling, Eq. 1)** — each (state, action) pair gets weight
+//!   `ℓ̃(s) = V(s) − min_a Q(s, a)` (the loss bound of Bastani et al. [7]);
+//!   because our substrates are deterministic cloneable simulators, `Q` is
+//!   exact one-step lookahead rather than a learned estimate.
+
+use crate::env::{q_by_cloning, Env};
+use crate::policy::Policy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A labelled state collected from teacher rollouts.
+#[derive(Debug, Clone)]
+pub struct SampledState {
+    pub obs: Vec<f64>,
+    /// The teacher's (greedy) action at this state — the student's label.
+    pub teacher_action: usize,
+    /// Eq.-1 importance weight (1.0 when weighting is disabled).
+    pub weight: f64,
+}
+
+/// Who drives the environment during collection.
+pub enum Controller<'a> {
+    /// The teacher acts (round 0 of the conversion loop).
+    Teacher,
+    /// The student acts; the teacher only labels (plain DAgger).
+    Student(&'a dyn Policy),
+    /// The student acts until it deviates from the teacher; from then on
+    /// the teacher takes over with the given probability per step. This is
+    /// the paper's "DNN takes over on the deviated trajectory".
+    StudentWithTakeover(&'a dyn Policy, f64),
+}
+
+/// Collection parameters.
+#[derive(Debug, Clone)]
+pub struct CollectConfig {
+    pub episodes: usize,
+    pub max_steps: usize,
+    pub gamma: f64,
+    /// Compute Eq.-1 weights via env cloning (otherwise all 1.0).
+    pub weighted: bool,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        CollectConfig { episodes: 16, max_steps: 1000, gamma: 0.99, weighted: true }
+    }
+}
+
+/// Collect labelled states by rolling through the environments in `pool`
+/// (cycled). `value_fn` is the bootstrap state-value estimate used for the
+/// Q lookahead (a trained critic, or `|_| 0.0` for undiscounted myopia).
+pub fn collect<E: Env, T: Policy + ?Sized>(
+    pool: &[E],
+    teacher: &T,
+    value_fn: impl Fn(&[f64]) -> f64,
+    controller: &Controller<'_>,
+    cfg: &CollectConfig,
+    rng: &mut StdRng,
+) -> Vec<SampledState> {
+    assert!(!pool.is_empty(), "collect: empty environment pool");
+    let mut out = Vec::new();
+    for ep in 0..cfg.episodes {
+        let mut env = pool[ep % pool.len()].clone();
+        let mut obs = env.reset();
+        let mut teacher_in_control = matches!(controller, Controller::Teacher);
+        for _ in 0..cfg.max_steps {
+            let teacher_action = teacher.act_greedy(&obs);
+            let weight = if cfg.weighted {
+                let q = q_by_cloning(&env, &value_fn, cfg.gamma);
+                let probs = teacher.action_probs(&obs);
+                let v: f64 = probs.iter().zip(q.iter()).map(|(p, qa)| p * qa).sum();
+                let qmin = q.iter().cloned().fold(f64::INFINITY, f64::min);
+                (v - qmin).max(0.0)
+            } else {
+                1.0
+            };
+            out.push(SampledState { obs: obs.clone(), teacher_action, weight });
+
+            let action = match controller {
+                Controller::Teacher => teacher_action,
+                Controller::Student(student) => student.act_greedy(&obs),
+                Controller::StudentWithTakeover(student, p_takeover) => {
+                    if teacher_in_control {
+                        teacher_action
+                    } else {
+                        let sa = student.act_greedy(&obs);
+                        if sa != teacher_action && rng.gen_range(0.0..1.0) < *p_takeover {
+                            teacher_in_control = true;
+                            teacher_action
+                        } else {
+                            sa
+                        }
+                    }
+                }
+            };
+            let step = env.step(action);
+            obs = step.obs;
+            if step.done {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Eq. 1: resample `n` states with replacement, with probability
+/// proportional to `weight`. Falls back to uniform when all weights are
+/// (numerically) zero, which happens for teachers whose actions never
+/// matter — better to keep the data than return nothing.
+pub fn resample_by_weight(
+    states: &[SampledState],
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<SampledState> {
+    assert!(!states.is_empty(), "resample_by_weight: empty input");
+    let total: f64 = states.iter().map(|s| s.weight).sum();
+    let mut out = Vec::with_capacity(n);
+    if total <= 0.0 {
+        for _ in 0..n {
+            out.push(states[rng.gen_range(0..states.len())].clone());
+        }
+        return out;
+    }
+    // Cumulative distribution + binary search per draw.
+    let mut cdf = Vec::with_capacity(states.len());
+    let mut acc = 0.0;
+    for s in states {
+        acc += s.weight;
+        cdf.push(acc);
+    }
+    for _ in 0..n {
+        let u = rng.gen_range(0.0..total);
+        let idx = match cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+        .min(states.len() - 1);
+        out.push(states[idx].clone());
+    }
+    out
+}
+
+/// Fraction of states where the student's greedy action matches the
+/// teacher's — the "deviation is confined" convergence check of Step 1.
+pub fn fidelity<P: Policy + ?Sized, Q: Policy + ?Sized>(
+    states: &[SampledState],
+    student: &P,
+    _teacher: &Q,
+) -> f64 {
+    if states.is_empty() {
+        return 0.0;
+    }
+    states
+        .iter()
+        .filter(|s| student.act_greedy(&s.obs) == s.teacher_action)
+        .count() as f64
+        / states.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::test_envs::{BanditEnv, DelayedEnv};
+    use crate::policy::{ConstantPolicy, Policy, UniformPolicy};
+    use rand::SeedableRng;
+
+    /// Teacher that plays the bandit optimally (reads the one-hot context).
+    #[derive(Clone)]
+    struct OracleBandit;
+    impl Policy for OracleBandit {
+        fn action_probs(&self, obs: &[f64]) -> Vec<f64> {
+            let mut p = vec![0.0; obs.len()];
+            let idx = obs.iter().position(|&x| x == 1.0).unwrap();
+            p[idx] = 1.0;
+            p
+        }
+    }
+
+    #[test]
+    fn collect_labels_with_teacher_actions() {
+        let pool = [DelayedEnv::new()];
+        let teacher = ConstantPolicy { action: 1, n_actions: 2 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = CollectConfig { episodes: 3, max_steps: 10, gamma: 0.9, weighted: false };
+        let states = collect(&pool, &teacher, |_| 0.0, &Controller::Teacher, &cfg, &mut rng);
+        assert_eq!(states.len(), 6); // 2 steps per episode
+        assert!(states.iter().all(|s| s.teacher_action == 1));
+        assert!(states.iter().all(|s| s.weight == 1.0));
+    }
+
+    #[test]
+    fn weights_reflect_action_importance() {
+        // In the bandit, picking right vs wrong changes reward by 1, so
+        // V - min Q = P(correct) * 1 = 1 for the oracle teacher.
+        let pool = [BanditEnv::new(3, 5, 2)];
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = CollectConfig { episodes: 1, max_steps: 5, gamma: 0.9, weighted: true };
+        let states = collect(&pool, &OracleBandit, |_| 0.0, &Controller::Teacher, &cfg, &mut rng);
+        for s in &states {
+            assert!((s.weight - 1.0).abs() < 1e-9, "weight {}", s.weight);
+        }
+        // A uniform teacher only gets 1/3 of the value: weight = 1/3.
+        let u = UniformPolicy { n_actions: 3 };
+        let states_u = collect(&pool, &u, |_| 0.0, &Controller::Teacher, &cfg, &mut rng);
+        for s in &states_u {
+            assert!((s.weight - 1.0 / 3.0).abs() < 1e-9, "weight {}", s.weight);
+        }
+    }
+
+    #[test]
+    fn takeover_returns_to_teacher_distribution() {
+        // Student always picks 0 (wrong on DelayedEnv); with takeover_prob
+        // 1.0 the teacher immediately reclaims control after the first
+        // deviating state, so the latch becomes... the student's action at
+        // t=0 is recorded but control flips at the *deviating step itself*.
+        let pool = [DelayedEnv::new()];
+        let teacher = ConstantPolicy { action: 1, n_actions: 2 };
+        let student = ConstantPolicy { action: 0, n_actions: 2 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = CollectConfig { episodes: 1, max_steps: 10, gamma: 0.9, weighted: false };
+        let states = collect(
+            &pool,
+            &teacher,
+            |_| 0.0,
+            &Controller::StudentWithTakeover(&student, 1.0),
+            &cfg,
+            &mut rng,
+        );
+        // With immediate takeover, the executed action at t=0 is the
+        // teacher's (1), so the t=1 observation has latch == 1.
+        assert_eq!(states.len(), 2);
+        assert_eq!(states[1].obs, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn student_controller_visits_student_states() {
+        let pool = [DelayedEnv::new()];
+        let teacher = ConstantPolicy { action: 1, n_actions: 2 };
+        let student = ConstantPolicy { action: 0, n_actions: 2 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = CollectConfig { episodes: 1, max_steps: 10, gamma: 0.9, weighted: false };
+        let states = collect(
+            &pool,
+            &teacher,
+            |_| 0.0,
+            &Controller::Student(&student),
+            &cfg,
+            &mut rng,
+        );
+        // Student drove: latch is 0 at t=1, but the label is still 1.
+        assert_eq!(states[1].obs, vec![1.0, 0.0]);
+        assert_eq!(states[1].teacher_action, 1);
+    }
+
+    #[test]
+    fn resample_prefers_heavy_states() {
+        let states = vec![
+            SampledState { obs: vec![0.0], teacher_action: 0, weight: 0.01 },
+            SampledState { obs: vec![1.0], teacher_action: 1, weight: 100.0 },
+        ];
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = resample_by_weight(&states, 1000, &mut rng);
+        let heavy = out.iter().filter(|s| s.teacher_action == 1).count();
+        assert!(heavy > 990, "heavy sampled {heavy}/1000");
+    }
+
+    #[test]
+    fn resample_uniform_fallback_on_zero_weights() {
+        let states = vec![
+            SampledState { obs: vec![0.0], teacher_action: 0, weight: 0.0 },
+            SampledState { obs: vec![1.0], teacher_action: 1, weight: 0.0 },
+        ];
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = resample_by_weight(&states, 500, &mut rng);
+        let ones = out.iter().filter(|s| s.teacher_action == 1).count();
+        assert!(ones > 150 && ones < 350, "expected ~250, got {ones}");
+    }
+
+    #[test]
+    fn fidelity_counts_matches() {
+        let states = vec![
+            SampledState { obs: vec![0.0, 0.0], teacher_action: 1, weight: 1.0 },
+            SampledState { obs: vec![1.0, 1.0], teacher_action: 0, weight: 1.0 },
+        ];
+        let student = ConstantPolicy { action: 1, n_actions: 2 };
+        let teacher = ConstantPolicy { action: 1, n_actions: 2 };
+        assert_eq!(fidelity(&states, &student, &teacher), 0.5);
+    }
+}

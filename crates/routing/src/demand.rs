@@ -1,0 +1,102 @@
+//! Traffic demands: src–dst volume pairs and the 50-sample corpus the
+//! paper repeats its RouteNet* experiments over.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One traffic demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    pub src: usize,
+    pub dst: usize,
+    pub volume: f64,
+}
+
+/// A demand matrix sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandSample {
+    pub demands: Vec<Demand>,
+}
+
+/// Generate one demand sample: `n_demands` distinct ordered pairs with
+/// volumes uniform in `[lo, hi]`.
+pub fn generate_demands(
+    n_nodes: usize,
+    n_demands: usize,
+    lo: f64,
+    hi: f64,
+    rng: &mut StdRng,
+) -> DemandSample {
+    assert!(n_nodes >= 2 && lo > 0.0 && hi >= lo);
+    let max_pairs = n_nodes * (n_nodes - 1);
+    assert!(n_demands <= max_pairs, "more demands than ordered pairs");
+    let mut pairs = std::collections::HashSet::new();
+    let mut demands = Vec::with_capacity(n_demands);
+    while demands.len() < n_demands {
+        let src = rng.gen_range(0..n_nodes);
+        let mut dst = rng.gen_range(0..n_nodes - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        if pairs.insert((src, dst)) {
+            demands.push(Demand { src, dst, volume: rng.gen_range(lo..=hi) });
+        }
+    }
+    // Deterministic order regardless of hash iteration.
+    demands.sort_by_key(|d| (d.src, d.dst));
+    DemandSample { demands }
+}
+
+/// The 50-sample corpus used by the Figure-9 / Table-3 / Figure-18
+/// experiments.
+pub fn demand_corpus(
+    n_nodes: usize,
+    n_demands: usize,
+    samples: usize,
+    seed: u64,
+) -> Vec<DemandSample> {
+    (0..samples)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((i as u64) << 20) | 0x5A);
+            // Volumes high enough that links congest and detours happen —
+            // otherwise every decision is trivially "shortest path" and
+            // there is nothing for the interpretation to find.
+            generate_demands(n_nodes, n_demands, 1.0, 4.5, &mut rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demands_distinct_and_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = generate_demands(14, 40, 0.3, 2.5, &mut rng);
+        assert_eq!(s.demands.len(), 40);
+        let mut seen = std::collections::HashSet::new();
+        for d in &s.demands {
+            assert!(d.src != d.dst);
+            assert!(d.src < 14 && d.dst < 14);
+            assert!(d.volume > 0.0);
+            assert!(seen.insert((d.src, d.dst)), "duplicate pair");
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_varied() {
+        let a = demand_corpus(14, 30, 5, 42);
+        let b = demand_corpus(14, 30, 5, 42);
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1], "different samples must differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "more demands")]
+    fn too_many_demands_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = generate_demands(3, 7, 1.0, 2.0, &mut rng);
+    }
+}

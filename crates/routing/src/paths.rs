@@ -1,0 +1,142 @@
+//! Candidate-path computation: BFS shortest paths and a Yen-style
+//! enumeration of all loop-free paths within one hop of the shortest — the
+//! candidate rule of the paper's §6.5 ("all paths ⩽ 1 hop longer than the
+//! shortest path").
+
+use crate::topo::Topology;
+use std::collections::VecDeque;
+
+/// Hop count of the shortest path from `src` to `dst` (BFS), if reachable.
+pub fn shortest_hops(topo: &Topology, src: usize, dst: usize) -> Option<usize> {
+    if src == dst {
+        return Some(0);
+    }
+    let mut dist = vec![usize::MAX; topo.n_nodes()];
+    dist[src] = 0;
+    let mut q = VecDeque::from([src]);
+    while let Some(u) = q.pop_front() {
+        for &(v, _) in topo.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                if v == dst {
+                    return Some(dist[v]);
+                }
+                q.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// All simple (loop-free) node paths from `src` to `dst` with at most
+/// `max_hops` hops, in deterministic order (lexicographic by node id).
+pub fn all_paths_within(topo: &Topology, src: usize, dst: usize, max_hops: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut visited = vec![false; topo.n_nodes()];
+    let mut path = vec![src];
+    visited[src] = true;
+    fn dfs(
+        topo: &Topology,
+        dst: usize,
+        max_hops: usize,
+        visited: &mut Vec<bool>,
+        path: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        let u = *path.last().unwrap();
+        if u == dst {
+            out.push(path.clone());
+            return;
+        }
+        if path.len() > max_hops {
+            return;
+        }
+        // Deterministic order: sort neighbor ids.
+        let mut neigh: Vec<usize> = topo.neighbors(u).iter().map(|&(v, _)| v).collect();
+        neigh.sort_unstable();
+        for v in neigh {
+            if !visited[v] {
+                visited[v] = true;
+                path.push(v);
+                dfs(topo, dst, max_hops, visited, path, out);
+                path.pop();
+                visited[v] = false;
+            }
+        }
+    }
+    dfs(topo, dst, max_hops, &mut visited, &mut path, &mut out);
+    out
+}
+
+/// The candidate set for a demand: every simple path at most one hop
+/// longer than the shortest path (shortest paths first).
+pub fn candidate_paths(topo: &Topology, src: usize, dst: usize) -> Vec<Vec<usize>> {
+    let Some(h) = shortest_hops(topo, src, dst) else {
+        return Vec::new();
+    };
+    let mut paths = all_paths_within(topo, src, dst, h + 1);
+    paths.retain(|p| p.len() - 1 <= h + 1);
+    paths.sort_by_key(|p| (p.len(), p.clone()));
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shortest_hops_on_nsfnet() {
+        let t = Topology::nsfnet();
+        assert_eq!(shortest_hops(&t, 0, 0), Some(0));
+        assert_eq!(shortest_hops(&t, 0, 1), Some(1));
+        assert_eq!(shortest_hops(&t, 6, 9), Some(3)); // 6-7-10-9
+    }
+
+    #[test]
+    fn candidates_include_shortest_and_plus_one() {
+        let t = Topology::nsfnet();
+        let cands = candidate_paths(&t, 6, 9);
+        assert!(!cands.is_empty());
+        let shortest = cands[0].len() - 1;
+        assert_eq!(shortest, 3);
+        assert!(cands.iter().all(|p| p.len() - 1 <= shortest + 1));
+        // The Table-3 path 6-7-10-9 must be among them.
+        assert!(cands.contains(&vec![6, 7, 10, 9]));
+        // And the 6-4-... alternative from Figure 8(a).
+        assert!(cands.iter().any(|p| p[1] == 4), "expected a 6->4 candidate");
+    }
+
+    #[test]
+    fn paths_are_simple() {
+        let t = Topology::nsfnet();
+        for (s, d) in [(0, 9), (3, 13), (1, 12)] {
+            for p in candidate_paths(&t, s, d) {
+                let mut seen = std::collections::HashSet::new();
+                assert!(p.iter().all(|n| seen.insert(*n)), "loop in path {p:?}");
+                assert_eq!(p[0], s);
+                assert_eq!(*p.last().unwrap(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_deterministic() {
+        let t = Topology::nsfnet();
+        assert_eq!(candidate_paths(&t, 2, 11), candidate_paths(&t, 2, 11));
+    }
+
+    #[test]
+    fn unreachable_pairs_empty() {
+        let t = Topology::from_undirected(4, &[(0, 1), (2, 3)], 1.0);
+        assert_eq!(shortest_hops(&t, 0, 3), None);
+        assert!(candidate_paths(&t, 0, 3).is_empty());
+    }
+
+    #[test]
+    fn triangle_candidates() {
+        // 0-1 direct (1 hop) and 0-2-1 (2 hops) both qualify.
+        let t = Topology::from_undirected(3, &[(0, 1), (0, 2), (1, 2)], 1.0);
+        let cands = candidate_paths(&t, 0, 1);
+        assert_eq!(cands, vec![vec![0, 1], vec![0, 2, 1]]);
+    }
+}

@@ -1,0 +1,582 @@
+//! The RouteNet-style latency predictor: a path↔link message-passing model
+//! (Rusek et al., SOSR 2019) sized down to this reproduction. Paths and
+//! links carry hidden states; T rounds of message passing exchange state
+//! across (path, link) connections; a readout predicts per-path delay.
+//!
+//! The forward pass exists twice: a fast `f64` version for inference and a
+//! [`metis_nn::tape`] version used for both training and — crucially — the
+//! Metis mask search, where each (path, link) connection's messages are
+//! damped by a mask variable and gradients flow back to the mask
+//! (§4.2 / Eq. 9 of the paper). A unit test pins the two implementations
+//! to each other.
+
+use crate::demand::Demand;
+use crate::latency::Routing;
+use crate::topo::Topology;
+use metis_nn::tape::{Tape, Var};
+use metis_nn::{Adam, Optimizer, ParamGrad};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Message-passing rounds.
+pub const MP_ROUNDS: usize = 3;
+
+/// The model: flat parameter vector + layout bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteNetModel {
+    pub hidden: usize,
+    params: Vec<f64>,
+}
+
+/// Parameter layout offsets.
+struct Layout {
+    w_path: usize,
+    b_path: usize,
+    w_link: usize,
+    b_link: usize,
+    w_out: usize,
+    b_out: usize,
+    total: usize,
+}
+
+impl RouteNetModel {
+    fn layout(hidden: usize) -> Layout {
+        let d = hidden;
+        let in_dim = 2 * d + 1;
+        let w_path = 0;
+        let b_path = w_path + d * in_dim;
+        let w_link = b_path + d;
+        let b_link = w_link + d * in_dim;
+        let w_out = b_link + d;
+        let b_out = w_out + d;
+        Layout { w_path, b_path, w_link, b_link, w_out, b_out, total: b_out + 1 }
+    }
+
+    /// Random initialization.
+    pub fn new(hidden: usize, rng: &mut StdRng) -> Self {
+        let layout = Self::layout(hidden);
+        let scale = (1.0 / (2 * hidden + 1) as f64).sqrt();
+        let params = (0..layout.total).map(|_| rng.gen_range(-scale..scale)).collect();
+        RouteNetModel { hidden, params }
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Flat parameter vector (used by the mask search, which replays the
+    /// forward pass on a tape with the parameters as constants).
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Per-demand predicted delays (fast f64 forward, no masks).
+    pub fn predict(&self, topo: &Topology, demands: &[Demand], routing: &Routing) -> Vec<f64> {
+        self.forward_f64(topo, demands, routing, None)
+    }
+
+    /// f64 forward with an optional per-connection damping mask.
+    /// `mask[i]` aligns with [`connections`]` (path-major order)`.
+    pub fn forward_f64(
+        &self,
+        topo: &Topology,
+        demands: &[Demand],
+        routing: &Routing,
+        mask: Option<&[f64]>,
+    ) -> Vec<f64> {
+        let d = self.hidden;
+        let layout = Self::layout(d);
+        let path_links: Vec<Vec<usize>> =
+            routing.iter().map(|p| topo.path_links(p)).collect();
+        if let Some(m) = mask {
+            let n: usize = path_links.iter().map(|l| l.len()).sum();
+            assert_eq!(m.len(), n, "mask length must equal connection count");
+        }
+
+        let mut h_link: Vec<Vec<f64>> = (0..topo.n_links())
+            .map(|l| {
+                let mut h = vec![0.0; d];
+                h[0] = topo.link(l).capacity / 10.0;
+                h
+            })
+            .collect();
+        let mut h_path: Vec<Vec<f64>> = demands
+            .iter()
+            .map(|dm| {
+                let mut h = vec![0.0; d];
+                h[0] = dm.volume;
+                h
+            })
+            .collect();
+
+        let matvec = |w_off: usize, b_off: usize, input: &[f64]| -> Vec<f64> {
+            let in_dim = 2 * d + 1;
+            (0..d)
+                .map(|r| {
+                    let mut acc = self.params[b_off + r];
+                    for (c, &x) in input.iter().enumerate() {
+                        acc += self.params[w_off + r * in_dim + c] * x;
+                    }
+                    acc.tanh()
+                })
+                .collect()
+        };
+
+        for _ in 0..MP_ROUNDS {
+            // Path updates.
+            let mut conn = 0usize;
+            let mut new_paths = Vec::with_capacity(h_path.len());
+            for (p, links) in path_links.iter().enumerate() {
+                let mut agg = vec![0.0; d];
+                for &l in links {
+                    let m = mask.map_or(1.0, |mm| mm[conn]);
+                    conn += 1;
+                    for k in 0..d {
+                        agg[k] += m * h_link[l][k];
+                    }
+                }
+                let mut input = h_path[p].clone();
+                input.extend_from_slice(&agg);
+                input.push(demands[p].volume);
+                new_paths.push(matvec(layout.w_path, layout.b_path, &input));
+            }
+            h_path = new_paths;
+
+            // Link updates.
+            let mut agg_link = vec![vec![0.0; d]; topo.n_links()];
+            let mut conn = 0usize;
+            for (p, links) in path_links.iter().enumerate() {
+                for &l in links {
+                    let m = mask.map_or(1.0, |mm| mm[conn]);
+                    conn += 1;
+                    for k in 0..d {
+                        agg_link[l][k] += m * h_path[p][k];
+                    }
+                }
+            }
+            let mut new_links = Vec::with_capacity(h_link.len());
+            for l in 0..topo.n_links() {
+                let mut input = h_link[l].clone();
+                input.extend_from_slice(&agg_link[l]);
+                input.push(topo.link(l).capacity / 10.0);
+                new_links.push(matvec(layout.w_link, layout.b_link, &input));
+            }
+            h_link = new_links;
+        }
+
+        // Readout.
+        h_path
+            .iter()
+            .map(|h| {
+                let mut acc = self.params[layout.b_out];
+                for k in 0..d {
+                    acc += self.params[layout.w_out + k] * h[k];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Tape forward with per-connection mask variables (the differentiable
+    /// path used by training and by the Metis critical-connection search).
+    /// Parameters enter as tape vars so the same code trains the model.
+    pub fn forward_tape<'t>(
+        &self,
+        tape: &'t Tape,
+        param_vars: &[Var<'t>],
+        topo: &Topology,
+        demands: &[Demand],
+        routing: &Routing,
+        mask: Option<&[Var<'t>]>,
+    ) -> Vec<Var<'t>> {
+        let d = self.hidden;
+        let layout = Self::layout(d);
+        assert_eq!(param_vars.len(), layout.total);
+        let path_links: Vec<Vec<usize>> =
+            routing.iter().map(|p| topo.path_links(p)).collect();
+
+        let mut h_link: Vec<Vec<Var<'t>>> = (0..topo.n_links())
+            .map(|l| {
+                let mut h = vec![tape.var(0.0); d];
+                h[0] = tape.var(topo.link(l).capacity / 10.0);
+                h
+            })
+            .collect();
+        let mut h_path: Vec<Vec<Var<'t>>> = demands
+            .iter()
+            .map(|dm| {
+                let mut h = vec![tape.var(0.0); d];
+                h[0] = tape.var(dm.volume);
+                h
+            })
+            .collect();
+
+        let matvec = |w_off: usize, b_off: usize, input: &[Var<'t>]| -> Vec<Var<'t>> {
+            let in_dim = 2 * d + 1;
+            (0..d)
+                .map(|r| {
+                    let mut acc = param_vars[b_off + r];
+                    for (c, x) in input.iter().enumerate() {
+                        acc = acc + param_vars[w_off + r * in_dim + c] * *x;
+                    }
+                    acc.tanh()
+                })
+                .collect()
+        };
+
+        for _ in 0..MP_ROUNDS {
+            let mut conn = 0usize;
+            let mut new_paths = Vec::with_capacity(h_path.len());
+            for (p, links) in path_links.iter().enumerate() {
+                let mut agg = vec![tape.var(0.0); d];
+                for &l in links {
+                    let m = mask.map(|mm| mm[conn]);
+                    conn += 1;
+                    for k in 0..d {
+                        let term = match m {
+                            Some(mv) => mv * h_link[l][k],
+                            None => h_link[l][k],
+                        };
+                        agg[k] = agg[k] + term;
+                    }
+                }
+                let mut input = h_path[p].clone();
+                input.extend_from_slice(&agg);
+                input.push(tape.var(demands[p].volume));
+                new_paths.push(matvec(layout.w_path, layout.b_path, &input));
+            }
+            h_path = new_paths;
+
+            let mut agg_link = vec![vec![tape.var(0.0); d]; topo.n_links()];
+            let mut conn = 0usize;
+            for (p, links) in path_links.iter().enumerate() {
+                for &l in links {
+                    let m = mask.map(|mm| mm[conn]);
+                    conn += 1;
+                    for k in 0..d {
+                        let term = match m {
+                            Some(mv) => mv * h_path[p][k],
+                            None => h_path[p][k],
+                        };
+                        agg_link[l][k] = agg_link[l][k] + term;
+                    }
+                }
+            }
+            let mut new_links = Vec::with_capacity(h_link.len());
+            for l in 0..topo.n_links() {
+                let mut input = h_link[l].clone();
+                input.extend_from_slice(&agg_link[l]);
+                input.push(tape.var(topo.link(l).capacity / 10.0));
+                new_links.push(matvec(layout.w_link, layout.b_link, &input));
+            }
+            h_link = new_links;
+        }
+
+        h_path
+            .iter()
+            .map(|h| {
+                let mut acc = param_vars[layout.b_out];
+                for k in 0..d {
+                    acc = acc + param_vars[layout.w_out + k] * h[k];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Differentiable candidate scoring for the closed-loop mask search:
+    /// run the masked message passing over the *chosen* routing, then score
+    /// every candidate path of every demand by one path-update over the
+    /// final (mask-shaped) link states plus the readout. Element `[i][c]`
+    /// is the predicted delay of demand `i` on its `c`-th candidate.
+    pub fn candidate_delays_tape<'t>(
+        &self,
+        tape: &'t Tape,
+        param_vars: &[Var<'t>],
+        topo: &Topology,
+        demands: &[Demand],
+        routing: &Routing,
+        candidates: &[Vec<Vec<usize>>],
+        mask: Option<&[Var<'t>]>,
+    ) -> Vec<Vec<Var<'t>>> {
+        let d = self.hidden;
+        let layout = Self::layout(d);
+        // Re-run the masked message passing to obtain final link states.
+        // (Duplicates forward_tape's loop so we can keep the link states;
+        // the duplication is pinned by tests against forward_tape.)
+        let path_links: Vec<Vec<usize>> =
+            routing.iter().map(|p| topo.path_links(p)).collect();
+        let matvec = |w_off: usize, b_off: usize, input: &[Var<'t>]| -> Vec<Var<'t>> {
+            let in_dim = 2 * d + 1;
+            (0..d)
+                .map(|r| {
+                    let mut acc = param_vars[b_off + r];
+                    for (c, x) in input.iter().enumerate() {
+                        acc = acc + param_vars[w_off + r * in_dim + c] * *x;
+                    }
+                    acc.tanh()
+                })
+                .collect()
+        };
+
+        let mut h_link: Vec<Vec<Var<'t>>> = (0..topo.n_links())
+            .map(|l| {
+                let mut h = vec![tape.var(0.0); d];
+                h[0] = tape.var(topo.link(l).capacity / 10.0);
+                h
+            })
+            .collect();
+        let mut h_path: Vec<Vec<Var<'t>>> = demands
+            .iter()
+            .map(|dm| {
+                let mut h = vec![tape.var(0.0); d];
+                h[0] = tape.var(dm.volume);
+                h
+            })
+            .collect();
+        for _ in 0..MP_ROUNDS {
+            let mut conn = 0usize;
+            let mut new_paths = Vec::with_capacity(h_path.len());
+            for (p, links) in path_links.iter().enumerate() {
+                let mut agg = vec![tape.var(0.0); d];
+                for &l in links {
+                    let m = mask.map(|mm| mm[conn]);
+                    conn += 1;
+                    for k in 0..d {
+                        let term = match m {
+                            Some(mv) => mv * h_link[l][k],
+                            None => h_link[l][k],
+                        };
+                        agg[k] = agg[k] + term;
+                    }
+                }
+                let mut input = h_path[p].clone();
+                input.extend_from_slice(&agg);
+                input.push(tape.var(demands[p].volume));
+                new_paths.push(matvec(layout.w_path, layout.b_path, &input));
+            }
+            h_path = new_paths;
+
+            let mut agg_link = vec![vec![tape.var(0.0); d]; topo.n_links()];
+            let mut conn = 0usize;
+            for (p, links) in path_links.iter().enumerate() {
+                for &l in links {
+                    let m = mask.map(|mm| mm[conn]);
+                    conn += 1;
+                    for k in 0..d {
+                        let term = match m {
+                            Some(mv) => mv * h_path[p][k],
+                            None => h_path[p][k],
+                        };
+                        agg_link[l][k] = agg_link[l][k] + term;
+                    }
+                }
+            }
+            let mut new_links = Vec::with_capacity(h_link.len());
+            for l in 0..topo.n_links() {
+                let mut input = h_link[l].clone();
+                input.extend_from_slice(&agg_link[l]);
+                input.push(tape.var(topo.link(l).capacity / 10.0));
+                new_links.push(matvec(layout.w_link, layout.b_link, &input));
+            }
+            h_link = new_links;
+        }
+
+        // Candidate scoring: one path update from scratch over the final
+        // link states, then the readout.
+        demands
+            .iter()
+            .enumerate()
+            .map(|(i, dm)| {
+                candidates[i]
+                    .iter()
+                    .map(|cand| {
+                        let mut h = vec![tape.var(0.0); d];
+                        h[0] = tape.var(dm.volume);
+                        let mut agg = vec![tape.var(0.0); d];
+                        for l in topo.path_links(cand) {
+                            for k in 0..d {
+                                agg[k] = agg[k] + h_link[l][k];
+                            }
+                        }
+                        let mut input = h;
+                        input.extend_from_slice(&agg);
+                        input.push(tape.var(dm.volume));
+                        let out = matvec(layout.w_path, layout.b_path, &input);
+                        let mut acc = param_vars[layout.b_out];
+                        for k in 0..d {
+                            acc = acc + param_vars[layout.w_out + k] * out[k];
+                        }
+                        acc
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// One training sample: (demands, routing, ground-truth delays).
+    pub fn train(
+        &mut self,
+        topo: &Topology,
+        samples: &[(Vec<Demand>, Routing, Vec<f64>)],
+        epochs: usize,
+        lr: f64,
+    ) -> Vec<f64> {
+        let mut opt = Adam::new(lr);
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut epoch_loss = 0.0;
+            for (demands, routing, truth) in samples {
+                let tape = Tape::new();
+                let param_vars = tape.vars(&self.params);
+                let pred = self.forward_tape(&tape, &param_vars, topo, demands, routing, None);
+                // MSE over the sample's demands.
+                let mut loss = tape.var(0.0);
+                for (p, &t) in pred.iter().zip(truth.iter()) {
+                    loss = loss + (*p - t).square();
+                }
+                loss = loss / truth.len() as f64;
+                epoch_loss += loss.value();
+                let grads = loss.grad();
+                let mut grad_vec: Vec<f64> =
+                    param_vars.iter().map(|v| grads.wrt(*v)).collect();
+                let mut pg = [ParamGrad { param: &mut self.params, grad: &mut grad_vec }];
+                opt.step(&mut pg);
+            }
+            history.push(epoch_loss / samples.len() as f64);
+        }
+        history
+    }
+}
+
+/// The (path, link) connection list of a routing in the canonical
+/// path-major order shared by the model, the hypergraph formulation and
+/// the mask search.
+pub fn connections(topo: &Topology, routing: &Routing) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (p, path) in routing.iter().enumerate() {
+        for l in topo.path_links(path) {
+            out.push((p, l));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::paths::candidate_paths;
+    use rand::SeedableRng;
+
+    fn setup() -> (Topology, Vec<Demand>, Routing) {
+        let topo = Topology::nsfnet();
+        let demands = vec![
+            Demand { src: 6, dst: 9, volume: 1.0 },
+            Demand { src: 0, dst: 12, volume: 2.0 },
+            Demand { src: 3, dst: 10, volume: 0.5 },
+        ];
+        let routing: Routing = demands
+            .iter()
+            .map(|d| candidate_paths(&topo, d.src, d.dst)[0].clone())
+            .collect();
+        (topo, demands, routing)
+    }
+
+    #[test]
+    fn tape_and_f64_forwards_agree() {
+        let (topo, demands, routing) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = RouteNetModel::new(6, &mut rng);
+        let fast = model.predict(&topo, &demands, &routing);
+        let tape = Tape::new();
+        let pv = tape.vars(&model.params);
+        let slow = model.forward_tape(&tape, &pv, &topo, &demands, &routing, None);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            assert!((a - b.value()).abs() < 1e-12, "forwards diverge: {a} vs {}", b.value());
+        }
+    }
+
+    #[test]
+    fn masked_forward_matches_all_ones_mask() {
+        let (topo, demands, routing) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = RouteNetModel::new(4, &mut rng);
+        let n_conn = connections(&topo, &routing).len();
+        let unmasked = model.predict(&topo, &demands, &routing);
+        let masked = model.forward_f64(&topo, &demands, &routing, Some(&vec![1.0; n_conn]));
+        for (a, b) in unmasked.iter().zip(masked.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // A zeroed mask must change the output.
+        let zeroed = model.forward_f64(&topo, &demands, &routing, Some(&vec![0.0; n_conn]));
+        assert!(unmasked
+            .iter()
+            .zip(zeroed.iter())
+            .any(|(a, b)| (a - b).abs() > 1e-9));
+    }
+
+    #[test]
+    fn training_reduces_loss_and_correlates() {
+        let topo = Topology::nsfnet();
+        let model_gt = LatencyModel::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        // Build a small training corpus of random routings.
+        let mut samples = Vec::new();
+        for i in 0..6 {
+            let sample = crate::demand::demand_corpus(14, 12, 1, 100 + i)[0].clone();
+            let routing: Routing = sample
+                .demands
+                .iter()
+                .map(|d| {
+                    let cands = candidate_paths(&topo, d.src, d.dst);
+                    cands[rng.gen_range(0..cands.len())].clone()
+                })
+                .collect();
+            let truth = model_gt.path_latencies(&topo, &sample.demands, &routing);
+            samples.push((sample.demands, routing, truth));
+        }
+        let mut net = RouteNetModel::new(6, &mut rng);
+        let history = net.train(&topo, &samples, 60, 0.01);
+        assert!(
+            history.last().unwrap() < &(history[0] * 0.5),
+            "training should at least halve the loss: {:?} -> {:?}",
+            history[0],
+            history.last().unwrap()
+        );
+        // Predictions must correlate with ground truth on the train set.
+        let (demands, routing, truth) = &samples[0];
+        let pred = net.predict(&topo, demands, routing);
+        let corr = pearson(&pred, truth);
+        assert!(corr > 0.5, "prediction correlation too weak: {corr}");
+    }
+
+    fn pearson(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+        let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+        cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+    }
+
+    #[test]
+    fn connections_path_major_order() {
+        let (topo, _, routing) = setup();
+        let conns = connections(&topo, &routing);
+        // Path indices appear in non-decreasing order.
+        assert!(conns.windows(2).all(|w| w[0].0 <= w[1].0));
+        let total: usize = routing.iter().map(|p| p.len() - 1).sum();
+        assert_eq!(conns.len(), total);
+    }
+
+    #[test]
+    fn param_count_matches_layout() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = RouteNetModel::new(8, &mut rng);
+        // 2 * (d*(2d+1) + d) + d + 1 with d=8.
+        assert_eq!(m.param_count(), 2 * (8 * 17 + 8) + 8 + 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Interpret an AuTO-style flow scheduler (§6.4 of the paper): train a
+//! small lRLA teacher on the fabric simulator, convert it to a decision
+//! tree, and compare flow completion times and decision latencies.
+//!
+//! Run with: `cargo run --release --example flow_scheduling`
+
+use metis::core::{convert_policy, measure_latency, ConversionConfig};
+use metis::dt::CompiledTree;
+use metis::flowsched::{
+    decode_action, generate_flows, lrla_agent, lrla_state, FabricConfig, FctStats, FlowSim,
+    LrlaEnv, MlfqThresholds, SimConfig, SizeDistribution, LRLA_STATE_DIM,
+};
+use metis::rl::{Policy, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sim_config() -> SimConfig {
+    SimConfig {
+        fabric: FabricConfig { n_servers: 8, link_bps: 10e9 },
+        thresholds: MlfqThresholds::default_web_search(),
+        long_flow_cutoff_bytes: 1e6,
+        decision_latency_s: 0.0,
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let dist = SizeDistribution::web_search();
+
+    // Train a small lRLA teacher.
+    println!("training the lRLA teacher on the fabric simulator...");
+    let pool: Vec<LrlaEnv> = (0..3)
+        .map(|i| {
+            let mut wl = StdRng::seed_from_u64(100 + i);
+            LrlaEnv::new(generate_flows(&dist, 8, 10e9, 0.6, 0.02, &mut wl), sim_config())
+        })
+        .collect();
+    let mut agent = lrla_agent(
+        &[32],
+        TrainConfig { episodes_per_epoch: 4, max_steps: 400, ..Default::default() },
+        &mut rng,
+    );
+    for _ in 0..20 {
+        agent.train_epoch(&pool, &mut rng);
+    }
+
+    // Convert to a decision tree (Table 4: M = 2000 for AuTO agents).
+    println!("converting lRLA into a decision tree...");
+    let critic = agent.critic.clone();
+    let cfg = ConversionConfig {
+        max_leaf_nodes: 2000,
+        episodes_per_round: 3,
+        max_steps: 400,
+        dagger_rounds: 1,
+        ..Default::default()
+    };
+    let tree = convert_policy(
+        &pool,
+        &agent.policy,
+        move |obs| critic.predict(obs)[0],
+        &cfg,
+        &mut rng,
+    );
+
+    // FCT comparison on a fresh workload.
+    let mut wl = StdRng::seed_from_u64(0xFE);
+    let flows = generate_flows(&dist, 8, 10e9, 0.6, 0.02, &mut wl);
+    let fct_of = |policy: &dyn Policy| {
+        let mut sim = FlowSim::new(flows.clone(), sim_config());
+        sim.run_with(|s, dp| decode_action(policy.act_greedy(&lrla_state(s, dp.flow_id)), 10e9));
+        FctStats::from_flows(sim.completed())
+    };
+    let auto = fct_of(&agent.policy);
+    let metis = fct_of(&tree.policy);
+    println!("\n=== FCT (cf. paper Figure 15b) ===");
+    println!("AuTO (DNN):  mean {:.3} ms  p99 {:.3} ms", auto.mean_s * 1e3, auto.p99_s * 1e3);
+    println!(
+        "Metis tree:  mean {:.3} ms  p99 {:.3} ms  ({:.1}% of DNN mean)",
+        metis.mean_s * 1e3,
+        metis.p99_s * 1e3,
+        metis.mean_s / auto.mean_s * 100.0
+    );
+
+    // Decision latency comparison (cf. paper Figure 16a).
+    let obs = vec![0.2; LRLA_STATE_DIM];
+    let dnn_lat = measure_latency(
+        || {
+            std::hint::black_box(agent.policy.act_greedy(&obs));
+        },
+        500,
+        50,
+    );
+    let compiled = CompiledTree::compile(&tree.policy.tree);
+    let tree_lat = measure_latency(
+        || {
+            std::hint::black_box(compiled.predict_class(&obs));
+        },
+        500,
+        50,
+    );
+    println!("\n=== decision latency (cf. paper Figure 16a) ===");
+    println!("DNN:           {:.2} us", dnn_lat.mean_s * 1e6);
+    println!("compiled tree: {:.3} us", tree_lat.mean_s * 1e6);
+    println!("speedup:       {:.0}x", dnn_lat.mean_s / tree_lat.mean_s);
+}

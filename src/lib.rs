@@ -1,0 +1,33 @@
+//! # metis — reproduction of *"Interpreting Deep Learning-Based Networking
+//! Systems"* (Meng et al., SIGCOMM 2020)
+//!
+//! This facade crate re-exports the whole workspace so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`core`] — the Metis framework itself: decision-tree conversion of
+//!   local systems (§3) and hypergraph critical-connection search for
+//!   global systems (§4), plus the LIME/LEMNA baselines and the
+//!   deployment cost model,
+//! * [`abr`] — the Pensieve substrate: ABR simulator, traces, QoE, five
+//!   heuristic baselines, the deep-RL agent in both Figure-10 variants,
+//! * [`flowsched`] — the AuTO substrate: fabric DES, MLFQ, workloads,
+//!   sRLA/lRLA agents,
+//! * [`routing`] — the RouteNet* substrate: NSFNet, candidate paths,
+//!   queueing ground truth, message-passing predictor, closed loop,
+//! * [`hypergraph`] — hypergraph structure + differentiable mask search,
+//! * [`dt`] — CART trees with cost-complexity pruning and export,
+//! * [`rl`] — env/policy traits, rollouts, actor-critic, VIPER utilities,
+//! * [`nn`] — matrices, layers, optimizers, losses, autodiff tape.
+//!
+//! Start with `examples/quickstart.rs`; DESIGN.md maps every paper table
+//! and figure to a crate and an experiment binary, and EXPERIMENTS.md
+//! records paper-vs-measured outcomes.
+
+pub use metis_abr as abr;
+pub use metis_core as core;
+pub use metis_dt as dt;
+pub use metis_flowsched as flowsched;
+pub use metis_hypergraph as hypergraph;
+pub use metis_nn as nn;
+pub use metis_rl as rl;
+pub use metis_routing as routing;
