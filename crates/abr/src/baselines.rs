@@ -38,7 +38,10 @@ pub struct BufferBased {
 
 impl Default for BufferBased {
     fn default() -> Self {
-        BufferBased { reservoir_s: 5.0, cushion_s: 10.0 }
+        BufferBased {
+            reservoir_s: 5.0,
+            cushion_s: 10.0,
+        }
     }
 }
 
@@ -92,7 +95,11 @@ impl Policy for Festive {
         let reference = highest_below(target_kbps);
         let last = o.last_quality(&BITRATES_KBPS);
         // Stability: step up at most one rung at a time; drop immediately.
-        let action = if reference > last { last + 1 } else { reference };
+        let action = if reference > last {
+            last + 1
+        } else {
+            reference
+        };
         onehot(BITRATES_KBPS.len(), action)
     }
 }
@@ -110,7 +117,10 @@ pub struct Bola {
 
 impl Default for Bola {
     fn default() -> Self {
-        Bola { buffer_target_chunks: 15.0, gamma_p: 5.0 }
+        Bola {
+            buffer_target_chunks: 15.0,
+            gamma_p: 5.0,
+        }
     }
 }
 
@@ -150,7 +160,10 @@ pub struct RobustMpc {
 
 impl Default for RobustMpc {
     fn default() -> Self {
-        RobustMpc { horizon: 5, metric: QoeMetric::default() }
+        RobustMpc {
+            horizon: 5,
+            metric: QoeMetric::default(),
+        }
     }
 }
 
@@ -206,11 +219,9 @@ impl RobustMpc {
                 let dt = size / rate_bytes_per_s;
                 let rebuf = (dt - buffer).max(0.0);
                 buffer = (buffer - dt).max(0.0) + CHUNK_DURATION_S;
-                score += self.metric.chunk_qoe(
-                    BITRATES_KBPS[q],
-                    BITRATES_KBPS[prev],
-                    rebuf,
-                );
+                score += self
+                    .metric
+                    .chunk_qoe(BITRATES_KBPS[q], BITRATES_KBPS[prev], rebuf);
                 prev = q;
             }
             if score > best_score {
@@ -258,7 +269,7 @@ pub fn baseline_names() -> Vec<&'static str> {
 }
 
 /// Instantiate a baseline by name.
-pub fn baseline_by_name(name: &str) -> Box<dyn Policy> {
+pub fn baseline_by_name(name: &str) -> Box<dyn Policy + Sync> {
     match name {
         "BB" => Box::new(BufferBased::default()),
         "RB" => Box::new(RateBased),
@@ -286,12 +297,8 @@ mod tests {
         let mut obs = vec![0.0; OBS_DIM];
         obs[0] = BITRATES_KBPS[last_quality] / 4300.0;
         obs[1] = buffer_s / 10.0;
-        for i in 2..10 {
-            obs[i] = thr_mbps / 8.0;
-        }
-        for i in 10..18 {
-            obs[i] = 0.4; // 4s downloads
-        }
+        obs[2..10].fill(thr_mbps / 8.0);
+        obs[10..18].fill(0.4); // 4s downloads
         for (k, &b) in BITRATES_KBPS.iter().enumerate() {
             obs[18 + k] = b * 1000.0 / 8.0 * 4.0 / 1e6;
         }
@@ -350,7 +357,10 @@ mod tests {
         assert_eq!(a, 4, "rMPC should hold 2850kbps on a 3Mbps link");
         // 0.5 Mbps: must drop to the lowest rungs.
         let a_slow = mpc.act_greedy(&obs_with(4.0, 0.5, 4));
-        assert!(a_slow <= 1, "rMPC must drop on a 0.5Mbps link, got {a_slow}");
+        assert!(
+            a_slow <= 1,
+            "rMPC must drop on a 0.5Mbps link, got {a_slow}"
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ const SIZE_NORM_BYTES: f64 = 1e6;
 /// Human-readable feature names aligned with the observation layout
 /// (the notation of the paper's Figure 7: `r_t`, `B`, `θ_t`, `T_t`).
 pub fn feature_names() -> Vec<String> {
-    let mut names = vec!["r_t (last bitrate, Mbps)".to_string(), "B (buffer, x10s)".to_string()];
+    let mut names = vec![
+        "r_t (last bitrate, Mbps)".to_string(),
+        "B (buffer, x10s)".to_string(),
+    ];
     for i in (1..=HISTORY_LEN).rev() {
         names.push(format!("theta_t-{i} (thr, x8Mbps)"));
     }
@@ -69,8 +72,14 @@ impl AbrObservation {
         AbrObservation {
             last_bitrate_kbps: obs[0] * BITRATE_NORM_KBPS,
             buffer_s: obs[1] * BUFFER_NORM_S,
-            throughput_mbps: obs[2..2 + h].iter().map(|x| x * THROUGHPUT_NORM_MBPS).collect(),
-            download_time_s: obs[2 + h..2 + 2 * h].iter().map(|x| x * DL_TIME_NORM_S).collect(),
+            throughput_mbps: obs[2..2 + h]
+                .iter()
+                .map(|x| x * THROUGHPUT_NORM_MBPS)
+                .collect(),
+            download_time_s: obs[2 + h..2 + 2 * h]
+                .iter()
+                .map(|x| x * DL_TIME_NORM_S)
+                .collect(),
             next_sizes_bytes: obs[2 + 2 * h..2 + 2 * h + 6]
                 .iter()
                 .map(|x| x * SIZE_NORM_BYTES)
@@ -195,7 +204,11 @@ impl Env for AbrEnv {
             .push(d.size_bytes * 8.0 / d.download_time_s.max(1e-9) / 1e6);
         self.dl_hist_s.remove(0);
         self.dl_hist_s.push(d.download_time_s);
-        Step { obs: self.observe(), reward, done: self.session.finished() }
+        Step {
+            obs: self.observe(),
+            reward,
+            done: self.session.finished(),
+        }
     }
 
     fn n_actions(&self) -> usize {
@@ -244,7 +257,16 @@ mod tests {
     fn episode_runs_to_video_end() {
         let mut e = env(3000.0);
         let mut rng = StdRng::seed_from_u64(0);
-        let traj = rollout(&mut e, &ConstantPolicy { action: 2, n_actions: 6 }, ActionMode::Greedy, 1000, &mut rng);
+        let traj = rollout(
+            &mut e,
+            &ConstantPolicy {
+                action: 2,
+                n_actions: 6,
+            },
+            ActionMode::Greedy,
+            1000,
+            &mut rng,
+        );
         assert_eq!(traj.len(), 48);
         assert!(traj.terminated);
     }
@@ -254,7 +276,7 @@ mod tests {
         let mut e = env(6000.0);
         e.reset();
         let s1 = e.step(2); // 1200kbps from initial 300kbps baseline
-        // First chunk: full download is a stall.
+                            // First chunk: full download is a stall.
         let obs = AbrObservation::decode(&s1.obs);
         assert!(obs.buffer_s > 0.0);
         let m = QoeMetric::default();
@@ -279,7 +301,7 @@ mod tests {
 
     #[test]
     fn harmonic_mean_ignores_zeros() {
-        let mut obs = AbrObservation::decode(&vec![0.0; OBS_DIM]);
+        let mut obs = AbrObservation::decode(&[0.0; OBS_DIM]);
         assert_eq!(obs.harmonic_throughput_mbps(5), 0.0);
         obs.throughput_mbps = vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0, 4.0];
         let hm = obs.harmonic_throughput_mbps(5);
@@ -314,8 +336,10 @@ mod tests {
     #[test]
     fn pool_builds_one_env_per_trace() {
         let video = Arc::new(VideoModel::standard(10, 1));
-        let traces: Vec<Arc<NetworkTrace>> =
-            crate::trace::hsdpa_corpus(4, 9).into_iter().map(Arc::new).collect();
+        let traces: Vec<Arc<NetworkTrace>> = crate::trace::hsdpa_corpus(4, 9)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         assert_eq!(env_pool(&video, &traces).len(), 4);
     }
 }

@@ -22,9 +22,13 @@ pub mod sim;
 pub mod trace;
 pub mod video;
 
-pub use baselines::{baseline_by_name, baseline_names, Bola, BufferBased, Festive, FixedLowest, RateBased, RobustMpc};
+pub use baselines::{
+    baseline_by_name, baseline_names, Bola, BufferBased, Festive, FixedLowest, RateBased, RobustMpc,
+};
 pub use env::{env_pool, feature_names, AbrEnv, AbrObservation, HISTORY_LEN, OBS_DIM};
-pub use pensieve::{pensieve_agent, pensieve_train_config, train_pensieve, PensieveArch, PensieveNet};
+pub use pensieve::{
+    pensieve_agent, pensieve_train_config, train_pensieve, PensieveArch, PensieveNet,
+};
 pub use qoe::{percentile, QoeMetric, SessionStats};
 pub use sim::{ChunkDownload, StreamingSession, BUFFER_CAP_S};
 pub use trace::{fcc_corpus, generate_trace, hsdpa_corpus, NetworkTrace, TraceGenConfig};

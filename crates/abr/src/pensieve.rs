@@ -37,7 +37,13 @@ pub struct PensieveNet {
 }
 
 impl PensieveNet {
-    pub fn new(arch: PensieveArch, obs_dim: usize, hidden: usize, n_actions: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        arch: PensieveArch,
+        obs_dim: usize,
+        hidden: usize,
+        n_actions: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let head_in = match arch {
             PensieveArch::Original => hidden,
             PensieveArch::LastBitrateSkip => hidden + 1,
@@ -46,7 +52,13 @@ impl PensieveNet {
             arch,
             l1: Dense::new(obs_dim, hidden, Activation::Tanh, Init::XavierUniform, rng),
             l2: Dense::new(hidden, hidden, Activation::Tanh, Init::XavierUniform, rng),
-            head: Dense::new(head_in, n_actions, Activation::Linear, Init::XavierUniform, rng),
+            head: Dense::new(
+                head_in,
+                n_actions,
+                Activation::Linear,
+                Init::XavierUniform,
+                rng,
+            ),
             cache_input: None,
         }
     }
@@ -76,9 +88,7 @@ impl Network for PensieveNet {
         let h = self.l2.forward(&self.l1.forward(input));
         match self.arch {
             PensieveArch::Original => self.head.forward(&h),
-            PensieveArch::LastBitrateSkip => {
-                self.head.forward(&h.hconcat(&Self::rt_column(input)))
-            }
+            PensieveArch::LastBitrateSkip => self.head.forward(&h.hconcat(&Self::rt_column(input))),
         }
     }
 
@@ -86,9 +96,9 @@ impl Network for PensieveNet {
         let h = self.l2.forward_inference(&self.l1.forward_inference(input));
         match self.arch {
             PensieveArch::Original => self.head.forward_inference(&h),
-            PensieveArch::LastBitrateSkip => {
-                self.head.forward_inference(&h.hconcat(&Self::rt_column(input)))
-            }
+            PensieveArch::LastBitrateSkip => self
+                .head
+                .forward_inference(&h.hconcat(&Self::rt_column(input))),
         }
     }
 
@@ -156,8 +166,19 @@ pub fn pensieve_agent(
     rng: &mut StdRng,
 ) -> ActorCritic<PensieveNet> {
     let obs_dim = crate::env::OBS_DIM;
-    let actor = PensieveNet::new(arch, obs_dim, hidden, crate::video::BITRATES_KBPS.len(), rng);
-    let critic = Mlp::new(&[obs_dim, hidden, 1], Activation::Tanh, Activation::Linear, rng);
+    let actor = PensieveNet::new(
+        arch,
+        obs_dim,
+        hidden,
+        crate::video::BITRATES_KBPS.len(),
+        rng,
+    );
+    let critic = Mlp::new(
+        &[obs_dim, hidden, 1],
+        Activation::Tanh,
+        Activation::Linear,
+        rng,
+    );
     ActorCritic::from_networks(actor, critic, pensieve_train_config())
 }
 
@@ -195,7 +216,7 @@ mod tests {
             let net = PensieveNet::new(arch, OBS_DIM, 32, 6, &mut rng);
             assert_eq!(net.in_dim(), OBS_DIM);
             assert_eq!(net.out_dim(), 6);
-            let out = net.predict(&vec![0.1; OBS_DIM]);
+            let out = net.predict(&[0.1; OBS_DIM]);
             assert_eq!(out.len(), 6);
         }
     }
@@ -276,7 +297,7 @@ mod tests {
             "training should improve QoE: before {before:.3}, after {after:.3}"
         );
         // And the learned policy must produce valid distributions.
-        let probs = agent.policy.action_probs(&vec![0.1; OBS_DIM]);
+        let probs = agent.policy.action_probs(&[0.1; OBS_DIM]);
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 

@@ -20,7 +20,10 @@ pub struct QoeMetric {
 
 impl Default for QoeMetric {
     fn default() -> Self {
-        QoeMetric { rebuf_penalty: 4.3, smooth_penalty: 1.0 }
+        QoeMetric {
+            rebuf_penalty: 4.3,
+            smooth_penalty: 1.0,
+        }
     }
 }
 
@@ -71,7 +74,10 @@ impl SessionStats {
 
     /// Count of bitrate switches.
     pub fn n_switches(&self) -> usize {
-        self.bitrates_kbps.windows(2).filter(|w| w[0] != w[1]).count()
+        self.bitrates_kbps
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count()
     }
 }
 

@@ -39,7 +39,13 @@ pub struct StreamingSession {
 impl StreamingSession {
     /// Start a session at `trace_offset_s` into the bandwidth trace.
     pub fn new(video: Arc<VideoModel>, trace: Arc<NetworkTrace>, trace_offset_s: f64) -> Self {
-        StreamingSession { video, trace, time_s: trace_offset_s, buffer_s: 0.0, next_chunk: 0 }
+        StreamingSession {
+            video,
+            trace,
+            time_s: trace_offset_s,
+            buffer_s: 0.0,
+            next_chunk: 0,
+        }
     }
 
     pub fn video(&self) -> &VideoModel {
@@ -78,7 +84,10 @@ impl StreamingSession {
     /// # Panics
     /// Panics if the session is finished or `quality` is out of range.
     pub fn download_next(&mut self, quality: usize) -> ChunkDownload {
-        assert!(!self.finished(), "download_next called on a finished session");
+        assert!(
+            !self.finished(),
+            "download_next called on a finished session"
+        );
         assert!(quality < self.video.n_qualities(), "quality out of range");
 
         let size = self.video.chunk_size_bytes(self.next_chunk, quality);
@@ -156,7 +165,10 @@ mod tests {
                 stalls += 1;
             }
         }
-        assert!(stalls >= 9, "4300kbps on a 500kbps link must stall, got {stalls}/10");
+        assert!(
+            stalls >= 9,
+            "4300kbps on a 500kbps link must stall, got {stalls}/10"
+        );
     }
 
     #[test]
@@ -204,7 +216,11 @@ mod tests {
         assert_eq!(da, db, "clones must evolve identically from the same state");
         b.download_next(0);
         assert_eq!(a.next_chunk(), 2);
-        assert_eq!(b.next_chunk(), 3, "advancing the clone must not move the original");
+        assert_eq!(
+            b.next_chunk(),
+            3,
+            "advancing the clone must not move the original"
+        );
     }
 
     proptest! {

@@ -27,8 +27,15 @@ pub struct NetworkTrace {
 impl NetworkTrace {
     /// Construct and validate a trace.
     pub fn new(name: impl Into<String>, timestamps_s: Vec<f64>, bandwidths_kbps: Vec<f64>) -> Self {
-        assert!(!timestamps_s.is_empty(), "trace must have at least one point");
-        assert_eq!(timestamps_s.len(), bandwidths_kbps.len(), "trace arrays must align");
+        assert!(
+            !timestamps_s.is_empty(),
+            "trace must have at least one point"
+        );
+        assert_eq!(
+            timestamps_s.len(),
+            bandwidths_kbps.len(),
+            "trace arrays must align"
+        );
         assert!(
             timestamps_s.windows(2).all(|w| w[1] > w[0]),
             "timestamps must be strictly increasing"
@@ -37,7 +44,11 @@ impl NetworkTrace {
             bandwidths_kbps.iter().all(|&b| b > 0.0 && b.is_finite()),
             "bandwidths must be positive"
         );
-        NetworkTrace { name: name.into(), timestamps_s, bandwidths_kbps }
+        NetworkTrace {
+            name: name.into(),
+            timestamps_s,
+            bandwidths_kbps,
+        }
     }
 
     /// A constant-bandwidth trace (the §6.3 fixed-link debugging setup).
@@ -204,14 +215,26 @@ pub fn generate_trace(cfg: &TraceGenConfig, name: impl Into<String>, seed: u64) 
 /// Generate the HSDPA-like corpus (paper: 250 traces).
 pub fn hsdpa_corpus(count: usize, seed: u64) -> Vec<NetworkTrace> {
     (0..count)
-        .map(|i| generate_trace(&TraceGenConfig::hsdpa_like(), format!("hsdpa-{i}"), seed ^ (i as u64) << 17 | 1))
+        .map(|i| {
+            generate_trace(
+                &TraceGenConfig::hsdpa_like(),
+                format!("hsdpa-{i}"),
+                seed ^ (i as u64) << 17 | 1,
+            )
+        })
         .collect()
 }
 
 /// Generate the FCC-like corpus (paper: 205 traces).
 pub fn fcc_corpus(count: usize, seed: u64) -> Vec<NetworkTrace> {
     (0..count)
-        .map(|i| generate_trace(&TraceGenConfig::fcc_like(), format!("fcc-{i}"), seed ^ (i as u64) << 21 | 2))
+        .map(|i| {
+            generate_trace(
+                &TraceGenConfig::fcc_like(),
+                format!("fcc-{i}"),
+                seed ^ (i as u64) << 21 | 2,
+            )
+        })
         .collect()
 }
 
@@ -267,9 +290,8 @@ mod tests {
     fn corpus_statistics_match_profiles() {
         let hsdpa = hsdpa_corpus(30, 42);
         let fcc = fcc_corpus(30, 42);
-        let mean = |ts: &[NetworkTrace]| {
-            ts.iter().map(|t| t.mean_kbps()).sum::<f64>() / ts.len() as f64
-        };
+        let mean =
+            |ts: &[NetworkTrace]| ts.iter().map(|t| t.mean_kbps()).sum::<f64>() / ts.len() as f64;
         let m_h = mean(&hsdpa);
         let m_f = mean(&fcc);
         assert!(m_h > 600.0 && m_h < 2200.0, "hsdpa mean {m_h}");
@@ -278,7 +300,11 @@ mod tests {
         // Variability: coefficient of variation within a trace.
         let cv = |t: &NetworkTrace| {
             let m = t.mean_kbps();
-            let var = t.bandwidths_kbps.iter().map(|b| (b - m) * (b - m)).sum::<f64>()
+            let var = t
+                .bandwidths_kbps
+                .iter()
+                .map(|b| (b - m) * (b - m))
+                .sum::<f64>()
                 / t.bandwidths_kbps.len() as f64;
             var.sqrt() / m
         };
@@ -290,7 +316,10 @@ mod tests {
     #[test]
     fn traces_respect_clamps() {
         for t in hsdpa_corpus(10, 1) {
-            assert!(t.bandwidths_kbps.iter().all(|&b| (200.0..=6000.0).contains(&b)));
+            assert!(t
+                .bandwidths_kbps
+                .iter()
+                .all(|&b| (200.0..=6000.0).contains(&b)));
         }
     }
 

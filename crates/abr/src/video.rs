@@ -12,7 +12,10 @@ pub const CHUNK_DURATION_S: f64 = 4.0;
 
 /// Display labels for the ladder (used in tree rendering and reports).
 pub fn bitrate_labels() -> Vec<String> {
-    BITRATES_KBPS.iter().map(|b| format!("{}kbps", *b as u64)).collect()
+    BITRATES_KBPS
+        .iter()
+        .map(|b| format!("{}kbps", *b as u64))
+        .collect()
 }
 
 /// A video asset: `n_chunks` chunks, each encoded at every ladder rung.
@@ -137,7 +140,10 @@ mod tests {
             for (q, &b) in BITRATES_KBPS.iter().enumerate() {
                 let nominal = b * 1000.0 / 8.0 * CHUNK_DURATION_S;
                 let s = v.chunk_size_bytes(c, q);
-                assert!(s >= 0.84 * nominal && s <= 1.16 * nominal, "size {s} vs nominal {nominal}");
+                assert!(
+                    s >= 0.84 * nominal && s <= 1.16 * nominal,
+                    "size {s} vs nominal {nominal}"
+                );
             }
         }
     }
@@ -148,8 +154,8 @@ mod tests {
         // Ratio size/bitrate must be constant within a chunk...
         for c in 0..20 {
             let r0 = v.chunk_size_bytes(c, 0) / BITRATES_KBPS[0];
-            for q in 1..6 {
-                let rq = v.chunk_size_bytes(c, q) / BITRATES_KBPS[q];
+            for (q, &kbps) in BITRATES_KBPS.iter().enumerate().skip(1) {
+                let rq = v.chunk_size_bytes(c, q) / kbps;
                 assert!((r0 - rq).abs() < 1e-9);
             }
         }

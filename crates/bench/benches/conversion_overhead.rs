@@ -1,19 +1,32 @@
 //! Criterion benches behind Figure 31: CART fitting cost at several leaf
-//! budgets and the per-step cost of the hypergraph mask search.
+//! budgets and the per-step cost of the hypergraph mask search — plus the
+//! end-to-end conversion-throughput benchmark of the unified
+//! `ConversionPipeline` (single-thread vs all-cores), whose results are
+//! emitted as `BENCH_conversion.json` at the workspace root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metis_abr::{env_pool, hsdpa_corpus, pensieve_agent, NetworkTrace, PensieveArch, VideoModel};
+use metis_core::{ConversionConfig, ConversionPipeline};
 use metis_dt::{fit, prune_to_leaves, Criterion as SplitCriterion, Dataset, TreeConfig};
 use metis_hypergraph::{MaskConfig, MaskedSystem};
 use metis_routing::{optimize_routing, LatencyModel, RouteNetModel, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn pensieve_like_dataset(n: usize, rng: &mut StdRng) -> Dataset {
     let x: Vec<Vec<f64>> = (0..n)
-        .map(|_| (0..metis_abr::OBS_DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .map(|_| {
+            (0..metis_abr::OBS_DIM)
+                .map(|_| rng.gen_range(0.0..1.0))
+                .collect()
+        })
         .collect();
-    let y: Vec<usize> = x.iter().map(|xi| ((xi[0] * 3.0 + xi[1] * 2.0) as usize) % 6).collect();
+    let y: Vec<usize> = x
+        .iter()
+        .map(|xi| ((xi[0] * 3.0 + xi[1] * 2.0) as usize) % 6)
+        .collect();
     Dataset::classification(x, y, 6).unwrap()
 }
 
@@ -22,20 +35,24 @@ fn bench_tree_fit(c: &mut Criterion) {
     let ds = pensieve_like_dataset(5000, &mut rng);
     let mut group = c.benchmark_group("tree_extraction");
     for leaves in [10usize, 100, 1000] {
-        group.bench_with_input(BenchmarkId::from_parameter(leaves), &leaves, |b, &leaves| {
-            b.iter(|| {
-                let grown = fit(
-                    &ds,
-                    &TreeConfig {
-                        max_leaf_nodes: leaves * 2,
-                        criterion: SplitCriterion::Gini,
-                        ..Default::default()
-                    },
-                )
-                .unwrap();
-                black_box(prune_to_leaves(&grown, leaves))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(leaves),
+            &leaves,
+            |b, &leaves| {
+                b.iter(|| {
+                    let grown = fit(
+                        &ds,
+                        &TreeConfig {
+                            max_leaf_nodes: leaves * 2,
+                            criterion: SplitCriterion::Gini,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                    black_box(prune_to_leaves(&grown, leaves))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -54,16 +71,100 @@ fn bench_mask_step(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function(format!("10_steps_{n}_connections"), |b| {
         b.iter(|| {
-            let cfg = MaskConfig { steps: 10, ..Default::default() };
+            let cfg = MaskConfig {
+                steps: 10,
+                ..Default::default()
+            };
             black_box(metis_hypergraph::optimize_mask(&system, &cfg))
         })
     });
     group.finish();
 }
 
+/// End-to-end §3.2 conversion throughput (labelled states per second
+/// through collection + resampling + fit + prune), single-thread vs
+/// all-cores, on the ABR substrate. Emits `BENCH_conversion.json`.
+fn bench_conversion_throughput(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let video = Arc::new(VideoModel::standard(24, 3));
+    let traces: Vec<Arc<NetworkTrace>> = hsdpa_corpus(6, 31).into_iter().map(Arc::new).collect();
+    let pool = env_pool(&video, &traces);
+    let agent = pensieve_agent(PensieveArch::Original, 24, &mut rng);
+    let cfg = ConversionConfig {
+        max_leaf_nodes: 64,
+        episodes_per_round: 12,
+        max_steps: 256,
+        dagger_rounds: 1,
+        ..Default::default()
+    };
+    let run = |threads: usize| {
+        ConversionPipeline::new(&pool, &agent.policy, |_| 0.0)
+            .conversion(cfg.clone())
+            .seed(3)
+            .threads(threads)
+            .run()
+    };
+
+    let mut group = c.benchmark_group("conversion_throughput");
+    group.sample_size(5);
+    group.bench_function("pipeline_1_thread", |b| b.iter(|| black_box(run(1))));
+    group.bench_function("pipeline_all_cores", |b| b.iter(|| black_box(run(0))));
+    group.finish();
+
+    // Measured summary for the JSON artifact (one timed run per mode; the
+    // criterion samples above give the distribution).
+    let single = run(1);
+    let parallel = run(0);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let report = ThroughputReport {
+        cores,
+        threads_parallel: parallel.stats.threads,
+        states_per_run: single.stats.states_collected,
+        leaf_budget: cfg.max_leaf_nodes,
+        samples_per_sec_single: single.stats.samples_per_sec(),
+        samples_per_sec_parallel: parallel.stats.samples_per_sec(),
+        speedup: parallel.stats.samples_per_sec() / single.stats.samples_per_sec().max(1e-12),
+        collect_s_single: single.stats.collect_s,
+        fit_s_single: single.stats.fit_s,
+        collect_s_parallel: parallel.stats.collect_s,
+        fit_s_parallel: parallel.stats.fit_s,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_conversion.json");
+    std::fs::write(&path, &json).expect("write BENCH_conversion.json");
+    println!(
+        "conversion throughput: {:.0} samples/s single-thread, {:.0} samples/s on {} threads \
+         ({:.2}x) -> {}",
+        report.samples_per_sec_single,
+        report.samples_per_sec_parallel,
+        report.threads_parallel,
+        report.speedup,
+        path.display()
+    );
+}
+
+#[derive(serde::Serialize)]
+struct ThroughputReport {
+    cores: usize,
+    threads_parallel: usize,
+    states_per_run: usize,
+    leaf_budget: usize,
+    samples_per_sec_single: f64,
+    samples_per_sec_parallel: f64,
+    speedup: f64,
+    collect_s_single: f64,
+    fit_s_single: f64,
+    collect_s_parallel: f64,
+    fit_s_parallel: f64,
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_tree_fit, bench_mask_step
+    targets = bench_tree_fit, bench_mask_step, bench_conversion_throughput
 }
 criterion_main!(benches);

@@ -16,7 +16,11 @@ use std::hint::black_box;
 fn make_tree(rng: &mut StdRng) -> metis_dt::DecisionTree {
     let n = 6000;
     let x: Vec<Vec<f64>> = (0..n)
-        .map(|_| (0..LRLA_STATE_DIM).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .map(|_| {
+            (0..LRLA_STATE_DIM)
+                .map(|_| rng.gen_range(0.0..1.0))
+                .collect()
+        })
         .collect();
     let y: Vec<usize> = x
         .iter()

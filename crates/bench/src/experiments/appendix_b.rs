@@ -25,9 +25,18 @@ impl UtilitySystem {
             .connections()
             .iter()
             .map(|&(e, v)| {
-                let fe = h.edge_features.get(e).and_then(|f| f.first()).copied().unwrap_or(1.0);
-                let fv =
-                    h.vertex_features.get(v).and_then(|f| f.first()).copied().unwrap_or(1.0);
+                let fe = h
+                    .edge_features
+                    .get(e)
+                    .and_then(|f| f.first())
+                    .copied()
+                    .unwrap_or(1.0);
+                let fv = h
+                    .vertex_features
+                    .get(v)
+                    .and_then(|f| f.first())
+                    .copied()
+                    .unwrap_or(1.0);
                 fe * fv
             })
             .collect();
@@ -64,13 +73,22 @@ fn interpret(out: &mut dyn Write, name: &str, h: &Hypergraph) -> std::io::Result
         h.n_connections()
     )?;
     let system = UtilitySystem::from_hypergraph(h);
-    let cfg = MaskConfig { steps: 120, ..Default::default() };
+    let cfg = MaskConfig {
+        steps: 120,
+        ..Default::default()
+    };
     let result = optimize_mask(&system, &cfg);
     let conns = h.connections();
     writeln!(out, "  top critical connections (hyperedge, vertex, mask):")?;
     for &i in result.ranked().iter().take(3) {
         let (e, v) = conns[i];
-        writeln!(out, "    {} @ {}  mask {:.3}", h.edge_name(e), h.vertex_name(v), result.mask[i])?;
+        writeln!(
+            out,
+            "    {} @ {}  mask {:.3}",
+            h.edge_name(e),
+            h.vertex_name(v),
+            result.mask[i]
+        )?;
     }
     Ok(())
 }

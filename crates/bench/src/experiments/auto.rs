@@ -1,6 +1,6 @@
 //! AuTO-side experiments: Figures 15(b), 16, 17.
 
-use metis_core::{convert_policy, ConversionConfig};
+use metis_core::{ConversionConfig, ConversionPipeline};
 use metis_flowsched::{
     coverage, decode_action, generate_flows, lrla_agent, lrla_net_paper_scale, lrla_state,
     srla_net_paper_scale, FabricConfig, FctStats, FlowDecision, FlowSim, LrlaEnv, MlfqThresholds,
@@ -13,7 +13,10 @@ use std::io::Write;
 
 fn sim_config(dist_name: &str) -> SimConfig {
     SimConfig {
-        fabric: FabricConfig { n_servers: 8, link_bps: 10e9 },
+        fabric: FabricConfig {
+            n_servers: 8,
+            link_bps: 10e9,
+        },
         thresholds: if dist_name == "WS" {
             MlfqThresholds::default_web_search()
         } else {
@@ -59,13 +62,10 @@ fn lrla_teacher_and_tree(
         dagger_rounds: 1,
         ..Default::default()
     };
-    let tree = convert_policy(
-        &pool,
-        &agent.policy,
-        move |obs| critic.predict(obs)[0],
-        &cfg,
-        &mut rng,
-    );
+    let tree = ConversionPipeline::new(&pool, &agent.policy, move |obs| critic.predict(obs)[0])
+        .conversion(cfg)
+        .seed(seed ^ 0xA07)
+        .run();
     (agent.policy, tree.policy)
 }
 
@@ -87,16 +87,14 @@ fn fct_with_policy(
 /// Figure 15(b): FCT of Metis+AuTO normalized by AuTO (avg and p99).
 pub fn fig15b(out: &mut dyn Write) -> std::io::Result<()> {
     writeln!(out, "=== Figure 15(b): performance maintenance (AuTO) ===")?;
-    for (dist, name) in
-        [(SizeDistribution::web_search(), "WS"), (SizeDistribution::data_mining(), "DM")]
-    {
+    for (dist, name) in [
+        (SizeDistribution::web_search(), "WS"),
+        (SizeDistribution::data_mining(), "DM"),
+    ] {
         let (teacher, tree) = lrla_teacher_and_tree(&dist, name, 42);
         let flows = workload(&dist, 0xEE);
-        let auto = FctStats::from_flows(&fct_with_policy(
-            flows.clone(),
-            sim_config(name),
-            &teacher,
-        ));
+        let auto =
+            FctStats::from_flows(&fct_with_policy(flows.clone(), sim_config(name), &teacher));
         let metis = FctStats::from_flows(&fct_with_policy(flows, sim_config(name), &tree));
         writeln!(
             out,
@@ -109,14 +107,20 @@ pub fn fig15b(out: &mut dyn Write) -> std::io::Result<()> {
             metis.p99_s / auto.p99_s * 100.0
         )?;
     }
-    writeln!(out, "(paper: Metis+AuTO within 2% of AuTO on both workloads)")?;
+    writeln!(
+        out,
+        "(paper: Metis+AuTO within 2% of AuTO on both workloads)"
+    )?;
     Ok(())
 }
 
 /// Figure 16: (a) decision latency of the paper-scale DNNs vs the
 /// converted trees; (b) per-flow decision coverage at those latencies.
 pub fn fig16(out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "=== Figure 16: decision latency and per-flow coverage ===")?;
+    writeln!(
+        out,
+        "=== Figure 16: decision latency and per-flow coverage ==="
+    )?;
     let mut rng = StdRng::seed_from_u64(5);
     // (a) Paper-scale networks: sRLA 700->600->600->3, lRLA 143->600->600->108.
     let srla = srla_net_paper_scale(&mut rng);
@@ -155,21 +159,48 @@ pub fn fig16(out: &mut dyn Write) -> std::io::Result<()> {
         20,
     );
     let dnn_mean = lat_srla.mean_s + lat_lrla.mean_s; // AuTO runs both agents
-    writeln!(out, "(a) per-decision latency (in-process; paper numbers include the Python stack):")?;
-    writeln!(out, "  sRLA DNN (700-600-600-3):    {:>10.1} us", lat_srla.mean_s * 1e6)?;
-    writeln!(out, "  lRLA DNN (143-600-600-108):  {:>10.1} us", lat_lrla.mean_s * 1e6)?;
-    writeln!(out, "  Metis tree:                  {:>10.3} us", lat_tree.mean_s * 1e6)?;
-    writeln!(out, "  Metis compiled tree:         {:>10.3} us (branch-only, SmartNIC analogue)", lat_compiled.mean_s * 1e6)?;
-    writeln!(out, "  speedup (DNN pair / tree):   {:>10.1}x", dnn_mean / lat_tree.mean_s)?;
+    writeln!(
+        out,
+        "(a) per-decision latency (in-process; paper numbers include the Python stack):"
+    )?;
+    writeln!(
+        out,
+        "  sRLA DNN (700-600-600-3):    {:>10.1} us",
+        lat_srla.mean_s * 1e6
+    )?;
+    writeln!(
+        out,
+        "  lRLA DNN (143-600-600-108):  {:>10.1} us",
+        lat_lrla.mean_s * 1e6
+    )?;
+    writeln!(
+        out,
+        "  Metis tree:                  {:>10.3} us",
+        lat_tree.mean_s * 1e6
+    )?;
+    writeln!(
+        out,
+        "  Metis compiled tree:         {:>10.3} us (branch-only, SmartNIC analogue)",
+        lat_compiled.mean_s * 1e6
+    )?;
+    writeln!(
+        out,
+        "  speedup (DNN pair / tree):   {:>10.1}x",
+        dnn_mean / lat_tree.mean_s
+    )?;
 
     // (b) Coverage under each latency: run the fabric once, then ask which
     // flows outlive each decision latency.
     writeln!(out, "(b) per-flow decision coverage:")?;
-    for (dist, name) in
-        [(SizeDistribution::web_search(), "Web Search"), (SizeDistribution::data_mining(), "Data Mining")]
-    {
+    for (dist, name) in [
+        (SizeDistribution::web_search(), "Web Search"),
+        (SizeDistribution::data_mining(), "Data Mining"),
+    ] {
         let flows = workload(&dist, 0xC0FFEE);
-        let mut sim = FlowSim::new(flows, sim_config(if name == "Web Search" { "WS" } else { "DM" }));
+        let mut sim = FlowSim::new(
+            flows,
+            sim_config(if name == "Web Search" { "WS" } else { "DM" }),
+        );
         let done = sim.run_mlfq_only().to_vec();
         // Scale in-process latencies to the paper's regime (the ratio is
         // what transfers): AuTO reports 61.61 ms vs 2.30 ms.
@@ -186,16 +217,23 @@ pub fn fig16(out: &mut dyn Write) -> std::io::Result<()> {
             c_tree.byte_fraction * 100.0
         )?;
     }
-    writeln!(out, "(paper: 26.8x latency cut; +33% flows, +46% bytes covered on DM)")?;
+    writeln!(
+        out,
+        "(paper: 26.8x latency cut; +33% flows, +46% bytes covered on DM)"
+    )?;
     Ok(())
 }
 
 /// Figure 17(a): letting the (fast) tree schedule median flows too.
 pub fn fig17a(out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "=== Figure 17(a): per-flow scheduling of median flows ===")?;
-    for (dist, name) in
-        [(SizeDistribution::web_search(), "WS"), (SizeDistribution::data_mining(), "DM")]
-    {
+    writeln!(
+        out,
+        "=== Figure 17(a): per-flow scheduling of median flows ==="
+    )?;
+    for (dist, name) in [
+        (SizeDistribution::web_search(), "WS"),
+        (SizeDistribution::data_mining(), "DM"),
+    ] {
         let (_, tree) = lrla_teacher_and_tree(&dist, name, 42);
         let flows = workload(&dist, 0xAB);
         // AuTO: only long flows (>= 1 MB) get per-flow decisions, after the
@@ -245,26 +283,46 @@ pub fn fig17a(out: &mut dyn Write) -> std::io::Result<()> {
 /// Figure 17(b): deployment artifact costs — sizes, load time at
 /// 1200 kbps, and memory proxy.
 pub fn fig17b(out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "=== Figure 17(b): artifact size and load-time cost model ===")?;
+    writeln!(
+        out,
+        "=== Figure 17(b): artifact size and load-time cost model ==="
+    )?;
     let setup = crate::setup::pensieve(42, metis_abr::PensieveArch::Original, 50);
-    let tree = crate::setup::pensieve_tree(
-        &setup,
-        7,
-        &crate::setup::pensieve_conversion_config(),
-    );
-    let dnn_bytes = serde_json::to_vec(&setup.agent.policy.net).map(|v| v.len()).unwrap_or(0);
+    let tree = crate::setup::pensieve_tree(&setup, 7, &crate::setup::pensieve_conversion_config());
+    let dnn_bytes = serde_json::to_vec(&setup.agent.policy.net)
+        .map(|v| v.len())
+        .unwrap_or(0);
     let tree_bytes = tree.policy.tree.artifact_bytes();
     let dnn = metis_core::ArtifactCost::new(dnn_bytes);
     let tr = metis_core::ArtifactCost::new(tree_bytes);
-    writeln!(out, "{:<18} {:>12} {:>16}", "model", "bytes", "load @1200kbps")?;
-    writeln!(out, "{:<18} {:>12} {:>14.2} s", "Pensieve DNN", dnn_bytes, dnn.load_time_s(1200.0))?;
-    writeln!(out, "{:<18} {:>12} {:>14.3} s", "Metis tree", tree_bytes, tr.load_time_s(1200.0))?;
+    writeln!(
+        out,
+        "{:<18} {:>12} {:>16}",
+        "model", "bytes", "load @1200kbps"
+    )?;
+    writeln!(
+        out,
+        "{:<18} {:>12} {:>14.2} s",
+        "Pensieve DNN",
+        dnn_bytes,
+        dnn.load_time_s(1200.0)
+    )?;
+    writeln!(
+        out,
+        "{:<18} {:>12} {:>14.3} s",
+        "Metis tree",
+        tree_bytes,
+        tr.load_time_s(1200.0)
+    )?;
     writeln!(
         out,
         "size ratio {:.0}x, load-time ratio {:.0}x",
         dnn_bytes as f64 / tree_bytes as f64,
         dnn.load_time_s(1200.0) / tr.load_time_s(1200.0)
     )?;
-    writeln!(out, "(paper: +1370KB page, 9.36 s vs 60 ms added load; 156x)")?;
+    writeln!(
+        out,
+        "(paper: +1370KB page, 9.36 s vs 60 ms added load; 156x)"
+    )?;
     Ok(())
 }

@@ -2,7 +2,9 @@
 //! and the λ sensitivity study (Figures 29–30).
 
 use crate::setup::{self, RoutingSetup};
-use metis_core::{adhoc_points, interpret_routing, mask_mass_per_link, pearson, quadrant13_fraction};
+use metis_core::{
+    adhoc_points, interpret_routing, mask_mass_per_link, pearson, quadrant13_fraction,
+};
 use metis_hypergraph::MaskConfig;
 use std::io::Write;
 
@@ -13,26 +15,59 @@ fn trained() -> RoutingSetup {
 /// Table 3 / Figure 8: top-5 mask-value interpretations with the
 /// shorter / less-congested classification.
 pub fn table3(out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "=== Table 3: top mask-value interpretations (NSFNet) ===")?;
+    writeln!(
+        out,
+        "=== Table 3: top mask-value interpretations (NSFNet) ==="
+    )?;
     let s = trained();
-    let cfg = MaskConfig { steps: 150, ..Default::default() };
-    let (result, report) =
-        interpret_routing(&s.model, &s.topo, &s.samples[0].demands, &s.routings[0], &cfg, 5);
-    writeln!(out, "final loss terms: D={:.4} ||W||={:.2} H={:.2}", result.final_d, result.final_l1, result.final_entropy)?;
-    writeln!(out, "{:<24} {:<8} {:>8}  interpretation", "routing path", "link", "mask")?;
+    let cfg = MaskConfig {
+        steps: 150,
+        ..Default::default()
+    };
+    let (result, report) = interpret_routing(
+        &s.model,
+        &s.topo,
+        &s.samples[0].demands,
+        &s.routings[0],
+        &cfg,
+        5,
+    );
+    writeln!(
+        out,
+        "final loss terms: D={:.4} ||W||={:.2} H={:.2}",
+        result.final_d, result.final_l1, result.final_entropy
+    )?;
+    writeln!(
+        out,
+        "{:<24} {:<8} {:>8}  interpretation",
+        "routing path", "link", "mask"
+    )?;
     for r in &report {
-        writeln!(out, "{:<24} {:<8} {:>8.3}  {}", r.path, r.link, r.mask, r.kind)?;
+        writeln!(
+            out,
+            "{:<24} {:<8} {:>8.3}  {}",
+            r.path, r.link, r.mask, r.kind
+        )?;
     }
-    writeln!(out, "(paper: top connections classified as Shorter / Less congested)")?;
+    writeln!(
+        out,
+        "(paper: top connections classified as Shorter / Less congested)"
+    )?;
     Ok(())
 }
 
 /// Figure 9: (a) mask-value CDF over many experiments (bimodal),
 /// (b) Pearson correlation of per-link mask mass with link traffic.
 pub fn fig09(out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "=== Figure 9: mask distribution and traffic correlation ===")?;
+    writeln!(
+        out,
+        "=== Figure 9: mask distribution and traffic correlation ==="
+    )?;
     let s = trained();
-    let cfg = MaskConfig { steps: 150, ..Default::default() };
+    let cfg = MaskConfig {
+        steps: 150,
+        ..Default::default()
+    };
     let mut all_masks = Vec::new();
     let mut corr_per_sample = Vec::new();
     for (sample, routing) in s.samples.iter().zip(s.routings.iter()) {
@@ -41,8 +76,7 @@ pub fn fig09(out: &mut dyn Write) -> std::io::Result<()> {
         // (b) per-link mask mass vs link traffic.
         let mass = mask_mass_per_link(&s.topo, routing, &result.mask);
         let loads = s.latency.link_loads(&s.topo, &sample.demands, routing);
-        let used: Vec<usize> =
-            (0..s.topo.n_links()).filter(|&l| loads[l] > 0.0).collect();
+        let used: Vec<usize> = (0..s.topo.n_links()).filter(|&l| loads[l] > 0.0).collect();
         let m: Vec<f64> = used.iter().map(|&l| mass[l]).collect();
         let t: Vec<f64> = used.iter().map(|&l| loads[l]).collect();
         corr_per_sample.push(pearson(&m, &t));
@@ -51,15 +85,33 @@ pub fn fig09(out: &mut dyn Write) -> std::io::Result<()> {
     // (a) CDF summary.
     let mut sorted = all_masks.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    writeln!(out, "(a) mask-value CDF over {} experiments ({} masks):", s.samples.len(), sorted.len())?;
+    writeln!(
+        out,
+        "(a) mask-value CDF over {} experiments ({} masks):",
+        s.samples.len(),
+        sorted.len()
+    )?;
     for p in [5.0, 25.0, 50.0, 75.0, 95.0] {
-        writeln!(out, "  p{:<3} {:.3}", p as u32, metis_abr::percentile(&sorted, p))?;
+        writeln!(
+            out,
+            "  p{:<3} {:.3}",
+            p as u32,
+            metis_abr::percentile(&sorted, p)
+        )?;
     }
     let median_frac =
         sorted.iter().filter(|&&m| m > 0.2 && m < 0.8).count() as f64 / sorted.len() as f64;
-    writeln!(out, "  fraction in the undetermined band (0.2, 0.8): {:.1}%", median_frac * 100.0)?;
+    writeln!(
+        out,
+        "  fraction in the undetermined band (0.2, 0.8): {:.1}%",
+        median_frac * 100.0
+    )?;
     let mean_corr = metis_core::mean(&corr_per_sample);
-    writeln!(out, "(b) Pearson r(Σ_e W_ve, link traffic) mean over samples: {:.2}", mean_corr)?;
+    writeln!(
+        out,
+        "(b) Pearson r(Σ_e W_ve, link traffic) mean over samples: {:.2}",
+        mean_corr
+    )?;
     writeln!(out, "(paper: few median masks; r = 0.81)")?;
     Ok(())
 }
@@ -69,7 +121,10 @@ pub fn fig09(out: &mut dyn Write) -> std::io::Result<()> {
 pub fn fig18(out: &mut dyn Write) -> std::io::Result<()> {
     writeln!(out, "=== Figure 18: ad-hoc adjustment indicator ===")?;
     let s = trained();
-    let cfg = MaskConfig { steps: 150, ..Default::default() };
+    let cfg = MaskConfig {
+        steps: 150,
+        ..Default::default()
+    };
     let mut points = Vec::new();
     for (sample, routing) in s.samples.iter().zip(s.routings.iter()) {
         let system = metis_core::MaskedRouting::new(&s.model, &s.topo, &sample.demands, routing);
@@ -88,32 +143,62 @@ pub fn fig18(out: &mut dyn Write) -> std::io::Result<()> {
         / points.len().max(1) as f64;
     writeln!(out, "candidate-pair points collected: {}", points.len())?;
     writeln!(out, "fraction in quadrants I/III: {:.1}%", q13 * 100.0)?;
-    writeln!(out, "fraction near the axes (weak signal): {:.1}%", near * 100.0)?;
+    writeln!(
+        out,
+        "fraction near the axes (weak signal): {:.1}%",
+        near * 100.0
+    )?;
     writeln!(out, "(paper: 72% in quadrants I/III, +19% close to them)")?;
     Ok(())
 }
 
 /// Figures 29–30 (Appendix F.2): sensitivity of the mask to λ1 and λ2.
 pub fn fig29(out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "=== Figures 29-30: lambda sensitivity of the mask search ===")?;
+    writeln!(
+        out,
+        "=== Figures 29-30: lambda sensitivity of the mask search ==="
+    )?;
     let s = trained();
     let sample = &s.samples[0];
     let routing = &s.routings[0];
     let system = metis_core::MaskedRouting::new(&s.model, &s.topo, &sample.demands, routing);
 
     writeln!(out, "varying lambda1 (lambda2 = 1):")?;
-    writeln!(out, "{:>8} {:>10} {:>10} {:>12}", "lambda1", "||W||/|I|", "H(W)/n", "frac>0.8")?;
+    writeln!(
+        out,
+        "{:>8} {:>10} {:>10} {:>12}",
+        "lambda1", "||W||/|I|", "H(W)/n", "frac>0.8"
+    )?;
     for l1 in [0.05, 0.125, 0.25, 0.5, 1.0, 2.0] {
-        let cfg = MaskConfig { lambda1: l1, steps: 150, ..Default::default() };
+        let cfg = MaskConfig {
+            lambda1: l1,
+            steps: 150,
+            ..Default::default()
+        };
         let r = metis_hypergraph::optimize_mask(&system, &cfg);
         let high = r.mask.iter().filter(|&&m| m > 0.8).count() as f64 / r.mask.len() as f64;
-        writeln!(out, "{:>8.3} {:>10.3} {:>10.3} {:>11.1}%", l1, r.scale(), r.mean_entropy(), high * 100.0)?;
+        writeln!(
+            out,
+            "{:>8.3} {:>10.3} {:>10.3} {:>11.1}%",
+            l1,
+            r.scale(),
+            r.mean_entropy(),
+            high * 100.0
+        )?;
     }
 
     writeln!(out, "varying lambda2 (lambda1 = 0.25):")?;
-    writeln!(out, "{:>8} {:>10} {:>10} {:>12}", "lambda2", "||W||/|I|", "H(W)/n", "frac median")?;
+    writeln!(
+        out,
+        "{:>8} {:>10} {:>10} {:>12}",
+        "lambda2", "||W||/|I|", "H(W)/n", "frac median"
+    )?;
     for l2 in [0.0, 0.5, 1.0, 2.0, 4.0] {
-        let cfg = MaskConfig { lambda2: l2, steps: 150, ..Default::default() };
+        let cfg = MaskConfig {
+            lambda2: l2,
+            steps: 150,
+            ..Default::default()
+        };
         let r = metis_hypergraph::optimize_mask(&system, &cfg);
         writeln!(
             out,
@@ -124,6 +209,9 @@ pub fn fig29(out: &mut dyn Write) -> std::io::Result<()> {
             r.median_fraction(0.2, 0.8) * 100.0
         )?;
     }
-    writeln!(out, "(paper: higher lambda1 shrinks ||W||; higher lambda2 polarizes masks)")?;
+    writeln!(
+        out,
+        "(paper: higher lambda1 shrinks ||W||; higher lambda2 polarizes masks)"
+    )?;
     Ok(())
 }

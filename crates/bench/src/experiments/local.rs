@@ -8,7 +8,7 @@ use metis_abr::{
     baseline_by_name, baseline_names, bitrate_labels, env_pool, pensieve_agent, train_pensieve,
     AbrEnv, NetworkTrace, PensieveArch, VideoModel,
 };
-use metis_core::{convert_policy, ConversionConfig};
+use metis_core::{ConversionConfig, ConversionPipeline};
 use metis_dt::{render, RenderOptions};
 use metis_rl::{ActionMode, Policy};
 use rand::rngs::StdRng;
@@ -21,7 +21,10 @@ const TEACHER_EPOCHS: usize = 350;
 /// Figure 7: top-4 layers of the Metis+Pensieve decision tree with
 /// per-node bitrate decision frequencies.
 pub fn fig07(out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "=== Figure 7: top layers of the Metis+Pensieve decision tree ===")?;
+    writeln!(
+        out,
+        "=== Figure 7: top layers of the Metis+Pensieve decision tree ==="
+    )?;
     let setup = setup::pensieve(42, PensieveArch::Original, TEACHER_EPOCHS);
     let result = pensieve_tree(&setup, 7, &pensieve_conversion_config());
     let mut tree = result.policy.tree.clone();
@@ -32,28 +35,47 @@ pub fn fig07(out: &mut dyn Write) -> std::io::Result<()> {
         show_frequencies: true,
     };
     writeln!(out, "{}", render(&tree, &opts))?;
-    writeln!(out, "tree: {} leaves, depth {}", tree.n_leaves(), tree.depth())?;
+    writeln!(
+        out,
+        "tree: {} leaves, depth {}",
+        tree.n_leaves(),
+        tree.depth()
+    )?;
     let imp = tree.feature_importance();
     let names = metis_abr::feature_names();
     let mut ranked: Vec<(usize, f64)> = imp.iter().cloned().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    writeln!(out, "top feature importances (paper: r_t dominates the top splits):")?;
+    writeln!(
+        out,
+        "top feature importances (paper: r_t dominates the top splits):"
+    )?;
     for (f, v) in ranked.iter().take(5) {
         writeln!(out, "  {:<28} {:.3}", names[*f], v)?;
     }
-    writeln!(out, "teacher fidelity per round: {:?}", result.fidelity_history)?;
+    writeln!(
+        out,
+        "teacher fidelity per round: {:?}",
+        result.fidelity_history
+    )?;
     Ok(())
 }
 
 /// Figure 11: original vs modified (last-bitrate skip) Pensieve DNN —
 /// training curves and final test QoE.
 pub fn fig11(out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "=== Figure 11: guide for model design (skip-connection redesign) ===")?;
+    writeln!(
+        out,
+        "=== Figure 11: guide for model design (skip-connection redesign) ==="
+    )?;
     let video = Arc::new(VideoModel::pensieve_default(7));
-    let train: Vec<Arc<NetworkTrace>> =
-        metis_abr::hsdpa_corpus(12, 0xF11).into_iter().map(Arc::new).collect();
-    let test: Vec<Arc<NetworkTrace>> =
-        metis_abr::hsdpa_corpus(20, 0xF12).into_iter().map(Arc::new).collect();
+    let train: Vec<Arc<NetworkTrace>> = metis_abr::hsdpa_corpus(12, 0xF11)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let test: Vec<Arc<NetworkTrace>> = metis_abr::hsdpa_corpus(20, 0xF12)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
     let train_pool = env_pool(&video, &train);
     let test_pool = env_pool(&video, &test);
 
@@ -74,18 +96,23 @@ pub fn fig11(out: &mut dyn Write) -> std::io::Result<()> {
         }
         finals.push(mean_qoe(&test_pool, &agent.policy));
     }
-    for c in 0..checkpoints {
+    for (c, (orig, modif)) in curves[0].iter().zip(&curves[1]).enumerate() {
         writeln!(
             out,
-            "{:>5}, {:+.4}, {:+.4}",
-            (c + 1) * (epochs / checkpoints),
-            curves[0][c],
-            curves[1][c]
+            "{:>5}, {orig:+.4}, {modif:+.4}",
+            (c + 1) * (epochs / checkpoints)
         )?;
     }
     let gain = (finals[1] - finals[0]) / finals[0].abs().max(1e-9) * 100.0;
-    writeln!(out, "final test QoE: original {:.4}, modified {:.4} ({gain:+.1}%)", finals[0], finals[1])?;
-    writeln!(out, "(paper: modified structure improves test QoE by ~5.1%)")?;
+    writeln!(
+        out,
+        "final test QoE: original {:.4}, modified {:.4} ({gain:+.1}%)",
+        finals[0], finals[1]
+    )?;
+    writeln!(
+        out,
+        "(paper: modified structure improves test QoE by ~5.1%)"
+    )?;
     Ok(())
 }
 
@@ -97,9 +124,10 @@ pub fn fig12(out: &mut dyn Write) -> std::io::Result<()> {
     let tree = pensieve_tree(&setup, 7, &pensieve_conversion_config());
     let labels = bitrate_labels();
 
-    for (name, pool) in
-        [("HSDPA-like", &setup.test_pool_hsdpa), ("FCC-like", &setup.test_pool_fcc)]
-    {
+    for (name, pool) in [
+        ("HSDPA-like", &setup.test_pool_hsdpa),
+        ("FCC-like", &setup.test_pool_fcc),
+    ] {
         writeln!(out, "--- {name} traces ---")?;
         writeln!(out, "{:<16} {}", "algorithm", labels.join("  "))?;
         for b in baseline_names() {
@@ -134,13 +162,19 @@ pub fn fig12(out: &mut dyn Write) -> std::io::Result<()> {
 }
 
 fn fmt_freqs(f: &[f64]) -> String {
-    f.iter().map(|x| format!("{:>7.1}%", x * 100.0)).collect::<Vec<_>>().join(" ")
+    f.iter()
+        .map(|x| format!("{:>7.1}%", x * 100.0))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// Figure 13 (+ Figures 24–26, Table 5): fixed-link behaviour at 3000 and
 /// 1300 kbps — bitrate time series, buffer, QoE table.
 pub fn fig13(out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "=== Figure 13 / 24-26 / Table 5: fixed-link deep dive ===")?;
+    writeln!(
+        out,
+        "=== Figure 13 / 24-26 / Table 5: fixed-link deep dive ==="
+    )?;
     let setup = setup::pensieve(42, PensieveArch::Original, TEACHER_EPOCHS);
     let tree = pensieve_tree(&setup, 7, &pensieve_conversion_config());
     let video = Arc::new(VideoModel::long_debug_video(7));
@@ -150,13 +184,16 @@ pub fn fig13(out: &mut dyn Write) -> std::io::Result<()> {
         let trace = Arc::new(NetworkTrace::fixed(bw, 1500.0));
         let env = AbrEnv::new(video.clone(), trace, 0.0);
         let mut rng = StdRng::seed_from_u64(0);
-        writeln!(out, "{:<16} {:>9} {:>10} {:>9}", "algorithm", "mean QoE", "switches", "dominant")?;
+        writeln!(
+            out,
+            "{:<16} {:>9} {:>10} {:>9}",
+            "algorithm", "mean QoE", "switches", "dominant"
+        )?;
         let mut run = |name: &str, policy: &dyn Policy| -> std::io::Result<()> {
             let mut e = env.clone();
             let traj = metis_rl::rollout(&mut e, policy, ActionMode::Greedy, 1000, &mut rng);
             let qoe = traj.total_reward() / traj.len() as f64;
-            let switches =
-                traj.actions.windows(2).filter(|w| w[0] != w[1]).count();
+            let switches = traj.actions.windows(2).filter(|w| w[0] != w[1]).count();
             let mut counts = [0usize; 6];
             for &a in &traj.actions {
                 counts[a] += 1;
@@ -187,28 +224,41 @@ pub fn fig13(out: &mut dyn Write) -> std::io::Result<()> {
         }
         let probs = setup.agent.policy.action_probs(&obs);
         let max_p = probs.iter().cloned().fold(0.0, f64::max);
-        writeln!(out, "Pensieve max action probability mid-stream: {:.3}", max_p)?;
+        writeln!(
+            out,
+            "Pensieve max action probability mid-stream: {:.3}",
+            max_p
+        )?;
     }
-    writeln!(out, "(paper: baselines converge; Pensieve/Metis+P oscillate with low confidence)")?;
+    writeln!(
+        out,
+        "(paper: baselines converge; Pensieve/Metis+P oscillate with low confidence)"
+    )?;
     Ok(())
 }
 
 /// Figure 14: oversampling the missing bitrates (Metis+Pensieve-O).
 pub fn fig14(out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "=== Figure 14: debugging by oversampling (Metis+Pensieve-O) ===")?;
+    writeln!(
+        out,
+        "=== Figure 14: debugging by oversampling (Metis+Pensieve-O) ==="
+    )?;
     let setup = setup::pensieve(42, PensieveArch::Original, TEACHER_EPOCHS);
     let base_cfg = pensieve_conversion_config();
-    let over_cfg = ConversionConfig { oversample_min_frac: Some(0.01), ..base_cfg.clone() };
+    let over_cfg = ConversionConfig {
+        oversample_min_frac: Some(0.01),
+        ..base_cfg.clone()
+    };
     let plain = pensieve_tree(&setup, 7, &base_cfg);
     let over = pensieve_tree(&setup, 7, &over_cfg);
 
-    for (name, pool) in
-        [("HSDPA-like", &setup.test_pool_hsdpa), ("FCC-like", &setup.test_pool_fcc)]
-    {
-        let mut rng = StdRng::seed_from_u64(1);
-        let q_teacher = per_trace_qoe(pool, &setup.agent.policy, &mut rng);
-        let q_plain = per_trace_qoe(pool, &plain.policy, &mut rng);
-        let q_over = per_trace_qoe(pool, &over.policy, &mut rng);
+    for (name, pool) in [
+        ("HSDPA-like", &setup.test_pool_hsdpa),
+        ("FCC-like", &setup.test_pool_fcc),
+    ] {
+        let q_teacher = per_trace_qoe(pool, &setup.agent.policy);
+        let q_plain = per_trace_qoe(pool, &plain.policy);
+        let q_over = per_trace_qoe(pool, &over.policy);
         let norm = |q: &[f64]| {
             let pairs: Vec<f64> = q
                 .iter()
@@ -221,29 +271,44 @@ pub fn fig14(out: &mut dyn Write) -> std::io::Result<()> {
                 metis_abr::percentile(&pairs, 75.0),
             )
         };
-        writeln!(out, "--- {name} (QoE normalized by Pensieve; p25 / mean / p75) ---")?;
+        writeln!(
+            out,
+            "--- {name} (QoE normalized by Pensieve; p25 / mean / p75) ---"
+        )?;
         let (a, b, c) = norm(&q_plain);
         writeln!(out, "Metis+Pensieve   {:.3} / {:.3} / {:.3}", a, b, c)?;
         let (a, b, c) = norm(&q_over);
         writeln!(out, "Metis+Pensieve-O {:.3} / {:.3} / {:.3}", a, b, c)?;
     }
-    writeln!(out, "(paper: oversampling improves avg QoE ~1%, p75 up to 4% on HSDPA)")?;
+    writeln!(
+        out,
+        "(paper: oversampling improves avg QoE ~1%, p75 up to 4% on HSDPA)"
+    )?;
     Ok(())
 }
 
 /// Figure 15(a): QoE parity of the converted tree with the teacher, both
 /// against the heuristic baselines.
 pub fn fig15a(out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "=== Figure 15(a): performance maintenance (Pensieve) ===")?;
+    writeln!(
+        out,
+        "=== Figure 15(a): performance maintenance (Pensieve) ==="
+    )?;
     let setup = setup::pensieve(42, PensieveArch::Original, TEACHER_EPOCHS);
     let tree = pensieve_tree(&setup, 7, &pensieve_conversion_config());
-    for (name, pool) in
-        [("HSDPA-like", &setup.test_pool_hsdpa), ("FCC-like", &setup.test_pool_fcc)]
-    {
+    for (name, pool) in [
+        ("HSDPA-like", &setup.test_pool_hsdpa),
+        ("FCC-like", &setup.test_pool_fcc),
+    ] {
         writeln!(out, "--- {name} ---")?;
         for b in baseline_names() {
             let policy = baseline_by_name(b);
-            writeln!(out, "{:<16} mean QoE {:+.4}", b, mean_qoe(pool, policy.as_ref()))?;
+            writeln!(
+                out,
+                "{:<16} mean QoE {:+.4}",
+                b,
+                mean_qoe(pool, policy.as_ref())
+            )?;
         }
         let q_dnn = mean_qoe(pool, &setup.agent.policy);
         let q_tree = mean_qoe(pool, &tree.policy);
@@ -262,21 +327,26 @@ pub fn fig15a(out: &mut dyn Write) -> std::io::Result<()> {
 
 /// Figure 20 (Appendix A): QoE improvement CDF of the Eq.-1 resampling.
 pub fn fig20(out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "=== Figure 20: effect of the Eq.-1 resampling step ===")?;
+    writeln!(
+        out,
+        "=== Figure 20: effect of the Eq.-1 resampling step ==="
+    )?;
     let setup = setup::pensieve(42, PensieveArch::Original, TEACHER_EPOCHS);
     let with_cfg = pensieve_conversion_config();
-    let without_cfg = ConversionConfig { resample: false, ..with_cfg.clone() };
+    let without_cfg = ConversionConfig {
+        resample: false,
+        ..with_cfg.clone()
+    };
     let with = pensieve_tree(&setup, 7, &with_cfg);
     let without = pensieve_tree(&setup, 7, &without_cfg);
-    let mut rng = StdRng::seed_from_u64(1);
     let pool: Vec<AbrEnv> = setup
         .test_pool_hsdpa
         .iter()
         .chain(setup.test_pool_fcc.iter())
         .cloned()
         .collect();
-    let q_with = per_trace_qoe(&pool, &with.policy, &mut rng);
-    let q_without = per_trace_qoe(&pool, &without.policy, &mut rng);
+    let q_with = per_trace_qoe(&pool, &with.policy);
+    let q_without = per_trace_qoe(&pool, &without.policy);
     let improvements: Vec<f64> = q_with
         .iter()
         .zip(q_without.iter())
@@ -292,10 +362,19 @@ pub fn fig20(out: &mut dyn Write) -> std::io::Result<()> {
         improvements.len(),
         improved as f64 / improvements.len() as f64 * 100.0
     )?;
-    writeln!(out, "median improvement: {:+.2}%", metis_abr::percentile(&sorted, 50.0))?;
+    writeln!(
+        out,
+        "median improvement: {:+.2}%",
+        metis_abr::percentile(&sorted, 50.0)
+    )?;
     writeln!(out, "improvement CDF (p10/p25/p50/p75/p90):")?;
     for p in [10.0, 25.0, 50.0, 75.0, 90.0] {
-        writeln!(out, "  p{:<3} {:+.2}%", p as u32, metis_abr::percentile(&sorted, p))?;
+        writeln!(
+            out,
+            "  p{:<3} {:+.2}%",
+            p as u32,
+            metis_abr::percentile(&sorted, p)
+        )?;
     }
     writeln!(out, "(paper: ~73% of traces improve, median +1.5%)")?;
     Ok(())
@@ -303,19 +382,21 @@ pub fn fig20(out: &mut dyn Write) -> std::io::Result<()> {
 
 /// Figure 28 (Appendix F.1): sensitivity to the number of leaf nodes.
 pub fn fig28(out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "=== Figure 28: leaf-count sensitivity (accuracy/RMSE vs leaves) ===")?;
+    writeln!(
+        out,
+        "=== Figure 28: leaf-count sensitivity (accuracy/RMSE vs leaves) ==="
+    )?;
     let setup = setup::pensieve(42, PensieveArch::Original, TEACHER_EPOCHS);
-    // Fixed evaluation dataset: teacher-labelled states.
-    let mut rng = StdRng::seed_from_u64(3);
-    let states = metis_rl::collect(
-        &setup.train_pool,
-        &setup.agent.policy,
-        |_| 0.0,
-        &metis_rl::Controller::Teacher,
-        &metis_rl::CollectConfig { episodes: 12, max_steps: 512, gamma: 0.99, weighted: false },
-        &mut rng,
-    );
-    writeln!(out, "{:>7} {:>10} {:>12} {:>10}", "leaves", "accuracy", "ccp_acc", "depth")?;
+    // Fixed evaluation dataset: teacher-labelled states out of the
+    // pipeline's collection stage.
+    let states = ConversionPipeline::new(&setup.train_pool, &setup.agent.policy, |_| 0.0)
+        .seed(3)
+        .collect_teacher_states(12, 512);
+    writeln!(
+        out,
+        "{:>7} {:>10} {:>12} {:>10}",
+        "leaves", "accuracy", "ccp_acc", "depth"
+    )?;
     for leaves in [10, 20, 50, 100, 200, 500, 1000, 5000] {
         let cfg = ConversionConfig {
             max_leaf_nodes: leaves,
@@ -324,23 +405,18 @@ pub fn fig28(out: &mut dyn Write) -> std::io::Result<()> {
             dagger_rounds: 0,
             ..Default::default()
         };
-        let result = convert_policy(
-            &setup.train_pool,
-            &setup.agent.policy,
-            |_| 0.0,
-            &cfg,
-            &mut rng,
-        );
+        let result = ConversionPipeline::new(&setup.train_pool, &setup.agent.policy, |_| 0.0)
+            .conversion(cfg)
+            .seed(3 ^ leaves as u64)
+            .run();
         let acc = states
             .iter()
             .filter(|s| result.policy.act_greedy(&s.obs) == s.teacher_action)
             .count() as f64
             / states.len() as f64;
         // Ablation: depth truncation to a comparable leaf count.
-        let trunc = metis_dt::truncate_depth(
-            &result.policy.tree,
-            (leaves as f64).log2().ceil() as usize,
-        );
+        let trunc =
+            metis_dt::truncate_depth(&result.policy.tree, (leaves as f64).log2().ceil() as usize);
         let trunc_acc = states
             .iter()
             .filter(|s| trunc.predict_class(&s.obs) == s.teacher_action)
@@ -355,6 +431,9 @@ pub fn fig28(out: &mut dyn Write) -> std::io::Result<()> {
             result.policy.tree.depth()
         )?;
     }
-    writeln!(out, "(paper: a wide range of leaf settings performs within ~10%)")?;
+    writeln!(
+        out,
+        "(paper: a wide range of leaf settings performs within ~10%)"
+    )?;
     Ok(())
 }

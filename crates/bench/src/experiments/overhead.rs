@@ -29,10 +29,16 @@ pub fn fig31(out: &mut dyn Write) -> std::io::Result<()> {
         let _ = convert_policy(&s.train_pool, &s.agent.policy, |_| 0.0, &cfg, &mut rng);
         writeln!(out, "{:>8} {:>12.2}", leaves, t0.elapsed().as_secs_f64())?;
     }
-    writeln!(out, "(paper: < 40 s at every setting, < 1 minute at 5000 leaves)")?;
+    writeln!(
+        out,
+        "(paper: < 40 s at every setting, < 1 minute at 5000 leaves)"
+    )?;
 
     let r = setup::routing(42, 15, 2, 30);
-    let cfg = MaskConfig { steps: 300, ..Default::default() };
+    let cfg = MaskConfig {
+        steps: 300,
+        ..Default::default()
+    };
     let mut times = Vec::new();
     for (sample, routing) in r.samples.iter().zip(r.routings.iter()) {
         let system = metis_core::MaskedRouting::new(&r.model, &r.topo, &sample.demands, routing);
@@ -47,6 +53,9 @@ pub fn fig31(out: &mut dyn Write) -> std::io::Result<()> {
         metis_core::mean(&times),
         times.len()
     )?;
-    writeln!(out, "(paper: 80 s on average; negligible vs hours-to-days of DNN training)")?;
+    writeln!(
+        out,
+        "(paper: 80 s on average; negligible vs hours-to-days of DNN training)"
+    )?;
     Ok(())
 }

@@ -9,7 +9,7 @@ use metis_abr::{
     env_pool, fcc_corpus, hsdpa_corpus, pensieve_agent, train_pensieve, AbrEnv, NetworkTrace,
     PensieveArch, PensieveNet, VideoModel,
 };
-use metis_core::{convert_policy, ConversionConfig, ConversionResult};
+use metis_core::{ConversionConfig, ConversionPipeline, ConversionResult};
 use metis_rl::{ActorCritic, Policy};
 use metis_routing::{
     demand_corpus, optimize_routing, DemandSample, LatencyModel, RouteNetModel, Routing, Topology,
@@ -31,12 +31,18 @@ pub struct PensieveSetup {
 pub fn pensieve(seed: u64, arch: PensieveArch, epochs: usize) -> PensieveSetup {
     let mut rng = StdRng::seed_from_u64(seed);
     let video = Arc::new(VideoModel::pensieve_default(7));
-    let train: Vec<Arc<NetworkTrace>> =
-        hsdpa_corpus(12, seed ^ 0xABCD).into_iter().map(Arc::new).collect();
-    let test_h: Vec<Arc<NetworkTrace>> =
-        hsdpa_corpus(25, seed ^ 0x1111).into_iter().map(Arc::new).collect();
-    let test_f: Vec<Arc<NetworkTrace>> =
-        fcc_corpus(25, seed ^ 0x2222).into_iter().map(Arc::new).collect();
+    let train: Vec<Arc<NetworkTrace>> = hsdpa_corpus(12, seed ^ 0xABCD)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let test_h: Vec<Arc<NetworkTrace>> = hsdpa_corpus(25, seed ^ 0x1111)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+    let test_f: Vec<Arc<NetworkTrace>> = fcc_corpus(25, seed ^ 0x2222)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
     let train_pool = env_pool(&video, &train);
     let mut agent = pensieve_agent(arch, 32, &mut rng);
     train_pensieve(&mut agent, &train_pool, epochs, &mut rng);
@@ -49,17 +55,16 @@ pub fn pensieve(seed: u64, arch: PensieveArch, epochs: usize) -> PensieveSetup {
     }
 }
 
-/// Convert the teacher to a tree with paper defaults (M = 200).
+/// Convert the teacher to a tree with paper defaults (M = 200) through
+/// the unified engine (critic-bootstrapped Eq.-1 weights, all cores).
 pub fn pensieve_tree(setup: &PensieveSetup, seed: u64, cfg: &ConversionConfig) -> ConversionResult {
-    let mut rng = StdRng::seed_from_u64(seed);
     let critic = setup.agent.critic.clone();
-    convert_policy(
-        &setup.train_pool,
-        &setup.agent.policy,
-        move |obs| critic.predict(obs)[0],
-        cfg,
-        &mut rng,
-    )
+    ConversionPipeline::new(&setup.train_pool, &setup.agent.policy, move |obs| {
+        critic.predict(obs)[0]
+    })
+    .conversion(cfg.clone())
+    .seed(seed)
+    .run()
 }
 
 /// Default Pensieve conversion config (Table 4).
@@ -75,32 +80,24 @@ pub fn pensieve_conversion_config() -> ConversionConfig {
 
 /// Mean QoE of a policy over an environment pool (greedy, one episode per
 /// env), normalized per chunk.
-pub fn mean_qoe(pool: &[AbrEnv], policy: &(impl Policy + ?Sized)) -> f64 {
-    let mut rng = StdRng::seed_from_u64(0);
-    let per: Vec<f64> = per_trace_qoe(pool, policy, &mut rng);
+pub fn mean_qoe(pool: &[AbrEnv], policy: &(impl Policy + Sync + ?Sized)) -> f64 {
+    let per: Vec<f64> = per_trace_qoe(pool, policy);
     per.iter().sum::<f64>() / per.len() as f64
 }
 
-/// Per-trace mean chunk QoE.
-pub fn per_trace_qoe(
-    pool: &[AbrEnv],
-    policy: &(impl Policy + ?Sized),
-    rng: &mut StdRng,
-) -> Vec<f64> {
-    pool.iter()
-        .map(|env| {
-            let mut e = env.clone();
-            let traj =
-                metis_rl::rollout(&mut e, policy, metis_rl::ActionMode::Greedy, 1000, rng);
-            traj.total_reward() / traj.len().max(1) as f64
-        })
+/// Per-trace mean chunk QoE, evaluated through the engine's parallel
+/// pool evaluator (greedy rollouts; env-ordered, thread-count invariant).
+pub fn per_trace_qoe(pool: &[AbrEnv], policy: &(impl Policy + Sync + ?Sized)) -> Vec<f64> {
+    metis_rl::evaluate_pool(pool, policy, 1000, 0, 0)
+        .into_iter()
+        .map(|s| s.total_reward / s.steps.max(1) as f64)
         .collect()
 }
 
 /// Bitrate-selection frequency of a policy over a pool (fraction per rung).
 pub fn action_frequencies(pool: &[AbrEnv], policy: &(impl Policy + ?Sized)) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(0);
-    let mut counts = vec![0usize; 6];
+    let mut counts = [0usize; 6];
     let mut total = 0usize;
     for env in pool {
         let mut e = env.clone();
@@ -110,7 +107,10 @@ pub fn action_frequencies(pool: &[AbrEnv], policy: &(impl Policy + ?Sized)) -> V
             total += 1;
         }
     }
-    counts.iter().map(|&c| c as f64 / total.max(1) as f64).collect()
+    counts
+        .iter()
+        .map(|&c| c as f64 / total.max(1) as f64)
+        .collect()
 }
 
 /// A trained RouteNet* stack: topology, queueing ground truth, trained
@@ -153,7 +153,13 @@ pub fn routing(seed: u64, n_demands: usize, n_samples: usize, train_epochs: usiz
         .iter()
         .map(|s| optimize_routing(&topo, &s.demands, &latency, 1))
         .collect();
-    RoutingSetup { topo, latency, model, samples, routings }
+    RoutingSetup {
+        topo,
+        latency,
+        model,
+        samples,
+        routings,
+    }
 }
 
 /// Output directory for experiment artifacts.

@@ -15,17 +15,37 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
-/// Run Lloyd's algorithm with random-sample initialization.
+/// Run Lloyd's algorithm with k-means++ initialization (Arthur &
+/// Vassilvitskii 2007): each further centroid is drawn with probability
+/// proportional to its squared distance from the nearest centroid so far,
+/// which makes the clustering far less sensitive to the RNG stream than
+/// plain random-sample seeding.
 pub fn kmeans(x: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut StdRng) -> KMeans {
     assert!(!x.is_empty(), "kmeans on empty data");
     let k = k.max(1).min(x.len());
-    // Initialize with k distinct random samples.
-    let mut chosen = std::collections::HashSet::new();
     let mut centroids = Vec::with_capacity(k);
+    centroids.push(x[rng.gen_range(0..x.len())].clone());
+    let mut d2: Vec<f64> = x.iter().map(|xi| sq_dist(xi, &centroids[0])).collect();
     while centroids.len() < k {
-        let i = rng.gen_range(0..x.len());
-        if chosen.insert(i) || chosen.len() >= x.len() {
-            centroids.push(x[i].clone());
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining mass at existing centroids: any point works.
+            rng.gen_range(0..x.len())
+        } else {
+            let mut u = rng.gen_range(0.0..total);
+            let mut pick = x.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                u -= d;
+                if u <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.push(x[next].clone());
+        for (di, xi) in d2.iter_mut().zip(x.iter()) {
+            *di = di.min(sq_dist(xi, centroids.last().unwrap()));
         }
     }
     let mut assignments = vec![0usize; x.len()];
@@ -70,7 +90,10 @@ pub fn kmeans(x: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut StdRng) -> K
             break;
         }
     }
-    KMeans { centroids, assignments }
+    KMeans {
+        centroids,
+        assignments,
+    }
 }
 
 impl KMeans {

@@ -18,7 +18,51 @@ struct Mixture {
 }
 
 impl Mixture {
-    fn fit(x: &[Vec<f64>], y: &[Vec<f64>], n_components: usize, em_iters: usize, rng: &mut StdRng) -> Option<Self> {
+    /// Best-of-restarts EM: random-responsibility initialization makes a
+    /// single EM run sensitive to the RNG stream, so run a few restarts and
+    /// keep the mixture with the lowest responsibility-weighted residual
+    /// error (which can only improve on any single run).
+    fn fit(
+        x: &[Vec<f64>],
+        y: &[Vec<f64>],
+        n_components: usize,
+        em_iters: usize,
+        rng: &mut StdRng,
+    ) -> Option<Self> {
+        const RESTARTS: usize = 4;
+        let mut best: Option<(f64, Mixture)> = None;
+        for _ in 0..RESTARTS {
+            if let Some(m) = Self::fit_once(x, y, n_components, em_iters, rng) {
+                let err = m.mixture_error(x, y);
+                if best.as_ref().is_none_or(|(be, _)| err < *be) {
+                    best = Some((err, m));
+                }
+            }
+        }
+        best.map(|(_, m)| m)
+    }
+
+    /// Mean squared error of the mixture-mean prediction.
+    fn mixture_error(&self, x: &[Vec<f64>], y: &[Vec<f64>]) -> f64 {
+        let mut acc = 0.0;
+        for (xi, yi) in x.iter().zip(y.iter()) {
+            let p = self.predict(xi);
+            acc += p
+                .iter()
+                .zip(yi.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>();
+        }
+        acc / x.len().max(1) as f64
+    }
+
+    fn fit_once(
+        x: &[Vec<f64>],
+        y: &[Vec<f64>],
+        n_components: usize,
+        em_iters: usize,
+        rng: &mut StdRng,
+    ) -> Option<Self> {
         let n = x.len();
         if n < 2 {
             return None;
@@ -44,8 +88,11 @@ impl Mixture {
                 let mut den = 0.0_f64;
                 for i in 0..n {
                     let p = model.predict(&x[i]);
-                    let e: f64 =
-                        p.iter().zip(y[i].iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+                    let e: f64 = p
+                        .iter()
+                        .zip(y[i].iter())
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
                     num += w[i] * e;
                     den += w[i];
                 }
@@ -63,8 +110,11 @@ impl Mixture {
                 let mut r = vec![0.0; k];
                 for c in 0..k {
                     let p = components[c].predict(&x[i]);
-                    let e: f64 =
-                        p.iter().zip(y[i].iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+                    let e: f64 = p
+                        .iter()
+                        .zip(y[i].iter())
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
                     let like = priors[c] * (-e / (2.0 * variances[c])).exp()
                         / variances[c].sqrt().max(1e-9);
                     r[c] = like.max(1e-12);
@@ -75,7 +125,11 @@ impl Mixture {
                 }
             }
         }
-        Some(Mixture { components, priors, variances })
+        Some(Mixture {
+            components,
+            priors,
+            variances,
+        })
     }
 
     fn predict(&self, x: &[f64]) -> Vec<f64> {
@@ -115,13 +169,18 @@ impl Lemna {
         let k_eff = clusters.centroids.len();
         let mut mixtures = Vec::with_capacity(k_eff);
         for c in 0..k_eff {
-            let idx: Vec<usize> =
-                (0..x.len()).filter(|&i| clusters.assignments[i] == c).collect();
+            let idx: Vec<usize> = (0..x.len())
+                .filter(|&i| clusters.assignments[i] == c)
+                .collect();
             let cx: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
             let cy: Vec<Vec<f64>> = idx.iter().map(|&i| y[i].clone()).collect();
             mixtures.push(Mixture::fit(&cx, &cy, n_components, 10, rng));
         }
-        Lemna { clusters, mixtures, fallback }
+        Lemna {
+            clusters,
+            mixtures,
+            fallback,
+        }
     }
 
     /// Residual variances of the mixture serving `x` (diagnostic; the

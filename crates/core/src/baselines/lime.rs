@@ -37,13 +37,19 @@ impl Lime {
             };
             models.push(model);
         }
-        Lime { clusters, models, fallback }
+        Lime {
+            clusters,
+            models,
+            fallback,
+        }
     }
 
     /// Linear coefficients for the cluster containing `x` — LIME's actual
     /// "interpretation" (which inputs matter locally).
     pub fn local_coefficients(&self, x: &[f64]) -> &LinearModel {
-        self.models.get(self.clusters.assign(x)).unwrap_or(&self.fallback)
+        self.models
+            .get(self.clusters.assign(x))
+            .unwrap_or(&self.fallback)
     }
 }
 
@@ -109,6 +115,10 @@ mod tests {
         let lime = Lime::fit(&x, &y, 2, &mut rng);
         let low = lime.local_coefficients(&[1.0]);
         // Low regime slope ≈ 2.
-        assert!((low.weights[0][0] - 2.0).abs() < 0.5, "slope {:?}", low.weights[0]);
+        assert!(
+            (low.weights[0][0] - 2.0).abs() < 0.5,
+            "slope {:?}",
+            low.weights[0]
+        );
     }
 }

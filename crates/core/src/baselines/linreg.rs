@@ -22,13 +22,13 @@ impl LinearModel {
 /// Solve `A Z = RHS` for all right-hand-side columns at once (Gaussian
 /// elimination with partial pivoting; one factorization amortized over
 /// every output dimension). Returns `None` for singular systems.
+#[allow(clippy::needless_range_loop)] // in-place elimination over row pairs
 fn solve_multi(mut a: Vec<Vec<f64>>, mut rhs: Vec<Vec<f64>>) -> Option<Vec<Vec<f64>>> {
     let n = a.len();
     for col in 0..n {
         // Pivot.
-        let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap()
-        })?;
+        let pivot =
+            (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }
@@ -69,6 +69,7 @@ fn solve_multi(mut a: Vec<Vec<f64>>, mut rhs: Vec<Vec<f64>>) -> Option<Vec<Vec<f
 ///
 /// Returns `None` only if the normal equations are singular even with the
 /// ridge term (e.g. zero samples).
+#[allow(clippy::needless_range_loop)] // normal-equation assembly is index-coupled
 pub fn fit_ridge(
     x: &[Vec<f64>],
     y: &[Vec<f64>],
@@ -81,7 +82,7 @@ pub fn fit_ridge(
     let d = x[0].len();
     let out_dim = y[0].len();
     let aug = d + 1; // bias column
-    // Normal matrix: X^T diag(w) X + ridge I  (bias unregularized).
+                     // Normal matrix: X^T diag(w) X + ridge I  (bias unregularized).
     let mut xtx = vec![vec![0.0; aug]; aug];
     let mut xty = vec![vec![0.0; out_dim]; aug];
     for (i, xi) in x.iter().enumerate() {
@@ -117,9 +118,13 @@ mod tests {
 
     #[test]
     fn exact_fit_of_linear_data() {
-        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
-        let y: Vec<Vec<f64>> =
-            x.iter().map(|xi| vec![3.0 * xi[0] - 2.0 * xi[1] + 5.0]).collect();
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let y: Vec<Vec<f64>> = x
+            .iter()
+            .map(|xi| vec![3.0 * xi[0] - 2.0 * xi[1] + 5.0])
+            .collect();
         let m = fit_ridge(&x, &y, None, 1e-9).unwrap();
         assert!((m.weights[0][0] - 3.0).abs() < 1e-6);
         assert!((m.weights[0][1] + 2.0).abs() < 1e-6);
@@ -145,7 +150,11 @@ mod tests {
         let y = vec![vec![0.0], vec![10.0]];
         let m = fit_ridge(&x, &y, Some(&[100.0, 1.0]), 1e-6).unwrap();
         let p = m.predict(&[1.0]);
-        assert!(p[0] < 1.0, "weighted fit should track the heavy sample, got {}", p[0]);
+        assert!(
+            p[0] < 1.0,
+            "weighted fit should track the heavy sample, got {}",
+            p[0]
+        );
     }
 
     #[test]

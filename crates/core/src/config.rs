@@ -21,7 +21,11 @@ impl Default for MetisDefaults {
             pensieve_leaves: 200,
             lrla_leaves: 2000,
             srla_leaves: 2000,
-            mask: MaskConfig { lambda1: 0.25, lambda2: 1.0, ..Default::default() },
+            mask: MaskConfig {
+                lambda1: 0.25,
+                lambda2: 1.0,
+                ..Default::default()
+            },
         }
     }
 }

@@ -1,21 +1,18 @@
-//! The decision-tree conversion pipeline of §3.2:
+//! Conversion configuration, results, and deployable students for the
+//! §3.2 pipeline.
 //!
-//! 1. **Trace collection** — follow the teacher; in later rounds the
-//!    student tree controls with DAgger-style teacher takeover on
-//!    deviation,
-//! 2. **Resampling** — Eq. 1 advantage weights via exact env-clone Q,
-//! 3. **Pruning** — grow past the budget, then cost-complexity prune,
-//! 4. **Deployment** — the resulting [`TreePolicy`] plugs in anywhere a
-//!    [`metis_rl::Policy`] does.
-//!
-//! Also here: the §6.3 debugging interface (oversampling rare actions) and
-//! the multi-output regression wrapper used for AuTO's sRLA thresholds.
+//! The loop itself — trace collection with DAgger takeover, Eq.-1
+//! resampling, fitting, CCP pruning — lives in the scenario-agnostic
+//! engine [`crate::pipeline::ConversionPipeline`]; [`convert_policy`] is
+//! the thin RNG-driven wrapper kept for callers that already hold an
+//! [`StdRng`]. Also here: the §6.3 debugging interface (oversampling rare
+//! actions) and the multi-output regression student for AuTO's sRLA.
 
-use metis_dt::{fit, prune_to_leaves, Criterion, Dataset, DecisionTree, TreeConfig};
-use metis_rl::{
-    collect, resample_by_weight, CollectConfig, Controller, Env, Policy, SampledState,
-};
+use crate::pipeline::{ConversionPipeline, PipelineStats};
+use metis_dt::{fit, Criterion, Dataset, DecisionTree, TreeConfig};
+use metis_rl::{Env, Policy, SampledState};
 use rand::rngs::StdRng;
+use rand::RngCore;
 
 /// A decision-tree policy: the deployable student (§3.2 Step 4).
 #[derive(Debug, Clone)]
@@ -103,6 +100,8 @@ pub struct ConversionResult {
     pub dataset_size: usize,
     /// Student-vs-teacher agreement after each round.
     pub fidelity_history: Vec<f64>,
+    /// Wall-clock/volume statistics of the run.
+    pub stats: PipelineStats,
 }
 
 /// §6.3: duplicate states of rare actions until every action present in
@@ -135,93 +134,25 @@ pub fn oversample_rare_actions(
     }
 }
 
-fn dataset_from_states(states: &[SampledState], n_actions: usize) -> Dataset {
-    let x: Vec<Vec<f64>> = states.iter().map(|s| s.obs.clone()).collect();
-    let y: Vec<usize> = states.iter().map(|s| s.teacher_action).collect();
-    let w: Vec<f64> = states.iter().map(|s| s.weight.max(1e-9)).collect();
-    Dataset::classification_weighted(x, y, n_actions, w)
-        .expect("states collected from an env are schema-consistent")
-}
-
-fn fit_student(states: &[SampledState], n_actions: usize, cfg: &ConversionConfig) -> TreePolicy {
-    let ds = dataset_from_states(states, n_actions);
-    let grown = fit(
-        &ds,
-        &TreeConfig {
-            max_leaf_nodes: cfg.max_leaf_nodes * cfg.ccp_overshoot.max(1),
-            criterion: Criterion::Gini,
-            ..Default::default()
-        },
-    )
-    .expect("classification fit cannot fail on a valid dataset");
-    let pruned = prune_to_leaves(&grown, cfg.max_leaf_nodes);
-    TreePolicy::new(pruned)
-}
-
-/// Convert a teacher policy into a decision tree (§3.2 Steps 1–3).
+/// Convert a teacher policy into a decision tree (§3.2 Steps 1–3) — a
+/// thin wrapper over [`ConversionPipeline`] for callers that already hold
+/// an [`StdRng`]: the pipeline's base seed is drawn from it, everything
+/// else (collection rounds, resampling, fitting, pruning) runs through
+/// the unified engine on all available cores.
 ///
 /// `value_fn` supplies the bootstrap V(s') for the Eq.-1 Q lookahead
 /// (pass the teacher's critic, or `|_| 0.0` for myopic weights).
-pub fn convert_policy<E: Env, T: Policy + ?Sized>(
+pub fn convert_policy<E: Env + Sync, T: Policy + Sync + ?Sized>(
     pool: &[E],
     teacher: &T,
-    value_fn: impl Fn(&[f64]) -> f64,
+    value_fn: impl Fn(&[f64]) -> f64 + Sync,
     cfg: &ConversionConfig,
     rng: &mut StdRng,
 ) -> ConversionResult {
-    assert!(!pool.is_empty(), "convert_policy: empty environment pool");
-    let n_actions = pool[0].n_actions();
-    let collect_cfg = CollectConfig {
-        episodes: cfg.episodes_per_round,
-        max_steps: cfg.max_steps,
-        gamma: cfg.gamma,
-        weighted: cfg.resample,
-    };
-
-    // Round 0: teacher-controlled traces.
-    let mut all_states = collect(pool, teacher, &value_fn, &Controller::Teacher, &collect_cfg, rng);
-    if let Some(frac) = cfg.oversample_min_frac {
-        oversample_rare_actions(&mut all_states, n_actions, frac, rng);
-    }
-    let mut student = fit_from(&all_states, n_actions, cfg, rng);
-    let mut fidelity_history =
-        vec![metis_rl::fidelity(&all_states, &student, teacher)];
-
-    // DAgger rounds: the student drives, the teacher labels and takes over
-    // on deviation (§3.2 Step 1's "re-collect on the deviated trajectory").
-    for _ in 0..cfg.dagger_rounds {
-        let new_states = collect(
-            pool,
-            teacher,
-            &value_fn,
-            &Controller::StudentWithTakeover(&student, cfg.takeover_prob),
-            &collect_cfg,
-            rng,
-        );
-        all_states.extend(new_states);
-        if let Some(frac) = cfg.oversample_min_frac {
-            oversample_rare_actions(&mut all_states, n_actions, frac, rng);
-        }
-        student = fit_from(&all_states, n_actions, cfg, rng);
-        fidelity_history.push(metis_rl::fidelity(&all_states, &student, teacher));
-    }
-
-    ConversionResult { policy: student, dataset_size: all_states.len(), fidelity_history }
-}
-
-fn fit_from(
-    states: &[SampledState],
-    n_actions: usize,
-    cfg: &ConversionConfig,
-    rng: &mut StdRng,
-) -> TreePolicy {
-    if cfg.resample {
-        let n = cfg.resample_size.unwrap_or(states.len());
-        let resampled = resample_by_weight(states, n, rng);
-        fit_student(&resampled, n_actions, cfg)
-    } else {
-        fit_student(states, n_actions, cfg)
-    }
+    ConversionPipeline::new(pool, teacher, value_fn)
+        .conversion(cfg.clone())
+        .seed(rng.next_u64())
+        .run()
 }
 
 /// A bundle of per-output regression trees — Metis' student for agents
@@ -232,7 +163,9 @@ pub struct MultiRegressor {
 }
 
 impl MultiRegressor {
-    /// Fit one regression tree per output dimension.
+    /// Fit one regression tree per output dimension, output dimensions in
+    /// parallel (they are independent; results merge in dimension order,
+    /// so the bundle is identical for any core count).
     pub fn fit(
         x: &[Vec<f64>],
         y: &[Vec<f64>],
@@ -240,18 +173,22 @@ impl MultiRegressor {
     ) -> Result<Self, metis_dt::FitError> {
         assert!(!x.is_empty() && x.len() == y.len(), "x/y mismatch");
         let out_dim = y[0].len();
-        let mut trees = Vec::with_capacity(out_dim);
-        for k in 0..out_dim {
+        let fit_dim = |k: usize| {
             let ds = Dataset::regression(x.to_vec(), y.iter().map(|row| row[k]).collect())
                 .expect("valid regression dataset");
             let cfg = TreeConfig {
                 max_leaf_nodes,
                 criterion: Criterion::Mse,
+                // Outer per-dimension parallelism; keep the inner split
+                // scan sequential to avoid oversubscription.
+                threads: 1,
                 ..Default::default()
             };
-            trees.push(fit(&ds, &cfg)?);
-        }
-        Ok(MultiRegressor { trees })
+            fit(&ds, &cfg)
+        };
+        let results = metis_rl::parallel_map_indexed(out_dim, 0, fit_dim);
+        let trees: Result<Vec<DecisionTree>, metis_dt::FitError> = results.into_iter().collect();
+        Ok(MultiRegressor { trees: trees? })
     }
 
     pub fn predict(&self, x: &[f64]) -> Vec<f64> {
@@ -314,7 +251,10 @@ mod tests {
     #[test]
     fn converted_tree_solves_delayed_env() {
         let pool = [DelayedEnv::new()];
-        let teacher = ConstantPolicy { action: 1, n_actions: 2 };
+        let teacher = ConstantPolicy {
+            action: 1,
+            n_actions: 2,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let cfg = ConversionConfig {
             max_leaf_nodes: 4,
@@ -364,10 +304,18 @@ mod tests {
     #[test]
     fn oversampling_rebalances_actions() {
         let mut states = vec![
-            SampledState { obs: vec![0.0], teacher_action: 0, weight: 1.0 };
+            SampledState {
+                obs: vec![0.0],
+                teacher_action: 0,
+                weight: 1.0
+            };
             99
         ];
-        states.push(SampledState { obs: vec![1.0], teacher_action: 1, weight: 1.0 });
+        states.push(SampledState {
+            obs: vec![1.0],
+            teacher_action: 1,
+            weight: 1.0,
+        });
         let mut rng = StdRng::seed_from_u64(5);
         oversample_rare_actions(&mut states, 3, 0.05, &mut rng);
         let ones = states.iter().filter(|s| s.teacher_action == 1).count();

@@ -52,8 +52,15 @@ pub fn measure_latency(mut f: impl FnMut(), iters: usize, warmup: usize) -> Late
         .collect();
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let pct = |p: f64| samples[((p / 100.0 * (samples.len() - 1) as f64) as usize).min(samples.len() - 1)];
-    LatencyStats { mean_s: mean, p50_s: pct(50.0), p99_s: pct(99.0), samples_s: samples }
+    let pct = |p: f64| {
+        samples[((p / 100.0 * (samples.len() - 1) as f64) as usize).min(samples.len() - 1)]
+    };
+    LatencyStats {
+        mean_s: mean,
+        p50_s: pct(50.0),
+        p99_s: pct(99.0),
+        samples_s: samples,
+    }
 }
 
 #[cfg(test)]
@@ -92,7 +99,12 @@ mod tests {
             200,
             10,
         );
-        assert!(expensive.mean_s > cheap.mean_s, "{} vs {}", expensive.mean_s, cheap.mean_s);
+        assert!(
+            expensive.mean_s > cheap.mean_s,
+            "{} vs {}",
+            expensive.mean_s,
+            cheap.mean_s
+        );
         assert!(cheap.p50_s <= cheap.p99_s);
         assert_eq!(cheap.samples_s.len(), 200);
     }

@@ -57,9 +57,11 @@ pub fn greedy_placement(p: &NfvProblem) -> NfvPlacement {
 pub fn nfv_hypergraph(p: &NfvProblem, placement: &NfvPlacement) -> Hypergraph {
     let mut h = Hypergraph::new(p.server_capacity.len());
     for servers in placement {
-        h.add_edge(servers).expect("placement produces valid hyperedges");
+        h.add_edge(servers)
+            .expect("placement produces valid hyperedges");
     }
-    h.set_vertex_features(p.server_capacity.iter().map(|&c| vec![c]).collect()).unwrap();
+    h.set_vertex_features(p.server_capacity.iter().map(|&c| vec![c]).collect())
+        .unwrap();
     h.set_edge_features(
         p.nf_demand
             .iter()
@@ -68,7 +70,11 @@ pub fn nfv_hypergraph(p: &NfvProblem, placement: &NfvPlacement) -> Hypergraph {
             .collect(),
     )
     .unwrap();
-    h.vertex_names = Some((0..p.server_capacity.len()).map(|s| format!("server {s}")).collect());
+    h.vertex_names = Some(
+        (0..p.server_capacity.len())
+            .map(|s| format!("server {s}"))
+            .collect(),
+    );
     h.edge_names = Some((0..p.nf_demand.len()).map(|i| format!("NF{i}")).collect());
     h
 }
@@ -132,7 +138,8 @@ pub fn udn_hypergraph(p: &UdnProblem) -> Hypergraph {
             names.push(format!("station {s}"));
         }
     }
-    h.set_vertex_features(p.user_demand.iter().map(|&d| vec![d]).collect()).unwrap();
+    h.set_vertex_features(p.user_demand.iter().map(|&d| vec![d]).collect())
+        .unwrap();
     let feats: Vec<Vec<f64>> = p
         .coverage()
         .iter()
@@ -163,7 +170,10 @@ impl JobDag {
     pub fn new(work: Vec<f64>, deps: Vec<Vec<usize>>) -> Self {
         assert_eq!(work.len(), deps.len());
         for (i, parents) in deps.iter().enumerate() {
-            assert!(parents.iter().all(|&p| p < i), "node {i} has a forward dependency");
+            assert!(
+                parents.iter().all(|&p| p < i),
+                "node {i} has a forward dependency"
+            );
         }
         JobDag { work, deps }
     }
@@ -173,8 +183,7 @@ impl JobDag {
     pub fn critical_path(&self) -> Vec<f64> {
         let mut cp = vec![0.0; self.work.len()];
         for i in 0..self.work.len() {
-            let parent_max =
-                self.deps[i].iter().map(|&p| cp[p]).fold(0.0, f64::max);
+            let parent_max = self.deps[i].iter().map(|&p| cp[p]).fold(0.0, f64::max);
             cp[i] = parent_max + self.work[i];
         }
         cp
@@ -193,7 +202,8 @@ pub fn dag_hypergraph(dag: &JobDag) -> Hypergraph {
         members.push(i);
         h.add_edge(&members).unwrap();
     }
-    h.set_vertex_features(dag.work.iter().map(|&w| vec![w]).collect()).unwrap();
+    h.set_vertex_features(dag.work.iter().map(|&w| vec![w]).collect())
+        .unwrap();
     let n_edges = h.n_edges();
     h.set_edge_features(vec![vec![1.0]; n_edges]).unwrap();
     h
@@ -217,14 +227,17 @@ mod tests {
         assert_eq!(placement[1].len(), 1);
         assert_eq!(placement[2].len(), 3);
         // Capacity: count instances per server.
-        let mut used = vec![0.0; 4];
+        let mut used = [0.0; 4];
         for (nf, servers) in placement.iter().enumerate() {
             for &s in servers {
                 used[s] += p.instance_load[nf];
             }
         }
         for (s, &u) in used.iter().enumerate() {
-            assert!(u <= p.server_capacity[s] + 1e-9, "server {s} overloaded: {u}");
+            assert!(
+                u <= p.server_capacity[s] + 1e-9,
+                "server {s} overloaded: {u}"
+            );
         }
         let h = nfv_hypergraph(&p, &placement);
         assert_eq!(h.n_edges(), 3);

@@ -22,14 +22,24 @@ pub fn routing_hypergraph(topo: &Topology, demands: &[Demand], routing: &Routing
         let links = topo.path_links(path);
         h.add_edge(&links).expect("paths produce valid hyperedges");
     }
-    h.set_vertex_features((0..topo.n_links()).map(|l| vec![topo.link(l).capacity]).collect())
+    h.set_vertex_features(
+        (0..topo.n_links())
+            .map(|l| vec![topo.link(l).capacity])
+            .collect(),
+    )
+    .unwrap();
+    h.set_edge_features(demands.iter().map(|d| vec![d.volume]).collect())
         .unwrap();
-    h.set_edge_features(demands.iter().map(|d| vec![d.volume]).collect()).unwrap();
     h.vertex_names = Some((0..topo.n_links()).map(|l| topo.link_name(l)).collect());
     h.edge_names = Some(
         routing
             .iter()
-            .map(|p| p.iter().map(|n| n.to_string()).collect::<Vec<_>>().join("->"))
+            .map(|p| {
+                p.iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join("->")
+            })
             .collect(),
     );
     h
@@ -62,7 +72,15 @@ impl<'a> MaskedRouting<'a> {
         // Sharp candidate distributions: damping a decisive connection must
         // move real probability mass, otherwise the KL term cannot compete
         // with the conciseness penalty and every mask collapses to zero.
-        MaskedRouting { model, topo, demands, routing, candidates, beta: 25.0, n_connections }
+        MaskedRouting {
+            model,
+            topo,
+            demands,
+            routing,
+            candidates,
+            beta: 25.0,
+            n_connections,
+        }
     }
 }
 
@@ -106,8 +124,10 @@ impl MaskedSystem for MaskedRouting<'_> {
         let mut out = Vec::new();
         for per_demand in delays {
             // Differentiable softmax over -beta * delay.
-            let exps: Vec<Var<'t>> =
-                per_demand.iter().map(|d| (*d * (-self.beta)).exp()).collect();
+            let exps: Vec<Var<'t>> = per_demand
+                .iter()
+                .map(|d| (*d * (-self.beta)).exp())
+                .collect();
             let total = metis_nn::tape::sum(tape, &exps);
             for e in exps {
                 out.push(e / total);
@@ -181,11 +201,16 @@ pub fn classify_connection(
     // Some equal-length alternative exists: critical if it is more loaded.
     let loads = latency.link_loads(topo, demands, routing);
     let path_max_load = |p: &Vec<usize>| -> f64 {
-        topo.path_links(p).iter().map(|&l| loads[l]).fold(0.0, f64::max)
+        topo.path_links(p)
+            .iter()
+            .map(|&l| loads[l])
+            .fold(0.0, f64::max)
     };
     let chosen_load = path_max_load(chosen);
-    let equal_len: Vec<&Vec<usize>> =
-        alternatives.iter().filter(|p| p.len() == chosen_len).collect();
+    let equal_len: Vec<&Vec<usize>> = alternatives
+        .iter()
+        .filter(|p| p.len() == chosen_len)
+        .collect();
     if equal_len.iter().any(|p| path_max_load(p) > chosen_load) {
         InterpretationKind::LessCongested
     } else {
@@ -289,15 +314,18 @@ pub fn adhoc_points(
             .collect();
         // All pairs diverting at different hops.
         for (a, p1) in cands.iter().enumerate() {
-            let Some(h1) = divergence_hop(p0, p1) else { continue };
+            let Some(h1) = divergence_hop(p0, p1) else {
+                continue;
+            };
             for p2 in cands.iter().skip(a + 1) {
-                let Some(h2) = divergence_hop(p0, p2) else { continue };
+                let Some(h2) = divergence_hop(p0, p2) else {
+                    continue;
+                };
                 if h1 == h2 {
                     continue;
                 }
                 let links0 = topo.path_links(p0);
-                let (Some(c1), Some(c2)) = (lookup(i, links0[h1]), lookup(i, links0[h2]))
-                else {
+                let (Some(c1), Some(c2)) = (lookup(i, links0[h1]), lookup(i, links0[h2])) else {
                     continue;
                 };
                 // True latencies after rerouting demand i onto p1 / p2.
@@ -307,7 +335,10 @@ pub fn adhoc_points(
                 let mut r2 = routing.clone();
                 r2[i] = p2.clone();
                 let l2 = latency.path_latencies(topo, demands, &r2)[i];
-                points.push(AdhocPoint { dw: mask[c1] - mask[c2], dl: l1 - l2 });
+                points.push(AdhocPoint {
+                    dw: mask[c1] - mask[c2],
+                    dl: l1 - l2,
+                });
             }
         }
     }
@@ -323,9 +354,21 @@ mod tests {
     fn small_setup() -> (Topology, Vec<Demand>, Routing, RouteNetModel) {
         let topo = Topology::nsfnet();
         let demands = vec![
-            Demand { src: 6, dst: 9, volume: 1.2 },
-            Demand { src: 0, dst: 12, volume: 0.8 },
-            Demand { src: 8, dst: 2, volume: 1.5 },
+            Demand {
+                src: 6,
+                dst: 9,
+                volume: 1.2,
+            },
+            Demand {
+                src: 0,
+                dst: 12,
+                volume: 0.8,
+            },
+            Demand {
+                src: 8,
+                dst: 2,
+                volume: 1.5,
+            },
         ];
         let latency = LatencyModel::default();
         let routing = optimize_routing(&topo, &demands, &latency, 1);
@@ -383,7 +426,10 @@ mod tests {
     #[test]
     fn interpret_routing_produces_ranked_report() {
         let (topo, demands, routing, model) = small_setup();
-        let cfg = MaskConfig { steps: 40, ..Default::default() };
+        let cfg = MaskConfig {
+            steps: 40,
+            ..Default::default()
+        };
         let (result, report) = interpret_routing(&model, &topo, &demands, &routing, &cfg, 5);
         assert_eq!(report.len(), 5.min(result.mask.len()));
         // Ranked by mask, descending.
@@ -442,7 +488,10 @@ mod tests {
         let pts = adhoc_points(&topo, &demands, &routing, &mask, &latency);
         for p in &pts {
             assert!(p.dw.is_finite() && p.dl.is_finite());
-            assert!(p.dw != 0.0, "different hops should have different masks here");
+            assert!(
+                p.dw != 0.0,
+                "different hops should have different masks here"
+            );
         }
     }
 }

@@ -5,10 +5,13 @@
 //! DNN policies into decision trees, and **global** systems (RouteNet*) by
 //! formulating them as hypergraphs and searching for critical connections.
 //!
-//! * [`convert`] — the §3.2 pipeline: DAgger-style trace collection with
-//!   teacher takeover, Eq.-1 advantage resampling, CCP pruning, the
-//!   deployable [`convert::TreePolicy`], the §6.3 oversampling debug
-//!   interface, and the multi-output regression student for sRLA,
+//! * [`pipeline`] — the unified, parallel §3.2 conversion engine
+//!   ([`pipeline::ConversionPipeline`]) driving every scenario through
+//!   one code path: DAgger collection rounds, Eq.-1 advantage resampling,
+//!   CART fitting, CCP pruning, and fidelity/return evaluation,
+//! * [`convert`] — conversion config/result types, the deployable
+//!   [`convert::TreePolicy`], the §6.3 oversampling debug interface, and
+//!   the multi-output regression student for sRLA,
 //! * [`interpret`] — the §4 hypergraph interpretation of RouteNet*:
 //!   formulation, masked-GNN critical-connection search, Table-3
 //!   classification, Figure-9 statistics, Figure-18 ad-hoc rerouting,
@@ -25,6 +28,7 @@ pub mod convert;
 pub mod deploy;
 pub mod formulate;
 pub mod interpret;
+pub mod pipeline;
 pub mod stats;
 
 pub use config::MetisDefaults;
@@ -37,4 +41,5 @@ pub use interpret::{
     adhoc_points, classify_connection, interpret_routing, mask_mass_per_link, routing_hypergraph,
     AdhocPoint, ConnectionReport, InterpretationKind, MaskedRouting,
 };
+pub use pipeline::{ConversionPipeline, PipelineStats};
 pub use stats::{ecdf, mean, pearson, quadrant13_fraction, std_dev};

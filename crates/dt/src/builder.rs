@@ -3,11 +3,38 @@
 //! Growth is *best-first* (highest impurity decrease next), matching
 //! scikit-learn's behaviour under `max_leaf_nodes` — the knob Table 4 of the
 //! paper sets to 200 (Pensieve) and 2000 (AuTO agents).
+//!
+//! Two optimizations over the naive splitter (which re-sorted every node's
+//! samples for every feature):
+//!
+//! * **Sort-once presorting** — per-feature sorted sample indices are built
+//!   once at the root and *partitioned* (order-preserving) into the child
+//!   nodes at every split, so no sort ever runs below the root.
+//! * **Parallel split search** — the per-node scan over features fans out
+//!   across threads ([`TreeConfig::threads`]); the reduction picks the
+//!   best gain with the same tie-breaking (lowest feature index first) as
+//!   a sequential scan, so the fitted tree is identical for any thread
+//!   count.
 
 use crate::dataset::{Dataset, Targets};
 use crate::tree::{DecisionTree, Node, NodeStats, Split, TreeKind};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Resolve a thread-count knob: 0 means "all available cores".
+pub(crate) fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Minimum `samples x features` product for a node before the split scan
+/// fans out across threads (below it, spawn overhead dominates).
+const PAR_SPLIT_THRESHOLD: usize = 16 * 1024;
 
 /// Split quality criterion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +59,9 @@ pub struct TreeConfig {
     /// Minimum weighted impurity decrease for a split to be considered.
     pub min_gain: f64,
     pub criterion: Criterion,
+    /// Threads for the per-node split search (0 = all available cores).
+    /// The fitted tree is identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for TreeConfig {
@@ -42,13 +72,17 @@ impl Default for TreeConfig {
             min_samples_leaf: 1,
             min_gain: 1e-12,
             criterion: Criterion::Gini,
+            threads: 0,
         }
     }
 }
 
 impl TreeConfig {
     pub fn with_max_leaves(max_leaf_nodes: usize) -> Self {
-        TreeConfig { max_leaf_nodes, ..Default::default() }
+        TreeConfig {
+            max_leaf_nodes,
+            ..Default::default()
+        }
     }
 }
 
@@ -83,7 +117,11 @@ impl Acc {
     fn empty_like(ds: &Dataset) -> Acc {
         match &ds.y {
             Targets::Class { n_classes, .. } => Acc::Class(vec![0.0; *n_classes]),
-            Targets::Value(_) => Acc::Value { w: 0.0, sum: 0.0, sumsq: 0.0 },
+            Targets::Value(_) => Acc::Value {
+                w: 0.0,
+                sum: 0.0,
+                sumsq: 0.0,
+            },
         }
     }
 
@@ -100,10 +138,10 @@ impl Acc {
         }
     }
 
-    fn from_indices(ds: &Dataset, idx: &[usize]) -> Acc {
+    fn from_indices(ds: &Dataset, idx: &[u32]) -> Acc {
         let mut acc = Acc::empty_like(ds);
         for &i in idx {
-            acc.add(ds, i, 1.0);
+            acc.add(ds, i as usize, 1.0);
         }
         acc
     }
@@ -164,9 +202,15 @@ struct BestSplit {
 }
 
 /// A pending (not-yet-split) node in the best-first frontier.
+///
+/// Besides the member indices (kept in root-relative order so weighted
+/// statistics accumulate exactly as a sequential builder would), each
+/// candidate carries its *presorted* per-feature index lists, inherited by
+/// order-preserving partition from its parent — no per-node sorting.
 struct Candidate {
     node_idx: usize,
-    indices: Vec<usize>,
+    indices: Vec<u32>,
+    orders: Vec<Vec<u32>>,
     depth: usize,
     best: BestSplit,
 }
@@ -193,14 +237,80 @@ impl Ord for Candidate {
     }
 }
 
-/// Find the best split over all features for the sample subset `idx`.
-fn best_split(
+/// Scan one feature's presorted index list for its best boundary split.
+fn scan_feature(
     ds: &Dataset,
-    idx: &[usize],
+    f: usize,
+    order: &[u32],
     parent: &Acc,
+    parent_imp: f64,
     config: &TreeConfig,
 ) -> Option<BestSplit> {
-    if idx.len() < 2 * config.min_samples_leaf.max(1) {
+    let mut best: Option<BestSplit> = None;
+    let mut left = Acc::empty_like(ds);
+    let mut right = parent.clone();
+    for k in 0..order.len() - 1 {
+        let i = order[k] as usize;
+        left.add(ds, i, 1.0);
+        right.add(ds, i, -1.0);
+        let v = ds.x[i][f];
+        let v_next = ds.x[order[k + 1] as usize][f];
+        if v_next <= v {
+            continue; // not a boundary between distinct values
+        }
+        let n_left = k + 1;
+        let n_right = order.len() - n_left;
+        if n_left < config.min_samples_leaf || n_right < config.min_samples_leaf {
+            continue;
+        }
+        let gain = parent_imp
+            - left.weighted_impurity(config.criterion)
+            - right.weighted_impurity(config.criterion);
+        if gain > config.min_gain && best.as_ref().is_none_or(|b| gain > b.gain) {
+            let threshold = v + (v_next - v) / 2.0;
+            // Guard against midpoints that collapse onto v due to
+            // floating point; such splits would send everything right.
+            let threshold = if threshold > v { threshold } else { v_next };
+            best = Some(BestSplit {
+                feature: f,
+                threshold,
+                gain,
+            });
+        }
+    }
+    best
+}
+
+/// Keep the better of two per-feature results, breaking gain ties toward
+/// the lower feature index — the same winner a sequential `for f in 0..F`
+/// scan with a strict `gain > best.gain` update would pick.
+fn better(a: Option<BestSplit>, b: Option<BestSplit>) -> Option<BestSplit> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(x), Some(y)) => {
+            // `x` always comes from a lower feature index than `y`.
+            debug_assert!(x.feature < y.feature);
+            if y.gain > x.gain {
+                Some(y)
+            } else {
+                Some(x)
+            }
+        }
+    }
+}
+
+/// Find the best split over all features using the candidate's presorted
+/// per-feature index lists, fanning the feature scan across threads when
+/// the node is large enough to amortize the spawns.
+fn best_split(
+    ds: &Dataset,
+    orders: &[Vec<u32>],
+    parent: &Acc,
+    config: &TreeConfig,
+    threads: usize,
+) -> Option<BestSplit> {
+    let n = orders[0].len();
+    if n < 2 * config.min_samples_leaf.max(1) {
         return None;
     }
     let parent_imp = parent.weighted_impurity(config.criterion);
@@ -208,45 +318,88 @@ fn best_split(
         return None; // already pure
     }
     let n_features = ds.n_features();
-    let mut best: Option<BestSplit> = None;
+    let workers = threads.min(n_features);
+    if workers <= 1 || n * n_features < PAR_SPLIT_THRESHOLD {
+        let mut best: Option<BestSplit> = None;
+        for (f, order) in orders.iter().enumerate() {
+            best = better(best, scan_feature(ds, f, order, parent, parent_imp, config));
+        }
+        return best;
+    }
+    // Contiguous feature chunks, reduced in ascending order so the
+    // tie-breaking matches the sequential scan exactly.
+    let chunk = n_features.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n_features);
+                let orders = &orders[lo..hi];
+                scope.spawn(move || {
+                    let mut best: Option<BestSplit> = None;
+                    for (off, order) in orders.iter().enumerate() {
+                        best = better(
+                            best,
+                            scan_feature(ds, lo + off, order, parent, parent_imp, config),
+                        );
+                    }
+                    best
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("split-scan worker panicked"))
+            .fold(None, better)
+    })
+}
 
-    // Reusable sort buffer.
-    let mut order: Vec<usize> = idx.to_vec();
-    for f in 0..n_features {
-        order.sort_unstable_by(|&a, &b| {
-            ds.x[a][f].partial_cmp(&ds.x[b][f]).unwrap_or(Ordering::Equal)
-        });
-        let mut left = Acc::empty_like(ds);
-        let mut right = Acc::from_indices(ds, idx);
-        for k in 0..order.len() - 1 {
-            let i = order[k];
-            left.add(ds, i, 1.0);
-            right.add(ds, i, -1.0);
-            let v = ds.x[i][f];
-            let v_next = ds.x[order[k + 1]][f];
-            if v_next <= v {
-                continue; // not a boundary between distinct values
-            }
-            let n_left = k + 1;
-            let n_right = order.len() - n_left;
-            if n_left < config.min_samples_leaf || n_right < config.min_samples_leaf {
-                continue;
-            }
-            let gain = parent_imp
-                - left.weighted_impurity(config.criterion)
-                - right.weighted_impurity(config.criterion);
-            if gain > config.min_gain
-                && best.as_ref().map_or(true, |b| gain > b.gain)
-            {
-                let threshold = v + (v_next - v) / 2.0;
-                // Guard against midpoints that collapse onto v due to
-                // floating point; such splits would send everything right.
-                let threshold = if threshold > v { threshold } else { v_next };
-                best = Some(BestSplit { feature: f, threshold, gain });
-            }
+/// Build the root's per-feature sorted index lists (ties broken by index,
+/// so the order is fully deterministic).
+fn presort(ds: &Dataset) -> Vec<Vec<u32>> {
+    let n = ds.len() as u32;
+    (0..ds.n_features())
+        .map(|f| {
+            let mut order: Vec<u32> = (0..n).collect();
+            order.sort_unstable_by(|&a, &b| {
+                ds.x[a as usize][f]
+                    .partial_cmp(&ds.x[b as usize][f])
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| a.cmp(&b))
+            });
+            order
+        })
+        .collect()
+}
+
+/// Partition an index list by the split predicate, preserving order.
+fn partition_by(ds: &Dataset, idx: &[u32], split: &BestSplit) -> (Vec<u32>, Vec<u32>) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &i in idx {
+        if ds.x[i as usize][split.feature] < split.threshold {
+            left.push(i);
+        } else {
+            right.push(i);
         }
     }
-    best
+    (left, right)
+}
+
+/// Partition an index list by a precomputed membership mark, preserving
+/// order — the per-feature order lists reuse the predicate evaluated once
+/// in [`partition_by`] instead of re-testing `F` times per split.
+fn partition_by_mark(mark: &[bool], idx: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &i in idx {
+        if mark[i as usize] {
+            left.push(i);
+        } else {
+            right.push(i);
+        }
+    }
+    (left, right)
 }
 
 /// Fit a CART tree to a weighted dataset.
@@ -261,61 +414,315 @@ pub fn fit(ds: &Dataset, config: &TreeConfig) -> Result<DecisionTree, FitError> 
     }
 
     let kind = match &ds.y {
-        Targets::Class { n_classes, .. } => TreeKind::Classifier { n_classes: *n_classes },
+        Targets::Class { n_classes, .. } => TreeKind::Classifier {
+            n_classes: *n_classes,
+        },
         Targets::Value(_) => TreeKind::Regressor,
     };
+    let threads = resolve_threads(config.threads);
 
-    let all: Vec<usize> = (0..ds.len()).collect();
+    let all: Vec<u32> = (0..ds.len() as u32).collect();
     let root_acc = Acc::from_indices(ds, &all);
-    let mut nodes = vec![Node { stats: root_acc.clone().into_stats(), split: None }];
+    let mut nodes = vec![Node {
+        stats: root_acc.clone().into_stats(),
+        split: None,
+    }];
 
     let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
-    let depth_ok = |d: usize| config.max_depth.map_or(true, |m| d < m);
+    let depth_ok = |d: usize| config.max_depth.is_none_or(|m| d < m);
     if depth_ok(0) {
-        if let Some(best) = best_split(ds, &all, &root_acc, config) {
-            heap.push(Candidate { node_idx: 0, indices: all, depth: 0, best });
+        let orders = presort(ds);
+        if let Some(best) = best_split(ds, &orders, &root_acc, config, threads) {
+            heap.push(Candidate {
+                node_idx: 0,
+                indices: all,
+                orders,
+                depth: 0,
+                best,
+            });
         }
     }
 
     let mut n_leaves = 1usize;
+    // Scratch membership mark, written and cleared per split (O(node size)).
+    let mut left_mark = vec![false; ds.len()];
     while n_leaves < config.max_leaf_nodes {
         let Some(cand) = heap.pop() else { break };
-        let Candidate { node_idx, indices, depth, best } = cand;
+        let Candidate {
+            node_idx,
+            indices,
+            orders,
+            depth,
+            best,
+        } = cand;
 
-        // Partition samples.
-        let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
-        for &i in &indices {
-            if ds.x[i][best.feature] < best.threshold {
-                left_idx.push(i);
-            } else {
-                right_idx.push(i);
-            }
-        }
+        // Partition members and every presorted feature list (order-
+        // preserving, so children never re-sort). The split predicate is
+        // evaluated once per member; the feature lists reuse it via the
+        // scratch membership mark.
+        let (left_idx, right_idx) = partition_by(ds, &indices, &best);
         debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+        for &i in &left_idx {
+            left_mark[i as usize] = true;
+        }
+        let (mut left_orders, mut right_orders) = (
+            Vec::with_capacity(orders.len()),
+            Vec::with_capacity(orders.len()),
+        );
+        for order in &orders {
+            let (lo, ro) = partition_by_mark(&left_mark, order);
+            left_orders.push(lo);
+            right_orders.push(ro);
+        }
+        for &i in &left_idx {
+            left_mark[i as usize] = false;
+        }
 
         let left_acc = Acc::from_indices(ds, &left_idx);
         let right_acc = Acc::from_indices(ds, &right_idx);
         debug_assert!(left_acc.weight() > 0.0 && right_acc.weight() > 0.0);
 
         let left_node = nodes.len();
-        nodes.push(Node { stats: left_acc.clone().into_stats(), split: None });
+        nodes.push(Node {
+            stats: left_acc.clone().into_stats(),
+            split: None,
+        });
         let right_node = nodes.len();
-        nodes.push(Node { stats: right_acc.clone().into_stats(), split: None });
-        nodes[node_idx].split =
-            Some(Split { feature: best.feature, threshold: best.threshold, left: left_node, right: right_node });
+        nodes.push(Node {
+            stats: right_acc.clone().into_stats(),
+            split: None,
+        });
+        nodes[node_idx].split = Some(Split {
+            feature: best.feature,
+            threshold: best.threshold,
+            left: left_node,
+            right: right_node,
+        });
         n_leaves += 1;
 
         if depth_ok(depth + 1) {
-            if let Some(b) = best_split(ds, &left_idx, &left_acc, config) {
-                heap.push(Candidate { node_idx: left_node, indices: left_idx, depth: depth + 1, best: b });
+            if let Some(b) = best_split(ds, &left_orders, &left_acc, config, threads) {
+                heap.push(Candidate {
+                    node_idx: left_node,
+                    indices: left_idx,
+                    orders: left_orders,
+                    depth: depth + 1,
+                    best: b,
+                });
             }
-            if let Some(b) = best_split(ds, &right_idx, &right_acc, config) {
-                heap.push(Candidate { node_idx: right_node, indices: right_idx, depth: depth + 1, best: b });
+            if let Some(b) = best_split(ds, &right_orders, &right_acc, config, threads) {
+                heap.push(Candidate {
+                    node_idx: right_node,
+                    indices: right_idx,
+                    orders: right_orders,
+                    depth: depth + 1,
+                    best: b,
+                });
             }
         }
     }
 
     Ok(DecisionTree::new(nodes, kind, ds.n_features()))
+}
+
+/// The pre-refactor splitter, kept verbatim as the parity oracle for the
+/// presorted/parallel implementation: per-node re-sorting, sequential
+/// feature scan, identical gain and tie-breaking rules.
+#[cfg(test)]
+mod reference {
+    use super::*;
+
+    fn best_split(
+        ds: &Dataset,
+        idx: &[usize],
+        parent: &Acc,
+        config: &TreeConfig,
+    ) -> Option<BestSplit> {
+        if idx.len() < 2 * config.min_samples_leaf.max(1) {
+            return None;
+        }
+        let parent_imp = parent.weighted_impurity(config.criterion);
+        if parent_imp <= config.min_gain {
+            return None; // already pure
+        }
+        let n_features = ds.n_features();
+        let mut best: Option<BestSplit> = None;
+
+        // Reusable sort buffer.
+        let mut order: Vec<usize> = idx.to_vec();
+        for f in 0..n_features {
+            order.sort_unstable_by(|&a, &b| {
+                ds.x[a][f]
+                    .partial_cmp(&ds.x[b][f])
+                    .unwrap_or(Ordering::Equal)
+            });
+            let mut left = Acc::empty_like(ds);
+            let mut right = {
+                let u32s: Vec<u32> = idx.iter().map(|&i| i as u32).collect();
+                Acc::from_indices(ds, &u32s)
+            };
+            for k in 0..order.len() - 1 {
+                let i = order[k];
+                left.add(ds, i, 1.0);
+                right.add(ds, i, -1.0);
+                let v = ds.x[i][f];
+                let v_next = ds.x[order[k + 1]][f];
+                if v_next <= v {
+                    continue;
+                }
+                let n_left = k + 1;
+                let n_right = order.len() - n_left;
+                if n_left < config.min_samples_leaf || n_right < config.min_samples_leaf {
+                    continue;
+                }
+                let gain = parent_imp
+                    - left.weighted_impurity(config.criterion)
+                    - right.weighted_impurity(config.criterion);
+                if gain > config.min_gain && best.as_ref().is_none_or(|b| gain > b.gain) {
+                    let threshold = v + (v_next - v) / 2.0;
+                    let threshold = if threshold > v { threshold } else { v_next };
+                    best = Some(BestSplit {
+                        feature: f,
+                        threshold,
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    struct RefCandidate {
+        node_idx: usize,
+        indices: Vec<usize>,
+        depth: usize,
+        best: BestSplit,
+    }
+
+    impl PartialEq for RefCandidate {
+        fn eq(&self, other: &Self) -> bool {
+            self.best.gain == other.best.gain
+        }
+    }
+    impl Eq for RefCandidate {}
+    impl PartialOrd for RefCandidate {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for RefCandidate {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.best
+                .gain
+                .partial_cmp(&other.best.gain)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| other.node_idx.cmp(&self.node_idx))
+        }
+    }
+
+    pub fn fit(ds: &Dataset, config: &TreeConfig) -> Result<DecisionTree, FitError> {
+        match (&ds.y, config.criterion) {
+            (Targets::Class { .. }, Criterion::Gini | Criterion::Entropy) => {}
+            (Targets::Value(_), Criterion::Mse) => {}
+            _ => return Err(FitError::CriterionMismatch),
+        }
+        if config.max_leaf_nodes == 0 {
+            return Err(FitError::NoLeavesAllowed);
+        }
+
+        let kind = match &ds.y {
+            Targets::Class { n_classes, .. } => TreeKind::Classifier {
+                n_classes: *n_classes,
+            },
+            Targets::Value(_) => TreeKind::Regressor,
+        };
+
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let acc_of = |idx: &[usize]| {
+            let u32s: Vec<u32> = idx.iter().map(|&i| i as u32).collect();
+            Acc::from_indices(ds, &u32s)
+        };
+        let root_acc = acc_of(&all);
+        let mut nodes = vec![Node {
+            stats: root_acc.clone().into_stats(),
+            split: None,
+        }];
+
+        let mut heap: BinaryHeap<RefCandidate> = BinaryHeap::new();
+        let depth_ok = |d: usize| config.max_depth.is_none_or(|m| d < m);
+        if depth_ok(0) {
+            if let Some(best) = best_split(ds, &all, &root_acc, config) {
+                heap.push(RefCandidate {
+                    node_idx: 0,
+                    indices: all,
+                    depth: 0,
+                    best,
+                });
+            }
+        }
+
+        let mut n_leaves = 1usize;
+        while n_leaves < config.max_leaf_nodes {
+            let Some(cand) = heap.pop() else { break };
+            let RefCandidate {
+                node_idx,
+                indices,
+                depth,
+                best,
+            } = cand;
+
+            let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+            for &i in &indices {
+                if ds.x[i][best.feature] < best.threshold {
+                    left_idx.push(i);
+                } else {
+                    right_idx.push(i);
+                }
+            }
+
+            let left_acc = acc_of(&left_idx);
+            let right_acc = acc_of(&right_idx);
+
+            let left_node = nodes.len();
+            nodes.push(Node {
+                stats: left_acc.clone().into_stats(),
+                split: None,
+            });
+            let right_node = nodes.len();
+            nodes.push(Node {
+                stats: right_acc.clone().into_stats(),
+                split: None,
+            });
+            nodes[node_idx].split = Some(Split {
+                feature: best.feature,
+                threshold: best.threshold,
+                left: left_node,
+                right: right_node,
+            });
+            n_leaves += 1;
+
+            if depth_ok(depth + 1) {
+                if let Some(b) = best_split(ds, &left_idx, &left_acc, config) {
+                    heap.push(RefCandidate {
+                        node_idx: left_node,
+                        indices: left_idx,
+                        depth: depth + 1,
+                        best: b,
+                    });
+                }
+                if let Some(b) = best_split(ds, &right_idx, &right_acc, config) {
+                    heap.push(RefCandidate {
+                        node_idx: right_node,
+                        indices: right_idx,
+                        depth: depth + 1,
+                        best: b,
+                    });
+                }
+            }
+        }
+
+        Ok(DecisionTree::new(nodes, kind, ds.n_features()))
+    }
 }
 
 #[cfg(test)]
@@ -372,7 +779,11 @@ mod tests {
         let ds = Dataset::classification(x, y, 2).unwrap();
         for max in [1, 2, 3, 5, 8] {
             let tree = fit(&ds, &TreeConfig::with_max_leaves(max)).unwrap();
-            assert!(tree.n_leaves() <= max, "asked {max}, got {}", tree.n_leaves());
+            assert!(
+                tree.n_leaves() <= max,
+                "asked {max}, got {}",
+                tree.n_leaves()
+            );
         }
         let big = fit(&ds, &TreeConfig::with_max_leaves(1000)).unwrap();
         // 16 alternating blocks need 16 leaves to classify perfectly.
@@ -391,7 +802,11 @@ mod tests {
             y.push(i % 2);
         }
         let ds = Dataset::classification(x, y, 2).unwrap();
-        let cfg = TreeConfig { max_depth: Some(3), max_leaf_nodes: 1000, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: Some(3),
+            max_leaf_nodes: 1000,
+            ..Default::default()
+        };
         let tree = fit(&ds, &cfg).unwrap();
         assert!(tree.depth() <= 3);
     }
@@ -399,7 +814,10 @@ mod tests {
     #[test]
     fn min_samples_leaf_respected() {
         let ds = axis_ds();
-        let cfg = TreeConfig { min_samples_leaf: 4, ..Default::default() };
+        let cfg = TreeConfig {
+            min_samples_leaf: 4,
+            ..Default::default()
+        };
         let tree = fit(&ds, &cfg).unwrap();
         // 6 samples cannot form two children of >= 4 samples.
         assert_eq!(tree.n_leaves(), 1);
@@ -408,7 +826,10 @@ mod tests {
     #[test]
     fn entropy_criterion_also_separates() {
         let ds = axis_ds();
-        let cfg = TreeConfig { criterion: Criterion::Entropy, ..Default::default() };
+        let cfg = TreeConfig {
+            criterion: Criterion::Entropy,
+            ..Default::default()
+        };
         let tree = fit(&ds, &cfg).unwrap();
         assert_eq!(tree.predict_class(&[0.0, 0.0]), 0);
         assert_eq!(tree.predict_class(&[1.0, 0.0]), 1);
@@ -417,7 +838,10 @@ mod tests {
     #[test]
     fn criterion_mismatch_rejected() {
         let ds = axis_ds();
-        let cfg = TreeConfig { criterion: Criterion::Mse, ..Default::default() };
+        let cfg = TreeConfig {
+            criterion: Criterion::Mse,
+            ..Default::default()
+        };
         assert_eq!(fit(&ds, &cfg).unwrap_err(), FitError::CriterionMismatch);
         let reg = Dataset::regression(vec![vec![0.0]], vec![1.0]).unwrap();
         assert_eq!(
@@ -431,7 +855,10 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
         let ds = Dataset::regression(x, y).unwrap();
-        let cfg = TreeConfig { criterion: Criterion::Mse, ..Default::default() };
+        let cfg = TreeConfig {
+            criterion: Criterion::Mse,
+            ..Default::default()
+        };
         let tree = fit(&ds, &cfg).unwrap();
         assert_eq!(tree.n_leaves(), 2);
         assert!((tree.predict_value(&[3.0]) - 1.0).abs() < 1e-12);
@@ -492,15 +919,123 @@ mod tests {
 
     #[test]
     fn compiled_regression_matches() {
-        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, (i * 7 % 5) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64, (i * 7 % 5) as f64])
+            .collect();
         let y: Vec<f64> = (0..30).map(|i| (i as f64 * 0.5).sin()).collect();
         let ds = Dataset::regression(x.clone(), y).unwrap();
-        let cfg = TreeConfig { criterion: Criterion::Mse, max_leaf_nodes: 8, ..Default::default() };
+        let cfg = TreeConfig {
+            criterion: Criterion::Mse,
+            max_leaf_nodes: 8,
+            ..Default::default()
+        };
         let tree = fit(&ds, &cfg).unwrap();
         let compiled = crate::tree::CompiledTree::compile(&tree);
         for xi in &x {
             assert!((tree.predict_value(xi) - compiled.predict_value(xi)).abs() < 1e-12);
         }
+    }
+
+    /// Deterministic pseudo-random dyadic values (multiples of 1/64): all
+    /// impurity accumulations are exact in f64, so the presorted/parallel
+    /// splitter and the pre-refactor reference are bit-identical.
+    fn dyadic(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 33) % 64) as f64 / 64.0
+    }
+
+    fn parity_features(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| (0..d).map(|_| dyadic(&mut s)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parity_with_reference_classification() {
+        let x = parity_features(300, 6, 7);
+        let y: Vec<usize> = x
+            .iter()
+            .map(|xi| ((xi[0] * 4.0 + xi[3] * 2.0) as usize).min(4))
+            .collect();
+        let w: Vec<f64> = (0..x.len()).map(|i| 1.0 + (i % 4) as f64 * 0.25).collect();
+        let ds = Dataset::classification_weighted(x.clone(), y, 5, w).unwrap();
+        for leaves in [2, 8, 31, 200] {
+            let cfg = TreeConfig {
+                max_leaf_nodes: leaves,
+                ..Default::default()
+            };
+            let new = fit(&ds, &cfg).unwrap();
+            let old = super::reference::fit(&ds, &cfg).unwrap();
+            assert_eq!(new, old, "trees diverge at {leaves} leaves");
+            for xi in &x {
+                assert_eq!(new.predict_class(xi), old.predict_class(xi));
+            }
+        }
+        // Entropy criterion and the threaded scan agree too.
+        let cfg = TreeConfig {
+            criterion: Criterion::Entropy,
+            max_leaf_nodes: 16,
+            threads: 4,
+            ..Default::default()
+        };
+        let new = fit(&ds, &cfg).unwrap();
+        let old = super::reference::fit(&ds, &cfg).unwrap();
+        assert_eq!(new, old);
+    }
+
+    #[test]
+    fn parity_with_reference_regression() {
+        let x = parity_features(250, 4, 13);
+        let y: Vec<f64> = x.iter().map(|xi| xi[1] * 2.0 - xi[2] + 0.25).collect();
+        let ds = Dataset::regression(x.clone(), y).unwrap();
+        for leaves in [2, 10, 64] {
+            let cfg = TreeConfig {
+                criterion: Criterion::Mse,
+                max_leaf_nodes: leaves,
+                min_samples_leaf: 3,
+                ..Default::default()
+            };
+            let new = fit(&ds, &cfg).unwrap();
+            let old = super::reference::fit(&ds, &cfg).unwrap();
+            assert_eq!(new, old, "regression trees diverge at {leaves} leaves");
+            for xi in &x {
+                assert_eq!(
+                    new.predict_value(xi).to_bits(),
+                    old.predict_value(xi).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_fit_identical_to_sequential() {
+        // Large enough (samples x features > PAR_SPLIT_THRESHOLD) that the
+        // scan genuinely fans out across threads near the root.
+        let x = parity_features(3000, 8, 21);
+        assert!(x.len() * x[0].len() > super::PAR_SPLIT_THRESHOLD);
+        let y: Vec<usize> = x
+            .iter()
+            .map(|xi| ((xi[0] + xi[7]) * 3.0) as usize % 6)
+            .collect();
+        let ds = Dataset::classification(x, y, 6).unwrap();
+        let fit_with = |threads: usize| {
+            fit(
+                &ds,
+                &TreeConfig {
+                    max_leaf_nodes: 64,
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let t1 = fit_with(1);
+        assert_eq!(t1, fit_with(2));
+        assert_eq!(t1, fit_with(5));
+        assert_eq!(t1, fit_with(16));
     }
 
     #[test]

@@ -11,7 +11,10 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Targets {
     /// Classification labels in `0..n_classes`.
-    Class { labels: Vec<usize>, n_classes: usize },
+    Class {
+        labels: Vec<usize>,
+        n_classes: usize,
+    },
     /// Regression values.
     Value(Vec<f64>),
 }
@@ -98,7 +101,11 @@ impl Dataset {
         if w.iter().any(|&wi| wi <= 0.0 || !wi.is_finite()) {
             return Err(DatasetError::NonPositiveWeight);
         }
-        Ok(Dataset { x, y: Targets::Class { labels, n_classes }, w })
+        Ok(Dataset {
+            x,
+            y: Targets::Class { labels, n_classes },
+            w,
+        })
     }
 
     /// Build a regression dataset with unit weights.
@@ -127,7 +134,11 @@ impl Dataset {
         if w.iter().any(|&wi| wi <= 0.0 || !wi.is_finite()) {
             return Err(DatasetError::NonPositiveWeight);
         }
-        Ok(Dataset { x, y: Targets::Value(values), w })
+        Ok(Dataset {
+            x,
+            y: Targets::Value(values),
+            w,
+        })
     }
 
     /// Number of samples.
@@ -193,7 +204,10 @@ impl Dataset {
         match (&mut self.y, &other.y) {
             (
                 Targets::Class { labels, n_classes },
-                Targets::Class { labels: ol, n_classes: onc },
+                Targets::Class {
+                    labels: ol,
+                    n_classes: onc,
+                },
             ) => {
                 if n_classes != onc {
                     return Err(DatasetError::BadLabel);

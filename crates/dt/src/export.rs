@@ -19,7 +19,11 @@ pub struct RenderOptions {
 
 impl Default for RenderOptions {
     fn default() -> Self {
-        RenderOptions { max_depth: None, class_labels: None, show_frequencies: true }
+        RenderOptions {
+            max_depth: None,
+            class_labels: None,
+            show_frequencies: true,
+        }
     }
 }
 
@@ -42,8 +46,7 @@ fn describe_stats(stats: &NodeStats, opts: &RenderOptions) -> String {
         NodeStats::Class { .. } => {
             let freqs = stats.class_frequencies().unwrap_or_default();
             if opts.show_frequencies {
-                let mut ranked: Vec<(usize, f64)> =
-                    freqs.iter().cloned().enumerate().collect();
+                let mut ranked: Vec<(usize, f64)> = freqs.iter().cloned().enumerate().collect();
                 ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
                 let parts: Vec<String> = ranked
                     .iter()
@@ -95,7 +98,10 @@ fn render_node(
         (Some(_), true) => format!("...  {}", describe_stats(&node.stats, opts)),
         (None, _) => describe_stats(
             &node.stats,
-            &RenderOptions { show_frequencies: false, ..opts.clone() },
+            &RenderOptions {
+                show_frequencies: false,
+                ..opts.clone()
+            },
         ),
     };
     if is_root {
@@ -146,13 +152,16 @@ pub fn to_graphviz(tree: &DecisionTree, opts: &RenderOptions) -> String {
             ),
             None => describe_stats(
                 &node.stats,
-                &RenderOptions { show_frequencies: false, ..opts.clone() },
+                &RenderOptions {
+                    show_frequencies: false,
+                    ..opts.clone()
+                },
             )
             .replace('"', "'"),
         };
         let _ = writeln!(out, "  n{idx} [label=\"{label}\"];");
         if let Some(s) = &node.split {
-            if !opts.max_depth.is_some_and(|m| depth >= m) {
+            if opts.max_depth.is_none_or(|m| depth < m) {
                 let _ = writeln!(out, "  n{idx} -> n{} [label=\"yes\"];", s.left);
                 let _ = writeln!(out, "  n{idx} -> n{} [label=\"no\"];", s.right);
                 depths.insert(s.left, depth + 1);
@@ -210,9 +219,18 @@ mod tests {
     fn render_depth_truncation() {
         let tree = sample_tree();
         let full = render(&tree, &RenderOptions::default());
-        let top = render(&tree, &RenderOptions { max_depth: Some(1), ..Default::default() });
+        let top = render(
+            &tree,
+            &RenderOptions {
+                max_depth: Some(1),
+                ..Default::default()
+            },
+        );
         assert!(top.lines().count() <= full.lines().count());
-        assert!(top.contains("..."), "truncated render should mark cut subtrees:\n{top}");
+        assert!(
+            top.contains("..."),
+            "truncated render should mark cut subtrees:\n{top}"
+        );
     }
 
     #[test]
@@ -252,7 +270,10 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..10).map(|i| if i < 5 { 1.5 } else { 7.5 }).collect();
         let ds = Dataset::regression(x, y).unwrap();
-        let cfg = TreeConfig { criterion: crate::builder::Criterion::Mse, ..Default::default() };
+        let cfg = TreeConfig {
+            criterion: crate::builder::Criterion::Mse,
+            ..Default::default()
+        };
         let tree = fit(&ds, &cfg).unwrap();
         let s = render(&tree, &RenderOptions::default());
         assert!(s.contains("-> 1.5"), "got: {s}");

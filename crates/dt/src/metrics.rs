@@ -13,12 +13,11 @@ pub fn accuracy(tree: &DecisionTree, ds: &Dataset) -> f64 {
     if ds.is_empty() {
         return 0.0;
     }
-    let correct = ds
-        .x
-        .iter()
-        .zip(labels.iter())
-        .filter(|(x, &y)| tree.predict_class(x) == y)
-        .count();
+    let correct =
+        ds.x.iter()
+            .zip(labels.iter())
+            .filter(|(x, &y)| tree.predict_class(x) == y)
+            .count();
     correct as f64 / ds.len() as f64
 }
 
@@ -28,7 +27,10 @@ pub fn rmse(tree: &DecisionTree, ds: &Dataset) -> f64 {
         panic!("rmse requires a regression dataset");
     };
     rmse_slices(
-        &ds.x.iter().map(|x| tree.predict_value(x)).collect::<Vec<_>>(),
+        &ds.x
+            .iter()
+            .map(|x| tree.predict_value(x))
+            .collect::<Vec<_>>(),
         values,
     )
 }
@@ -95,7 +97,10 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..8).map(|i| if i < 4 { 2.0 } else { 6.0 }).collect();
         let ds = Dataset::regression(x, y).unwrap();
-        let cfg = TreeConfig { criterion: Criterion::Mse, ..Default::default() };
+        let cfg = TreeConfig {
+            criterion: Criterion::Mse,
+            ..Default::default()
+        };
         let tree = fit(&ds, &cfg).unwrap();
         assert!(rmse(&tree, &ds) < 1e-12);
     }
@@ -125,7 +130,10 @@ mod tests {
     #[should_panic(expected = "classification dataset")]
     fn accuracy_on_regression_panics() {
         let ds = Dataset::regression(vec![vec![0.0]], vec![1.0]).unwrap();
-        let cfg = TreeConfig { criterion: Criterion::Mse, ..Default::default() };
+        let cfg = TreeConfig {
+            criterion: Criterion::Mse,
+            ..Default::default()
+        };
         let tree = fit(&ds, &cfg).unwrap();
         let _ = accuracy(&tree, &ds);
     }

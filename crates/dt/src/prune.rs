@@ -77,7 +77,9 @@ pub fn prune_to_leaves(tree: &DecisionTree, max_leaves: usize) -> DecisionTree {
     let max_leaves = max_leaves.max(1);
     let mut work = tree.compact();
     while count_leaves(&work.nodes) > max_leaves {
-        let Some((idx, _)) = weakest_link(&work.nodes) else { break };
+        let Some((idx, _)) = weakest_link(&work.nodes) else {
+            break;
+        };
         work.nodes[idx].split = None;
     }
     work.compact()
@@ -104,7 +106,10 @@ pub fn alpha_sequence(tree: &DecisionTree) -> Vec<PruneStep> {
     let mut steps = Vec::new();
     while let Some((idx, g)) = weakest_link(&work.nodes) {
         work.nodes[idx].split = None;
-        steps.push(PruneStep { alpha: g, n_leaves: count_leaves(&work.nodes) });
+        steps.push(PruneStep {
+            alpha: g,
+            n_leaves: count_leaves(&work.nodes),
+        });
     }
     steps
 }
@@ -184,7 +189,11 @@ mod tests {
         assert!(acc > 0.9, "pruned accuracy {acc}");
         let split = pruned.node(0).split.as_ref().unwrap();
         assert_eq!(split.feature, 0);
-        assert!((split.threshold - 50.0).abs() < 3.0, "threshold {}", split.threshold);
+        assert!(
+            (split.threshold - 50.0).abs() < 3.0,
+            "threshold {}",
+            split.threshold
+        );
     }
 
     #[test]

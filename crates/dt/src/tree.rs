@@ -137,7 +137,12 @@ pub(crate) const ROOT: usize = 0;
 
 impl DecisionTree {
     pub(crate) fn new(nodes: Vec<Node>, kind: TreeKind, n_features: usize) -> Self {
-        DecisionTree { nodes, kind, n_features, feature_names: None }
+        DecisionTree {
+            nodes,
+            kind,
+            n_features,
+            feature_names: None,
+        }
     }
 
     pub fn kind(&self) -> TreeKind {
@@ -158,7 +163,9 @@ impl DecisionTree {
 
     /// Number of leaves.
     pub fn n_leaves(&self) -> usize {
-        self.reachable(ROOT).filter(|&i| self.nodes[i].split.is_none()).count()
+        self.reachable(ROOT)
+            .filter(|&i| self.nodes[i].split.is_none())
+            .count()
     }
 
     /// Maximum depth (root = depth 0; a single-leaf tree has depth 0).
@@ -196,7 +203,11 @@ impl DecisionTree {
         );
         let mut idx = ROOT;
         while let Some(s) = &self.nodes[idx].split {
-            idx = if x[s.feature] < s.threshold { s.left } else { s.right };
+            idx = if x[s.feature] < s.threshold {
+                s.left
+            } else {
+                s.right
+            };
         }
         idx
     }
@@ -206,7 +217,11 @@ impl DecisionTree {
         let mut idx = ROOT;
         let mut path = vec![idx];
         while let Some(s) = &self.nodes[idx].split {
-            idx = if x[s.feature] < s.threshold { s.left } else { s.right };
+            idx = if x[s.feature] < s.threshold {
+                s.left
+            } else {
+                s.right
+            };
             path.push(idx);
         }
         path

@@ -17,11 +17,16 @@ pub struct Coverage {
 /// Compute coverage from a completed-flow population.
 pub fn coverage(flows: &[CompletedFlow], decision_latency_s: f64) -> Coverage {
     if flows.is_empty() {
-        return Coverage { flow_fraction: 0.0, byte_fraction: 0.0 };
+        return Coverage {
+            flow_fraction: 0.0,
+            byte_fraction: 0.0,
+        };
     }
     let total_bytes: f64 = flows.iter().map(|f| f.size_bytes).sum();
-    let covered: Vec<&CompletedFlow> =
-        flows.iter().filter(|f| f.fct_s > decision_latency_s).collect();
+    let covered: Vec<&CompletedFlow> = flows
+        .iter()
+        .filter(|f| f.fct_s > decision_latency_s)
+        .collect();
     let covered_bytes: f64 = covered.iter().map(|f| f.size_bytes).sum();
     Coverage {
         flow_fraction: covered.len() as f64 / flows.len() as f64,
@@ -34,7 +39,14 @@ mod tests {
     use super::*;
 
     fn flow(size: f64, fct: f64) -> CompletedFlow {
-        CompletedFlow { id: 0, src: 0, dst: 1, size_bytes: size, arrival_s: 0.0, fct_s: fct }
+        CompletedFlow {
+            id: 0,
+            src: 0,
+            dst: 1,
+            size_bytes: size,
+            arrival_s: 0.0,
+            fct_s: fct,
+        }
     }
 
     #[test]
@@ -56,8 +68,9 @@ mod tests {
 
     #[test]
     fn coverage_monotone_in_latency() {
-        let flows: Vec<CompletedFlow> =
-            (1..100).map(|i| flow(i as f64 * 1000.0, i as f64 * 0.001)).collect();
+        let flows: Vec<CompletedFlow> = (1..100)
+            .map(|i| flow(i as f64 * 1000.0, i as f64 * 0.001))
+            .collect();
         let mut last = coverage(&flows, 0.0);
         for lat in [0.005, 0.02, 0.05, 0.09] {
             let c = coverage(&flows, lat);

@@ -33,7 +33,10 @@ pub fn decode_action(action: usize, link_bps: f64) -> FlowDecision {
         // Log-spaced caps from 1% to ~92% of the link rate.
         Some(link_bps * 10f64.powf(-2.0 + 2.0 * level as f64 / (RATE_LEVELS - 1) as f64))
     };
-    FlowDecision { priority, rate_cap_bps }
+    FlowDecision {
+        priority,
+        rate_cap_bps,
+    }
 }
 
 /// Encode the inverse (used by tests and by the tree-policy wrapper).
@@ -73,8 +76,7 @@ pub fn lrla_state(sim: &FlowSim, deciding_flow: usize) -> Vec<f64> {
     let n_total = sim.active_flows().len();
     state[LRLA_FLOWS * LRLA_FEATURES] = (n_long as f64 / LRLA_FLOWS as f64).min(1.0);
     state[LRLA_FLOWS * LRLA_FEATURES + 1] = (n_total as f64 / 100.0).min(1.0);
-    state[LRLA_FLOWS * LRLA_FEATURES + 2] =
-        (sim.time_s() / 0.1).min(1.0); // episode progress on a 100 ms horizon
+    state[LRLA_FLOWS * LRLA_FEATURES + 2] = (sim.time_s() / 0.1).min(1.0); // episode progress on a 100 ms horizon
     state
 }
 
@@ -93,7 +95,13 @@ pub struct LrlaEnv {
 impl LrlaEnv {
     pub fn new(flows: Vec<FlowRequest>, config: SimConfig) -> Self {
         let sim = FlowSim::new(flows.clone(), config.clone());
-        LrlaEnv { flows, config, sim, pending_decision: None, completed_seen: 0 }
+        LrlaEnv {
+            flows,
+            config,
+            sim,
+            pending_decision: None,
+            completed_seen: 0,
+        }
     }
 
     /// The underlying simulator (post-episode inspection).
@@ -135,15 +143,27 @@ impl Env for LrlaEnv {
 
     fn step(&mut self, action: usize) -> Step {
         let Some(dp) = self.pending_decision.take() else {
-            return Step { obs: vec![0.0; LRLA_STATE_DIM], reward: 0.0, done: true };
+            return Step {
+                obs: vec![0.0; LRLA_STATE_DIM],
+                reward: 0.0,
+                done: true,
+            };
         };
         let decision = decode_action(action, self.config.fabric.link_bps);
         self.sim.apply_decision(dp.flow_id, decision);
         self.pending_decision = self.sim.run_until_decision();
         let reward = self.reward_since_last();
         match &self.pending_decision {
-            Some(next) => Step { obs: lrla_state(&self.sim, next.flow_id), reward, done: false },
-            None => Step { obs: vec![0.0; LRLA_STATE_DIM], reward, done: true },
+            Some(next) => Step {
+                obs: lrla_state(&self.sim, next.flow_id),
+                reward,
+                done: false,
+            },
+            None => Step {
+                obs: vec![0.0; LRLA_STATE_DIM],
+                reward,
+                done: true,
+            },
         }
     }
 
@@ -183,7 +203,10 @@ mod tests {
 
     fn test_config() -> SimConfig {
         SimConfig {
-            fabric: FabricConfig { n_servers: 8, link_bps: 10e9 },
+            fabric: FabricConfig {
+                n_servers: 8,
+                link_bps: 10e9,
+            },
             thresholds: MlfqThresholds::default_web_search(),
             long_flow_cutoff_bytes: 1e6,
             decision_latency_s: 0.0,
@@ -192,7 +215,14 @@ mod tests {
 
     fn test_flows(seed: u64) -> Vec<FlowRequest> {
         let mut rng = StdRng::seed_from_u64(seed);
-        generate_flows(&SizeDistribution::web_search(), 8, 10e9, 0.5, 0.01, &mut rng)
+        generate_flows(
+            &SizeDistribution::web_search(),
+            8,
+            10e9,
+            0.5,
+            0.01,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -221,7 +251,11 @@ mod tests {
     #[test]
     fn rate_caps_log_spaced_increasing() {
         let caps: Vec<f64> = (0..RATE_LEVELS - 1)
-            .map(|l| decode_action(encode_action(0, l), 10e9).rate_cap_bps.unwrap())
+            .map(|l| {
+                decode_action(encode_action(0, l), 10e9)
+                    .rate_cap_bps
+                    .unwrap()
+            })
             .collect();
         assert!(caps.windows(2).all(|w| w[1] > w[0]));
         assert!((caps[0] - 1e8).abs() / 1e8 < 0.01, "lowest cap ~1% of 10G");
@@ -235,12 +269,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let traj = rollout(
             &mut env,
-            &UniformPolicy { n_actions: LRLA_ACTIONS },
+            &UniformPolicy {
+                n_actions: LRLA_ACTIONS,
+            },
             ActionMode::Sample,
             10_000,
             &mut rng,
         );
-        assert!(traj.terminated, "episode must reach the end of the workload");
+        assert!(
+            traj.terminated,
+            "episode must reach the end of the workload"
+        );
         assert!(!traj.is_empty(), "workload must contain long flows");
         // After the episode every flow must have finished.
         assert!(env.sim().done());

@@ -51,12 +51,18 @@ impl MlfqThresholds {
 
     /// Priority (0 = highest) of a flow that has sent `bytes_sent` bytes.
     pub fn priority(&self, bytes_sent: f64) -> usize {
-        self.thresholds_bytes.iter().filter(|&&t| bytes_sent >= t).count()
+        self.thresholds_bytes
+            .iter()
+            .filter(|&&t| bytes_sent >= t)
+            .count()
     }
 
     /// Bytes until the next demotion (None if already in the lowest queue).
     pub fn next_threshold(&self, bytes_sent: f64) -> Option<f64> {
-        self.thresholds_bytes.iter().find(|&&t| bytes_sent < t).copied()
+        self.thresholds_bytes
+            .iter()
+            .find(|&&t| bytes_sent < t)
+            .copied()
     }
 }
 

@@ -19,7 +19,10 @@ pub struct FabricConfig {
 
 impl Default for FabricConfig {
     fn default() -> Self {
-        FabricConfig { n_servers: 16, link_bps: 10e9 }
+        FabricConfig {
+            n_servers: 16,
+            link_bps: 10e9,
+        }
     }
 }
 
@@ -316,7 +319,10 @@ impl FlowSim {
             Ev::Threshold(_) => None, // demotion shows up in the next rate computation
             Ev::Decision(i) => {
                 self.active[i].decision_due_s = None;
-                Some(DecisionPoint { flow_id: self.active[i].req.id, time_s: self.time_s })
+                Some(DecisionPoint {
+                    flow_id: self.active[i].req.id,
+                    time_s: self.time_s,
+                })
             }
         }
     }
@@ -412,12 +418,21 @@ mod tests {
     use rand::SeedableRng;
 
     fn req(id: usize, src: usize, dst: usize, size: f64, at: f64) -> FlowRequest {
-        FlowRequest { id, src, dst, size_bytes: size, arrival_s: at }
+        FlowRequest {
+            id,
+            src,
+            dst,
+            size_bytes: size,
+            arrival_s: at,
+        }
     }
 
     fn cfg() -> SimConfig {
         SimConfig {
-            fabric: FabricConfig { n_servers: 4, link_bps: 1e9 },
+            fabric: FabricConfig {
+                n_servers: 4,
+                link_bps: 1e9,
+            },
             thresholds: MlfqThresholds::new(vec![10_000.0, 100_000.0, 1_000_000.0]).unwrap(),
             long_flow_cutoff_bytes: f64::INFINITY, // MLFQ-only by default
             decision_latency_s: 0.0,
@@ -430,13 +445,20 @@ mod tests {
         let done = sim.run_mlfq_only();
         assert_eq!(done.len(), 1);
         // 1 MB at 1 Gbps = 8 ms.
-        assert!((done[0].fct_s - 0.008).abs() < 1e-9, "fct {}", done[0].fct_s);
+        assert!(
+            (done[0].fct_s - 0.008).abs() < 1e-9,
+            "fct {}",
+            done[0].fct_s
+        );
     }
 
     #[test]
     fn two_flows_share_sender_link() {
         // Same src, different dst: the tx link is the bottleneck.
-        let flows = vec![req(0, 0, 1, 1_000_000.0, 0.0), req(1, 0, 2, 1_000_000.0, 0.0)];
+        let flows = vec![
+            req(0, 0, 1, 1_000_000.0, 0.0),
+            req(1, 0, 2, 1_000_000.0, 0.0),
+        ];
         let mut sim = FlowSim::new(flows, cfg());
         let done = sim.run_mlfq_only().to_vec();
         // Same priority path throughout (identical sizes): both finish at
@@ -448,7 +470,10 @@ mod tests {
 
     #[test]
     fn disjoint_flows_do_not_interfere() {
-        let flows = vec![req(0, 0, 1, 1_000_000.0, 0.0), req(1, 2, 3, 1_000_000.0, 0.0)];
+        let flows = vec![
+            req(0, 0, 1, 1_000_000.0, 0.0),
+            req(1, 2, 3, 1_000_000.0, 0.0),
+        ];
         let mut sim = FlowSim::new(flows, cfg());
         let done = sim.run_mlfq_only();
         for f in done {
@@ -460,10 +485,7 @@ mod tests {
     fn mlfq_prioritizes_new_small_flow_over_demoted_elephant() {
         // Elephant starts first and demotes below the first threshold; a
         // mouse arriving later preempts it entirely.
-        let flows = vec![
-            req(0, 0, 1, 10_000_000.0, 0.0),
-            req(1, 0, 1, 5_000.0, 0.01),
-        ];
+        let flows = vec![req(0, 0, 1, 10_000_000.0, 0.0), req(1, 0, 1, 5_000.0, 0.01)];
         let mut sim = FlowSim::new(flows, cfg());
         let done: Vec<_> = sim.run_mlfq_only().to_vec();
         let mouse = done.iter().find(|f| f.id == 1).unwrap();
@@ -480,14 +502,23 @@ mod tests {
         // Two permanent-priority flows via decisions.
         let mut config = cfg();
         config.long_flow_cutoff_bytes = 0.0; // everything gets decisions
-        let flows = vec![req(0, 0, 1, 1_000_000.0, 0.0), req(1, 2, 1, 1_000_000.0, 0.0)];
+        let flows = vec![
+            req(0, 0, 1, 1_000_000.0, 0.0),
+            req(1, 2, 1, 1_000_000.0, 0.0),
+        ];
         let mut sim = FlowSim::new(flows, config);
         let done = sim
             .run_with(|_, dp| {
                 if dp.flow_id == 0 {
-                    FlowDecision { priority: 0, rate_cap_bps: None }
+                    FlowDecision {
+                        priority: 0,
+                        rate_cap_bps: None,
+                    }
                 } else {
-                    FlowDecision { priority: 3, rate_cap_bps: None }
+                    FlowDecision {
+                        priority: 3,
+                        rate_cap_bps: None,
+                    }
                 }
             })
             .to_vec();
@@ -505,7 +536,10 @@ mod tests {
         config.long_flow_cutoff_bytes = 0.0;
         let mut sim = FlowSim::new(vec![req(0, 0, 1, 1_000_000.0, 0.0)], config);
         let done = sim
-            .run_with(|_, _| FlowDecision { priority: 0, rate_cap_bps: Some(1e8) })
+            .run_with(|_, _| FlowDecision {
+                priority: 0,
+                rate_cap_bps: Some(1e8),
+            })
             .to_vec();
         // 1 MB at 100 Mbps = 80 ms.
         assert!((done[0].fct_s - 0.08).abs() < 1e-6, "fct {}", done[0].fct_s);
@@ -519,10 +553,20 @@ mod tests {
         let mut sim = FlowSim::new(vec![req(0, 0, 1, 10_000_000.0, 0.0)], config);
         let dp = sim.run_until_decision().expect("must pause for a decision");
         assert_eq!(dp.flow_id, 0);
-        assert!((dp.time_s - 0.005).abs() < 1e-9, "decision at {}", dp.time_s);
+        assert!(
+            (dp.time_s - 0.005).abs() < 1e-9,
+            "decision at {}",
+            dp.time_s
+        );
         // Before the decision the flow already transferred bytes via MLFQ.
         assert!(sim.active_flows()[0].bytes_sent > 0.0);
-        sim.apply_decision(0, FlowDecision { priority: 1, rate_cap_bps: None });
+        sim.apply_decision(
+            0,
+            FlowDecision {
+                priority: 1,
+                rate_cap_bps: None,
+            },
+        );
         assert!(sim.run_until_decision().is_none());
         assert_eq!(sim.completed().len(), 1);
     }
@@ -534,8 +578,10 @@ mod tests {
         let flows = generate_flows(&dist, 16, 10e9, 0.5, 0.05, &mut rng);
         let n = flows.len();
         assert!(n > 20, "want a non-trivial flow count, got {n}");
-        let mut config = SimConfig::default();
-        config.thresholds = MlfqThresholds::default_web_search();
+        let config = SimConfig {
+            thresholds: MlfqThresholds::default_web_search(),
+            ..Default::default()
+        };
         let mut sim = FlowSim::new(flows, config);
         let done = sim.run_mlfq_only();
         assert_eq!(done.len(), n, "every flow must finish");
@@ -558,8 +604,7 @@ mod tests {
         mlfq_cfg.fabric.n_servers = 8;
         let mut fair_cfg = mlfq_cfg.clone();
         // One giant first threshold => effectively a single queue.
-        fair_cfg.thresholds =
-            MlfqThresholds::new(vec![1e15, 2e15, 3e15]).unwrap();
+        fair_cfg.thresholds = MlfqThresholds::new(vec![1e15, 2e15, 3e15]).unwrap();
 
         let mut sim_a = FlowSim::new(flows.clone(), mlfq_cfg);
         let mut sim_b = FlowSim::new(flows, fair_cfg);

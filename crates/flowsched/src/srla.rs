@@ -132,17 +132,30 @@ pub fn train_srla(
     cfg: &SrlaTrainConfig,
     rng: &mut StdRng,
 ) -> Vec<f64> {
-    let fabric = FabricConfig { n_servers: cfg.n_servers, link_bps: cfg.link_bps };
+    let fabric = FabricConfig {
+        n_servers: cfg.n_servers,
+        link_bps: cfg.link_bps,
+    };
     let eval = |net: &Mlp, seed: u64| -> f64 {
         // Fresh workload per seed; state from a warmup run with defaults.
         let mut wl_rng = StdRng::seed_from_u64(seed);
-        let flows =
-            generate_flows(dist, cfg.n_servers, cfg.link_bps, cfg.load, cfg.duration_s, &mut wl_rng);
+        let flows = generate_flows(
+            dist,
+            cfg.n_servers,
+            cfg.link_bps,
+            cfg.load,
+            cfg.duration_s,
+            &mut wl_rng,
+        );
         if flows.is_empty() {
             return 0.0;
         }
         // Warmup to build a state, then decide thresholds and score them.
-        let warm = flows.iter().take(flows.len() / 2).cloned().collect::<Vec<_>>();
+        let warm = flows
+            .iter()
+            .take(flows.len() / 2)
+            .cloned()
+            .collect::<Vec<_>>();
         let mut warm_sim = FlowSim::new(
             warm,
             SimConfig {
@@ -195,7 +208,10 @@ mod tests {
     use super::*;
 
     fn fabric() -> FabricConfig {
-        FabricConfig { n_servers: 8, link_bps: 10e9 }
+        FabricConfig {
+            n_servers: 8,
+            link_bps: 10e9,
+        }
     }
 
     #[test]

@@ -20,11 +20,19 @@ impl SizeDistribution {
     pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
         assert!(points.len() >= 2, "CDF needs at least two points");
         assert!(
-            points.windows(2).all(|w| w[1].0 > w[0].0 && w[1].1 >= w[0].1),
+            points
+                .windows(2)
+                .all(|w| w[1].0 > w[0].0 && w[1].1 >= w[0].1),
             "CDF points must be increasing"
         );
-        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-9, "CDF must end at 1.0");
-        SizeDistribution { name: name.into(), points }
+        assert!(
+            (points.last().unwrap().1 - 1.0).abs() < 1e-9,
+            "CDF must end at 1.0"
+        );
+        SizeDistribution {
+            name: name.into(),
+            points,
+        }
     }
 
     /// The web-search workload (DCTCP): query/response traffic, mean
@@ -102,7 +110,10 @@ impl SizeDistribution {
     /// Mean flow size (numerical integral of the quantile function).
     pub fn mean_bytes(&self) -> f64 {
         let n = 10_000;
-        (0..n).map(|i| self.quantile((i as f64 + 0.5) / n as f64)).sum::<f64>() / n as f64
+        (0..n)
+            .map(|i| self.quantile((i as f64 + 0.5) / n as f64))
+            .sum::<f64>()
+            / n as f64
     }
 }
 
@@ -147,7 +158,13 @@ pub fn generate_flows(
         if dst >= src {
             dst += 1;
         }
-        flows.push(FlowRequest { id, src, dst, size_bytes: dist.sample(rng), arrival_s: t });
+        flows.push(FlowRequest {
+            id,
+            src,
+            dst,
+            size_bytes: dist.sample(rng),
+            arrival_s: t,
+        });
         id += 1;
     }
     flows
@@ -160,7 +177,10 @@ mod tests {
 
     #[test]
     fn quantile_monotone() {
-        for dist in [SizeDistribution::web_search(), SizeDistribution::data_mining()] {
+        for dist in [
+            SizeDistribution::web_search(),
+            SizeDistribution::data_mining(),
+        ] {
             let mut last = 0.0;
             for i in 0..100 {
                 let q = dist.quantile(i as f64 / 99.0);

@@ -145,7 +145,11 @@ pub fn optimize_mask<S: MaskedSystem>(system: &S, cfg: &MaskConfig) -> MaskResul
 
     for step in 0..cfg.steps {
         let warmup_steps = cfg.entropy_warmup * cfg.steps as f64;
-        let l2_now = if (step as f64) < warmup_steps { 0.0 } else { cfg.lambda2 };
+        let l2_now = if (step as f64) < warmup_steps {
+            0.0
+        } else {
+            cfg.lambda2
+        };
         let tape = Tape::new();
         let logit_vars = tape.vars(&logits);
         let mask: Vec<Var<'_>> = logit_vars.iter().map(|v| v.sigmoid()).collect();
@@ -197,12 +201,21 @@ pub fn optimize_mask<S: MaskedSystem>(system: &S, cfg: &MaskConfig) -> MaskResul
 
         let grads = loss.grad();
         let mut grad_vec: Vec<f64> = logit_vars.iter().map(|v| grads.wrt(*v)).collect();
-        let mut params = [ParamGrad { param: &mut logits, grad: &mut grad_vec }];
+        let mut params = [ParamGrad {
+            param: &mut logits,
+            grad: &mut grad_vec,
+        }];
         opt.step(&mut params);
     }
 
     let mask = logits.iter().map(|&l| 1.0 / (1.0 + (-l).exp())).collect();
-    MaskResult { mask, loss_history, final_d, final_l1, final_entropy }
+    MaskResult {
+        mask,
+        loss_history,
+        final_d,
+        final_l1,
+        final_entropy,
+    }
 }
 
 #[cfg(test)]
@@ -222,18 +235,18 @@ mod tests {
         }
 
         fn reference_output(&self) -> Vec<f64> {
-            self.contributions.iter().map(|row| row.iter().sum()).collect()
+            self.contributions
+                .iter()
+                .map(|row| row.iter().sum())
+                .collect()
         }
 
         fn masked_output<'t>(&self, tape: &'t Tape, mask: &[Var<'t>]) -> Vec<Var<'t>> {
             self.contributions
                 .iter()
                 .map(|row| {
-                    let terms: Vec<Var<'t>> = row
-                        .iter()
-                        .zip(mask.iter())
-                        .map(|(&a, m)| *m * a)
-                        .collect();
+                    let terms: Vec<Var<'t>> =
+                        row.iter().zip(mask.iter()).map(|(&a, m)| *m * a).collect();
                     sum(tape, &terms)
                 })
                 .collect()
@@ -246,7 +259,9 @@ mod tests {
 
     fn toy() -> LinearSystem {
         // Connection 0 dominates the output; connections 1, 2 are noise.
-        LinearSystem { contributions: vec![vec![10.0, 0.05, 0.02]] }
+        LinearSystem {
+            contributions: vec![vec![10.0, 0.05, 0.02]],
+        }
     }
 
     #[test]
@@ -272,7 +287,13 @@ mod tests {
 
     #[test]
     fn loss_decreases() {
-        let result = optimize_mask(&toy(), &MaskConfig { steps: 200, ..Default::default() });
+        let result = optimize_mask(
+            &toy(),
+            &MaskConfig {
+                steps: 200,
+                ..Default::default()
+            },
+        );
         let first = result.loss_history[0];
         let last = *result.loss_history.last().unwrap();
         assert!(last < first, "loss should decrease: {first} -> {last}");
@@ -282,8 +303,20 @@ mod tests {
     fn lambda1_shrinks_masks() {
         // Figure 29(a): increasing λ₁ penalizes ‖W‖ and shifts the mask CDF
         // downward.
-        let lo = optimize_mask(&toy(), &MaskConfig { lambda1: 0.05, ..Default::default() });
-        let hi = optimize_mask(&toy(), &MaskConfig { lambda1: 2.0, ..Default::default() });
+        let lo = optimize_mask(
+            &toy(),
+            &MaskConfig {
+                lambda1: 0.05,
+                ..Default::default()
+            },
+        );
+        let hi = optimize_mask(
+            &toy(),
+            &MaskConfig {
+                lambda1: 2.0,
+                ..Default::default()
+            },
+        );
         assert!(
             hi.scale() < lo.scale(),
             "higher lambda1 must shrink scale: {} vs {}",
@@ -300,11 +333,19 @@ mod tests {
         };
         let lo = optimize_mask(
             &sys,
-            &MaskConfig { lambda2: 0.0, steps: 400, ..Default::default() },
+            &MaskConfig {
+                lambda2: 0.0,
+                steps: 400,
+                ..Default::default()
+            },
         );
         let hi = optimize_mask(
             &sys,
-            &MaskConfig { lambda2: 3.0, steps: 400, ..Default::default() },
+            &MaskConfig {
+                lambda2: 3.0,
+                steps: 400,
+                ..Default::default()
+            },
         );
         assert!(
             hi.mean_entropy() <= lo.mean_entropy() + 1e-9,
@@ -338,7 +379,13 @@ mod tests {
                 OutputKind::Discrete
             }
         }
-        let result = optimize_mask(&DistSystem, &MaskConfig { steps: 400, ..Default::default() });
+        let result = optimize_mask(
+            &DistSystem,
+            &MaskConfig {
+                steps: 400,
+                ..Default::default()
+            },
+        );
         // The dominant-mass connection must rank first.
         assert_eq!(result.ranked()[0], 0);
         assert!(result.final_d.is_finite());

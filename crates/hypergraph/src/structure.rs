@@ -250,7 +250,10 @@ mod tests {
         assert_eq!(h.add_edge(&[]).unwrap_err(), HypergraphError::EmptyEdge);
         assert_eq!(
             h.add_edge(&[0, 3]).unwrap_err(),
-            HypergraphError::VertexOutOfRange { vertex: 3, n_vertices: 3 }
+            HypergraphError::VertexOutOfRange {
+                vertex: 3,
+                n_vertices: 3
+            }
         );
         assert_eq!(
             h.add_edge(&[1, 1]).unwrap_err(),

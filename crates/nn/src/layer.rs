@@ -114,7 +114,11 @@ impl Dense {
 
     /// Create from explicit weights (tests, hand-built models).
     pub fn from_weights(w: Matrix, b: Vec<f64>, activation: Activation) -> Self {
-        assert_eq!(w.cols(), b.len(), "Dense::from_weights: bias width mismatch");
+        assert_eq!(
+            w.cols(),
+            b.len(),
+            "Dense::from_weights: bias width mismatch"
+        );
         Dense {
             w,
             b,
@@ -197,11 +201,9 @@ impl Dense {
         let mut grad_pre = Matrix::zeros(grad_out.rows(), grad_out.cols());
         {
             let gp = grad_pre.data_mut();
-            for i in 0..gp.len() {
-                let g = grad_out.data()[i];
-                let x = pre.data()[i];
-                let y = out.data()[i];
-                gp[i] = g * act.derivative(x, y);
+            let elems = grad_out.data().iter().zip(pre.data()).zip(out.data());
+            for (gp_i, ((&g, &x), &y)) in gp.iter_mut().zip(elems) {
+                *gp_i = g * act.derivative(x, y);
             }
         }
         // dW = input^T * grad_pre ; db = column sums of grad_pre
@@ -226,8 +228,14 @@ impl Dense {
     pub fn params(&mut self) -> Vec<ParamGrad<'_>> {
         self.ensure_grads();
         vec![
-            ParamGrad { param: self.w.data_mut(), grad: self.gw.as_mut().unwrap().data_mut() },
-            ParamGrad { param: &mut self.b, grad: &mut self.gb },
+            ParamGrad {
+                param: self.w.data_mut(),
+                grad: self.gw.as_mut().unwrap().data_mut(),
+            },
+            ParamGrad {
+                param: &mut self.b,
+                grad: &mut self.gb,
+            },
         ]
     }
 }
@@ -396,8 +404,14 @@ impl Conv1D {
     pub fn params(&mut self) -> Vec<ParamGrad<'_>> {
         self.ensure_grads();
         vec![
-            ParamGrad { param: self.w.data_mut(), grad: self.gw.as_mut().unwrap().data_mut() },
-            ParamGrad { param: &mut self.b, grad: &mut self.gb },
+            ParamGrad {
+                param: self.w.data_mut(),
+                grad: self.gw.as_mut().unwrap().data_mut(),
+            },
+            ParamGrad {
+                param: &mut self.b,
+                grad: &mut self.gb,
+            },
         ]
     }
 }
@@ -425,8 +439,14 @@ mod tests {
     fn dense_relu_clamps() {
         let w = Matrix::from_rows(&[&[1.0]]);
         let mut d = Dense::from_weights(w, vec![0.0], Activation::Relu);
-        assert_eq!(d.forward(&Matrix::row_vector(&[-2.0])), Matrix::row_vector(&[0.0]));
-        assert_eq!(d.forward(&Matrix::row_vector(&[2.0])), Matrix::row_vector(&[2.0]));
+        assert_eq!(
+            d.forward(&Matrix::row_vector(&[-2.0])),
+            Matrix::row_vector(&[0.0])
+        );
+        assert_eq!(
+            d.forward(&Matrix::row_vector(&[2.0])),
+            Matrix::row_vector(&[2.0])
+        );
     }
 
     /// Finite-difference gradient check of the dense layer (weights, bias,
@@ -434,7 +454,12 @@ mod tests {
     #[test]
     fn dense_gradcheck() {
         let mut rng = rng();
-        for act in [Activation::Tanh, Activation::Sigmoid, Activation::LeakyRelu, Activation::Linear] {
+        for act in [
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::LeakyRelu,
+            Activation::Linear,
+        ] {
             let mut layer = Dense::new(3, 2, act, Init::XavierUniform, &mut rng);
             let x = Matrix::from_rows(&[&[0.3, -0.7, 0.5], &[1.1, 0.2, -0.4]]);
             // loss = 0.5 * sum(y^2) => dL/dy = y
@@ -449,8 +474,18 @@ mod tests {
                     xp[(r, c)] += eps;
                     let mut xm = x.clone();
                     xm[(r, c)] -= eps;
-                    let lp: f64 = layer.forward_inference(&xp).data().iter().map(|v| 0.5 * v * v).sum();
-                    let lm: f64 = layer.forward_inference(&xm).data().iter().map(|v| 0.5 * v * v).sum();
+                    let lp: f64 = layer
+                        .forward_inference(&xp)
+                        .data()
+                        .iter()
+                        .map(|v| 0.5 * v * v)
+                        .sum();
+                    let lm: f64 = layer
+                        .forward_inference(&xm)
+                        .data()
+                        .iter()
+                        .map(|v| 0.5 * v * v)
+                        .sum();
                     let fd = (lp - lm) / (2.0 * eps);
                     assert!(
                         (fd - gin[(r, c)]).abs() < 1e-5,
@@ -479,8 +514,18 @@ mod tests {
                 lp_layer.w[(r, c)] += eps;
                 let mut lm_layer = layer.clone();
                 lm_layer.w[(r, c)] -= eps;
-                let lp: f64 = lp_layer.forward_inference(&x).data().iter().map(|v| 0.5 * v * v).sum();
-                let lm: f64 = lm_layer.forward_inference(&x).data().iter().map(|v| 0.5 * v * v).sum();
+                let lp: f64 = lp_layer
+                    .forward_inference(&x)
+                    .data()
+                    .iter()
+                    .map(|v| 0.5 * v * v)
+                    .sum();
+                let lm: f64 = lm_layer
+                    .forward_inference(&x)
+                    .data()
+                    .iter()
+                    .map(|v| 0.5 * v * v)
+                    .sum();
                 let fd = (lp - lm) / (2.0 * eps);
                 assert!(
                     (fd - gw[(r, c)]).abs() < 1e-5,
@@ -540,8 +585,18 @@ mod tests {
             xp[(0, c)] += eps;
             let mut xm = x.clone();
             xm[(0, c)] -= eps;
-            let lp: f64 = layer.forward_inference(&xp).data().iter().map(|v| 0.5 * v * v).sum();
-            let lm: f64 = layer.forward_inference(&xm).data().iter().map(|v| 0.5 * v * v).sum();
+            let lp: f64 = layer
+                .forward_inference(&xp)
+                .data()
+                .iter()
+                .map(|v| 0.5 * v * v)
+                .sum();
+            let lm: f64 = layer
+                .forward_inference(&xm)
+                .data()
+                .iter()
+                .map(|v| 0.5 * v * v)
+                .sum();
             let fd = (lp - lm) / (2.0 * eps);
             assert!(
                 (fd - gin[(0, c)]).abs() < 1e-5,

@@ -41,7 +41,10 @@ pub fn huber(pred: &[f64], target: &[f64], delta: f64) -> (f64, Vec<f64>) {
 /// Takes raw logits; the returned gradient is with respect to the logits
 /// (the well-known `softmax - onehot` form).
 pub fn softmax_cross_entropy(logits: &[f64], target: usize) -> (f64, Vec<f64>) {
-    assert!(target < logits.len(), "softmax_cross_entropy: target out of range");
+    assert!(
+        target < logits.len(),
+        "softmax_cross_entropy: target out of range"
+    );
     let probs = softmax(logits);
     let loss = -(probs[target].max(1e-12)).ln();
     let mut grad = probs;

@@ -19,12 +19,20 @@ pub struct Matrix {
 impl Matrix {
     /// Create a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Create a matrix from a row-major data vector.
@@ -53,7 +61,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Create a matrix by evaluating `f(row, col)` at each position.
@@ -69,7 +81,11 @@ impl Matrix {
 
     /// A 1 x n row vector.
     pub fn row_vector(v: &[f64]) -> Self {
-        Matrix { rows: 1, cols: v.len(), data: v.to_vec() }
+        Matrix {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -244,7 +260,10 @@ impl Matrix {
 
     /// Split off the last `right_cols` columns; returns `(left, right)`.
     pub fn hsplit(&self, right_cols: usize) -> (Matrix, Matrix) {
-        assert!(right_cols <= self.cols, "hsplit: too many columns requested");
+        assert!(
+            right_cols <= self.cols,
+            "hsplit: too many columns requested"
+        );
         let left_cols = self.cols - right_cols;
         let mut left = Matrix::zeros(self.rows, left_cols);
         let mut right = Matrix::zeros(self.rows, right_cols);

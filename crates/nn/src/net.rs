@@ -27,14 +27,21 @@ impl Mlp {
         out_act: Activation,
         rng: &mut rand::rngs::StdRng,
     ) -> Self {
-        assert!(dims.len() >= 2, "Mlp::new: need at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "Mlp::new: need at least input and output dims"
+        );
         let init = match hidden_act {
             Activation::Relu | Activation::LeakyRelu => Init::HeUniform,
             _ => Init::XavierUniform,
         };
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
-            let act = if i + 2 == dims.len() { out_act } else { hidden_act };
+            let act = if i + 2 == dims.len() {
+                out_act
+            } else {
+                hidden_act
+            };
             layers.push(Dense::new(dims[i], dims[i + 1], act, init, rng));
         }
         Mlp { layers }
@@ -90,7 +97,9 @@ impl Mlp {
 
     /// Convenience: run inference on a single feature vector.
     pub fn predict(&self, features: &[f64]) -> Vec<f64> {
-        self.forward_inference(&Matrix::row_vector(features)).data().to_vec()
+        self.forward_inference(&Matrix::row_vector(features))
+            .data()
+            .to_vec()
     }
 
     /// Backward pass from the output gradient; accumulates parameter

@@ -37,7 +37,9 @@ pub trait Network: Clone {
 
     /// Run inference on a single feature vector.
     fn predict(&self, features: &[f64]) -> Vec<f64> {
-        self.forward_inference(&Matrix::row_vector(features)).data().to_vec()
+        self.forward_inference(&Matrix::row_vector(features))
+            .data()
+            .to_vec()
     }
 }
 
@@ -95,6 +97,9 @@ mod tests {
         assert_eq!(out.shape(), (1, 2));
         assert_eq!(Network::in_dim(&mlp), 3);
         assert_eq!(Network::out_dim(&mlp), 2);
-        assert_eq!(Network::predict(&mlp, &[0.1, 0.2, 0.3]), out.data().to_vec());
+        assert_eq!(
+            Network::predict(&mlp, &[0.1, 0.2, 0.3]),
+            out.data().to_vec()
+        );
     }
 }

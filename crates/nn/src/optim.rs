@@ -58,7 +58,11 @@ pub struct Momentum {
 impl Momentum {
     pub fn new(lr: f64, beta: f64) -> Self {
         assert!(lr > 0.0 && (0.0..1.0).contains(&beta));
-        Momentum { lr, beta, velocity: Vec::new() }
+        Momentum {
+            lr,
+            beta,
+            velocity: Vec::new(),
+        }
     }
 
     fn ensure_state(&mut self, params: &[ParamGrad<'_>]) {
@@ -108,7 +112,15 @@ impl Adam {
 
     pub fn with_betas(lr: f64, beta1: f64, beta2: f64) -> Self {
         assert!(lr > 0.0 && (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
-        Adam { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     fn ensure_state(&mut self, params: &[ParamGrad<'_>]) {
@@ -176,7 +188,10 @@ mod tests {
         let mut g = [0.0_f64];
         for _ in 0..steps {
             g[0] = 2.0 * (x[0] - 3.0);
-            let mut params = [ParamGrad { param: &mut x, grad: &mut g }];
+            let mut params = [ParamGrad {
+                param: &mut x,
+                grad: &mut g,
+            }];
             opt.step(&mut params);
         }
         x[0]
@@ -207,9 +222,16 @@ mod tests {
             let mut x = [0.0_f64];
             let mut g = [scale];
             let mut opt = Adam::new(0.1);
-            let mut params = [ParamGrad { param: &mut x, grad: &mut g }];
+            let mut params = [ParamGrad {
+                param: &mut x,
+                grad: &mut g,
+            }];
             opt.step(&mut params);
-            assert!((x[0] + 0.1).abs() < 1e-6, "first adam step should be -lr, got {}", x[0]);
+            assert!(
+                (x[0] + 0.1).abs() < 1e-6,
+                "first adam step should be -lr, got {}",
+                x[0]
+            );
         }
     }
 
@@ -221,8 +243,14 @@ mod tests {
         let mut g2 = [4.0];
         {
             let mut params = [
-                ParamGrad { param: &mut p1, grad: &mut g1 },
-                ParamGrad { param: &mut p2, grad: &mut g2 },
+                ParamGrad {
+                    param: &mut p1,
+                    grad: &mut g1,
+                },
+                ParamGrad {
+                    param: &mut p2,
+                    grad: &mut g2,
+                },
             ];
             let norm = clip_grad_norm(&mut params, 1.0);
             assert!((norm - 5.0).abs() < 1e-12);
@@ -231,7 +259,10 @@ mod tests {
         assert!((g2[0] - 0.8).abs() < 1e-12);
         // Below the limit: unchanged.
         {
-            let mut params = [ParamGrad { param: &mut p1, grad: &mut g1 }];
+            let mut params = [ParamGrad {
+                param: &mut p1,
+                grad: &mut g1,
+            }];
             clip_grad_norm(&mut params, 10.0);
         }
         assert!((g1[0] - 0.6).abs() < 1e-12);

@@ -43,7 +43,9 @@ impl Default for Tape {
 
 impl Tape {
     pub fn new() -> Self {
-        Tape { nodes: RefCell::new(Vec::new()) }
+        Tape {
+            nodes: RefCell::new(Vec::new()),
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -58,7 +60,11 @@ impl Tape {
     /// Create a leaf variable.
     pub fn var(&self, val: f64) -> Var<'_> {
         let idx = self.push(NO_PARENT, 0.0, NO_PARENT, 0.0);
-        Var { tape: self, idx, val }
+        Var {
+            tape: self,
+            idx,
+            val,
+        }
     }
 
     /// Create many leaf variables at once.
@@ -68,18 +74,29 @@ impl Tape {
 
     fn push(&self, p0: usize, d0: f64, p1: usize, d1: f64) -> usize {
         let mut nodes = self.nodes.borrow_mut();
-        nodes.push(Node { parents: [p0, p1], partials: [d0, d1] });
+        nodes.push(Node {
+            parents: [p0, p1],
+            partials: [d0, d1],
+        });
         nodes.len() - 1
     }
 
     fn unary(&self, a: &Var<'_>, val: f64, da: f64) -> Var<'_> {
         let idx = self.push(a.idx, da, NO_PARENT, 0.0);
-        Var { tape: self, idx, val }
+        Var {
+            tape: self,
+            idx,
+            val,
+        }
     }
 
     fn binary(&self, a: &Var<'_>, b: &Var<'_>, val: f64, da: f64, db: f64) -> Var<'_> {
         let idx = self.push(a.idx, da, b.idx, db);
-        Var { tape: self, idx, val }
+        Var {
+            tape: self,
+            idx,
+            val,
+        }
     }
 }
 
@@ -241,7 +258,8 @@ impl<'t> Sub for Var<'t> {
 impl<'t> Mul for Var<'t> {
     type Output = Var<'t>;
     fn mul(self, rhs: Var<'t>) -> Var<'t> {
-        self.tape.binary(&self, &rhs, self.val * rhs.val, rhs.val, self.val)
+        self.tape
+            .binary(&self, &rhs, self.val * rhs.val, rhs.val, self.val)
     }
 }
 
@@ -312,6 +330,7 @@ impl<'t> Mul<Var<'t>> for f64 {
 
 impl<'t> Div<Var<'t>> for f64 {
     type Output = Var<'t>;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a / b == recip(b) * a
     fn div(self, rhs: Var<'t>) -> Var<'t> {
         rhs.recip() * self
     }
@@ -462,7 +481,7 @@ mod tests {
             let s = x.sigmoid();
             prop_assert!(s.value() > 0.0 && s.value() < 1.0);
             let g = s.grad().wrt(x);
-            prop_assert!(g >= 0.0 && g <= 0.25 + 1e-12);
+            prop_assert!((0.0..=0.25 + 1e-12).contains(&g));
         }
     }
 }

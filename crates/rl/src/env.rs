@@ -72,12 +72,21 @@ pub mod test_envs {
 
     impl BanditEnv {
         pub fn new(contexts: usize, horizon: usize, seed: u64) -> Self {
-            BanditEnv { contexts, horizon, t: 0, state: 0, seed }
+            BanditEnv {
+                contexts,
+                horizon,
+                t: 0,
+                state: 0,
+                seed,
+            }
         }
 
         fn next_state(&self) -> usize {
             // Deterministic pseudo-random context sequence.
-            let mut h = self.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(self.t as u64);
+            let mut h = self
+                .seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(self.t as u64);
             h ^= h >> 31;
             h = h.wrapping_mul(0xBF58476D1CE4E5B9);
             (h >> 16) as usize % self.contexts
@@ -102,7 +111,11 @@ pub mod test_envs {
             let reward = if action == self.state { 1.0 } else { 0.0 };
             self.t += 1;
             self.state = self.next_state();
-            Step { obs: self.obs_vec(), reward, done: self.t >= self.horizon }
+            Step {
+                obs: self.obs_vec(),
+                reward,
+                done: self.t >= self.horizon,
+            }
         }
 
         fn n_actions(&self) -> usize {
@@ -120,6 +133,12 @@ pub mod test_envs {
     pub struct DelayedEnv {
         pub t: usize,
         pub latch: usize,
+    }
+
+    impl Default for DelayedEnv {
+        fn default() -> Self {
+            Self::new()
+        }
     }
 
     impl DelayedEnv {
@@ -140,12 +159,20 @@ pub mod test_envs {
                 0 => {
                     self.latch = action;
                     self.t = 1;
-                    Step { obs: vec![1.0, self.latch as f64], reward: 0.0, done: false }
+                    Step {
+                        obs: vec![1.0, self.latch as f64],
+                        reward: 0.0,
+                        done: false,
+                    }
                 }
                 _ => {
                     let reward = if self.latch == 1 { 1.0 } else { 0.0 };
                     self.t = 2;
-                    Step { obs: vec![2.0, self.latch as f64], reward, done: true }
+                    Step {
+                        obs: vec![2.0, self.latch as f64],
+                        reward,
+                        done: true,
+                    }
                 }
             }
         }

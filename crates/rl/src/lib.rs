@@ -16,13 +16,17 @@
 //!   takeover and the Eq.-1 advantage resampler.
 
 pub mod env;
+pub mod par;
 pub mod policy;
 pub mod rollout;
 pub mod train;
 pub mod viper;
 
 pub use env::{q_by_cloning, Env, Step};
+pub use par::{mix_seed, parallel_map_indexed, resolve_threads};
 pub use policy::{sample_categorical, ConstantPolicy, Policy, SoftmaxPolicy, UniformPolicy};
-pub use rollout::{evaluate, rollout, ActionMode, Trajectory};
+pub use rollout::{evaluate, evaluate_pool, rollout, ActionMode, EpisodeScore, Trajectory};
 pub use train::{ActorCritic, EpochStats, TrainConfig};
-pub use viper::{collect, fidelity, resample_by_weight, CollectConfig, Controller, SampledState};
+pub use viper::{
+    collect, collect_seeded, fidelity, resample_by_weight, CollectConfig, Controller, SampledState,
+};

@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn constant_policy_always_acts() {
-        let p = ConstantPolicy { action: 2, n_actions: 4 };
+        let p = ConstantPolicy {
+            action: 2,
+            n_actions: 4,
+        };
         assert_eq!(p.act_greedy(&[0.0]), 2);
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(p.act_sample(&[0.0], &mut rng), 2);

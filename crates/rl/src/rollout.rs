@@ -65,7 +65,11 @@ pub fn rollout<E: Env, P: Policy + ?Sized>(
             ActionMode::Sample => policy.act_sample(&obs, rng),
             ActionMode::Greedy => policy.act_greedy(&obs),
         };
-        let Step { obs: next, reward, done } = env.step(action);
+        let Step {
+            obs: next,
+            reward,
+            done,
+        } = env.step(action);
         traj.observations.push(obs);
         traj.actions.push(action);
         traj.rewards.push(reward);
@@ -96,6 +100,41 @@ pub fn evaluate<E: Env, P: Policy + ?Sized>(
         total += rollout(&mut e, policy, ActionMode::Greedy, max_steps, rng).total_reward();
     }
     total / episodes as f64
+}
+
+/// Summary of one greedy evaluation episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeScore {
+    /// Total undiscounted reward of the episode.
+    pub total_reward: f64,
+    /// Number of decision steps taken.
+    pub steps: usize,
+}
+
+/// Greedy episode score of a policy on every environment of a pool, with
+/// the episodes fanned across `threads` workers (0 = all cores) and the
+/// results merged in environment order — identical output for any thread
+/// count. Each episode's RNG derives from `seed` and the environment
+/// index (greedy rollouts only consume it if a policy samples internally).
+pub fn evaluate_pool<E: Env + Sync, P: Policy + Sync + ?Sized>(
+    pool: &[E],
+    policy: &P,
+    max_steps: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<EpisodeScore> {
+    use rand::SeedableRng;
+    crate::par::parallel_map_indexed(pool.len(), threads, |i| {
+        let mut env = pool[i].clone();
+        let mut rng = StdRng::seed_from_u64(crate::par::mix_seed(
+            seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        ));
+        let traj = rollout(&mut env, policy, ActionMode::Greedy, max_steps, &mut rng);
+        EpisodeScore {
+            total_reward: traj.total_reward(),
+            steps: traj.len(),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -130,7 +169,10 @@ mod tests {
     #[test]
     fn rollout_stops_at_terminal() {
         let mut env = DelayedEnv::new();
-        let policy = ConstantPolicy { action: 1, n_actions: 2 };
+        let policy = ConstantPolicy {
+            action: 1,
+            n_actions: 2,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let traj = rollout(&mut env, &policy, ActionMode::Greedy, 100, &mut rng);
         assert_eq!(traj.len(), 2);
@@ -141,7 +183,10 @@ mod tests {
     #[test]
     fn rollout_records_aligned_tuples() {
         let mut env = DelayedEnv::new();
-        let policy = ConstantPolicy { action: 0, n_actions: 2 };
+        let policy = ConstantPolicy {
+            action: 0,
+            n_actions: 2,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let traj = rollout(&mut env, &policy, ActionMode::Greedy, 100, &mut rng);
         assert_eq!(traj.observations.len(), traj.actions.len());
@@ -155,8 +200,26 @@ mod tests {
         // For DelayedEnv, always-1 is optimal (return 1), always-0 gets 0.
         let env = DelayedEnv::new();
         let mut rng = StdRng::seed_from_u64(0);
-        let good = evaluate(&env, &ConstantPolicy { action: 1, n_actions: 2 }, 5, 100, &mut rng);
-        let bad = evaluate(&env, &ConstantPolicy { action: 0, n_actions: 2 }, 5, 100, &mut rng);
+        let good = evaluate(
+            &env,
+            &ConstantPolicy {
+                action: 1,
+                n_actions: 2,
+            },
+            5,
+            100,
+            &mut rng,
+        );
+        let bad = evaluate(
+            &env,
+            &ConstantPolicy {
+                action: 0,
+                n_actions: 2,
+            },
+            5,
+            100,
+            &mut rng,
+        );
         assert_eq!(good, 1.0);
         assert_eq!(bad, 0.0);
     }

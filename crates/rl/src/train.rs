@@ -85,7 +85,13 @@ impl ActorCritic<Mlp> {
         let critic = Mlp::new(&critic_dims, Activation::Tanh, Activation::Linear, rng);
         let actor_opt = Adam::new(config.actor_lr);
         let critic_opt = Adam::new(config.critic_lr);
-        ActorCritic { policy: SoftmaxPolicy::new(actor), critic, actor_opt, critic_opt, config }
+        ActorCritic {
+            policy: SoftmaxPolicy::new(actor),
+            critic,
+            actor_opt,
+            critic_opt,
+            config,
+        }
     }
 }
 
@@ -95,7 +101,13 @@ impl<N: Network> ActorCritic<N> {
     pub fn from_networks(actor: N, critic: Mlp, config: TrainConfig) -> Self {
         let actor_opt = Adam::new(config.actor_lr);
         let critic_opt = Adam::new(config.critic_lr);
-        ActorCritic { policy: SoftmaxPolicy::new(actor), critic, actor_opt, critic_opt, config }
+        ActorCritic {
+            policy: SoftmaxPolicy::new(actor),
+            critic,
+            actor_opt,
+            critic_opt,
+            config,
+        }
     }
 
     /// Critic value estimate for one observation.
@@ -130,15 +142,19 @@ impl<N: Network> ActorCritic<N> {
         let mut returns: Vec<f64> = Vec::new();
         for traj in trajectories {
             let g = traj.discounted_returns(gamma);
-            for t in 0..traj.len() {
-                observations.push(&traj.observations[t]);
-                actions.push(traj.actions[t]);
-                returns.push(g[t]);
+            for ((obs, &action), ret) in traj.observations.iter().zip(&traj.actions).zip(g) {
+                observations.push(obs);
+                actions.push(action);
+                returns.push(ret);
             }
         }
         let n = observations.len();
         if n == 0 {
-            return EpochStats { mean_return: 0.0, mean_entropy: 0.0, mean_episode_len: 0.0 };
+            return EpochStats {
+                mean_return: 0.0,
+                mean_entropy: 0.0,
+                mean_episode_len: 0.0,
+            };
         }
 
         let obs_dim = observations[0].len();
@@ -165,8 +181,11 @@ impl<N: Network> ActorCritic<N> {
         let mut advantages: Vec<f64> = (0..n).map(|i| returns[i] - values[(i, 0)]).collect();
         if self.config.normalize_advantages && n > 1 {
             let mean = advantages.iter().sum::<f64>() / n as f64;
-            let var =
-                advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n as f64;
+            let var = advantages
+                .iter()
+                .map(|a| (a - mean) * (a - mean))
+                .sum::<f64>()
+                / n as f64;
             let std = var.sqrt().max(1e-8);
             for a in &mut advantages {
                 *a = (*a - mean) / std;
@@ -180,17 +199,19 @@ impl<N: Network> ActorCritic<N> {
         let mut total_entropy = 0.0;
         for i in 0..n {
             let probs = softmax(logits.row(i));
-            let entropy: f64 =
-                -probs.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>();
+            let entropy: f64 = -probs
+                .iter()
+                .filter(|&&p| p > 0.0)
+                .map(|&p| p * p.ln())
+                .sum::<f64>();
             total_entropy += entropy;
             for k in 0..n_actions {
                 let onehot = if k == actions[i] { 1.0 } else { 0.0 };
                 // d(-adv·lnπ)/dz_k = adv·(p_k − 1{k=a})
                 let pg = advantages[i] * (probs[k] - onehot);
                 // d(-β·H)/dz_k = β·p_k·(ln p_k + H)
-                let ent = self.config.entropy_coef
-                    * probs[k]
-                    * (probs[k].max(1e-12).ln() + entropy);
+                let ent =
+                    self.config.entropy_coef * probs[k] * (probs[k].max(1e-12).ln() + entropy);
                 actor_grad[(i, k)] = (pg + ent) / n as f64;
             }
         }
@@ -276,7 +297,10 @@ mod tests {
         }
         // Once the policy picks action 1, V(initial state) -> gamma * 1.
         let v0 = ac.value(&[0.0, 0.0]);
-        assert!(v0 > 0.5, "critic value at start should approach ~0.99, got {v0}");
+        assert!(
+            v0 > 0.5,
+            "critic value at start should approach ~0.99, got {v0}"
+        );
     }
 
     #[test]

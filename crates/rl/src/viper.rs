@@ -13,7 +13,7 @@
 use crate::env::{q_by_cloning, Env};
 use crate::policy::Policy;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// A labelled state collected from teacher rollouts.
 #[derive(Debug, Clone)]
@@ -26,15 +26,18 @@ pub struct SampledState {
 }
 
 /// Who drives the environment during collection.
+///
+/// Student policies are `Sync` so collection can fan episodes out across
+/// threads (every deployed student — trees, DNNs — is plain data).
 pub enum Controller<'a> {
     /// The teacher acts (round 0 of the conversion loop).
     Teacher,
     /// The student acts; the teacher only labels (plain DAgger).
-    Student(&'a dyn Policy),
+    Student(&'a (dyn Policy + Sync)),
     /// The student acts until it deviates from the teacher; from then on
     /// the teacher takes over with the given probability per step. This is
     /// the paper's "DNN takes over on the deviated trajectory".
-    StudentWithTakeover(&'a dyn Policy, f64),
+    StudentWithTakeover(&'a (dyn Policy + Sync), f64),
 }
 
 /// Collection parameters.
@@ -49,65 +52,122 @@ pub struct CollectConfig {
 
 impl Default for CollectConfig {
     fn default() -> Self {
-        CollectConfig { episodes: 16, max_steps: 1000, gamma: 0.99, weighted: true }
+        CollectConfig {
+            episodes: 16,
+            max_steps: 1000,
+            gamma: 0.99,
+            weighted: true,
+        }
     }
+}
+
+/// Derive the RNG seed of one episode from the collection's base seed
+/// (SplitMix64 finalizer — decorrelates episode streams regardless of
+/// which thread runs them).
+fn episode_seed(base: u64, episode: u64) -> u64 {
+    crate::par::mix_seed(base ^ episode.wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// Roll one labelled episode (the per-episode body of [`collect_seeded`]).
+fn collect_episode<E: Env, T: Policy + ?Sized>(
+    env: &E,
+    teacher: &T,
+    value_fn: &(impl Fn(&[f64]) -> f64 + ?Sized),
+    controller: &Controller<'_>,
+    cfg: &CollectConfig,
+    rng: &mut StdRng,
+) -> Vec<SampledState> {
+    let mut out = Vec::new();
+    let mut env = env.clone();
+    let mut obs = env.reset();
+    let mut teacher_in_control = matches!(controller, Controller::Teacher);
+    for _ in 0..cfg.max_steps {
+        let teacher_action = teacher.act_greedy(&obs);
+        let weight = if cfg.weighted {
+            let q = q_by_cloning(&env, value_fn, cfg.gamma);
+            let probs = teacher.action_probs(&obs);
+            let v: f64 = probs.iter().zip(q.iter()).map(|(p, qa)| p * qa).sum();
+            let qmin = q.iter().cloned().fold(f64::INFINITY, f64::min);
+            (v - qmin).max(0.0)
+        } else {
+            1.0
+        };
+        out.push(SampledState {
+            obs: obs.clone(),
+            teacher_action,
+            weight,
+        });
+
+        let action = match controller {
+            Controller::Teacher => teacher_action,
+            Controller::Student(student) => student.act_greedy(&obs),
+            Controller::StudentWithTakeover(student, p_takeover) => {
+                if teacher_in_control {
+                    teacher_action
+                } else {
+                    let sa = student.act_greedy(&obs);
+                    if sa != teacher_action && rng.gen_range(0.0..1.0) < *p_takeover {
+                        teacher_in_control = true;
+                        teacher_action
+                    } else {
+                        sa
+                    }
+                }
+            }
+        };
+        let step = env.step(action);
+        obs = step.obs;
+        if step.done {
+            break;
+        }
+    }
+    out
 }
 
 /// Collect labelled states by rolling through the environments in `pool`
 /// (cycled). `value_fn` is the bootstrap state-value estimate used for the
 /// Q lookahead (a trained critic, or `|_| 0.0` for undiscounted myopia).
-pub fn collect<E: Env, T: Policy + ?Sized>(
+///
+/// Episodes are independent: each gets its own RNG derived from `seed` and
+/// its episode index, and results are merged in episode order — so the
+/// output is **identical for every `threads` value** (0 = all cores).
+pub fn collect_seeded<E: Env + Sync, T: Policy + Sync + ?Sized>(
     pool: &[E],
     teacher: &T,
-    value_fn: impl Fn(&[f64]) -> f64,
+    value_fn: impl Fn(&[f64]) -> f64 + Sync,
+    controller: &Controller<'_>,
+    cfg: &CollectConfig,
+    seed: u64,
+    threads: usize,
+) -> Vec<SampledState> {
+    assert!(!pool.is_empty(), "collect: empty environment pool");
+    let per_episode = crate::par::parallel_map_indexed(cfg.episodes, threads, |ep| {
+        let mut rng = StdRng::seed_from_u64(episode_seed(seed, ep as u64));
+        collect_episode(
+            &pool[ep % pool.len()],
+            teacher,
+            &value_fn,
+            controller,
+            cfg,
+            &mut rng,
+        )
+    });
+    per_episode.into_iter().flatten().collect()
+}
+
+/// Single-threaded [`collect_seeded`] driven by a caller-owned RNG (the
+/// base seed is drawn from it, so successive calls differ as before).
+pub fn collect<E: Env + Sync, T: Policy + Sync + ?Sized>(
+    pool: &[E],
+    teacher: &T,
+    value_fn: impl Fn(&[f64]) -> f64 + Sync,
     controller: &Controller<'_>,
     cfg: &CollectConfig,
     rng: &mut StdRng,
 ) -> Vec<SampledState> {
-    assert!(!pool.is_empty(), "collect: empty environment pool");
-    let mut out = Vec::new();
-    for ep in 0..cfg.episodes {
-        let mut env = pool[ep % pool.len()].clone();
-        let mut obs = env.reset();
-        let mut teacher_in_control = matches!(controller, Controller::Teacher);
-        for _ in 0..cfg.max_steps {
-            let teacher_action = teacher.act_greedy(&obs);
-            let weight = if cfg.weighted {
-                let q = q_by_cloning(&env, &value_fn, cfg.gamma);
-                let probs = teacher.action_probs(&obs);
-                let v: f64 = probs.iter().zip(q.iter()).map(|(p, qa)| p * qa).sum();
-                let qmin = q.iter().cloned().fold(f64::INFINITY, f64::min);
-                (v - qmin).max(0.0)
-            } else {
-                1.0
-            };
-            out.push(SampledState { obs: obs.clone(), teacher_action, weight });
-
-            let action = match controller {
-                Controller::Teacher => teacher_action,
-                Controller::Student(student) => student.act_greedy(&obs),
-                Controller::StudentWithTakeover(student, p_takeover) => {
-                    if teacher_in_control {
-                        teacher_action
-                    } else {
-                        let sa = student.act_greedy(&obs);
-                        if sa != teacher_action && rng.gen_range(0.0..1.0) < *p_takeover {
-                            teacher_in_control = true;
-                            teacher_action
-                        } else {
-                            sa
-                        }
-                    }
-                }
-            };
-            let step = env.step(action);
-            obs = step.obs;
-            if step.done {
-                break;
-            }
-        }
-    }
-    out
+    use rand::RngCore;
+    let seed = rng.next_u64();
+    collect_seeded(pool, teacher, value_fn, controller, cfg, seed, 1)
 }
 
 /// Eq. 1: resample `n` states with replacement, with probability
@@ -186,10 +246,25 @@ mod tests {
     #[test]
     fn collect_labels_with_teacher_actions() {
         let pool = [DelayedEnv::new()];
-        let teacher = ConstantPolicy { action: 1, n_actions: 2 };
+        let teacher = ConstantPolicy {
+            action: 1,
+            n_actions: 2,
+        };
         let mut rng = StdRng::seed_from_u64(0);
-        let cfg = CollectConfig { episodes: 3, max_steps: 10, gamma: 0.9, weighted: false };
-        let states = collect(&pool, &teacher, |_| 0.0, &Controller::Teacher, &cfg, &mut rng);
+        let cfg = CollectConfig {
+            episodes: 3,
+            max_steps: 10,
+            gamma: 0.9,
+            weighted: false,
+        };
+        let states = collect(
+            &pool,
+            &teacher,
+            |_| 0.0,
+            &Controller::Teacher,
+            &cfg,
+            &mut rng,
+        );
         assert_eq!(states.len(), 6); // 2 steps per episode
         assert!(states.iter().all(|s| s.teacher_action == 1));
         assert!(states.iter().all(|s| s.weight == 1.0));
@@ -201,8 +276,20 @@ mod tests {
         // V - min Q = P(correct) * 1 = 1 for the oracle teacher.
         let pool = [BanditEnv::new(3, 5, 2)];
         let mut rng = StdRng::seed_from_u64(0);
-        let cfg = CollectConfig { episodes: 1, max_steps: 5, gamma: 0.9, weighted: true };
-        let states = collect(&pool, &OracleBandit, |_| 0.0, &Controller::Teacher, &cfg, &mut rng);
+        let cfg = CollectConfig {
+            episodes: 1,
+            max_steps: 5,
+            gamma: 0.9,
+            weighted: true,
+        };
+        let states = collect(
+            &pool,
+            &OracleBandit,
+            |_| 0.0,
+            &Controller::Teacher,
+            &cfg,
+            &mut rng,
+        );
         for s in &states {
             assert!((s.weight - 1.0).abs() < 1e-9, "weight {}", s.weight);
         }
@@ -221,10 +308,21 @@ mod tests {
         // deviating state, so the latch becomes... the student's action at
         // t=0 is recorded but control flips at the *deviating step itself*.
         let pool = [DelayedEnv::new()];
-        let teacher = ConstantPolicy { action: 1, n_actions: 2 };
-        let student = ConstantPolicy { action: 0, n_actions: 2 };
+        let teacher = ConstantPolicy {
+            action: 1,
+            n_actions: 2,
+        };
+        let student = ConstantPolicy {
+            action: 0,
+            n_actions: 2,
+        };
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = CollectConfig { episodes: 1, max_steps: 10, gamma: 0.9, weighted: false };
+        let cfg = CollectConfig {
+            episodes: 1,
+            max_steps: 10,
+            gamma: 0.9,
+            weighted: false,
+        };
         let states = collect(
             &pool,
             &teacher,
@@ -242,10 +340,21 @@ mod tests {
     #[test]
     fn student_controller_visits_student_states() {
         let pool = [DelayedEnv::new()];
-        let teacher = ConstantPolicy { action: 1, n_actions: 2 };
-        let student = ConstantPolicy { action: 0, n_actions: 2 };
+        let teacher = ConstantPolicy {
+            action: 1,
+            n_actions: 2,
+        };
+        let student = ConstantPolicy {
+            action: 0,
+            n_actions: 2,
+        };
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = CollectConfig { episodes: 1, max_steps: 10, gamma: 0.9, weighted: false };
+        let cfg = CollectConfig {
+            episodes: 1,
+            max_steps: 10,
+            gamma: 0.9,
+            weighted: false,
+        };
         let states = collect(
             &pool,
             &teacher,
@@ -262,8 +371,16 @@ mod tests {
     #[test]
     fn resample_prefers_heavy_states() {
         let states = vec![
-            SampledState { obs: vec![0.0], teacher_action: 0, weight: 0.01 },
-            SampledState { obs: vec![1.0], teacher_action: 1, weight: 100.0 },
+            SampledState {
+                obs: vec![0.0],
+                teacher_action: 0,
+                weight: 0.01,
+            },
+            SampledState {
+                obs: vec![1.0],
+                teacher_action: 1,
+                weight: 100.0,
+            },
         ];
         let mut rng = StdRng::seed_from_u64(5);
         let out = resample_by_weight(&states, 1000, &mut rng);
@@ -274,8 +391,16 @@ mod tests {
     #[test]
     fn resample_uniform_fallback_on_zero_weights() {
         let states = vec![
-            SampledState { obs: vec![0.0], teacher_action: 0, weight: 0.0 },
-            SampledState { obs: vec![1.0], teacher_action: 1, weight: 0.0 },
+            SampledState {
+                obs: vec![0.0],
+                teacher_action: 0,
+                weight: 0.0,
+            },
+            SampledState {
+                obs: vec![1.0],
+                teacher_action: 1,
+                weight: 0.0,
+            },
         ];
         let mut rng = StdRng::seed_from_u64(5);
         let out = resample_by_weight(&states, 500, &mut rng);
@@ -286,11 +411,25 @@ mod tests {
     #[test]
     fn fidelity_counts_matches() {
         let states = vec![
-            SampledState { obs: vec![0.0, 0.0], teacher_action: 1, weight: 1.0 },
-            SampledState { obs: vec![1.0, 1.0], teacher_action: 0, weight: 1.0 },
+            SampledState {
+                obs: vec![0.0, 0.0],
+                teacher_action: 1,
+                weight: 1.0,
+            },
+            SampledState {
+                obs: vec![1.0, 1.0],
+                teacher_action: 0,
+                weight: 1.0,
+            },
         ];
-        let student = ConstantPolicy { action: 1, n_actions: 2 };
-        let teacher = ConstantPolicy { action: 1, n_actions: 2 };
+        let student = ConstantPolicy {
+            action: 1,
+            n_actions: 2,
+        };
+        let teacher = ConstantPolicy {
+            action: 1,
+            n_actions: 2,
+        };
         assert_eq!(fidelity(&states, &student, &teacher), 0.5);
     }
 }

@@ -40,7 +40,11 @@ pub fn generate_demands(
             dst += 1;
         }
         if pairs.insert((src, dst)) {
-            demands.push(Demand { src, dst, volume: rng.gen_range(lo..=hi) });
+            demands.push(Demand {
+                src,
+                dst,
+                volume: rng.gen_range(lo..=hi),
+            });
         }
     }
     // Deterministic order regardless of hash iteration.

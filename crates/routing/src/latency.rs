@@ -23,7 +23,10 @@ pub struct LatencyModel {
 
 impl Default for LatencyModel {
     fn default() -> Self {
-        LatencyModel { propagation: 0.1, max_utilization: 0.95 }
+        LatencyModel {
+            propagation: 0.1,
+            max_utilization: 0.95,
+        }
     }
 }
 
@@ -34,7 +37,11 @@ impl LatencyModel {
         let mut loads = vec![0.0; topo.n_links()];
         for (d, path) in demands.iter().zip(routing.iter()) {
             assert_eq!(path[0], d.src, "path must start at the demand source");
-            assert_eq!(*path.last().unwrap(), d.dst, "path must end at the demand sink");
+            assert_eq!(
+                *path.last().unwrap(),
+                d.dst,
+                "path must end at the demand sink"
+            );
             for l in topo.path_links(path) {
                 loads[l] += d.volume;
             }
@@ -118,8 +125,16 @@ mod tests {
         let t = line_topo();
         let m = LatencyModel::default();
         let demands = vec![
-            Demand { src: 0, dst: 2, volume: 2.0 },
-            Demand { src: 1, dst: 2, volume: 3.0 },
+            Demand {
+                src: 0,
+                dst: 2,
+                volume: 2.0,
+            },
+            Demand {
+                src: 1,
+                dst: 2,
+                volume: 3.0,
+            },
         ];
         let routing = vec![vec![0, 1, 2], vec![1, 2]];
         let loads = m.link_loads(&t, &demands, &routing);
@@ -135,7 +150,11 @@ mod tests {
     fn path_latency_sums_hops() {
         let t = line_topo();
         let m = LatencyModel::default();
-        let demands = vec![Demand { src: 0, dst: 2, volume: 1.0 }];
+        let demands = vec![Demand {
+            src: 0,
+            dst: 2,
+            volume: 1.0,
+        }];
         let routing = vec![vec![0, 1, 2]];
         let lat = m.path_latencies(&t, &demands, &routing);
         let expected = 2.0 * (0.1 + 1.0 / 9.0);
@@ -147,8 +166,16 @@ mod tests {
         let t = Topology::nsfnet();
         let m = LatencyModel::default();
         let demands = vec![
-            Demand { src: 9, dst: 12, volume: 8.0 },
-            Demand { src: 11, dst: 12, volume: 1.0 },
+            Demand {
+                src: 9,
+                dst: 12,
+                volume: 8.0,
+            },
+            Demand {
+                src: 11,
+                dst: 12,
+                volume: 1.0,
+            },
         ];
         let routing = vec![vec![9, 12], vec![11, 12]];
         let lat = m.path_latencies(&t, &demands, &routing);
@@ -170,7 +197,11 @@ mod tests {
     fn mismatched_routing_rejected() {
         let t = line_topo();
         let m = LatencyModel::default();
-        let demands = vec![Demand { src: 0, dst: 2, volume: 1.0 }];
+        let demands = vec![Demand {
+            src: 0,
+            dst: 2,
+            volume: 1.0,
+        }];
         let _ = m.link_loads(&t, &demands, &vec![vec![1, 2]]);
     }
 }

@@ -30,7 +30,12 @@ pub fn shortest_hops(topo: &Topology, src: usize, dst: usize) -> Option<usize> {
 
 /// All simple (loop-free) node paths from `src` to `dst` with at most
 /// `max_hops` hops, in deterministic order (lexicographic by node id).
-pub fn all_paths_within(topo: &Topology, src: usize, dst: usize, max_hops: usize) -> Vec<Vec<usize>> {
+pub fn all_paths_within(
+    topo: &Topology,
+    src: usize,
+    dst: usize,
+    max_hops: usize,
+) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut visited = vec![false; topo.n_nodes()];
     let mut path = vec![src];

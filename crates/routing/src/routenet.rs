@@ -50,14 +50,24 @@ impl RouteNetModel {
         let b_link = w_link + d * in_dim;
         let w_out = b_link + d;
         let b_out = w_out + d;
-        Layout { w_path, b_path, w_link, b_link, w_out, b_out, total: b_out + 1 }
+        Layout {
+            w_path,
+            b_path,
+            w_link,
+            b_link,
+            w_out,
+            b_out,
+            total: b_out + 1,
+        }
     }
 
     /// Random initialization.
     pub fn new(hidden: usize, rng: &mut StdRng) -> Self {
         let layout = Self::layout(hidden);
         let scale = (1.0 / (2 * hidden + 1) as f64).sqrt();
-        let params = (0..layout.total).map(|_| rng.gen_range(-scale..scale)).collect();
+        let params = (0..layout.total)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
         RouteNetModel { hidden, params }
     }
 
@@ -87,8 +97,7 @@ impl RouteNetModel {
     ) -> Vec<f64> {
         let d = self.hidden;
         let layout = Self::layout(d);
-        let path_links: Vec<Vec<usize>> =
-            routing.iter().map(|p| topo.path_links(p)).collect();
+        let path_links: Vec<Vec<usize>> = routing.iter().map(|p| topo.path_links(p)).collect();
         if let Some(m) = mask {
             let n: usize = path_links.iter().map(|l| l.len()).sum();
             assert_eq!(m.len(), n, "mask length must equal connection count");
@@ -170,9 +179,12 @@ impl RouteNetModel {
             .iter()
             .map(|h| {
                 let mut acc = self.params[layout.b_out];
-                for k in 0..d {
-                    acc += self.params[layout.w_out + k] * h[k];
-                }
+                let w_out = &self.params[layout.w_out..layout.w_out + d];
+                acc += w_out
+                    .iter()
+                    .zip(h.iter())
+                    .map(|(w, hk)| w * hk)
+                    .sum::<f64>();
                 acc
             })
             .collect()
@@ -193,8 +205,7 @@ impl RouteNetModel {
         let d = self.hidden;
         let layout = Self::layout(d);
         assert_eq!(param_vars.len(), layout.total);
-        let path_links: Vec<Vec<usize>> =
-            routing.iter().map(|p| topo.path_links(p)).collect();
+        let path_links: Vec<Vec<usize>> = routing.iter().map(|p| topo.path_links(p)).collect();
 
         let mut h_link: Vec<Vec<Var<'t>>> = (0..topo.n_links())
             .map(|l| {
@@ -290,6 +301,7 @@ impl RouteNetModel {
     /// every candidate path of every demand by one path-update over the
     /// final (mask-shaped) link states plus the readout. Element `[i][c]`
     /// is the predicted delay of demand `i` on its `c`-th candidate.
+    #[allow(clippy::too_many_arguments)] // mirrors the message-passing signature
     pub fn candidate_delays_tape<'t>(
         &self,
         tape: &'t Tape,
@@ -305,8 +317,7 @@ impl RouteNetModel {
         // Re-run the masked message passing to obtain final link states.
         // (Duplicates forward_tape's loop so we can keep the link states;
         // the duplication is pinned by tests against forward_tape.)
-        let path_links: Vec<Vec<usize>> =
-            routing.iter().map(|p| topo.path_links(p)).collect();
+        let path_links: Vec<Vec<usize>> = routing.iter().map(|p| topo.path_links(p)).collect();
         let matvec = |w_off: usize, b_off: usize, input: &[Var<'t>]| -> Vec<Var<'t>> {
             let in_dim = 2 * d + 1;
             (0..d)
@@ -439,9 +450,11 @@ impl RouteNetModel {
                 loss = loss / truth.len() as f64;
                 epoch_loss += loss.value();
                 let grads = loss.grad();
-                let mut grad_vec: Vec<f64> =
-                    param_vars.iter().map(|v| grads.wrt(*v)).collect();
-                let mut pg = [ParamGrad { param: &mut self.params, grad: &mut grad_vec }];
+                let mut grad_vec: Vec<f64> = param_vars.iter().map(|v| grads.wrt(*v)).collect();
+                let mut pg = [ParamGrad {
+                    param: &mut self.params,
+                    grad: &mut grad_vec,
+                }];
                 opt.step(&mut pg);
             }
             history.push(epoch_loss / samples.len() as f64);
@@ -473,9 +486,21 @@ mod tests {
     fn setup() -> (Topology, Vec<Demand>, Routing) {
         let topo = Topology::nsfnet();
         let demands = vec![
-            Demand { src: 6, dst: 9, volume: 1.0 },
-            Demand { src: 0, dst: 12, volume: 2.0 },
-            Demand { src: 3, dst: 10, volume: 0.5 },
+            Demand {
+                src: 6,
+                dst: 9,
+                volume: 1.0,
+            },
+            Demand {
+                src: 0,
+                dst: 12,
+                volume: 2.0,
+            },
+            Demand {
+                src: 3,
+                dst: 10,
+                volume: 0.5,
+            },
         ];
         let routing: Routing = demands
             .iter()
@@ -494,7 +519,11 @@ mod tests {
         let pv = tape.vars(&model.params);
         let slow = model.forward_tape(&tape, &pv, &topo, &demands, &routing, None);
         for (a, b) in fast.iter().zip(slow.iter()) {
-            assert!((a - b.value()).abs() < 1e-12, "forwards diverge: {a} vs {}", b.value());
+            assert!(
+                (a - b.value()).abs() < 1e-12,
+                "forwards diverge: {a} vs {}",
+                b.value()
+            );
         }
     }
 

@@ -12,12 +12,8 @@ use crate::topo::Topology;
 /// Anything that can score a full routing assignment.
 pub trait LatencyPredictor {
     /// Per-demand predicted latency under `routing`.
-    fn predict_latencies(
-        &self,
-        topo: &Topology,
-        demands: &[Demand],
-        routing: &Routing,
-    ) -> Vec<f64>;
+    fn predict_latencies(&self, topo: &Topology, demands: &[Demand], routing: &Routing)
+        -> Vec<f64>;
 }
 
 impl LatencyPredictor for LatencyModel {
@@ -100,8 +96,16 @@ mod tests {
         let model = LatencyModel::default();
         // A huge demand pinned on 0->1; a light demand should detour.
         let demands = vec![
-            Demand { src: 0, dst: 1, volume: 9.0 },
-            Demand { src: 0, dst: 1, volume: 0.5 },
+            Demand {
+                src: 0,
+                dst: 1,
+                volume: 9.0,
+            },
+            Demand {
+                src: 0,
+                dst: 1,
+                volume: 0.5,
+            },
         ];
         // NOTE: both demands share the same (src,dst); the optimizer is
         // free to split them across candidates.
@@ -119,7 +123,11 @@ mod tests {
     fn optimizer_prefers_shortest_when_idle() {
         let topo = Topology::nsfnet();
         let model = LatencyModel::default();
-        let demands = vec![Demand { src: 6, dst: 9, volume: 0.1 }];
+        let demands = vec![Demand {
+            src: 6,
+            dst: 9,
+            volume: 0.1,
+        }];
         let routing = optimize_routing(&topo, &demands, &model, 2);
         assert_eq!(routing[0].len() - 1, 3, "idle network: shortest path wins");
     }
@@ -136,7 +144,10 @@ mod tests {
             .collect();
         let opt = model.mean_latency(&topo, &sample.demands, &routing);
         let base = model.mean_latency(&topo, &sample.demands, &shortest);
-        assert!(opt <= base + 1e-12, "optimizer must not lose to all-shortest");
+        assert!(
+            opt <= base + 1e-12,
+            "optimizer must not lose to all-shortest"
+        );
     }
 
     #[test]

@@ -29,11 +29,23 @@ impl Topology {
         for &(u, v) in edges {
             assert!(u < n_nodes && v < n_nodes && u != v, "bad edge ({u},{v})");
             adjacency[u].push((v, links.len()));
-            links.push(Link { src: u, dst: v, capacity });
+            links.push(Link {
+                src: u,
+                dst: v,
+                capacity,
+            });
             adjacency[v].push((u, links.len()));
-            links.push(Link { src: v, dst: u, capacity });
+            links.push(Link {
+                src: v,
+                dst: u,
+                capacity,
+            });
         }
-        Topology { n_nodes, links, adjacency }
+        Topology {
+            n_nodes,
+            links,
+            adjacency,
+        }
     }
 
     /// The 14-node NSFNet topology (21 undirected edges) used by RouteNet
@@ -88,7 +100,10 @@ impl Topology {
 
     /// Index of the directed link `u -> v`, if it exists.
     pub fn link_index(&self, u: usize, v: usize) -> Option<usize> {
-        self.adjacency[u].iter().find(|(n, _)| *n == v).map(|(_, l)| *l)
+        self.adjacency[u]
+            .iter()
+            .find(|(n, _)| *n == v)
+            .map(|(_, l)| *l)
     }
 
     /// Convert a node path into the directed link indices along it.

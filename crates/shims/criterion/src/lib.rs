@@ -1,0 +1,196 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benches use — groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `sample_size`, and
+//! the `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! warmup + timed-samples harness that prints mean/median per bench.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    pub fn new(function: impl std::fmt::Display, p: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{p}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing harness handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, one invocation per sample after a short warmup.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup: until ~50 ms or 3 iterations, whichever first.
+        let warm_start = Instant::now();
+        let mut warm = 0;
+        while warm < 3 && warm_start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(f());
+            warm += 1;
+        }
+        self.durations.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.durations.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_bench(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: samples.max(1),
+        durations: Vec::new(),
+    };
+    f(&mut b);
+    if b.durations.is_empty() {
+        println!("bench {name:<48} (no samples)");
+        return;
+    }
+    let mut sorted = b.durations.clone();
+    sorted.sort();
+    let total: Duration = b.durations.iter().sum();
+    let mean = total / b.durations.len() as u32;
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "bench {name:<48} mean {:>12}   median {:>12}   ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(median),
+        b.durations.len()
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("--- group {name} ---");
+        BenchmarkGroup {
+            group: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    group: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.group, id), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(
+            &format!("{}/{}", self.group, id),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,106 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest!` macro over functions whose arguments are `pat in strategy`
+//! bindings, range strategies over numeric types, fixed-length
+//! `collection::vec`, and `prop_assert!`/`prop_assert_eq!`. Each property
+//! runs a fixed number of deterministic cases (no shrinking).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+use std::ops::Range;
+
+/// Number of cases run per property.
+pub const CASES: usize = 64;
+
+/// A source of random test inputs.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Fixed-length vector strategy.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                    0xC0FFEE ^ stringify!($name).len() as u64,
+                );
+                for __case in 0..$crate::CASES {
+                    #[allow(unused_parens)]
+                    let ($($pat),*) = ($($crate::Strategy::sample(&($strat), &mut __rng)),*);
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges stay in bounds.
+        #[test]
+        fn prop_ranges_in_bounds(x in 0.0_f64..5.0, n in 1usize..10) {
+            prop_assert!((0.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn prop_vec_has_fixed_len(v in collection::vec(0usize..6, 48)) {
+            prop_assert_eq!(v.len(), 48);
+            prop_assert!(v.iter().all(|&e| e < 6));
+        }
+    }
+}

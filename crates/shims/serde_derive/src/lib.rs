@@ -1,0 +1,410 @@
+//! Offline stand-in for `serde_derive`, written against the raw
+//! `proc_macro` API (no `syn`/`quote` available offline).
+//!
+//! Supports exactly the shapes this workspace derives on:
+//! * structs with named fields,
+//! * tuple structs,
+//! * enums whose variants are unit, tuple, or struct-like.
+//!
+//! Generics are not supported (none of the derived types are generic).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    Struct { fields: Vec<Field> },
+    TupleStruct { arity: usize },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// Skip `#[...]` attribute token pairs starting at `i`, reporting whether
+/// one of them was `#[serde(skip)]`.
+fn skip_attrs_flagged(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let text = g.stream().to_string().replace(' ', "");
+                if text == "serde(skip)" {
+                    skip = true;
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, skip)
+}
+
+/// Skip `#[...]` attribute token pairs starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], i: usize) -> usize {
+    skip_attrs_flagged(tokens, i).0
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, …) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Count top-level comma-separated items in a token sequence, tracking
+/// angle-bracket depth so `Vec<(A, B)>` style types don't confuse it.
+fn count_top_level_items(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut items = 1usize;
+    let mut saw_any = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => items += 1,
+                _ => saw_any = true,
+            },
+            _ => saw_any = true,
+        }
+    }
+    // Trailing comma produces an empty last item.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' && depth == 0 {
+            items -= 1;
+        }
+    }
+    let _ = saw_any;
+    items
+}
+
+/// Parse `name: Type, ...` named-field lists.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let (next, skip) = skip_attrs_flagged(tokens, i);
+        i = skip_vis(tokens, next);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+        i += 1;
+        // Expect ':' then skip the type up to the next top-level ','.
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!(
+                "serde_derive shim: expected `:` after field `{}`",
+                fields.last().unwrap().name
+            ),
+        }
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_shape(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                (
+                    name,
+                    Shape::Struct {
+                        fields: parse_named_fields(&inner),
+                    },
+                )
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                (
+                    name,
+                    Shape::TupleStruct {
+                        arity: count_top_level_items(&inner),
+                    },
+                )
+            }
+            other => panic!("serde_derive shim: unsupported struct body {other:?}"),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("serde_derive shim: expected enum body");
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0usize;
+            while j < inner.len() {
+                j = skip_attrs(&inner, j);
+                let Some(TokenTree::Ident(vname)) = inner.get(j) else {
+                    break;
+                };
+                let vname = vname.to_string();
+                j += 1;
+                let kind = match inner.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let vt: Vec<TokenTree> = g.stream().into_iter().collect();
+                        j += 1;
+                        VariantKind::Tuple(count_top_level_items(&vt))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let vt: Vec<TokenTree> = g.stream().into_iter().collect();
+                        j += 1;
+                        VariantKind::Struct(parse_named_fields(&vt))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                variants.push(Variant { name: vname, kind });
+                // Skip to past the next top-level ','.
+                while j < inner.len() {
+                    if let TokenTree::Punct(p) = &inner[j] {
+                        if p.as_char() == ',' {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            (name, Shape::Enum { variants })
+        }
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { fields } => {
+            let pushes: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n",
+                        f = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(obj)"
+            )
+        }
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            if *arity == 1 {
+                items[0].clone()
+            } else {
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        Shape::Enum { variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n",
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), {inner})]),\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds =
+                            fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "__obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));",
+                                    f = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{ let mut __obj: Vec<(String, ::serde::Value)> = Vec::new(); {pushes} ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(__obj))]) }}\n",
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{f}: Default::default(),\n", f = f.name)
+                    } else {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::get_field(__obj, \"{f}\")?)?,\n",
+                            f = f.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\nOk({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct { arity } => {
+            if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                    .collect();
+                format!(
+                    "let __arr = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\nif __arr.len() != {arity} {{ return Err(::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\nOk({name}({items}))",
+                    items = items.join(", ")
+                )
+            }
+        }
+        Shape::Enum { variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{v}\" => return Ok({name}::{v}),\n", v = v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(arity) => {
+                        let expr = if *arity == 1 {
+                            format!("Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?))", v = v.name)
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __arr = __inner.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array\"))?; if __arr.len() != {arity} {{ return Err(::serde::Error::custom(\"wrong variant arity\")); }} Ok({name}::{v}({items})) }}",
+                                v = v.name,
+                                items = items.join(", ")
+                            )
+                        };
+                        Some(format!("\"{v}\" => return {expr},\n", v = v.name))
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{f}: Default::default(),", f = f.name)
+                                } else {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(__fields, \"{f}\")?)?,",
+                                        f = f.name
+                                    )
+                                }
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let __fields = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object\"))?; return Ok({name}::{v} {{ {inits} }}); }}\n",
+                            v = v.name
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(__s) = __v.as_str() {{\n match __s {{\n{unit_arms} _ => {{}} }}\n}}\nif let Some(__obj) = __v.as_object() {{\n if __obj.len() == 1 {{\n let (__tag, __inner) = &__obj[0];\n match __tag.as_str() {{\n{data_arms} _ => {{}} }}\n }}\n}}\nErr(::serde::Error::custom(\"no matching variant for {name}\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl must parse")
+}

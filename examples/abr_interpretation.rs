@@ -12,18 +12,20 @@ use metis::abr::{
     baseline_by_name, baseline_names, bitrate_labels, env_pool, feature_names, hsdpa_corpus,
     pensieve_agent, train_pensieve, NetworkTrace, PensieveArch, VideoModel,
 };
-use metis::core::{convert_policy, ConversionConfig};
+use metis::core::{ConversionConfig, ConversionPipeline};
 use metis::dt::{render, RenderOptions};
-use metis::rl::{evaluate, Policy};
+use metis::rl::Policy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
-fn mean_qoe(pool: &[metis::abr::AbrEnv], policy: &(impl Policy + ?Sized)) -> f64 {
-    let mut rng = StdRng::seed_from_u64(0);
-    let total: f64 = pool
+fn mean_qoe(pool: &[metis::abr::AbrEnv], policy: &(impl Policy + Sync + ?Sized)) -> f64 {
+    // The engine's parallel pool evaluator: greedy episodes fan across all
+    // cores, scores merge in trace order.
+    let total: f64 = metis::rl::evaluate_pool(pool, policy, 1000, 0, 0)
         .iter()
-        .map(|e| evaluate(e, policy, 1, 1000, &mut rng) / e.video().n_chunks() as f64)
+        .zip(pool)
+        .map(|(score, e)| score.total_reward / e.video().n_chunks() as f64)
         .sum();
     total / pool.len() as f64
 }
@@ -48,12 +50,22 @@ fn main() {
         max_steps: 512,
         ..Default::default()
     };
-    let result = convert_policy(
-        &train_pool,
-        &agent.policy,
-        move |obs| critic.predict(obs)[0],
-        &cfg,
-        &mut rng,
+    // The unified engine: collection rounds fan across all cores, the
+    // split search parallelizes per feature — same tree for any core
+    // count at a fixed seed.
+    let result = ConversionPipeline::new(&train_pool, &agent.policy, move |obs| {
+        critic.predict(obs)[0]
+    })
+    .conversion(cfg)
+    .seed(42)
+    .run();
+    println!(
+        "collected {} states in {:.2}s, fitted in {:.2}s ({:.0} samples/s on {} threads)",
+        result.stats.states_collected,
+        result.stats.collect_s,
+        result.stats.fit_s,
+        result.stats.samples_per_sec(),
+        result.stats.threads
     );
 
     println!("\n=== top layers of the interpretation (cf. paper Figure 7) ===");

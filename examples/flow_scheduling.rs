@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example flow_scheduling`
 
-use metis::core::{convert_policy, measure_latency, ConversionConfig};
+use metis::core::{measure_latency, ConversionConfig, ConversionPipeline};
 use metis::dt::CompiledTree;
 use metis::flowsched::{
     decode_action, generate_flows, lrla_agent, lrla_state, FabricConfig, FctStats, FlowSim,
@@ -16,7 +16,10 @@ use rand::SeedableRng;
 
 fn sim_config() -> SimConfig {
     SimConfig {
-        fabric: FabricConfig { n_servers: 8, link_bps: 10e9 },
+        fabric: FabricConfig {
+            n_servers: 8,
+            link_bps: 10e9,
+        },
         thresholds: MlfqThresholds::default_web_search(),
         long_flow_cutoff_bytes: 1e6,
         decision_latency_s: 0.0,
@@ -32,19 +35,27 @@ fn main() {
     let pool: Vec<LrlaEnv> = (0..3)
         .map(|i| {
             let mut wl = StdRng::seed_from_u64(100 + i);
-            LrlaEnv::new(generate_flows(&dist, 8, 10e9, 0.6, 0.02, &mut wl), sim_config())
+            LrlaEnv::new(
+                generate_flows(&dist, 8, 10e9, 0.6, 0.02, &mut wl),
+                sim_config(),
+            )
         })
         .collect();
     let mut agent = lrla_agent(
         &[32],
-        TrainConfig { episodes_per_epoch: 4, max_steps: 400, ..Default::default() },
+        TrainConfig {
+            episodes_per_epoch: 4,
+            max_steps: 400,
+            ..Default::default()
+        },
         &mut rng,
     );
     for _ in 0..20 {
         agent.train_epoch(&pool, &mut rng);
     }
 
-    // Convert to a decision tree (Table 4: M = 2000 for AuTO agents).
+    // Convert to a decision tree (Table 4: M = 2000 for AuTO agents)
+    // through the same unified engine the ABR scenario uses.
     println!("converting lRLA into a decision tree...");
     let critic = agent.critic.clone();
     let cfg = ConversionConfig {
@@ -54,12 +65,15 @@ fn main() {
         dagger_rounds: 1,
         ..Default::default()
     };
-    let tree = convert_policy(
-        &pool,
-        &agent.policy,
-        move |obs| critic.predict(obs)[0],
-        &cfg,
-        &mut rng,
+    let tree = ConversionPipeline::new(&pool, &agent.policy, move |obs| critic.predict(obs)[0])
+        .conversion(cfg)
+        .seed(42)
+        .run();
+    println!(
+        "pipeline: {} states, {:.0} samples/s end-to-end on {} threads",
+        tree.stats.states_collected,
+        tree.stats.samples_per_sec(),
+        tree.stats.threads
     );
 
     // FCT comparison on a fresh workload.
@@ -73,7 +87,11 @@ fn main() {
     let auto = fct_of(&agent.policy);
     let metis = fct_of(&tree.policy);
     println!("\n=== FCT (cf. paper Figure 15b) ===");
-    println!("AuTO (DNN):  mean {:.3} ms  p99 {:.3} ms", auto.mean_s * 1e3, auto.p99_s * 1e3);
+    println!(
+        "AuTO (DNN):  mean {:.3} ms  p99 {:.3} ms",
+        auto.mean_s * 1e3,
+        auto.p99_s * 1e3
+    );
     println!(
         "Metis tree:  mean {:.3} ms  p99 {:.3} ms  ({:.1}% of DNN mean)",
         metis.mean_s * 1e3,

@@ -22,7 +22,10 @@ fn main() {
         3,
         3,
         &[16],
-        TrainConfig { max_steps: 20, ..Default::default() },
+        TrainConfig {
+            max_steps: 20,
+            ..Default::default()
+        },
         &mut rng,
     );
     for _ in 0..150 {

@@ -58,12 +58,17 @@ fn main() {
 
     // Critical-connection search (Table 4 defaults: lambda1=0.25, lambda2=1).
     println!("running the critical-connection search...");
-    let cfg = MaskConfig { steps: 150, ..Default::default() };
-    let (result, report) =
-        interpret_routing(&model, &topo, &sample.demands, &routing, &cfg, 5);
+    let cfg = MaskConfig {
+        steps: 150,
+        ..Default::default()
+    };
+    let (result, report) = interpret_routing(&model, &topo, &sample.demands, &routing, &cfg, 5);
 
     println!("\n=== top-5 critical connections (cf. paper Table 3) ===");
-    println!("{:<22} {:<8} {:>7}  interpretation", "routing path", "link", "mask");
+    println!(
+        "{:<22} {:<8} {:>7}  interpretation",
+        "routing path", "link", "mask"
+    );
     for r in &report {
         println!("{:<22} {:<8} {:>7.3}  {}", r.path, r.link, r.mask, r.kind);
     }

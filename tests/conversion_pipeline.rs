@@ -1,14 +1,19 @@
 //! Cross-crate integration tests: the full §3.2 conversion pipeline on a
 //! real substrate (the ABR simulator), end to end.
 
-use metis::abr::{env_pool, hsdpa_corpus, pensieve_agent, train_pensieve, NetworkTrace, PensieveArch, VideoModel};
+use metis::abr::{
+    env_pool, hsdpa_corpus, pensieve_agent, train_pensieve, NetworkTrace, PensieveArch, VideoModel,
+};
 use metis::core::{convert_policy, ConversionConfig};
 use metis::rl::{evaluate, Policy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
-fn small_setup() -> (Vec<metis::abr::AbrEnv>, metis::rl::ActorCritic<metis::abr::PensieveNet>) {
+fn small_setup() -> (
+    Vec<metis::abr::AbrEnv>,
+    metis::rl::ActorCritic<metis::abr::PensieveNet>,
+) {
     let mut rng = StdRng::seed_from_u64(7);
     let video = Arc::new(VideoModel::standard(24, 3));
     let traces: Vec<Arc<NetworkTrace>> = hsdpa_corpus(6, 11).into_iter().map(Arc::new).collect();
@@ -44,12 +49,19 @@ fn tree_tracks_teacher_qoe_on_abr() {
     // QoE parity: the student should track the teacher closely across the
     // pool (within 15% on this small setup; the paper reports <2% at full
     // training scale).
-    let q_teacher: f64 =
-        pool.iter().map(|e| evaluate(e, &agent.policy, 1, 64, &mut rng)).sum::<f64>();
-    let q_tree: f64 =
-        pool.iter().map(|e| evaluate(e, &result.policy, 1, 64, &mut rng)).sum::<f64>();
+    let q_teacher: f64 = pool
+        .iter()
+        .map(|e| evaluate(e, &agent.policy, 1, 64, &mut rng))
+        .sum::<f64>();
+    let q_tree: f64 = pool
+        .iter()
+        .map(|e| evaluate(e, &result.policy, 1, 64, &mut rng))
+        .sum::<f64>();
     let rel = (q_tree - q_teacher).abs() / q_teacher.abs().max(1e-9);
-    assert!(rel < 0.15, "teacher {q_teacher:.2}, tree {q_tree:.2} (rel {rel:.3})");
+    assert!(
+        rel < 0.15,
+        "teacher {q_teacher:.2}, tree {q_tree:.2} (rel {rel:.3})"
+    );
 }
 
 #[test]
@@ -67,7 +79,7 @@ fn oversampling_keeps_all_observed_actions_present() {
     let result = convert_policy(&pool, &agent.policy, |_| 0.0, &cfg, &mut rng);
     assert!(result.policy.tree.n_leaves() <= 100);
     // The tree must be a valid policy over the full action space.
-    let probs = result.policy.action_probs(&vec![0.1; metis::abr::OBS_DIM]);
+    let probs = result.policy.action_probs(&[0.1; metis::abr::OBS_DIM]);
     assert_eq!(probs.len(), 6);
     assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
 }

@@ -18,9 +18,11 @@ fn full_interpretation_on_nsfnet() {
     let mut rng = StdRng::seed_from_u64(5);
     let model = RouteNetModel::new(4, &mut rng);
 
-    let cfg = MaskConfig { steps: 60, ..Default::default() };
-    let (result, report) =
-        interpret_routing(&model, &topo, &sample.demands, &routing, &cfg, 5);
+    let cfg = MaskConfig {
+        steps: 60,
+        ..Default::default()
+    };
+    let (result, report) = interpret_routing(&model, &topo, &sample.demands, &routing, &cfg, 5);
 
     // Masks valid and aligned with the hypergraph connection count.
     let h = routing_hypergraph(&topo, &sample.demands, &routing);
@@ -49,12 +51,25 @@ fn full_interpretation_on_nsfnet() {
 fn mask_search_is_deterministic() {
     let topo = Topology::nsfnet();
     let latency = LatencyModel::default();
-    let demands =
-        vec![Demand { src: 6, dst: 9, volume: 1.0 }, Demand { src: 0, dst: 12, volume: 2.0 }];
+    let demands = vec![
+        Demand {
+            src: 6,
+            dst: 9,
+            volume: 1.0,
+        },
+        Demand {
+            src: 0,
+            dst: 12,
+            volume: 2.0,
+        },
+    ];
     let routing = optimize_routing(&topo, &demands, &latency, 1);
     let mut rng = StdRng::seed_from_u64(9);
     let model = RouteNetModel::new(4, &mut rng);
-    let cfg = MaskConfig { steps: 40, ..Default::default() };
+    let cfg = MaskConfig {
+        steps: 40,
+        ..Default::default()
+    };
     let (r1, _) = interpret_routing(&model, &topo, &demands, &routing, &cfg, 3);
     let (r2, _) = interpret_routing(&model, &topo, &demands, &routing, &cfg, 3);
     assert_eq!(r1.mask, r2.mask, "the search has no stochastic component");
@@ -67,7 +82,11 @@ fn figure5_worked_example_roundtrip() {
     // (The unit-level checks live in metis-hypergraph; here we verify the
     // routing-to-hypergraph integration path.)
     let topo = Topology::nsfnet();
-    let demands = vec![Demand { src: 6, dst: 9, volume: 1.0 }];
+    let demands = vec![Demand {
+        src: 6,
+        dst: 9,
+        volume: 1.0,
+    }];
     let routing = vec![vec![6, 7, 10, 9]];
     let h = routing_hypergraph(&topo, &demands, &routing);
     assert_eq!(h.n_edges(), 1);
