@@ -54,7 +54,6 @@ fn lrla_teacher_and_tree(
     for _ in 0..25 {
         agent.train_epoch(&pool, &mut rng);
     }
-    let critic = agent.critic.clone();
     let cfg = ConversionConfig {
         max_leaf_nodes: 2000,
         episodes_per_round: 3,
@@ -62,7 +61,8 @@ fn lrla_teacher_and_tree(
         dagger_rounds: 1,
         ..Default::default()
     };
-    let tree = ConversionPipeline::new(&pool, &agent.policy, move |obs| critic.predict(obs)[0])
+    // Critic-bootstrapped Eq.-1 weights through the batched value path.
+    let tree = ConversionPipeline::with_value(&pool, &agent.policy, agent.value_estimate())
         .conversion(cfg)
         .seed(seed ^ 0xA07)
         .run();

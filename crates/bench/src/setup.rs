@@ -58,10 +58,11 @@ pub fn pensieve(seed: u64, arch: PensieveArch, epochs: usize) -> PensieveSetup {
 /// Convert the teacher to a tree with paper defaults (M = 200) through
 /// the unified engine (critic-bootstrapped Eq.-1 weights, all cores).
 pub fn pensieve_tree(setup: &PensieveSetup, seed: u64, cfg: &ConversionConfig) -> ConversionResult {
-    let critic = setup.agent.critic.clone();
-    ConversionPipeline::new(&setup.train_pool, &setup.agent.policy, move |obs| {
-        critic.predict(obs)[0]
-    })
+    ConversionPipeline::with_value(
+        &setup.train_pool,
+        &setup.agent.policy,
+        setup.agent.value_estimate(),
+    )
     .conversion(cfg.clone())
     .seed(seed)
     .run()

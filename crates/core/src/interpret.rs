@@ -2,13 +2,17 @@
 //! §6.5): formulate the routing as a hypergraph, run the critical-
 //! connection search, classify the top connections (Table 3), correlate
 //! mask mass with link traffic (Figure 9b), and drive ad-hoc rerouting
-//! decisions (Figure 18).
+//! decisions (Figure 18). Also the local-system instance of the same
+//! search ([`interpret_policy_features`]): a feature mask on an MLP policy
+//! over recorded observations, evaluated through the batched block
+//! gradient of [`metis_hypergraph::MaskedMlp`].
 
 use metis_hypergraph::{
-    optimize_mask, Hypergraph, MaskConfig, MaskResult, MaskedSystem, OutputKind,
+    optimize_mask, Hypergraph, MaskConfig, MaskResult, MaskedMlp, MaskedSystem, OutputKind,
 };
 use metis_nn::net::softmax;
 use metis_nn::tape::{Tape, Var};
+use metis_nn::Mlp;
 use metis_routing::{
     candidates_for, connections, Demand, LatencyModel, RouteNetModel, Routing, Topology,
 };
@@ -249,6 +253,49 @@ pub fn interpret_routing(
                 demand_idx: p,
                 link_idx: l,
             }
+        })
+        .collect();
+    (result, reports)
+}
+
+/// One row of the local-system (feature-mask) interpretation report.
+#[derive(Debug, Clone)]
+pub struct FeatureReport {
+    /// Feature name (or `feature <i>` when no names are supplied).
+    pub feature: String,
+    /// Observation-feature index of the connection.
+    pub index: usize,
+    /// Surviving mask value.
+    pub mask: f64,
+}
+
+/// Run the §4 critical-connection search over a **local** system: mask
+/// the observation features of an MLP policy (ABR, flow scheduling)
+/// against a batch of recorded observations, and report the ranked
+/// critical features. The gradient evaluation batches observations into
+/// [`metis_hypergraph::MaskedMlp`] blocks and shards them across
+/// `mask_cfg.threads` workers; results are identical for any thread
+/// count and bit-identical to the per-obs oracle.
+pub fn interpret_policy_features(
+    net: &Mlp,
+    observations: Vec<Vec<f64>>,
+    feature_names: Option<&[String]>,
+    mask_cfg: &MaskConfig,
+    top_k: usize,
+) -> (MaskResult, Vec<FeatureReport>) {
+    if let Some(names) = feature_names {
+        assert_eq!(names.len(), net.in_dim(), "feature name count mismatch");
+    }
+    let system = MaskedMlp::new(net, observations, OutputKind::Discrete);
+    let result = optimize_mask(&system, mask_cfg);
+    let reports = result
+        .ranked()
+        .into_iter()
+        .take(top_k)
+        .map(|i| FeatureReport {
+            feature: feature_names.map_or_else(|| format!("feature {i}"), |n| n[i].clone()),
+            index: i,
+            mask: result.mask[i],
         })
         .collect();
     (result, reports)

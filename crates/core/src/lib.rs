@@ -38,8 +38,9 @@ pub use convert::{
 };
 pub use deploy::{measure_latency, ArtifactCost, LatencyStats};
 pub use interpret::{
-    adhoc_points, classify_connection, interpret_routing, mask_mass_per_link, routing_hypergraph,
-    AdhocPoint, ConnectionReport, InterpretationKind, MaskedRouting,
+    adhoc_points, classify_connection, interpret_policy_features, interpret_routing,
+    mask_mass_per_link, routing_hypergraph, AdhocPoint, ConnectionReport, FeatureReport,
+    InterpretationKind, MaskedRouting,
 };
 pub use pipeline::{ConversionPipeline, PipelineStats};
 pub use stats::{ecdf, mean, pearson, quadrant13_fraction, std_dev};

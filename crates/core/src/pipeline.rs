@@ -8,15 +8,20 @@
 //! scheduling, and anything future) runs through the same code path
 //! instead of hand-rolling the loop per experiment.
 //!
-//! Parallelism is explicit and deterministic:
+//! Parallelism and batching are explicit and deterministic:
 //!
 //! * **Episode-level** — collection rounds fan independent seeded episodes
 //!   across threads and merge by episode index
 //!   ([`metis_rl::collect_seeded`]).
+//! * **Batch-level** — within each episode, teacher labels/distributions
+//!   and Eq.-1 value lookaheads are issued as matrix-matrix passes (one
+//!   per episode) instead of per-obs matrix-vector queries; fidelity
+//!   evaluation labels the whole dataset in one batched pass. Both are
+//!   bit-identical to the per-obs oracle (`metis_rl::viper::oracle`).
 //! * **Feature-level** — tree fitting scans features in parallel over a
 //!   sort-once presorted index ([`metis_dt::TreeConfig::threads`]).
 //!
-//! Same seed ⇒ identical tree, for **any** thread count.
+//! Same seed ⇒ identical tree, for **any** thread count and batch size.
 //!
 //! ```
 //! use metis_core::ConversionPipeline;
@@ -36,6 +41,7 @@ use crate::convert::{oversample_rare_actions, ConversionConfig, ConversionResult
 use metis_dt::{fit, prune_to_leaves, Criterion, Dataset, TreeConfig};
 use metis_rl::{
     collect_seeded, resample_by_weight, CollectConfig, Controller, Env, Policy, SampledState,
+    ValueEstimate,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -90,9 +96,26 @@ where
     V: Fn(&[f64]) -> f64 + Sync,
 {
     /// Build a pipeline over an environment pool, a teacher policy, and a
-    /// bootstrap value estimate for the Eq.-1 Q lookahead (the teacher's
-    /// critic, or `|_| 0.0` for myopic weights).
+    /// closure bootstrap value estimate for the Eq.-1 Q lookahead
+    /// (`|_| 0.0` for myopic weights). Closures are queried per-obs; for
+    /// batched value labelling wrap a critic network and use
+    /// [`ConversionPipeline::with_value`].
     pub fn new(pool: &'a [E], teacher: &'a T, value_fn: V) -> Self {
+        Self::with_value(pool, teacher, value_fn)
+    }
+}
+
+impl<'a, E, T, V> ConversionPipeline<'a, E, T, V>
+where
+    E: Env + Sync,
+    T: Policy + Sync + ?Sized,
+    V: ValueEstimate,
+{
+    /// Build a pipeline with any [`ValueEstimate`] — in particular
+    /// [`metis_rl::NetworkValue`] wrapping the teacher's critic, whose
+    /// Eq.-1 afterstate lookups then run as one batched forward pass per
+    /// episode instead of one per observation.
+    pub fn with_value(pool: &'a [E], teacher: &'a T, value_fn: V) -> Self {
         assert!(
             !pool.is_empty(),
             "ConversionPipeline: empty environment pool"
@@ -161,7 +184,12 @@ where
         stats.collect_s += t0.elapsed().as_secs_f64();
 
         let mut student = self.debug_oversample_and_fit(&mut all_states, n_actions, 0, &mut stats);
-        let mut fidelity_history = vec![metis_rl::fidelity(&all_states, &student, self.teacher)];
+        let mut fidelity_history = vec![metis_rl::fidelity_sharded(
+            &all_states,
+            &student,
+            self.teacher,
+            self.threads,
+        )];
 
         // DAgger rounds: the student drives, the teacher labels and takes
         // over on deviation (§3.2 Step 1).
@@ -180,7 +208,12 @@ where
             all_states.extend(new_states);
             student =
                 self.debug_oversample_and_fit(&mut all_states, n_actions, round as u64, &mut stats);
-            fidelity_history.push(metis_rl::fidelity(&all_states, &student, self.teacher));
+            fidelity_history.push(metis_rl::fidelity_sharded(
+                &all_states,
+                &student,
+                self.teacher,
+                self.threads,
+            ));
         }
 
         stats.states_collected = all_states.len();

@@ -9,13 +9,20 @@
 //!   incidence matrix of Eq. 3 (the Figure-5 example is a unit test),
 //! * [`mask`] — the differentiable critical-connection search of Figure 6:
 //!   `min D(Y_W, Y_I) + λ₁‖W‖ + λ₂H(W)` with the sigmoid gating of Eq. 9,
-//!   optimized with Adam over the `metis-nn` autodiff tape.
+//!   optimized with Adam over the `metis-nn` autodiff tape; per-iteration
+//!   gradients are sharded across threads and merged by connection index,
+//!   so results are identical for any thread count,
+//! * [`nnmask::MaskedMlp`] — the local-system instance: a feature mask on
+//!   an MLP policy over a batch of observations, with a batched
+//!   block-parallel gradient path pinned bit-for-bit to a per-obs oracle.
 //!
 //! Domain formulations (which system maps to which hypergraph) live in
 //! `metis-core::formulate`; this crate is domain-agnostic.
 
 pub mod mask;
+pub mod nnmask;
 pub mod structure;
 
 pub use mask::{optimize_mask, MaskConfig, MaskResult, MaskedSystem, OutputKind};
+pub use nnmask::MaskedMlp;
 pub use structure::{EdgeId, Hypergraph, HypergraphError, VertexId};

@@ -19,6 +19,7 @@
 //! A *high* surviving mask value marks a connection whose damping would
 //! change the system output a lot — a **critical** connection.
 
+use metis_nn::par::parallel_map_indexed;
 use metis_nn::tape::{sum, Tape, Var};
 use metis_nn::{Adam, Optimizer, ParamGrad};
 
@@ -50,6 +51,56 @@ pub trait MaskedSystem {
 
     /// Which `D` to use.
     fn output_kind(&self) -> OutputKind;
+
+    /// Value of the similarity term `D(Y_W, Y_I)` (Eq. 6) and its gradient
+    /// with respect to the mask values, against a precomputed reference.
+    ///
+    /// The default records one scalar tape over the full
+    /// [`MaskedSystem::masked_output`] — correct for monolithic systems
+    /// whose output couples every connection (RouteNet message passing).
+    /// Row-separable systems (one independent output block per
+    /// observation, e.g. [`crate::nnmask::MaskedMlp`]) override this with
+    /// a batched, thread-sharded evaluation whose result is **bit-identical
+    /// for any thread count** (per-row gradients merged in row order).
+    fn d_value_grad(&self, mask: &[f64], reference: &[f64], _threads: usize) -> (f64, Vec<f64>) {
+        let tape = Tape::new();
+        let mask_vars = tape.vars(mask);
+        let output = self.masked_output(&tape, &mask_vars);
+        assert_eq!(
+            output.len(),
+            reference.len(),
+            "masked_output length must match reference_output"
+        );
+        let d = d_term(&tape, &output, reference, self.output_kind());
+        let grads = d.grad();
+        (d.value(), mask_vars.iter().map(|v| grads.wrt(*v)).collect())
+    }
+}
+
+/// Eq.-6 similarity between a masked output on a tape and the reference.
+pub(crate) fn d_term<'t>(
+    tape: &'t Tape,
+    output: &[Var<'t>],
+    reference: &[f64],
+    kind: OutputKind,
+) -> Var<'t> {
+    let terms: Vec<Var<'t>> = match kind {
+        OutputKind::Discrete => output
+            .iter()
+            .zip(reference.iter())
+            .map(|(yw, &yi)| {
+                // y_w ln(y_w / y_i); reference floored for safety.
+                let ratio = *yw / yi.max(1e-12);
+                *yw * ratio.ln()
+            })
+            .collect(),
+        OutputKind::Continuous => output
+            .iter()
+            .zip(reference.iter())
+            .map(|(yw, &yi)| (*yw - yi).square())
+            .collect(),
+    };
+    sum(tape, &terms)
 }
 
 /// Hyperparameters (paper Table 4: λ₁ = 0.25, λ₂ = 1 for RouteNet*).
@@ -73,6 +124,10 @@ pub struct MaskConfig {
     /// D-vs-λ₁ equilibrium settles prevents that transient from being
     /// frozen at the W=1 pole.
     pub entropy_warmup: f64,
+    /// Worker threads for the per-iteration gradient evaluation
+    /// (0 = all cores). Results are **identical for any value**: work is
+    /// sharded by block/connection index and merged back in index order.
+    pub threads: usize,
 }
 
 impl Default for MaskConfig {
@@ -84,6 +139,7 @@ impl Default for MaskConfig {
             steps: 300,
             init_logit: 0.0,
             entropy_warmup: 0.5,
+            threads: 0,
         }
     }
 }
@@ -134,7 +190,26 @@ impl MaskResult {
     }
 }
 
+/// Binary entropy of one mask value with the tape's log clamping.
+fn binary_entropy_val(w: f64) -> f64 {
+    -(w * w.max(1e-300).ln() + (1.0 - w) * (1.0 - w).max(1e-300).ln())
+}
+
+/// `dH/dw` with the same clamping: `ln(1-w) − ln(w)`.
+fn binary_entropy_grad(w: f64) -> f64 {
+    (1.0 - w).max(1e-300).ln() - w.max(1e-300).ln()
+}
+
 /// Run the critical-connection search (Adam on the gating logits).
+///
+/// Each iteration evaluates the `D` term's mask gradient through
+/// [`MaskedSystem::d_value_grad`] (batched/thread-sharded where the
+/// system supports it), adds the closed-form ‖W‖ and `H(W)` gradients,
+/// chains through the Eq.-9 sigmoid gate per connection, and takes one
+/// Adam step. Per-connection work is sharded across `cfg.threads` workers
+/// and merged back by connection index, so the result is identical for
+/// any thread count. The pre-refactor single-tape optimizer is retained
+/// as [`reference::optimize_mask_single_tape`] and pinned by parity tests.
 pub fn optimize_mask<S: MaskedSystem>(system: &S, cfg: &MaskConfig) -> MaskResult {
     let n = system.n_connections();
     let reference = system.reference_output();
@@ -150,57 +225,30 @@ pub fn optimize_mask<S: MaskedSystem>(system: &S, cfg: &MaskConfig) -> MaskResul
         } else {
             cfg.lambda2
         };
-        let tape = Tape::new();
-        let logit_vars = tape.vars(&logits);
-        let mask: Vec<Var<'_>> = logit_vars.iter().map(|v| v.sigmoid()).collect();
+        // Eq. 9 gate: W = sigmoid(W′), elementwise per connection.
+        let mask: Vec<f64> = logits.iter().map(|&l| 1.0 / (1.0 + (-l).exp())).collect();
 
-        let output = system.masked_output(&tape, &mask);
-        assert_eq!(
-            output.len(),
-            reference.len(),
-            "masked_output length must match reference_output"
-        );
+        let (d_val, d_grad) = system.d_value_grad(&mask, &reference, cfg.threads);
+        assert_eq!(d_grad.len(), n, "d_value_grad: gradient length mismatch");
 
-        // D(Y_W, Y_I) — Eq. 6.
-        let d = match system.output_kind() {
-            OutputKind::Discrete => {
-                let terms: Vec<Var<'_>> = output
-                    .iter()
-                    .zip(reference.iter())
-                    .map(|(yw, &yi)| {
-                        // y_w ln(y_w / y_i); reference floored for safety.
-                        let ratio = *yw / yi.max(1e-12);
-                        *yw * ratio.ln()
-                    })
-                    .collect();
-                sum(&tape, &terms)
-            }
-            OutputKind::Continuous => {
-                let terms: Vec<Var<'_>> = output
-                    .iter()
-                    .zip(reference.iter())
-                    .map(|(yw, &yi)| (*yw - yi).square())
-                    .collect();
-                sum(&tape, &terms)
-            }
-        };
+        // ‖W‖ (Eq. 7) and H(W) (Eq. 8) plus the per-connection chain rule
+        // through the sigmoid gate: independent across connections, so the
+        // steps shard across threads and merge by connection index.
+        let per_conn = parallel_map_indexed(n, threads_for(cfg.threads, n), |i| {
+            let w = mask[i];
+            let dw_dlogit = w * (1.0 - w);
+            let dl_dw = d_grad[i] + cfg.lambda1 + l2_now * binary_entropy_grad(w);
+            (w, binary_entropy_val(w), dl_dw * dw_dlogit)
+        });
+        let l1_val = per_conn.iter().fold(0.0, |acc, &(w, _, _)| acc + w);
+        let ent_val = per_conn.iter().fold(0.0, |acc, &(_, h, _)| acc + h);
+        let mut grad_vec: Vec<f64> = per_conn.into_iter().map(|(_, _, g)| g).collect();
 
-        // ‖W‖ — Eq. 7 (masks are already in (0,1): |W| = W).
-        let l1_terms: Vec<Var<'_>> = mask.to_vec();
-        let l1 = sum(&tape, &l1_terms);
+        loss_history.push(d_val + l1_val * cfg.lambda1 + ent_val * l2_now);
+        final_d = d_val;
+        final_l1 = l1_val;
+        final_entropy = ent_val;
 
-        // H(W) — Eq. 8.
-        let ent_terms: Vec<Var<'_>> = mask.iter().map(|w| w.binary_entropy()).collect();
-        let entropy = sum(&tape, &ent_terms);
-
-        let loss = d + l1 * cfg.lambda1 + entropy * l2_now;
-        loss_history.push(loss.value());
-        final_d = d.value();
-        final_l1 = l1.value();
-        final_entropy = entropy.value();
-
-        let grads = loss.grad();
-        let mut grad_vec: Vec<f64> = logit_vars.iter().map(|v| grads.wrt(*v)).collect();
         let mut params = [ParamGrad {
             param: &mut logits,
             grad: &mut grad_vec,
@@ -215,6 +263,86 @@ pub fn optimize_mask<S: MaskedSystem>(system: &S, cfg: &MaskConfig) -> MaskResul
         final_d,
         final_l1,
         final_entropy,
+    }
+}
+
+/// Shard the per-connection loop only when there is enough work for the
+/// fork/join to pay off; below the threshold the sequential path produces
+/// the identical index-ordered result.
+fn threads_for(requested: usize, n: usize) -> usize {
+    if n < 512 {
+        1
+    } else {
+        requested
+    }
+}
+
+/// The pre-refactor optimizer, kept verbatim as the behavioural oracle
+/// for the batched/parallel implementation: one scalar tape per step
+/// carrying the gate, the D term, and both penalties. Gradients agree
+/// with the new path up to floating-point association (the λ-terms are
+/// now closed-form), so parity is asserted on the *ranked* masks.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    pub fn optimize_mask_single_tape<S: MaskedSystem>(system: &S, cfg: &MaskConfig) -> MaskResult {
+        let n = system.n_connections();
+        let reference = system.reference_output();
+        let mut logits = vec![cfg.init_logit; n];
+        let mut opt = Adam::new(cfg.learning_rate);
+        let mut loss_history = Vec::with_capacity(cfg.steps);
+        let (mut final_d, mut final_l1, mut final_entropy) = (0.0, 0.0, 0.0);
+
+        for step in 0..cfg.steps {
+            let warmup_steps = cfg.entropy_warmup * cfg.steps as f64;
+            let l2_now = if (step as f64) < warmup_steps {
+                0.0
+            } else {
+                cfg.lambda2
+            };
+            let tape = Tape::new();
+            let logit_vars = tape.vars(&logits);
+            let mask: Vec<Var<'_>> = logit_vars.iter().map(|v| v.sigmoid()).collect();
+
+            let output = system.masked_output(&tape, &mask);
+            assert_eq!(
+                output.len(),
+                reference.len(),
+                "masked_output length must match reference_output"
+            );
+            let d = d_term(&tape, &output, &reference, system.output_kind());
+
+            // ‖W‖ — Eq. 7 (masks are already in (0,1): |W| = W).
+            let l1 = sum(&tape, &mask);
+
+            // H(W) — Eq. 8.
+            let ent_terms: Vec<Var<'_>> = mask.iter().map(|w| w.binary_entropy()).collect();
+            let entropy = sum(&tape, &ent_terms);
+
+            let loss = d + l1 * cfg.lambda1 + entropy * l2_now;
+            loss_history.push(loss.value());
+            final_d = d.value();
+            final_l1 = l1.value();
+            final_entropy = entropy.value();
+
+            let grads = loss.grad();
+            let mut grad_vec: Vec<f64> = logit_vars.iter().map(|v| grads.wrt(*v)).collect();
+            let mut params = [ParamGrad {
+                param: &mut logits,
+                grad: &mut grad_vec,
+            }];
+            opt.step(&mut params);
+        }
+
+        let mask = logits.iter().map(|&l| 1.0 / (1.0 + (-l).exp())).collect();
+        MaskResult {
+            mask,
+            loss_history,
+            final_d,
+            final_l1,
+            final_entropy,
+        }
     }
 }
 
@@ -277,6 +405,47 @@ mod tests {
             "noise connections should be suppressed: {:?}",
             result.mask
         );
+    }
+
+    /// The refactored per-connection optimizer must agree with the
+    /// retained single-tape oracle: same ranking, near-identical masks.
+    #[test]
+    fn new_optimizer_matches_single_tape_reference() {
+        let sys = LinearSystem {
+            contributions: vec![vec![8.0, 3.0, 1.0, 0.3, 0.05]],
+        };
+        let cfg = MaskConfig::default();
+        let new = optimize_mask(&sys, &cfg);
+        let old = reference::optimize_mask_single_tape(&sys, &cfg);
+        assert_eq!(new.ranked(), old.ranked());
+        for (a, b) in new.mask.iter().zip(old.mask.iter()) {
+            assert!((a - b).abs() < 1e-6, "mask drift: {a} vs {b}");
+        }
+        assert!((new.final_d - old.final_d).abs() < 1e-6);
+        assert!((new.final_l1 - old.final_l1).abs() < 1e-9);
+        assert!((new.final_entropy - old.final_entropy).abs() < 1e-9);
+    }
+
+    /// Thread count must not change a single bit of the result.
+    #[test]
+    fn optimizer_thread_count_invariant() {
+        let sys = LinearSystem {
+            contributions: vec![(0..600).map(|i| (i as f64 * 0.37).sin()).collect()],
+        };
+        let run = |threads: usize| {
+            optimize_mask(
+                &sys,
+                &MaskConfig {
+                    steps: 25,
+                    threads,
+                    ..Default::default()
+                },
+            )
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.mask, b.mask);
+        assert_eq!(a.loss_history, b.loss_history);
     }
 
     #[test]

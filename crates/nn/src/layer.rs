@@ -147,6 +147,11 @@ impl Dense {
         &self.b
     }
 
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
     /// Number of learnable parameters.
     pub fn param_count(&self) -> usize {
         self.w.rows() * self.w.cols() + self.b.len()
@@ -179,12 +184,11 @@ impl Dense {
         out
     }
 
-    /// Inference-only forward pass: no caches are written, `&self` receiver.
+    /// Inference-only forward pass: no caches are written, `&self`
+    /// receiver. Uses the fused kernel (bias + activation applied at tile
+    /// write-back) — bit-identical to the unfused training forward.
     pub fn forward_inference(&self, input: &Matrix) -> Matrix {
-        let mut pre = input.matmul(&self.w);
-        pre.add_row_broadcast(&self.b);
-        pre.map_inplace(|x| self.activation.apply(x));
-        pre
+        input.matmul_bias_act(&self.w, &self.b, self.activation)
     }
 
     /// Backward pass. Accumulates `gw`/`gb` and returns dL/d(input).
@@ -206,14 +210,16 @@ impl Dense {
                 *gp_i = g * act.derivative(x, y);
             }
         }
-        // dW = input^T * grad_pre ; db = column sums of grad_pre
-        let gw_update = input.transpose().matmul(&grad_pre);
+        // dW = input^T * grad_pre ; db = column sums of grad_pre. The
+        // transpose-fused kernels accumulate over the batch in row order,
+        // so batched gradients bit-match per-obs accumulation.
+        let gw_update = input.matmul_ta(&grad_pre);
         self.gw.as_mut().unwrap().add_assign(&gw_update);
         for (gb, s) in self.gb.iter_mut().zip(grad_pre.column_sums()) {
             *gb += s;
         }
         // dInput = grad_pre * W^T
-        grad_pre.matmul(&self.w.transpose())
+        grad_pre.matmul_tb(&self.w)
     }
 
     /// Reset accumulated gradients to zero.

@@ -25,12 +25,13 @@ pub mod matrix;
 pub mod net;
 pub mod network;
 pub mod optim;
+pub mod par;
 pub mod tape;
 
 pub use init::Init;
 pub use layer::{Activation, Conv1D, Dense, ParamGrad};
 pub use matrix::Matrix;
-pub use net::{argmax, softmax, Mlp};
+pub use net::{argmax, argmax_rows, softmax, softmax_rows, Mlp};
 pub use network::Network;
 pub use optim::{clip_grad_norm, Adam, Momentum, Optimizer, Sgd};
-pub use tape::{Grads, Tape, Var};
+pub use tape::{BVar, BatchGrads, BatchTape, Grads, Tape, Var};

@@ -8,6 +8,26 @@
 use serde::{Deserialize, Serialize};
 use std::ops::{Index, IndexMut};
 
+/// The kernels' one multiply-accumulate step. With the `fma` target
+/// feature this is a fused multiply-add (one rounding); otherwise a plain
+/// mul + add (`mul_add` without hardware FMA falls back to a soft-float
+/// libm call, which would be ruinously slow). Every matmul code path —
+/// register tile, edge loop, and the transpose-fused kernels — funnels
+/// through this helper, so per-element results are identical across paths
+/// within any one build, which is what the batched-vs-per-obs bit-parity
+/// contract requires.
+#[inline(always)]
+fn fmadd(acc: f64, a: f64, b: f64) -> f64 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, acc)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        acc + a * b
+    }
+}
+
 /// A dense row-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
@@ -79,6 +99,39 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Stack owned rows (e.g. collected observations) into a matrix.
+    ///
+    /// # Panics
+    /// Panics on an empty slice or ragged rows.
+    pub fn from_rows_vec(rows: &[Vec<f64>]) -> Self {
+        assert!(
+            !rows.is_empty(),
+            "Matrix::from_rows_vec: need at least one row"
+        );
+        let c = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "Matrix::from_rows_vec: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols: c,
+            data,
+        }
+    }
+
+    /// Copy of rows `lo..hi` as a new matrix (contiguous in row-major
+    /// storage, so this is one memcpy).
+    pub fn row_block(&self, lo: usize, hi: usize) -> Matrix {
+        assert!(lo < hi && hi <= self.rows, "row_block: range out of bounds");
+        Matrix {
+            rows: hi - lo,
+            cols: self.cols,
+            data: self.data[lo * self.cols..hi * self.cols].to_vec(),
+        }
+    }
+
     /// A 1 x n row vector.
     pub fn row_vector(v: &[f64]) -> Self {
         Matrix {
@@ -132,12 +185,133 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Register-tile shape of the blocked matmul kernel: `IT × JT`
+    /// accumulators live in registers across the whole `k` loop, so the
+    /// inner loop is pure FMA/mul-add on registers (one RHS vector load
+    /// and `IT` LHS broadcasts per `k`) instead of a load–modify–store per
+    /// element. 4×16 gives 8 independent accumulator vectors on AVX-512
+    /// (4 on AVX2) — enough to hide the FMA latency chain without
+    /// spilling.
+    const MATMUL_IT: usize = 4;
+    const MATMUL_JT: usize = 16;
+
     /// Matrix product `self * other`.
     ///
-    /// Uses the classic ikj loop ordering which is cache-friendly for
-    /// row-major layouts; at the model sizes used in this project this is
-    /// within a small factor of BLAS and keeps the crate dependency-free.
+    /// Cache/register-blocked kernel. Element `(i, j)` is always a single
+    /// accumulator summed in increasing-`k` order, **independent of the
+    /// LHS row count and of which code path (register tile or edge loop)
+    /// computes it** — the invariant behind the batched-vs-per-obs
+    /// bit-parity guarantees throughout the workspace: a batched forward's
+    /// row `i` is bit-identical to the per-obs forward of row `i`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dimensions mismatch ({}x{}) * ({}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        const IT: usize = Matrix::MATMUL_IT;
+        const JT: usize = Matrix::MATMUL_JT;
+        let (rows, cols, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(rows, n);
+        let j_full = (n / JT) * JT;
+        // Full-width register tiles.
+        let mut i0 = 0;
+        while i0 < rows {
+            let it = IT.min(rows - i0);
+            let mut j0 = 0;
+            while j0 < j_full {
+                let mut acc = [[0.0f64; JT]; IT];
+                for k in 0..cols {
+                    let b_vec = &other.data[k * n + j0..k * n + j0 + JT];
+                    for (t, acc_row) in acc.iter_mut().enumerate().take(it) {
+                        let a = self.data[(i0 + t) * cols + k];
+                        for (c, &b) in acc_row.iter_mut().zip(b_vec.iter()) {
+                            *c = fmadd(*c, a, b);
+                        }
+                    }
+                }
+                for (t, acc_row) in acc.iter().enumerate().take(it) {
+                    out.data[(i0 + t) * n + j0..(i0 + t) * n + j0 + JT].copy_from_slice(acc_row);
+                }
+                j0 += JT;
+            }
+            i0 += it;
+        }
+        // Edge columns (width < JT): packed once into a zero-padded
+        // fixed-width scratch so the inner loop stays the fully-unrolled
+        // JT-wide tile (a variable-width slice would fall back to scalar
+        // code — ruinous for narrow output layers like 6-wide policy
+        // heads). Lanes beyond `jt` compute against zeros and are
+        // discarded; per-element accumulation order is unchanged.
+        if j_full < n {
+            self.matmul_edge(other, j_full, &mut out);
+        }
+        out
+    }
+
+    /// The padded edge-column pass of [`Matrix::matmul`] (kept out of the
+    /// main function so the hot tile loop stays small enough for clean
+    /// register allocation).
+    fn matmul_edge(&self, other: &Matrix, j0: usize, out: &mut Matrix) {
+        const IT: usize = Matrix::MATMUL_IT;
+        const JT: usize = Matrix::MATMUL_JT;
+        let (rows, cols, n) = (self.rows, self.cols, other.cols);
+        let jt = n - j0;
+        let mut edge = vec![0.0; cols * JT];
+        for k in 0..cols {
+            edge[k * JT..k * JT + jt].copy_from_slice(&other.data[k * n + j0..k * n + j0 + jt]);
+        }
+        let mut i0 = 0;
+        while i0 < rows {
+            let it = IT.min(rows - i0);
+            let mut acc = [[0.0f64; JT]; IT];
+            for (k, b_vec) in edge.chunks_exact(JT).enumerate() {
+                // Fixed-size view so the lane loop fully unrolls.
+                let b_arr: &[f64; JT] = b_vec.try_into().expect("chunked to JT");
+                for (t, acc_row) in acc.iter_mut().enumerate().take(it) {
+                    let a = self.data[(i0 + t) * cols + k];
+                    for (c, &b) in acc_row.iter_mut().zip(b_arr.iter()) {
+                        *c = fmadd(*c, a, b);
+                    }
+                }
+            }
+            for (t, acc_row) in acc.iter().enumerate().take(it) {
+                out.data[(i0 + t) * n + j0..(i0 + t) * n + j0 + jt].copy_from_slice(&acc_row[..jt]);
+            }
+            i0 += it;
+        }
+    }
+
+    /// `act((self * other) + bias)`: the blocked product followed by a
+    /// **single** combined bias+activation pass over the output (instead
+    /// of two separate broadcast and map passes). Arithmetic per element
+    /// is exactly `act(Σ_k a·b + bias_j)`, bit-identical to the unfused
+    /// sequence.
+    pub fn matmul_bias_act(
+        &self,
+        other: &Matrix,
+        bias: &[f64],
+        act: crate::layer::Activation,
+    ) -> Matrix {
+        assert_eq!(
+            other.cols,
+            bias.len(),
+            "matmul_bias_act: bias width mismatch"
+        );
+        let mut out = self.matmul(other);
+        for r in 0..out.rows {
+            for (x, &bj) in out.row_mut(r).iter_mut().zip(bias.iter()) {
+                *x = act.apply(*x + bj);
+            }
+        }
+        out
+    }
+
+    /// The pre-refactor `ikj` kernel, kept verbatim as the parity oracle
+    /// for the blocked kernel — and as the per-obs baseline the
+    /// `BENCH_inference` report measures the batched engine against.
+    #[doc(hidden)]
+    pub fn matmul_reference(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul: inner dimensions mismatch ({}x{}) * ({}x{})",
@@ -152,6 +326,61 @@ impl Matrix {
                     continue;
                 }
                 let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * otherᵀ` without materializing the transpose: element
+    /// `(i, j)` is the dot product of two contiguous rows (the natural
+    /// "transpose-B micro-kernel" — the RHS is *already* stored
+    /// transposed). Accumulation is a single accumulator in increasing-`k`
+    /// order, matching [`Matrix::matmul`]'s per-element order.
+    pub fn matmul_tb(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_tb: inner dimensions mismatch ({}x{}) * ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (o, j) in out_row.iter_mut().zip(0..other.rows) {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc = fmadd(acc, a, b);
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * other` without materializing the transpose (`k`-outer over
+    /// the shared row index, contiguous in both operands and the output).
+    /// Element `(i, j) = Σ_k self[k][i]·other[k][j]` accumulates in
+    /// increasing-`k` order with a **separate multiply and add** (never
+    /// fused): `k` here is the batch dimension, and a per-obs backward
+    /// necessarily rounds each observation's product before adding it into
+    /// the accumulated gradient — fusing would differ by one rounding and
+    /// break the batched-vs-per-obs gradient bit-parity.
+    pub fn matmul_ta(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_ta: inner dimensions mismatch ({}x{})ᵀ * ({}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
                 }
@@ -359,6 +588,95 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    /// The tiled kernel must agree bitwise with a plain per-element dot —
+    /// and each batch row must equal the same row multiplied on its own
+    /// (the parity invariant the batched inference engine relies on).
+    #[test]
+    fn matmul_tile_boundaries_and_row_parity() {
+        let mut seed = 42u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for rows in [1usize, 7, 8, 9, 17] {
+            let a = Matrix::from_fn(rows, 13, |_, _| next());
+            let b = Matrix::from_fn(13, 11, |_, _| next());
+            let c = a.matmul(&b);
+            // Reference: single-accumulator dot in increasing-k order.
+            for i in 0..rows {
+                for j in 0..11 {
+                    let mut acc = 0.0;
+                    for k in 0..13 {
+                        acc = fmadd(acc, a[(i, k)], b[(k, j)]);
+                    }
+                    assert_eq!(c[(i, j)], acc, "tiled kernel diverges at ({i},{j})");
+                }
+                // Row-parity: multiplying row i alone gives bitwise the same row.
+                let solo = Matrix::row_vector(a.row(i)).matmul(&b);
+                assert_eq!(solo.row(0), c.row(i), "row {i} not batch-invariant");
+            }
+        }
+    }
+
+    /// The blocked kernel against the retained pre-refactor `ikj` oracle.
+    /// Without hardware FMA the two are bit-identical (same per-element
+    /// order); with FMA contraction they differ by at most one rounding
+    /// per accumulation step.
+    #[test]
+    fn matmul_matches_reference_kernel() {
+        let a = Matrix::from_fn(9, 13, |r, c| ((r * 13 + c) as f64 * 0.11).sin());
+        let b = Matrix::from_fn(13, 21, |r, c| ((r * 21 + c) as f64 * 0.07).cos());
+        let fast = a.matmul(&b);
+        let oracle = a.matmul_reference(&b);
+        for (x, y) in fast.data().iter().zip(oracle.data().iter()) {
+            if cfg!(target_feature = "fma") {
+                assert!((x - y).abs() <= 1e-12 * y.abs().max(1.0), "{x} vs {y}");
+            } else {
+                assert_eq!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_bias_act_matches_unfused_bitwise() {
+        use crate::layer::Activation;
+        let a = Matrix::from_fn(11, 7, |r, c| ((r * 7 + c) as f64 * 0.19).sin());
+        let w = Matrix::from_fn(7, 19, |r, c| ((r * 19 + c) as f64 * 0.03).cos());
+        let bias: Vec<f64> = (0..19).map(|j| (j as f64 * 0.5).sin()).collect();
+        for act in [Activation::Tanh, Activation::Relu, Activation::Linear] {
+            let fused = a.matmul_bias_act(&w, &bias, act);
+            let mut unfused = a.matmul(&w);
+            unfused.add_row_broadcast(&bias);
+            unfused.map_inplace(|x| act.apply(x));
+            assert_eq!(fused, unfused, "fused epilogue diverges for {act:?}");
+        }
+    }
+
+    #[test]
+    fn matmul_tb_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.5, -1.0], &[2.0, -0.5, 0.25]]);
+        assert_eq!(a.matmul_tb(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_ta_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, -1.0, 2.0], &[0.5, 0.25, -2.0], &[3.0, 1.0, 0.0]]);
+        assert_eq!(a.matmul_ta(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn from_rows_vec_matches_from_rows() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(
+            Matrix::from_rows_vec(&rows),
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])
+        );
     }
 
     #[test]

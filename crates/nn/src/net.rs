@@ -88,8 +88,9 @@ impl Mlp {
 
     /// Inference forward pass (no caches, shared receiver).
     pub fn forward_inference(&self, input: &Matrix) -> Matrix {
-        let mut x = input.clone();
-        for layer in &self.layers {
+        let (first, rest) = self.layers.split_first().expect("Mlp has layers");
+        let mut x = first.forward_inference(input);
+        for layer in rest {
             x = layer.forward_inference(&x);
         }
         x
@@ -100,6 +101,20 @@ impl Mlp {
         self.forward_inference(&Matrix::row_vector(features))
             .data()
             .to_vec()
+    }
+
+    /// Batched inference over many feature vectors as one matrix-matrix
+    /// pass. Row `i` of the result is bit-identical to
+    /// `self.predict(&rows[i])` (see [`Matrix::matmul`]).
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Matrix {
+        self.forward_inference(&Matrix::from_rows_vec(rows))
+    }
+
+    /// The layer stack (read-only) — consumed by tape-replay paths such as
+    /// the hypergraph mask search, which rebuild the forward pass with the
+    /// weights as constants.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
     }
 
     /// Backward pass from the output gradient; accumulates parameter
@@ -136,6 +151,22 @@ pub fn softmax(logits: &[f64]) -> Vec<f64> {
     let exps: Vec<f64> = logits.iter().map(|&x| (x - max).exp()).collect();
     let sum: f64 = exps.iter().sum();
     exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Row-wise softmax of a `(batch, n)` matrix. Each row is computed by the
+/// same scalar routine as [`softmax`], so row `i` of the result is
+/// bit-identical to `softmax(m.row(i))`.
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for r in 0..m.rows() {
+        out.row_mut(r).copy_from_slice(&softmax(m.row(r)));
+    }
+    out
+}
+
+/// Row-wise argmax of a `(batch, n)` matrix (first on ties).
+pub fn argmax_rows(m: &Matrix) -> Vec<usize> {
+    (0..m.rows()).map(|r| argmax(m.row(r))).collect()
 }
 
 /// Index of the maximum element (first on ties).

@@ -166,6 +166,28 @@ impl<'t> Var<'t> {
         }
     }
 
+    pub fn leaky_relu(self) -> Var<'t> {
+        if self.val > 0.0 {
+            self.tape.unary(&self, self.val, 1.0)
+        } else {
+            self.tape.unary(&self, 0.01 * self.val, 0.01)
+        }
+    }
+
+    /// Apply one of the layer activations (mirrors
+    /// [`crate::layer::Activation::apply`]; [`BVar::activation`] is the
+    /// batched twin — both record the same node per row).
+    pub fn activation(self, act: crate::layer::Activation) -> Var<'t> {
+        use crate::layer::Activation;
+        match act {
+            Activation::Relu => self.relu(),
+            Activation::LeakyRelu => self.leaky_relu(),
+            Activation::Tanh => self.tanh(),
+            Activation::Sigmoid => self.sigmoid(),
+            Activation::Linear => self.tape.unary(&self, self.val, 1.0),
+        }
+    }
+
     pub fn sqrt(self) -> Var<'t> {
         let s = self.val.max(0.0).sqrt();
         self.tape.unary(&self, s, 0.5 / s.max(1e-12))
@@ -336,6 +358,304 @@ impl<'t> Div<Var<'t>> for f64 {
     }
 }
 
+// ---- batched tape ----
+
+struct BatchNode {
+    parents: [usize; 2],
+    /// Per-row partial derivatives towards each parent (empty when the
+    /// parent slot is unused).
+    partials: [Vec<f64>; 2],
+    vals: Vec<f64>,
+}
+
+/// A reverse-mode tape where every node carries **one value per batch
+/// row** and elementwise semantics across rows: recording one program
+/// evaluates it for N independent rows at once, and a single backward
+/// sweep yields per-row gradients ([`BatchGrads::wrt`]).
+///
+/// Each row's value and partials are produced by exactly the scalar
+/// formulas of [`Var`], so row `r` of a batched program is bit-identical
+/// to running the same program on a scalar [`Tape`] with row `r`'s
+/// inputs — the oracle relationship the §4 mask-search parity tests pin.
+pub struct BatchTape {
+    batch: usize,
+    nodes: RefCell<Vec<BatchNode>>,
+}
+
+impl BatchTape {
+    /// A tape whose vars all carry `batch` rows.
+    pub fn new(batch: usize) -> Self {
+        assert!(batch > 0, "BatchTape: batch must be positive");
+        BatchTape {
+            batch,
+            nodes: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Rows carried by every var on this tape.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Leaf variable with one value per row.
+    pub fn var(&self, vals: &[f64]) -> BVar<'_> {
+        assert_eq!(vals.len(), self.batch, "BatchTape::var: row count mismatch");
+        self.push_leaf(vals.to_vec())
+    }
+
+    /// Leaf variable with the same value in every row (e.g. a mask weight
+    /// shared by the whole batch); its per-row gradients are summed by the
+    /// consumer via [`BatchGrads::sum_wrt`].
+    pub fn broadcast(&self, val: f64) -> BVar<'_> {
+        self.push_leaf(vec![val; self.batch])
+    }
+
+    /// Broadcast many scalars at once (mask vectors).
+    pub fn broadcasts(&self, vals: &[f64]) -> Vec<BVar<'_>> {
+        vals.iter().map(|&v| self.broadcast(v)).collect()
+    }
+
+    fn push_leaf(&self, vals: Vec<f64>) -> BVar<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(BatchNode {
+            parents: [NO_PARENT, NO_PARENT],
+            partials: [Vec::new(), Vec::new()],
+            vals,
+        });
+        BVar {
+            tape: self,
+            idx: nodes.len() - 1,
+        }
+    }
+
+    fn unary(&self, a: BVar<'_>, f: impl Fn(f64) -> (f64, f64)) -> BVar<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        let (vals, da): (Vec<f64>, Vec<f64>) = nodes[a.idx].vals.iter().map(|&x| f(x)).unzip();
+        nodes.push(BatchNode {
+            parents: [a.idx, NO_PARENT],
+            partials: [da, Vec::new()],
+            vals,
+        });
+        BVar {
+            tape: self,
+            idx: nodes.len() - 1,
+        }
+    }
+
+    fn binary(
+        &self,
+        a: BVar<'_>,
+        b: BVar<'_>,
+        f: impl Fn(f64, f64) -> (f64, f64, f64),
+    ) -> BVar<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        let n = self.batch;
+        let mut vals = Vec::with_capacity(n);
+        let mut da = Vec::with_capacity(n);
+        let mut db = Vec::with_capacity(n);
+        for r in 0..n {
+            let (v, ga, gb) = f(nodes[a.idx].vals[r], nodes[b.idx].vals[r]);
+            vals.push(v);
+            da.push(ga);
+            db.push(gb);
+        }
+        nodes.push(BatchNode {
+            parents: [a.idx, b.idx],
+            partials: [da, db],
+            vals,
+        });
+        BVar {
+            tape: self,
+            idx: nodes.len() - 1,
+        }
+    }
+}
+
+/// A batched value tracked on a [`BatchTape`]. Copyable; the row values
+/// live on the tape.
+#[derive(Clone, Copy)]
+pub struct BVar<'t> {
+    tape: &'t BatchTape,
+    idx: usize,
+}
+
+impl<'t> BVar<'t> {
+    /// Value of row `r`.
+    pub fn value(&self, r: usize) -> f64 {
+        self.tape.nodes.borrow()[self.idx].vals[r]
+    }
+
+    /// All row values.
+    pub fn values(&self) -> Vec<f64> {
+        self.tape.nodes.borrow()[self.idx].vals.clone()
+    }
+
+    /// Backward pass from this variable: every row's adjoints in one
+    /// sweep over the arena.
+    pub fn grad(&self) -> BatchGrads {
+        let nodes = self.tape.nodes.borrow();
+        let n = self.tape.batch;
+        let mut adjoints = vec![vec![0.0; n]; self.idx + 1];
+        adjoints[self.idx].iter_mut().for_each(|a| *a = 1.0);
+        for i in (0..=self.idx).rev() {
+            for k in 0..2 {
+                let p = nodes[i].parents[k];
+                if p == NO_PARENT {
+                    continue;
+                }
+                let (head, tail) = adjoints.split_at_mut(i);
+                let (up, part) = (&tail[0], &nodes[i].partials[k]);
+                for (pa, (&a, &d)) in head[p].iter_mut().zip(up.iter().zip(part.iter())) {
+                    *pa += a * d;
+                }
+            }
+        }
+        BatchGrads { adjoints }
+    }
+
+    pub fn exp(self) -> BVar<'t> {
+        self.tape.unary(self, |x| {
+            let v = x.exp();
+            (v, v)
+        })
+    }
+
+    /// Natural log; input floored at 1e-300 (mirrors [`Var::ln`]).
+    pub fn ln(self) -> BVar<'t> {
+        self.tape.unary(self, |x| {
+            let x = x.max(1e-300);
+            (x.ln(), 1.0 / x)
+        })
+    }
+
+    pub fn sigmoid(self) -> BVar<'t> {
+        self.tape.unary(self, |x| {
+            let s = 1.0 / (1.0 + (-x).exp());
+            (s, s * (1.0 - s))
+        })
+    }
+
+    pub fn tanh(self) -> BVar<'t> {
+        self.tape.unary(self, |x| {
+            let t = x.tanh();
+            (t, 1.0 - t * t)
+        })
+    }
+
+    pub fn relu(self) -> BVar<'t> {
+        self.tape
+            .unary(self, |x| if x > 0.0 { (x, 1.0) } else { (0.0, 0.0) })
+    }
+
+    pub fn square(self) -> BVar<'t> {
+        self.tape.unary(self, |x| (x * x, 2.0 * x))
+    }
+
+    /// Apply one of the layer activations (the batched mirror of
+    /// [`crate::layer::Activation::apply`] and its derivative).
+    pub fn activation(self, act: crate::layer::Activation) -> BVar<'t> {
+        use crate::layer::Activation;
+        match act {
+            Activation::Relu => self.relu(),
+            Activation::LeakyRelu => {
+                self.tape
+                    .unary(self, |x| if x > 0.0 { (x, 1.0) } else { (0.01 * x, 0.01) })
+            }
+            Activation::Tanh => self.tanh(),
+            Activation::Sigmoid => self.sigmoid(),
+            Activation::Linear => self.tape.unary(self, |x| (x, 1.0)),
+        }
+    }
+}
+
+/// Per-row adjoints produced by [`BVar::grad`].
+pub struct BatchGrads {
+    adjoints: Vec<Vec<f64>>,
+}
+
+impl BatchGrads {
+    /// Gradient of the root with respect to `v`, one entry per row.
+    pub fn wrt(&self, v: BVar<'_>) -> &[f64] {
+        &self.adjoints[v.idx]
+    }
+
+    /// Row-order sum of the per-row gradients (the total gradient for a
+    /// broadcast leaf): `((g_0 + g_1) + g_2) + …` — the same order a
+    /// per-obs loop accumulates in, preserving bit-parity.
+    pub fn sum_wrt(&self, v: BVar<'_>) -> f64 {
+        self.adjoints[v.idx].iter().fold(0.0, |acc, &g| acc + g)
+    }
+}
+
+/// Sum a slice of batched vars (fresh zero var for an empty slice).
+pub fn sum_batch<'t>(tape: &'t BatchTape, vars: &[BVar<'t>]) -> BVar<'t> {
+    match vars.split_first() {
+        None => tape.broadcast(0.0),
+        Some((&first, rest)) => rest.iter().fold(first, |acc, &v| acc + v),
+    }
+}
+
+impl<'t> Add for BVar<'t> {
+    type Output = BVar<'t>;
+    fn add(self, rhs: BVar<'t>) -> BVar<'t> {
+        self.tape.binary(self, rhs, |a, b| (a + b, 1.0, 1.0))
+    }
+}
+
+impl<'t> Sub for BVar<'t> {
+    type Output = BVar<'t>;
+    fn sub(self, rhs: BVar<'t>) -> BVar<'t> {
+        self.tape.binary(self, rhs, |a, b| (a - b, 1.0, -1.0))
+    }
+}
+
+impl<'t> Mul for BVar<'t> {
+    type Output = BVar<'t>;
+    fn mul(self, rhs: BVar<'t>) -> BVar<'t> {
+        self.tape.binary(self, rhs, |a, b| (a * b, b, a))
+    }
+}
+
+impl<'t> Div for BVar<'t> {
+    type Output = BVar<'t>;
+    fn div(self, rhs: BVar<'t>) -> BVar<'t> {
+        self.tape.binary(self, rhs, |a, b| {
+            let inv = 1.0 / b;
+            (a * inv, inv, -a * inv * inv)
+        })
+    }
+}
+
+impl<'t> Neg for BVar<'t> {
+    type Output = BVar<'t>;
+    fn neg(self) -> BVar<'t> {
+        self.tape.unary(self, |x| (-x, -1.0))
+    }
+}
+
+impl<'t> Add<f64> for BVar<'t> {
+    type Output = BVar<'t>;
+    fn add(self, rhs: f64) -> BVar<'t> {
+        self.tape.unary(self, |x| (x + rhs, 1.0))
+    }
+}
+
+impl<'t> Mul<f64> for BVar<'t> {
+    type Output = BVar<'t>;
+    fn mul(self, rhs: f64) -> BVar<'t> {
+        self.tape.unary(self, |x| (x * rhs, rhs))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,6 +778,76 @@ mod tests {
         let y = t.var(2.0);
         let z = x * 2.0;
         assert_eq!(z.grad().wrt(y), 0.0);
+    }
+
+    /// Every row of a batched program must be bit-identical to the same
+    /// program replayed on a scalar tape with that row's inputs — values
+    /// and gradients both.
+    #[test]
+    fn batch_tape_rows_match_scalar_tape() {
+        let xs = [0.3, -1.2, 0.0, 2.5];
+        let ws = [0.7, 0.2];
+        let bt = BatchTape::new(xs.len());
+        let x = bt.var(&xs);
+        let w = bt.broadcasts(&ws);
+        let z = (x * w[0] + w[1].sigmoid() * x.square()).tanh() + (x * w[1]).exp().ln();
+        let g = z.grad();
+        let mut w0_sum = 0.0;
+        for (r, &x0) in xs.iter().enumerate() {
+            let t = Tape::new();
+            let sx = t.var(x0);
+            let sw0 = t.var(ws[0]);
+            let sw1 = t.var(ws[1]);
+            let sz = (sx * sw0 + sw1.sigmoid() * sx.square()).tanh() + (sx * sw1).exp().ln();
+            assert_eq!(z.value(r), sz.value(), "row {r} value diverges");
+            let sg = sz.grad();
+            assert_eq!(g.wrt(x)[r], sg.wrt(sx), "row {r} d/dx diverges");
+            assert_eq!(g.wrt(w[0])[r], sg.wrt(sw0), "row {r} d/dw0 diverges");
+            w0_sum += sg.wrt(sw0);
+        }
+        assert_eq!(g.sum_wrt(w[0]), w0_sum, "broadcast gradient sum order");
+    }
+
+    #[test]
+    fn batch_tape_activations_match_scalar_apply() {
+        use crate::layer::Activation;
+        let xs = [-2.0, -0.5, 0.0, 0.5, 2.0];
+        for act in [
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Linear,
+        ] {
+            let bt = BatchTape::new(xs.len());
+            let x = bt.var(&xs);
+            let y = x.activation(act);
+            for (r, &x0) in xs.iter().enumerate() {
+                assert_eq!(y.value(r), act.apply(x0), "{act:?} value row {r}");
+                assert_eq!(
+                    y.grad().wrt(x)[r],
+                    act.derivative(x0, act.apply(x0)),
+                    "{act:?} grad row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sum_batch_helper() {
+        let bt = BatchTape::new(2);
+        let vs = vec![
+            bt.var(&[1.0, 4.0]),
+            bt.var(&[2.0, 5.0]),
+            bt.var(&[3.0, 6.0]),
+        ];
+        let s = sum_batch(&bt, &vs);
+        assert_eq!(s.values(), vec![6.0, 15.0]);
+        let g = s.grad();
+        for v in &vs {
+            assert_eq!(g.wrt(*v), &[1.0, 1.0]);
+        }
+        assert_eq!(sum_batch(&bt, &[]).values(), vec![0.0, 0.0]);
     }
 
     proptest! {

@@ -20,6 +20,7 @@ pub mod par;
 pub mod policy;
 pub mod rollout;
 pub mod train;
+pub mod value;
 pub mod viper;
 
 pub use env::{q_by_cloning, Env, Step};
@@ -27,6 +28,8 @@ pub use par::{mix_seed, parallel_map_indexed, resolve_threads};
 pub use policy::{sample_categorical, ConstantPolicy, Policy, SoftmaxPolicy, UniformPolicy};
 pub use rollout::{evaluate, evaluate_pool, rollout, ActionMode, EpisodeScore, Trajectory};
 pub use train::{ActorCritic, EpochStats, TrainConfig};
+pub use value::{NetworkValue, ValueEstimate};
 pub use viper::{
-    collect, collect_seeded, fidelity, resample_by_weight, CollectConfig, Controller, SampledState,
+    collect, collect_seeded, fidelity, fidelity_sharded, resample_by_weight, states_matrix,
+    CollectConfig, Controller, SampledState,
 };

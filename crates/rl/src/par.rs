@@ -1,89 +1,7 @@
-//! Deterministic fork/join primitives shared by every parallel stage of
-//! the conversion engine (collection, evaluation, multi-output fitting).
-//!
-//! The contract everywhere: work items are independent, each worker
-//! handles an index stripe, and results merge back **in index order** —
-//! so the output is identical for any thread count.
+//! Deterministic fork/join primitives — re-exported from [`metis_nn::par`],
+//! where they now live so every layer of the stack (including the
+//! hypergraph mask search, which does not depend on this crate) shares the
+//! same index-ordered merge contract. Existing `metis_rl::par` paths keep
+//! working.
 
-/// Resolve a thread-count knob: 0 means "all available cores".
-pub fn resolve_threads(requested: usize) -> usize {
-    if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        requested
-    }
-}
-
-/// SplitMix64 finalizer — the avalanche step used to derive decorrelated
-/// per-item RNG seeds from a base seed and an item index.
-pub fn mix_seed(z: u64) -> u64 {
-    let mut z = z;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
-
-/// Map `f` over `0..n` across `threads` workers (0 = all cores), returning
-/// results in index order. Falls back to a plain sequential map when one
-/// worker suffices; workers take index stripes (`w`, `w+T`, `w+2T`, …).
-pub fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = resolve_threads(threads).min(n.max(1));
-    if workers <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let chunks = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let f = &f;
-                scope.spawn(move || {
-                    (w..n)
-                        .step_by(workers)
-                        .map(|i| (i, f(i)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel_map_indexed worker panicked"))
-            .collect::<Vec<_>>()
-    });
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    for chunk in chunks {
-        for (i, v) in chunk {
-            slots[i] = Some(v);
-        }
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index mapped"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn maps_in_index_order_for_any_thread_count() {
-        let sq = |i: usize| i * i;
-        let expected: Vec<usize> = (0..37).map(sq).collect();
-        for threads in [1, 2, 3, 8, 64] {
-            assert_eq!(parallel_map_indexed(37, threads, sq), expected);
-        }
-        assert_eq!(parallel_map_indexed(0, 4, sq), Vec::<usize>::new());
-    }
-
-    #[test]
-    fn resolve_threads_zero_means_all_cores() {
-        assert!(resolve_threads(0) >= 1);
-        assert_eq!(resolve_threads(3), 3);
-    }
-}
+pub use metis_nn::par::{mix_seed, parallel_map_indexed, resolve_threads};

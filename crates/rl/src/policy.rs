@@ -3,11 +3,18 @@
 //! implement this trait, which is what lets the conversion pipeline treat
 //! them interchangeably.
 
-use metis_nn::{argmax, softmax, Mlp, Network};
+use metis_nn::{argmax, softmax, Matrix, Mlp, Network};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 /// A stochastic discrete policy.
+///
+/// The batched methods take a `(batch, obs_dim)` matrix and must return,
+/// row for row, exactly what the per-obs methods return — network-backed
+/// policies override them with one matrix-matrix forward pass, everything
+/// else inherits the per-row fallback. This contract is what lets the
+/// conversion engine label whole episodes at once while staying
+/// bit-identical to per-obs labelling.
 pub trait Policy {
     /// Action probability distribution for an observation.
     fn action_probs(&self, obs: &[f64]) -> Vec<f64>;
@@ -20,6 +27,31 @@ pub trait Policy {
     /// Sample an action from the distribution.
     fn act_sample(&self, obs: &[f64], rng: &mut StdRng) -> usize {
         sample_categorical(&self.action_probs(obs), rng)
+    }
+
+    /// Batched [`Policy::action_probs`], one distribution per row.
+    fn action_probs_batch(&self, obs: &Matrix) -> Vec<Vec<f64>> {
+        (0..obs.rows())
+            .map(|r| self.action_probs(obs.row(r)))
+            .collect()
+    }
+
+    /// Batched [`Policy::act_greedy`], one action per row.
+    fn act_greedy_batch(&self, obs: &Matrix) -> Vec<usize> {
+        (0..obs.rows())
+            .map(|r| self.act_greedy(obs.row(r)))
+            .collect()
+    }
+
+    /// Distributions **and** greedy actions for a batch in one query —
+    /// the unit of DAgger teacher labelling (the label is the greedy
+    /// action, the distribution feeds the Eq.-1 weight). The default
+    /// issues both batched queries; policies whose greedy action is the
+    /// argmax of their distribution (softmax policies) override this to
+    /// share a single forward pass, which must return exactly what the
+    /// two separate queries would.
+    fn probs_and_greedy_batch(&self, obs: &Matrix) -> (Vec<Vec<f64>>, Vec<usize>) {
+        (self.action_probs_batch(obs), self.act_greedy_batch(obs))
     }
 }
 
@@ -55,11 +87,40 @@ impl<N: Network> SoftmaxPolicy<N> {
     pub fn logits(&self, obs: &[f64]) -> Vec<f64> {
         self.net.predict(obs)
     }
+
+    /// Raw logits for a batch of observations, one matrix-matrix pass.
+    pub fn logits_batch(&self, obs: &Matrix) -> Matrix {
+        self.net.forward_batch(obs)
+    }
 }
 
 impl<N: Network> Policy for SoftmaxPolicy<N> {
     fn action_probs(&self, obs: &[f64]) -> Vec<f64> {
         softmax(&self.net.predict(obs))
+    }
+
+    /// One batched forward; row `i` equals `action_probs` of row `i`
+    /// bit-exactly (kernel row invariance + the same scalar softmax).
+    fn action_probs_batch(&self, obs: &Matrix) -> Vec<Vec<f64>> {
+        let logits = self.net.forward_batch(obs);
+        (0..logits.rows()).map(|r| softmax(logits.row(r))).collect()
+    }
+
+    fn act_greedy_batch(&self, obs: &Matrix) -> Vec<usize> {
+        self.action_probs_batch(obs)
+            .iter()
+            .map(|p| argmax(p))
+            .collect()
+    }
+
+    /// One forward pass serves both: `act_greedy` for a softmax policy is
+    /// `argmax(action_probs(obs))` (the trait default — this type does not
+    /// override it), so deriving the action from the freshly computed row
+    /// distribution is bit-identical to querying it separately.
+    fn probs_and_greedy_batch(&self, obs: &Matrix) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let probs = self.action_probs_batch(obs);
+        let actions = probs.iter().map(|p| argmax(p)).collect();
+        (probs, actions)
     }
 }
 

@@ -115,6 +115,13 @@ impl<N: Network> ActorCritic<N> {
         self.critic.predict(obs)[0]
     }
 
+    /// A snapshot of the critic as a batched [`crate::ValueEstimate`] —
+    /// the value bootstrap handed to the conversion pipeline so Eq.-1
+    /// lookaheads are labelled in matrix-matrix passes.
+    pub fn value_estimate(&self) -> crate::value::NetworkValue<Mlp> {
+        crate::value::NetworkValue::new(self.critic.clone())
+    }
+
     /// Collect episodes (sampling actions) and apply one gradient update to
     /// actor and critic. `env_pool` supplies episode variation: one element
     /// is chosen (uniformly) and cloned per episode.

@@ -9,9 +9,20 @@
 //!   `ℓ̃(s) = V(s) − min_a Q(s, a)` (the loss bound of Bastani et al. [7]);
 //!   because our substrates are deterministic cloneable simulators, `Q` is
 //!   exact one-step lookahead rather than a learned estimate.
+//!
+//! **Batched labelling.** Rolling an episode is inherently sequential (each
+//! action feeds the simulator), but the teacher-side queries are not: the
+//! Eq.-1 value lookups over every afterstate, and — for plain-DAgger
+//! episodes where the student drives — the teacher's labels and
+//! distributions, are deferred and issued as **one matrix-matrix pass per
+//! episode** ([`Policy::action_probs_batch`] / [`ValueEstimate::value_batch`]).
+//! The per-obs implementation is kept verbatim in [`oracle`]; a parity
+//! suite pins the batched path to it bit-for-bit.
 
 use crate::env::{q_by_cloning, Env};
 use crate::policy::Policy;
+use crate::value::ValueEstimate;
+use metis_nn::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -69,46 +80,99 @@ fn episode_seed(base: u64, episode: u64) -> u64 {
 }
 
 /// Roll one labelled episode (the per-episode body of [`collect_seeded`]).
-fn collect_episode<E: Env, T: Policy + ?Sized>(
+///
+/// The environment is driven stepwise (it has to be), but every teacher
+/// query that does not steer the trajectory is deferred and batched:
+///
+/// * the Eq.-1 lookahead's `V(s')` over all afterstates of the episode is
+///   one [`ValueEstimate::value_batch`] call;
+/// * the Eq.-1 teacher distributions defer in every controller mode (one
+///   [`Policy::action_probs_batch`] pass at episode end);
+/// * for [`Controller::Student`] (the teacher never steers), the labels
+///   defer too — [`Policy::probs_and_greedy_batch`] answers both from a
+///   single forward pass for softmax teachers.
+///
+/// Teacher-driven and takeover episodes still query the teacher's action
+/// stepwise — it decides (or checks) the executed action. Output is
+/// bit-identical to [`oracle::collect_episode`] for any policy honouring
+/// the batch-parity contract.
+fn collect_episode<E: Env, T: Policy + ?Sized, V: ValueEstimate + ?Sized>(
     env: &E,
     teacher: &T,
-    value_fn: &(impl Fn(&[f64]) -> f64 + ?Sized),
+    value_fn: &V,
     controller: &Controller<'_>,
     cfg: &CollectConfig,
     rng: &mut StdRng,
 ) -> Vec<SampledState> {
-    let mut out = Vec::new();
     let mut env = env.clone();
     let mut obs = env.reset();
     let mut teacher_in_control = matches!(controller, Controller::Teacher);
+    // The teacher must be consulted during rolling unless the student is
+    // in sole control (plain DAgger).
+    let stepwise_teacher = !matches!(controller, Controller::Student(_));
+    // Deferring value lookups only pays when batching amortizes real
+    // work; trivial (closure) estimates are queried inline, exactly as
+    // the oracle does — identical values either way.
+    let defer_values = cfg.weighted && value_fn.prefers_batch();
+
+    let mut observations: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    let mut probs: Vec<Vec<f64>> = Vec::new();
+    // Afterstate table of the deferred Eq.-1 lookahead: per step and
+    // action, the immediate reward and (for non-terminal transitions) an
+    // index into the shared afterstate-observation pool.
+    let mut q_rewards: Vec<Vec<f64>> = Vec::new();
+    let mut q_next: Vec<Vec<Option<usize>>> = Vec::new();
+    let mut afterstates: Vec<Vec<f64>> = Vec::new();
+
     for _ in 0..cfg.max_steps {
-        let teacher_action = teacher.act_greedy(&obs);
-        let weight = if cfg.weighted {
-            let q = q_by_cloning(&env, value_fn, cfg.gamma);
-            let probs = teacher.action_probs(&obs);
-            let v: f64 = probs.iter().zip(q.iter()).map(|(p, qa)| p * qa).sum();
-            let qmin = q.iter().cloned().fold(f64::INFINITY, f64::min);
-            (v - qmin).max(0.0)
+        let teacher_action = if stepwise_teacher {
+            let a = teacher.act_greedy(&obs);
+            labels.push(a);
+            Some(a)
         } else {
-            1.0
+            None
         };
-        out.push(SampledState {
-            obs: obs.clone(),
-            teacher_action,
-            weight,
-        });
+        if cfg.weighted {
+            // The env part of `q_by_cloning` (clone + step per action);
+            // the value part is either deferred to one batched pass (real
+            // critics) or evaluated inline (trivial estimates).
+            let n_actions = env.n_actions();
+            let mut rewards = Vec::with_capacity(n_actions);
+            let mut next = Vec::with_capacity(n_actions);
+            for a in 0..n_actions {
+                let mut sim = env.clone();
+                let step = sim.step(a);
+                if step.done {
+                    rewards.push(step.reward);
+                    next.push(None);
+                } else if defer_values {
+                    rewards.push(step.reward);
+                    afterstates.push(step.obs);
+                    next.push(Some(afterstates.len() - 1));
+                } else {
+                    // Inline Q: same arithmetic as the deferred merge.
+                    rewards.push(step.reward + cfg.gamma * value_fn.value(&step.obs));
+                    next.push(None);
+                }
+            }
+            q_rewards.push(rewards);
+            q_next.push(next);
+        }
+        observations.push(obs.clone());
 
         let action = match controller {
-            Controller::Teacher => teacher_action,
+            Controller::Teacher => teacher_action.unwrap(),
             Controller::Student(student) => student.act_greedy(&obs),
             Controller::StudentWithTakeover(student, p_takeover) => {
+                let ta = teacher_action.unwrap();
                 if teacher_in_control {
-                    teacher_action
+                    ta
                 } else {
                     let sa = student.act_greedy(&obs);
-                    if sa != teacher_action && rng.gen_range(0.0..1.0) < *p_takeover {
+                    if sa != ta && rng.gen_range(0.0..1.0) < *p_takeover {
                         teacher_in_control = true;
-                        teacher_action
+                        ta
                     } else {
                         sa
                     }
@@ -121,20 +185,79 @@ fn collect_episode<E: Env, T: Policy + ?Sized>(
             break;
         }
     }
-    out
+    if observations.is_empty() {
+        return Vec::new();
+    }
+
+    // Deferred teacher labelling — one batched query per episode. Only
+    // the greedy action must be answered stepwise (it steers the env or
+    // checks deviation); the Eq.-1 distributions are consumed solely in
+    // the weight merge below, so they defer in *every* controller mode.
+    // For softmax teachers `probs_and_greedy_batch` answers labels and
+    // distributions from a single forward pass, where the per-obs path
+    // pays one per state per quantity.
+    if !stepwise_teacher || cfg.weighted {
+        let m = Matrix::from_rows_vec(&observations);
+        match (stepwise_teacher, cfg.weighted) {
+            (true, true) => probs = teacher.action_probs_batch(&m),
+            (false, true) => (probs, labels) = teacher.probs_and_greedy_batch(&m),
+            (false, false) => labels = teacher.act_greedy_batch(&m),
+            (true, false) => unreachable!(),
+        }
+    }
+    // Deferred value lookups — one batched pass over all afterstates.
+    let values = if afterstates.is_empty() {
+        Vec::new()
+    } else {
+        value_fn.value_batch(&Matrix::from_rows_vec(&afterstates))
+    };
+
+    observations
+        .into_iter()
+        .enumerate()
+        .map(|(t, obs)| {
+            let weight = if cfg.weighted {
+                // Reassemble Q(s,a) = r + γ·V(s') exactly as the per-obs
+                // lookahead would (terminal transitions take the reward).
+                let q: Vec<f64> = q_rewards[t]
+                    .iter()
+                    .zip(q_next[t].iter())
+                    .map(|(&r, next)| match next {
+                        None => r,
+                        Some(i) => r + cfg.gamma * values[*i],
+                    })
+                    .collect();
+                let v: f64 = probs[t].iter().zip(q.iter()).map(|(p, qa)| p * qa).sum();
+                let qmin = q.iter().cloned().fold(f64::INFINITY, f64::min);
+                (v - qmin).max(0.0)
+            } else {
+                1.0
+            };
+            SampledState {
+                obs,
+                teacher_action: labels[t],
+                weight,
+            }
+        })
+        .collect()
 }
 
 /// Collect labelled states by rolling through the environments in `pool`
 /// (cycled). `value_fn` is the bootstrap state-value estimate used for the
-/// Q lookahead (a trained critic, or `|_| 0.0` for undiscounted myopia).
+/// Q lookahead (a critic wrapped in [`crate::NetworkValue`] for batched
+/// lookups, any `Fn(&[f64]) -> f64 + Sync` closure, or `|_| 0.0` for
+/// undiscounted myopia).
 ///
 /// Episodes are independent: each gets its own RNG derived from `seed` and
 /// its episode index, and results are merged in episode order — so the
 /// output is **identical for every `threads` value** (0 = all cores).
-pub fn collect_seeded<E: Env + Sync, T: Policy + Sync + ?Sized>(
+/// Within each episode, teacher labelling is batched per episode; see
+/// [`collect_episode`] — output is bit-identical to the per-obs
+/// [`oracle::collect_seeded`].
+pub fn collect_seeded<E: Env + Sync, T: Policy + Sync + ?Sized, V: ValueEstimate + ?Sized>(
     pool: &[E],
     teacher: &T,
-    value_fn: impl Fn(&[f64]) -> f64 + Sync,
+    value_fn: &V,
     controller: &Controller<'_>,
     cfg: &CollectConfig,
     seed: u64,
@@ -146,7 +269,7 @@ pub fn collect_seeded<E: Env + Sync, T: Policy + Sync + ?Sized>(
         collect_episode(
             &pool[ep % pool.len()],
             teacher,
-            &value_fn,
+            value_fn,
             controller,
             cfg,
             &mut rng,
@@ -157,10 +280,10 @@ pub fn collect_seeded<E: Env + Sync, T: Policy + Sync + ?Sized>(
 
 /// Single-threaded [`collect_seeded`] driven by a caller-owned RNG (the
 /// base seed is drawn from it, so successive calls differ as before).
-pub fn collect<E: Env + Sync, T: Policy + Sync + ?Sized>(
+pub fn collect<E: Env + Sync, T: Policy + Sync + ?Sized, V: ValueEstimate + ?Sized>(
     pool: &[E],
     teacher: &T,
-    value_fn: impl Fn(&[f64]) -> f64 + Sync,
+    value_fn: &V,
     controller: &Controller<'_>,
     cfg: &CollectConfig,
     rng: &mut StdRng,
@@ -168,6 +291,98 @@ pub fn collect<E: Env + Sync, T: Policy + Sync + ?Sized>(
     use rand::RngCore;
     let seed = rng.next_u64();
     collect_seeded(pool, teacher, value_fn, controller, cfg, seed, 1)
+}
+
+/// The pre-refactor per-obs collection path, kept verbatim as the parity
+/// oracle for the batched implementation (mirroring the CART builder's
+/// reference splitter): every teacher label, distribution, and value
+/// lookup is issued one observation at a time. The proptest parity suite
+/// asserts `collect_seeded` == `oracle::collect_seeded` bit-for-bit.
+#[doc(hidden)]
+pub mod oracle {
+    use super::*;
+
+    /// Per-obs body of the original `collect_seeded`.
+    pub fn collect_episode<E: Env, T: Policy + ?Sized, V: ValueEstimate + ?Sized>(
+        env: &E,
+        teacher: &T,
+        value_fn: &V,
+        controller: &Controller<'_>,
+        cfg: &CollectConfig,
+        rng: &mut StdRng,
+    ) -> Vec<SampledState> {
+        let mut out = Vec::new();
+        let mut env = env.clone();
+        let mut obs = env.reset();
+        let mut teacher_in_control = matches!(controller, Controller::Teacher);
+        for _ in 0..cfg.max_steps {
+            let teacher_action = teacher.act_greedy(&obs);
+            let weight = if cfg.weighted {
+                let q = q_by_cloning(&env, |o: &[f64]| value_fn.value(o), cfg.gamma);
+                let probs = teacher.action_probs(&obs);
+                let v: f64 = probs.iter().zip(q.iter()).map(|(p, qa)| p * qa).sum();
+                let qmin = q.iter().cloned().fold(f64::INFINITY, f64::min);
+                (v - qmin).max(0.0)
+            } else {
+                1.0
+            };
+            out.push(SampledState {
+                obs: obs.clone(),
+                teacher_action,
+                weight,
+            });
+
+            let action = match controller {
+                Controller::Teacher => teacher_action,
+                Controller::Student(student) => student.act_greedy(&obs),
+                Controller::StudentWithTakeover(student, p_takeover) => {
+                    if teacher_in_control {
+                        teacher_action
+                    } else {
+                        let sa = student.act_greedy(&obs);
+                        if sa != teacher_action && rng.gen_range(0.0..1.0) < *p_takeover {
+                            teacher_in_control = true;
+                            teacher_action
+                        } else {
+                            sa
+                        }
+                    }
+                }
+            };
+            let step = env.step(action);
+            obs = step.obs;
+            if step.done {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Per-obs `collect_seeded` (same episode seeding and merge order as
+    /// the batched engine).
+    pub fn collect_seeded<E: Env + Sync, T: Policy + Sync + ?Sized, V: ValueEstimate + ?Sized>(
+        pool: &[E],
+        teacher: &T,
+        value_fn: &V,
+        controller: &Controller<'_>,
+        cfg: &CollectConfig,
+        seed: u64,
+        threads: usize,
+    ) -> Vec<SampledState> {
+        assert!(!pool.is_empty(), "collect: empty environment pool");
+        let per_episode = crate::par::parallel_map_indexed(cfg.episodes, threads, |ep| {
+            let mut rng = StdRng::seed_from_u64(episode_seed(seed, ep as u64));
+            collect_episode(
+                &pool[ep % pool.len()],
+                teacher,
+                value_fn,
+                controller,
+                cfg,
+                &mut rng,
+            )
+        });
+        per_episode.into_iter().flatten().collect()
+    }
 }
 
 /// Eq. 1: resample `n` states with replacement, with probability
@@ -207,21 +422,53 @@ pub fn resample_by_weight(
     out
 }
 
+/// Stack the observations of labelled states into a `(n, obs_dim)` matrix
+/// for batched (re)labelling and evaluation.
+pub fn states_matrix(states: &[SampledState]) -> Matrix {
+    assert!(!states.is_empty(), "states_matrix: empty state list");
+    Matrix::from_fn(states.len(), states[0].obs.len(), |r, c| states[r].obs[c])
+}
+
 /// Fraction of states where the student's greedy action matches the
 /// teacher's — the "deviation is confined" convergence check of Step 1.
-pub fn fidelity<P: Policy + ?Sized, Q: Policy + ?Sized>(
+/// The student is queried in one batched pass over the whole dataset.
+pub fn fidelity<P: Policy + Sync + ?Sized, Q: Policy + ?Sized>(
+    states: &[SampledState],
+    student: &P,
+    teacher: &Q,
+) -> f64 {
+    fidelity_sharded(states, student, teacher, 1)
+}
+
+/// [`fidelity`] with the dataset sharded across `threads` workers
+/// (0 = all cores) in fixed row blocks: each block is one batched student
+/// query, blocks merge in row order, so the result is identical for any
+/// thread count — and to the per-obs loop.
+pub fn fidelity_sharded<P: Policy + Sync + ?Sized, Q: Policy + ?Sized>(
     states: &[SampledState],
     student: &P,
     _teacher: &Q,
+    threads: usize,
 ) -> f64 {
+    const BLOCK: usize = 256;
     if states.is_empty() {
         return 0.0;
     }
-    states
-        .iter()
-        .filter(|s| student.act_greedy(&s.obs) == s.teacher_action)
-        .count() as f64
-        / states.len() as f64
+    let matrix = states_matrix(states);
+    let n_blocks = states.len().div_ceil(BLOCK);
+    let matches: usize = crate::par::parallel_map_indexed(n_blocks, threads, |b| {
+        let lo = b * BLOCK;
+        let hi = (lo + BLOCK).min(states.len());
+        let actions = student.act_greedy_batch(&matrix.row_block(lo, hi));
+        states[lo..hi]
+            .iter()
+            .zip(actions.iter())
+            .filter(|(s, &a)| a == s.teacher_action)
+            .count()
+    })
+    .into_iter()
+    .sum();
+    matches as f64 / states.len() as f64
 }
 
 #[cfg(test)]
@@ -260,7 +507,7 @@ mod tests {
         let states = collect(
             &pool,
             &teacher,
-            |_| 0.0,
+            &(|_: &[f64]| 0.0),
             &Controller::Teacher,
             &cfg,
             &mut rng,
@@ -285,7 +532,7 @@ mod tests {
         let states = collect(
             &pool,
             &OracleBandit,
-            |_| 0.0,
+            &(|_: &[f64]| 0.0),
             &Controller::Teacher,
             &cfg,
             &mut rng,
@@ -295,7 +542,14 @@ mod tests {
         }
         // A uniform teacher only gets 1/3 of the value: weight = 1/3.
         let u = UniformPolicy { n_actions: 3 };
-        let states_u = collect(&pool, &u, |_| 0.0, &Controller::Teacher, &cfg, &mut rng);
+        let states_u = collect(
+            &pool,
+            &u,
+            &(|_: &[f64]| 0.0),
+            &Controller::Teacher,
+            &cfg,
+            &mut rng,
+        );
         for s in &states_u {
             assert!((s.weight - 1.0 / 3.0).abs() < 1e-9, "weight {}", s.weight);
         }
@@ -326,7 +580,7 @@ mod tests {
         let states = collect(
             &pool,
             &teacher,
-            |_| 0.0,
+            &(|_: &[f64]| 0.0),
             &Controller::StudentWithTakeover(&student, 1.0),
             &cfg,
             &mut rng,
@@ -358,7 +612,7 @@ mod tests {
         let states = collect(
             &pool,
             &teacher,
-            |_| 0.0,
+            &(|_: &[f64]| 0.0),
             &Controller::Student(&student),
             &cfg,
             &mut rng,
@@ -406,6 +660,63 @@ mod tests {
         let out = resample_by_weight(&states, 500, &mut rng);
         let ones = out.iter().filter(|s| s.teacher_action == 1).count();
         assert!(ones > 150 && ones < 350, "expected ~250, got {ones}");
+    }
+
+    /// The batched collection engine must be bit-identical to the per-obs
+    /// oracle across every controller mode, with a real network teacher
+    /// (batched labels/probs) and a network critic (batched values).
+    #[test]
+    fn batched_collection_matches_oracle_bitwise() {
+        use crate::policy::SoftmaxPolicy;
+        use crate::value::NetworkValue;
+        use metis_nn::{Activation, Mlp};
+
+        let pool: Vec<BanditEnv> = (0..3).map(|s| BanditEnv::new(4, 12, s)).collect();
+        let mut rng = StdRng::seed_from_u64(40);
+        let teacher = SoftmaxPolicy::new(Mlp::new(
+            &[4, 8, 4],
+            Activation::Tanh,
+            Activation::Linear,
+            &mut rng,
+        ));
+        let student = SoftmaxPolicy::new(Mlp::new(
+            &[4, 6, 4],
+            Activation::Tanh,
+            Activation::Linear,
+            &mut rng,
+        ));
+        let critic = NetworkValue::new(Mlp::new(
+            &[4, 6, 1],
+            Activation::Tanh,
+            Activation::Linear,
+            &mut rng,
+        ));
+        let cfg = CollectConfig {
+            episodes: 5,
+            max_steps: 12,
+            gamma: 0.97,
+            weighted: true,
+        };
+        for controller in [
+            Controller::Teacher,
+            Controller::Student(&student),
+            Controller::StudentWithTakeover(&student, 0.5),
+        ] {
+            let batched = collect_seeded(&pool, &teacher, &critic, &controller, &cfg, 7, 2);
+            let oracle = oracle::collect_seeded(&pool, &teacher, &critic, &controller, &cfg, 7, 1);
+            assert_eq!(batched.len(), oracle.len());
+            for (b, o) in batched.iter().zip(oracle.iter()) {
+                assert_eq!(b.obs, o.obs);
+                assert_eq!(b.teacher_action, o.teacher_action);
+                assert_eq!(
+                    b.weight.to_bits(),
+                    o.weight.to_bits(),
+                    "weight diverges: {} vs {}",
+                    b.weight,
+                    o.weight
+                );
+            }
+        }
     }
 
     #[test]

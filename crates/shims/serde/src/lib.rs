@@ -100,6 +100,20 @@ pub fn get_field<'a>(obj: &'a [(String, Value)], name: &str) -> Result<&'a Value
         .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
 }
 
+// `Value` round-trips through itself, so callers can parse arbitrary
+// JSON documents (e.g. the bench regression guard reading BENCH_*.json).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -43,7 +43,6 @@ fn main() {
     train_pensieve(&mut agent, &train_pool, 250, &mut rng);
 
     println!("converting the DNN into a decision tree (Metis §3.2)...");
-    let critic = agent.critic.clone();
     let cfg = ConversionConfig {
         max_leaf_nodes: 50,
         episodes_per_round: 10,
@@ -53,12 +52,10 @@ fn main() {
     // The unified engine: collection rounds fan across all cores, the
     // split search parallelizes per feature — same tree for any core
     // count at a fixed seed.
-    let result = ConversionPipeline::new(&train_pool, &agent.policy, move |obs| {
-        critic.predict(obs)[0]
-    })
-    .conversion(cfg)
-    .seed(42)
-    .run();
+    let result = ConversionPipeline::with_value(&train_pool, &agent.policy, agent.value_estimate())
+        .conversion(cfg)
+        .seed(42)
+        .run();
     println!(
         "collected {} states in {:.2}s, fitted in {:.2}s ({:.0} samples/s on {} threads)",
         result.stats.states_collected,

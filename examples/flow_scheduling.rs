@@ -57,7 +57,6 @@ fn main() {
     // Convert to a decision tree (Table 4: M = 2000 for AuTO agents)
     // through the same unified engine the ABR scenario uses.
     println!("converting lRLA into a decision tree...");
-    let critic = agent.critic.clone();
     let cfg = ConversionConfig {
         max_leaf_nodes: 2000,
         episodes_per_round: 3,
@@ -65,7 +64,9 @@ fn main() {
         dagger_rounds: 1,
         ..Default::default()
     };
-    let tree = ConversionPipeline::new(&pool, &agent.policy, move |obs| critic.predict(obs)[0])
+    // The critic rides the batched value path: Eq.-1 afterstate lookups
+    // are labelled one matrix-matrix pass per episode.
+    let tree = ConversionPipeline::with_value(&pool, &agent.policy, agent.value_estimate())
         .conversion(cfg)
         .seed(42)
         .run();

@@ -68,7 +68,7 @@ fn collection_merges_identically_across_thread_counts() {
         collect_seeded(
             &pool,
             &agent.policy,
-            |_| 0.0,
+            &(|_: &[f64]| 0.0),
             &Controller::Teacher,
             &cfg,
             99,
