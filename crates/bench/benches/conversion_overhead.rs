@@ -1,12 +1,14 @@
 //! Criterion benches behind Figure 31: CART fitting cost at several leaf
 //! budgets and the per-step cost of the hypergraph mask search — plus the
 //! end-to-end conversion-throughput benchmark of the unified
-//! `ConversionPipeline` (single-thread vs all-cores), whose results are
-//! emitted as `BENCH_conversion.json` at the workspace root.
+//! `ConversionPipeline` (single-thread vs all-cores), the fine-granularity
+//! persistent-pool vs spawn-per-call comparison, and the cross-workload
+//! sharding benchmark (`WorkloadRunner` over a shared budget), whose
+//! results are emitted as `BENCH_conversion.json` at the workspace root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use metis_abr::{env_pool, hsdpa_corpus, pensieve_agent, NetworkTrace, PensieveArch, VideoModel};
-use metis_core::{ConversionConfig, ConversionPipeline};
+use metis_core::{ConversionConfig, ConversionPipeline, Workload, WorkloadRunner};
 use metis_dt::{fit, prune_to_leaves, Criterion as SplitCriterion, Dataset, TreeConfig};
 use metis_hypergraph::{MaskConfig, MaskedSystem};
 use metis_routing::{optimize_routing, LatencyModel, RouteNetModel, Topology};
@@ -14,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Instant;
 
 fn pensieve_like_dataset(n: usize, rng: &mut StdRng) -> Dataset {
     let x: Vec<Vec<f64>> = (0..n)
@@ -81,9 +84,132 @@ fn bench_mask_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fine-granularity fork/join rate: calls per second of a small (64-item,
+/// 2-stripe, trivial body) indexed map — the shape the inner batched
+/// stages issue thousands of times per conversion — through the
+/// persistent pool vs the retained spawn-per-call reference. This is the
+/// overhead the pool exists to delete.
+/// Median of a sample set — the robust summary every gated metric below
+/// uses, so one preempted window can't trip the 20% bench_guard gate.
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn fine_map_calls_per_sec(use_pool: bool) -> f64 {
+    // Median rate over several fixed-minimum wall-clock windows: the pool
+    // mode sustains ~1M calls/s (a fixed call count would finish in
+    // microseconds), and spawn-mode thread-creation latency is noisy, so
+    // single-window rates swing far more than the guard tolerance.
+    const WINDOWS: usize = 5;
+    const MIN_WINDOW_S: f64 = 0.08;
+    const N: usize = 64;
+    let mut acc = 0usize;
+    let rates: Vec<f64> = (0..WINDOWS)
+        .map(|_| {
+            let mut calls = 0usize;
+            let start = Instant::now();
+            loop {
+                let out = if use_pool {
+                    metis_nn::par::parallel_map_indexed(N, 2, |i| i * 3 + calls)
+                } else {
+                    metis_nn::par::reference::parallel_map_indexed(N, 2, |i| i * 3 + calls)
+                };
+                acc = acc.wrapping_add(out[N - 1]);
+                calls += 1;
+                let seconds = start.elapsed().as_secs_f64();
+                if seconds >= MIN_WINDOW_S {
+                    break calls as f64 / seconds;
+                }
+            }
+        })
+        .collect();
+    black_box(acc);
+    median(rates)
+}
+
+/// Per-workload and aggregate throughput of [`WorkloadRunner`] sharding
+/// several conversion pipelines (a parameter sweep over the ABR scenario)
+/// across one shared thread budget.
+struct WorkloadShardingReport {
+    per_workload: Vec<(String, f64)>,
+    aggregate_per_sec: f64,
+}
+
+/// Median-of-3 [`workload_sharding_once`]: per-workload rates contend on
+/// the shared pool, so single runs are too noisy to gate at 20%.
+fn workload_sharding_report(
+    pool: &[metis_abr::AbrEnv],
+    agent_policy: &(impl metis_rl::Policy + Sync),
+    base_cfg: &ConversionConfig,
+) -> WorkloadShardingReport {
+    let runs: Vec<WorkloadShardingReport> = (0..3)
+        .map(|_| workload_sharding_once(pool, agent_policy, base_cfg))
+        .collect();
+    WorkloadShardingReport {
+        per_workload: runs[0]
+            .per_workload
+            .iter()
+            .enumerate()
+            .map(|(k, (name, _))| {
+                (
+                    name.clone(),
+                    median(runs.iter().map(|r| r.per_workload[k].1).collect()),
+                )
+            })
+            .collect(),
+        aggregate_per_sec: median(runs.iter().map(|r| r.aggregate_per_sec).collect()),
+    }
+}
+
+fn workload_sharding_once(
+    pool: &[metis_abr::AbrEnv],
+    agent_policy: &(impl metis_rl::Policy + Sync),
+    base_cfg: &ConversionConfig,
+) -> WorkloadShardingReport {
+    // Three concurrent workloads: the base config plus two sweep points
+    // (different leaf budgets and seeds — the "many scenarios at once"
+    // serving shape).
+    let sweep: Vec<(String, usize, u64)> = vec![
+        ("abr_leaves64".to_string(), 64, 3),
+        ("abr_leaves32".to_string(), 32, 4),
+        ("abr_leaves96".to_string(), 96, 5),
+    ];
+    let start = Instant::now();
+    let results = WorkloadRunner::new(0).run(
+        sweep
+            .iter()
+            .map(|(name, leaves, seed)| {
+                let cfg = ConversionConfig {
+                    max_leaf_nodes: *leaves,
+                    ..base_cfg.clone()
+                };
+                Workload::new(name.clone(), move || {
+                    ConversionPipeline::new(pool, agent_policy, |_| 0.0)
+                        .conversion(cfg)
+                        .seed(*seed)
+                        .threads(0)
+                        .run()
+                })
+            })
+            .collect(),
+    );
+    let wall = start.elapsed().as_secs_f64();
+    let total_states: usize = results.iter().map(|r| r.value.stats.states_collected).sum();
+    WorkloadShardingReport {
+        per_workload: results
+            .iter()
+            .map(|r| (r.name.clone(), r.value.stats.samples_per_sec()))
+            .collect(),
+        aggregate_per_sec: total_states as f64 / wall.max(1e-12),
+    }
+}
+
 /// End-to-end §3.2 conversion throughput (labelled states per second
 /// through collection + resampling + fit + prune), single-thread vs
-/// all-cores, on the ABR substrate. Emits `BENCH_conversion.json`.
+/// all-cores, on the ABR substrate — plus the pool-vs-spawn
+/// fine-granularity comparison and the cross-workload sharding run.
+/// Emits `BENCH_conversion.json`.
 fn bench_conversion_throughput(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(17);
     let video = Arc::new(VideoModel::standard(24, 3));
@@ -118,6 +244,22 @@ fn bench_conversion_throughput(c: &mut Criterion) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    // Warm the pool once so neither fine-map mode pays first-use setup.
+    black_box(metis_nn::par::parallel_map_indexed(8, 2, |i| i));
+    let pool_map_fine_per_sec = fine_map_calls_per_sec(true);
+    let spawn_map_fine_per_sec = fine_map_calls_per_sec(false);
+
+    let sharding = workload_sharding_report(&pool, &agent.policy, &cfg);
+    let workload_per_sec = |name: &str| {
+        sharding
+            .per_workload
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, rate)| *rate)
+            .expect("workload present")
+    };
+
     let report = ThroughputReport {
         cores,
         threads_parallel: parallel.stats.threads,
@@ -130,6 +272,14 @@ fn bench_conversion_throughput(c: &mut Criterion) {
         fit_s_single: single.stats.fit_s,
         collect_s_parallel: parallel.stats.collect_s,
         fit_s_parallel: parallel.stats.fit_s,
+        pool_map_fine_per_sec,
+        spawn_map_fine_per_sec,
+        pool_fine_speedup: pool_map_fine_per_sec / spawn_map_fine_per_sec.max(1e-12),
+        workload_count: sharding.per_workload.len(),
+        workload_abr_leaves64_per_sec: workload_per_sec("abr_leaves64"),
+        workload_abr_leaves32_per_sec: workload_per_sec("abr_leaves32"),
+        workload_abr_leaves96_per_sec: workload_per_sec("abr_leaves96"),
+        workload_agg_per_sec: sharding.aggregate_per_sec,
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -144,6 +294,14 @@ fn bench_conversion_throughput(c: &mut Criterion) {
         report.threads_parallel,
         report.speedup,
         path.display()
+    );
+    println!(
+        "fine-granularity fork/join: pool {:.0} calls/s vs spawn {:.0} calls/s ({:.1}x)",
+        report.pool_map_fine_per_sec, report.spawn_map_fine_per_sec, report.pool_fine_speedup
+    );
+    println!(
+        "workload sharding ({} pipelines, shared budget): {:.0} aggregate samples/s",
+        report.workload_count, report.workload_agg_per_sec
     );
 }
 
@@ -160,6 +318,17 @@ struct ThroughputReport {
     fit_s_single: f64,
     collect_s_parallel: f64,
     fit_s_parallel: f64,
+    /// Small-map call rate on the persistent pool…
+    pool_map_fine_per_sec: f64,
+    /// …vs the retained spawn-per-call reference (same work).
+    spawn_map_fine_per_sec: f64,
+    pool_fine_speedup: f64,
+    workload_count: usize,
+    workload_abr_leaves64_per_sec: f64,
+    workload_abr_leaves32_per_sec: f64,
+    workload_abr_leaves96_per_sec: f64,
+    /// Total labelled states over the sharded run's wall clock.
+    workload_agg_per_sec: f64,
 }
 
 criterion_group! {

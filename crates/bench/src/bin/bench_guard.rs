@@ -1,6 +1,8 @@
 //! CI bench regression guard: compare freshly produced `BENCH_*.json`
 //! artifacts against the committed baselines and fail if any throughput
-//! metric regressed by more than the allowed fraction.
+//! metric regressed by more than the allowed fraction — or silently
+//! disappeared. The comparison contract lives (and is unit-tested) in
+//! [`metis_bench::guard`].
 //!
 //! Usage:
 //!
@@ -11,28 +13,14 @@
 //! Every `BENCH_*.json` present in `baseline_dir` must exist in
 //! `current_dir`; within each file, every top-level numeric field whose
 //! name contains `per_sec` (throughput semantics: higher is better) is
-//! compared. Fields present only in the current file (newly added
-//! metrics) are ignored, so adding metrics never breaks the guard.
+//! compared. A baseline metric with no counterpart in the current run
+//! (renamed or dropped) fails with a clear message; fields present only
+//! in the current file (newly added metrics) are ignored, so adding
+//! metrics never breaks the guard.
 
-use serde::Value;
-use std::path::Path;
 use std::process::ExitCode;
 
 const DEFAULT_MAX_REGRESS: f64 = 0.20;
-
-fn load(path: &Path) -> Result<Vec<(String, f64)>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let value: Value =
-        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-    let object = value
-        .as_object()
-        .ok_or_else(|| format!("{}: not a JSON object", path.display()))?;
-    Ok(object
-        .iter()
-        .filter(|(k, _)| k.contains("per_sec"))
-        .filter_map(|(k, v)| v.as_f64().map(|x| (k.clone(), x)))
-        .collect())
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,73 +42,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let mut baselines: Vec<_> = std::fs::read_dir(baseline_dir)
-        .expect("baseline dir readable")
-        .filter_map(|e| e.ok())
-        .filter(|e| {
-            let name = e.file_name();
-            let name = name.to_string_lossy();
-            name.starts_with("BENCH_") && name.ends_with(".json")
-        })
-        .map(|e| e.path())
-        .collect();
-    baselines.sort();
-    if baselines.is_empty() {
-        eprintln!("bench_guard: no BENCH_*.json baselines in {baseline_dir}");
-        return ExitCode::FAILURE;
+    let outcome = metis_bench::guard::compare_dirs(baseline_dir, current_dir, max_regress);
+    for line in &outcome.log {
+        println!("{line}");
     }
-
-    let mut failures = 0usize;
-    let mut compared = 0usize;
-    for baseline_path in &baselines {
-        let name = baseline_path
-            .file_name()
-            .unwrap()
-            .to_string_lossy()
-            .to_string();
-        let current_path = Path::new(current_dir).join(&name);
-        let baseline = match load(baseline_path) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("bench_guard: {e}");
-                failures += 1;
-                continue;
-            }
-        };
-        let current = match load(&current_path) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("bench_guard: missing/invalid current artifact: {e}");
-                failures += 1;
-                continue;
-            }
-        };
-        for (field, old) in &baseline {
-            let Some((_, new)) = current.iter().find(|(k, _)| k == field) else {
-                eprintln!("bench_guard: {name}: field `{field}` missing from current run");
-                failures += 1;
-                continue;
-            };
-            compared += 1;
-            let floor = old * (1.0 - max_regress);
-            let delta = (new - old) / old.max(1e-12) * 100.0;
-            let ok = *new >= floor || !old.is_finite();
-            println!(
-                "{} {name}:{field}: {old:.0} -> {new:.0} ({delta:+.1}%)",
-                if ok { "ok  " } else { "FAIL" },
-            );
-            if !ok {
-                failures += 1;
-            }
-        }
+    for failure in &outcome.failures {
+        eprintln!("bench_guard: {failure}");
     }
     println!(
-        "bench_guard: {compared} metrics compared, {failures} failures (allowed regression {:.0}%)",
+        "bench_guard: {} metrics compared, {} failures (allowed regression {:.0}%)",
+        outcome.compared,
+        outcome.failures.len(),
         max_regress * 100.0
     );
-    if failures > 0 {
-        ExitCode::FAILURE
-    } else {
+    if outcome.ok() {
         ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,310 @@
+//! Library core of the `bench_guard` CI regression gate: compare the
+//! `per_sec` throughput metrics of freshly produced `BENCH_*.json`
+//! artifacts against committed baselines.
+//!
+//! The contract (pinned by the unit tests below):
+//!
+//! * every `per_sec` metric in a **baseline** artifact must exist, be
+//!   numeric, and be within the allowed regression in the current
+//!   artifact — a renamed or dropped metric is a hard failure with a
+//!   clear message, never a silent skip;
+//! * a baseline artifact containing **zero** `per_sec` metrics fails
+//!   (that is what a schema rename looks like from the gate's seat);
+//! * metrics present only in the **current** artifact are ignored, so
+//!   adding metrics never breaks the guard;
+//! * non-finite values (either side) fail — they carry no regression
+//!   information, and the offline serde shim decodes `null` as NaN, so a
+//!   metric that decayed to `null` would otherwise escape.
+
+use serde::Value;
+
+/// Outcome of comparing one artifact pair (or a whole directory sweep).
+#[derive(Debug, Default)]
+pub struct GuardOutcome {
+    /// Metrics compared against their baseline.
+    pub compared: usize,
+    /// Human-readable failure messages (empty = gate passes).
+    pub failures: Vec<String>,
+    /// Per-metric comparison lines for the CI log.
+    pub log: Vec<String>,
+}
+
+impl GuardOutcome {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn merge(&mut self, other: GuardOutcome) {
+        self.compared += other.compared;
+        self.failures.extend(other.failures);
+        self.log.extend(other.log);
+    }
+}
+
+/// Extract every `per_sec` metric of a JSON artifact. Non-numeric or
+/// non-finite `per_sec` fields are an error, not a silent drop — a
+/// metric that decayed to `null`/string/NaN must not escape the gate
+/// (the offline serde shim reads `null` as NaN, so finiteness is the
+/// load-bearing check).
+fn per_sec_metrics(text: &str, origin: &str) -> Result<Vec<(String, f64)>, String> {
+    let value: Value = serde_json::from_str(text).map_err(|e| format!("{origin}: {e}"))?;
+    let object = value
+        .as_object()
+        .ok_or_else(|| format!("{origin}: not a JSON object"))?;
+    let mut out = Vec::new();
+    for (key, val) in object.iter().filter(|(k, _)| k.contains("per_sec")) {
+        match val.as_f64() {
+            Some(x) if x.is_finite() => out.push((key.clone(), x)),
+            _ => return Err(format!("{origin}: field `{key}` is not a finite number")),
+        }
+    }
+    Ok(out)
+}
+
+/// Compare one baseline/current artifact pair. `name` labels messages
+/// (typically the file name); `max_regress` is the allowed fractional
+/// throughput drop (0.20 = 20%).
+pub fn compare_artifacts(
+    name: &str,
+    baseline_text: &str,
+    current_text: &str,
+    max_regress: f64,
+) -> GuardOutcome {
+    let mut outcome = GuardOutcome::default();
+    let baseline = match per_sec_metrics(baseline_text, &format!("{name} (baseline)")) {
+        Ok(b) => b,
+        Err(e) => {
+            outcome.failures.push(e);
+            return outcome;
+        }
+    };
+    if baseline.is_empty() {
+        outcome.failures.push(format!(
+            "{name}: baseline contains no per_sec metrics — schema renamed without updating the guard?"
+        ));
+        return outcome;
+    }
+    let current = match per_sec_metrics(current_text, &format!("{name} (current)")) {
+        Ok(c) => c,
+        Err(e) => {
+            outcome.failures.push(e);
+            return outcome;
+        }
+    };
+    for (field, old) in &baseline {
+        let Some((_, new)) = current.iter().find(|(k, _)| k == field) else {
+            outcome.failures.push(format!(
+                "{name}: baseline metric `{field}` has no counterpart in the current run \
+                 (renamed or dropped?)"
+            ));
+            continue;
+        };
+        outcome.compared += 1;
+        let floor = old * (1.0 - max_regress);
+        let delta = (new - old) / old.max(1e-12) * 100.0;
+        // `per_sec_metrics` guarantees both sides finite, so this
+        // comparison can never be vacuously true.
+        let ok = *new >= floor;
+        outcome.log.push(format!(
+            "{} {name}:{field}: {old:.0} -> {new:.0} ({delta:+.1}%)",
+            if ok { "ok  " } else { "FAIL" },
+        ));
+        if !ok {
+            outcome.failures.push(format!(
+                "{name}: `{field}` regressed {delta:+.1}% (floor {floor:.0})"
+            ));
+        }
+    }
+    outcome
+}
+
+/// Compare every `BENCH_*.json` artifact of `baseline_dir` against its
+/// counterpart in `current_dir`. Zero baselines, an unreadable
+/// counterpart, or zero compared metrics overall all fail.
+pub fn compare_dirs(baseline_dir: &str, current_dir: &str, max_regress: f64) -> GuardOutcome {
+    let mut outcome = GuardOutcome::default();
+    let mut baselines: Vec<_> = match std::fs::read_dir(baseline_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.starts_with("BENCH_") && name.ends_with(".json")
+            })
+            .map(|e| e.path())
+            .collect(),
+        Err(e) => {
+            outcome
+                .failures
+                .push(format!("baseline dir {baseline_dir}: {e}"));
+            return outcome;
+        }
+    };
+    baselines.sort();
+    if baselines.is_empty() {
+        outcome
+            .failures
+            .push(format!("no BENCH_*.json baselines in {baseline_dir}"));
+        return outcome;
+    }
+    for baseline_path in &baselines {
+        let name = baseline_path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .to_string();
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                outcome.failures.push(format!("{name} (baseline): {e}"));
+                continue;
+            }
+        };
+        let current_path = std::path::Path::new(current_dir).join(&name);
+        let current_text = match std::fs::read_to_string(&current_path) {
+            Ok(t) => t,
+            Err(e) => {
+                outcome.failures.push(format!(
+                    "{name}: current artifact missing/unreadable ({}): {e}",
+                    current_path.display()
+                ));
+                continue;
+            }
+        };
+        outcome.merge(compare_artifacts(
+            &name,
+            &baseline_text,
+            &current_text,
+            max_regress,
+        ));
+    }
+    if outcome.compared == 0 && outcome.ok() {
+        outcome
+            .failures
+            .push("no per_sec metrics compared — gate is vacuous".to_string());
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX: f64 = 0.20;
+
+    #[test]
+    fn within_tolerance_passes_and_logs() {
+        let outcome = compare_artifacts(
+            "BENCH_x.json",
+            r#"{"a_per_sec": 100.0, "cores": 4}"#,
+            r#"{"a_per_sec": 85.0, "cores": 4}"#,
+            MAX,
+        );
+        assert!(outcome.ok(), "failures: {:?}", outcome.failures);
+        assert_eq!(outcome.compared, 1);
+        assert_eq!(outcome.log.len(), 1);
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let outcome = compare_artifacts(
+            "BENCH_x.json",
+            r#"{"a_per_sec": 100.0}"#,
+            r#"{"a_per_sec": 79.0}"#,
+            MAX,
+        );
+        assert!(!outcome.ok());
+        assert!(outcome.failures[0].contains("regressed"));
+    }
+
+    /// The regression-gate escape this PR closes: a baseline metric with
+    /// no counterpart in the current artifact (renamed or dropped) must
+    /// fail loudly, not be skipped.
+    #[test]
+    fn dropped_or_renamed_metric_fails_with_clear_message() {
+        let outcome = compare_artifacts(
+            "BENCH_x.json",
+            r#"{"a_per_sec": 100.0, "b_per_sec": 50.0}"#,
+            r#"{"a_per_sec": 100.0, "b_renamed_per_sec": 50.0}"#,
+            MAX,
+        );
+        assert!(!outcome.ok());
+        assert_eq!(outcome.compared, 1, "surviving metric still compared");
+        assert!(
+            outcome.failures[0].contains("`b_per_sec`")
+                && outcome.failures[0].contains("no counterpart"),
+            "message unclear: {:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn new_current_only_metrics_are_ignored() {
+        let outcome = compare_artifacts(
+            "BENCH_x.json",
+            r#"{"a_per_sec": 100.0}"#,
+            r#"{"a_per_sec": 100.0, "brand_new_per_sec": 1.0}"#,
+            MAX,
+        );
+        assert!(outcome.ok(), "adding metrics must never break the guard");
+        assert_eq!(outcome.compared, 1);
+    }
+
+    #[test]
+    fn baseline_without_per_sec_metrics_fails() {
+        let outcome = compare_artifacts(
+            "BENCH_x.json",
+            r#"{"throughput": 100.0}"#,
+            r#"{"throughput": 100.0}"#,
+            MAX,
+        );
+        assert!(!outcome.ok(), "a schema rename must not pass vacuously");
+        assert!(outcome.failures[0].contains("no per_sec metrics"));
+    }
+
+    #[test]
+    fn non_numeric_metric_fails_instead_of_silently_dropping() {
+        let bad_current = compare_artifacts(
+            "BENCH_x.json",
+            r#"{"a_per_sec": 100.0}"#,
+            r#"{"a_per_sec": null}"#,
+            MAX,
+        );
+        assert!(!bad_current.ok());
+        assert!(bad_current.failures[0].contains("not a finite number"));
+        let bad_baseline = compare_artifacts(
+            "BENCH_x.json",
+            r#"{"a_per_sec": "fast"}"#,
+            r#"{"a_per_sec": 100.0}"#,
+            MAX,
+        );
+        assert!(!bad_baseline.ok());
+    }
+
+    #[test]
+    fn malformed_json_fails() {
+        let outcome = compare_artifacts("BENCH_x.json", r#"{"a_per_sec": 100.0}"#, "not json", MAX);
+        assert!(!outcome.ok());
+    }
+
+    #[test]
+    fn directory_sweep_catches_missing_current_artifact() {
+        let dir = std::env::temp_dir().join(format!("metis_guard_test_{}", std::process::id()));
+        let base = dir.join("base");
+        let cur = dir.join("cur");
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::create_dir_all(&cur).unwrap();
+        std::fs::write(base.join("BENCH_a.json"), r#"{"x_per_sec": 10.0}"#).unwrap();
+        std::fs::write(base.join("BENCH_b.json"), r#"{"y_per_sec": 10.0}"#).unwrap();
+        std::fs::write(cur.join("BENCH_a.json"), r#"{"x_per_sec": 10.0}"#).unwrap();
+        // BENCH_b.json has no current counterpart at all.
+        let outcome = compare_dirs(base.to_str().unwrap(), cur.to_str().unwrap(), MAX);
+        assert!(!outcome.ok());
+        assert_eq!(outcome.compared, 1);
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("BENCH_b.json") && f.contains("missing")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

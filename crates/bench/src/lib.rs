@@ -11,6 +11,7 @@
 //! experiment-by-experiment in EXPERIMENTS.md.
 
 pub mod experiments;
+pub mod guard;
 pub mod setup;
 
 use std::io::Write;

@@ -19,6 +19,8 @@
 //!   ultra-dense cellular, cluster scheduling),
 //! * [`baselines`] — LIME and LEMNA (Appendix E) over k-means clusters,
 //! * [`deploy`] — artifact/latency cost model (§6.4),
+//! * [`workload`] — cross-workload sharding: many pipelines concurrently
+//!   over one shared thread budget ([`workload::WorkloadRunner`]),
 //! * [`config`] — Table-4 defaults,
 //! * [`stats`] — experiment statistics helpers.
 
@@ -30,6 +32,7 @@ pub mod formulate;
 pub mod interpret;
 pub mod pipeline;
 pub mod stats;
+pub mod workload;
 
 pub use config::MetisDefaults;
 pub use convert::{
@@ -44,3 +47,4 @@ pub use interpret::{
 };
 pub use pipeline::{ConversionPipeline, PipelineStats};
 pub use stats::{ecdf, mean, pearson, quadrant13_fraction, std_dev};
+pub use workload::{Workload, WorkloadResult, WorkloadRunner};

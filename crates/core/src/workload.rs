@@ -1,0 +1,261 @@
+//! Cross-workload sharding: run many conversion pipelines concurrently
+//! over **one** shared thread budget.
+//!
+//! The ROADMAP's serving goal is many simultaneous conversions — one
+//! [`crate::ConversionPipeline`] per scenario/config (ABR, flow
+//! scheduling, routing, parameter sweeps). Naively spawning each
+//! pipeline's stages on their own threads multiplies the thread count
+//! (workloads × stage threads) and oversubscribes the machine. The
+//! [`WorkloadRunner`] instead drives every workload on a lightweight
+//! driver thread whose parallel stages all execute on the persistent
+//! [`metis_nn::par::global`] worker pool:
+//!
+//! * **Shared budget** — at most `budget` workloads are *admitted* (run
+//!   their driver) at once; inner stages borrow pool workers rather than
+//!   spawning, so the process-wide compute thread count stays bounded by
+//!   the pool size regardless of how many workloads are queued.
+//! * **Fair scheduling** — each workload's submissions are tagged with a
+//!   fresh pool group ([`metis_nn::par::with_group`]); the pool
+//!   round-robins across groups, so a long workload cannot starve the
+//!   rest. Admission itself is FIFO in submission order.
+//! * **Determinism** — workloads share no mutable state and every pool
+//!   stage merges by index, so each workload's result is **bit-identical
+//!   to running it alone**, for any budget, pool size, or interleaving;
+//!   results return in submission order.
+//!
+//! ```
+//! use metis_core::{ConversionPipeline, Workload, WorkloadRunner};
+//! use metis_rl::env::test_envs::BanditEnv;
+//! use metis_rl::UniformPolicy;
+//!
+//! let pool: Vec<BanditEnv> = (0..2).map(|s| BanditEnv::new(3, 10, s)).collect();
+//! let teacher = UniformPolicy { n_actions: 3 };
+//! let results = WorkloadRunner::new(0).run(
+//!     (0..3)
+//!         .map(|seed| {
+//!             let pool = &pool;
+//!             let teacher = &teacher;
+//!             Workload::new(format!("sweep-{seed}"), move || {
+//!                 ConversionPipeline::new(pool, teacher, |_| 0.0)
+//!                     .seed(seed)
+//!                     .run()
+//!             })
+//!         })
+//!         .collect(),
+//! );
+//! assert_eq!(results.len(), 3);
+//! assert_eq!(results[0].name, "sweep-0");
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One named unit of work for the [`WorkloadRunner`] — typically a whole
+/// conversion pipeline run, but any `FnOnce` closure works (the closure
+/// may borrow from the caller's stack).
+pub struct Workload<'a, R> {
+    name: String,
+    job: Box<dyn FnOnce() -> R + Send + 'a>,
+}
+
+impl<'a, R> Workload<'a, R> {
+    pub fn new(name: impl Into<String>, job: impl FnOnce() -> R + Send + 'a) -> Self {
+        Workload {
+            name: name.into(),
+            job: Box::new(job),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The outcome of one workload: its name, its return value, and the wall
+/// clock it held an admission slot (queueing time excluded).
+#[derive(Debug, Clone)]
+pub struct WorkloadResult<R> {
+    pub name: String,
+    pub value: R,
+    pub seconds: f64,
+}
+
+/// Runs batches of [`Workload`]s concurrently over a shared thread
+/// budget. See the module docs for the scheduling and determinism
+/// contract.
+pub struct WorkloadRunner {
+    budget: usize,
+}
+
+impl WorkloadRunner {
+    /// A runner admitting at most `budget` concurrent workloads
+    /// (0 = all available cores). The inner parallel stages of admitted
+    /// workloads all share the persistent worker pool, so raising the
+    /// budget never multiplies compute threads.
+    pub fn new(budget: usize) -> Self {
+        WorkloadRunner {
+            budget: metis_nn::par::resolve_threads(budget).max(1),
+        }
+    }
+
+    /// Concurrent workload slots.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Run every workload and return their results **in submission
+    /// order**. Each workload executes exactly as it would alone —
+    /// bit-identical results — while sharing the pool fairly with its
+    /// neighbours. Panics if a workload panics (after the others finish).
+    ///
+    /// Only `min(budget, workloads)` driver threads are spawned; they
+    /// pull workloads from a shared queue in submission order, so
+    /// admission is genuinely FIFO and a thousand-point sweep never
+    /// creates a thousand OS threads.
+    pub fn run<R: Send>(&self, workloads: Vec<Workload<'_, R>>) -> Vec<WorkloadResult<R>> {
+        let n = workloads.len();
+        let drivers = self.budget.min(n).max(1);
+        // Submission-ordered FIFO of (slot index, workload); each result
+        // lands in its submission slot regardless of which driver ran it.
+        let queue: Mutex<VecDeque<(usize, Workload<'_, R>)>> =
+            Mutex::new(workloads.into_iter().enumerate().collect());
+        let slots: Vec<Mutex<Option<WorkloadResult<R>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..drivers)
+                .map(|_| {
+                    let queue = &queue;
+                    let slots = &slots;
+                    scope.spawn(move || loop {
+                        let Some((idx, workload)) = queue.lock().unwrap().pop_front() else {
+                            return;
+                        };
+                        let group = metis_nn::par::fresh_group();
+                        let result = metis_nn::par::with_group(group, || {
+                            let start = Instant::now();
+                            let value = (workload.job)();
+                            WorkloadResult {
+                                name: workload.name,
+                                value,
+                                seconds: start.elapsed().as_secs_f64(),
+                            }
+                        });
+                        *slots[idx].lock().unwrap() = Some(result);
+                    })
+                })
+                .collect();
+            let mut panicked = false;
+            for handle in handles {
+                panicked |= handle.join().is_err();
+            }
+            assert!(!panicked, "workload panicked");
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every submitted workload produced a result")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::ConversionConfig;
+    use crate::pipeline::ConversionPipeline;
+    use metis_rl::env::test_envs::BanditEnv;
+    use metis_rl::Policy;
+
+    #[derive(Clone)]
+    struct Oracle;
+    impl Policy for Oracle {
+        fn action_probs(&self, obs: &[f64]) -> Vec<f64> {
+            let mut p = vec![0.0; obs.len()];
+            p[obs.iter().position(|&x| x == 1.0).unwrap()] = 1.0;
+            p
+        }
+    }
+
+    #[test]
+    fn results_return_in_submission_order() {
+        let results = WorkloadRunner::new(2).run(
+            (0..5)
+                .map(|k| Workload::new(format!("w{k}"), move || k * k))
+                .collect(),
+        );
+        let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["w0", "w1", "w2", "w3", "w4"]);
+        let values: Vec<usize> = results.iter().map(|r| r.value).collect();
+        assert_eq!(values, vec![0, 1, 4, 9, 16]);
+        assert!(results.iter().all(|r| r.seconds >= 0.0));
+    }
+
+    #[test]
+    fn budget_zero_resolves_to_cores() {
+        assert!(WorkloadRunner::new(0).budget() >= 1);
+        assert_eq!(WorkloadRunner::new(3).budget(), 3);
+    }
+
+    #[test]
+    fn budget_bounds_concurrent_admissions() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let active = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        WorkloadRunner::new(2).run(
+            (0..8)
+                .map(|k| {
+                    let active = &active;
+                    let peak = &peak;
+                    Workload::new(format!("w{k}"), move || {
+                        let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    })
+                })
+                .collect(),
+        );
+        assert!(peak.load(Ordering::SeqCst) <= 2, "budget exceeded");
+    }
+
+    /// The acceptance bar: concurrent scenario pipelines over a shared
+    /// budget are bit-identical to running each pipeline alone, for any
+    /// thread knob.
+    #[test]
+    fn concurrent_pipelines_bit_identical_to_solo_runs() {
+        let pool: Vec<BanditEnv> = (0..4).map(|s| BanditEnv::new(3, 20, s)).collect();
+        let cfg = ConversionConfig {
+            max_leaf_nodes: 8,
+            episodes_per_round: 6,
+            max_steps: 16,
+            ..Default::default()
+        };
+        let run_one = |seed: u64, threads: usize| {
+            ConversionPipeline::new(&pool, &Oracle, |_| 0.0)
+                .conversion(cfg.clone())
+                .seed(seed)
+                .threads(threads)
+                .run()
+        };
+        for threads in [1usize, 3] {
+            let solo: Vec<_> = (0..3).map(|seed| run_one(seed, threads)).collect();
+            let sharded = WorkloadRunner::new(0).run(
+                (0..3)
+                    .map(|seed| {
+                        let run_one = &run_one;
+                        Workload::new(format!("bandit-{seed}"), move || run_one(seed, threads))
+                    })
+                    .collect(),
+            );
+            for (alone, shared) in solo.iter().zip(sharded.iter()) {
+                assert_eq!(alone.policy.tree, shared.value.policy.tree);
+                assert_eq!(alone.fidelity_history, shared.value.fidelity_history);
+                assert_eq!(alone.dataset_size, shared.value.dataset_size);
+            }
+        }
+    }
+}

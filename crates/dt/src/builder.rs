@@ -23,13 +23,7 @@ use std::collections::BinaryHeap;
 
 /// Resolve a thread-count knob: 0 means "all available cores".
 pub(crate) fn resolve_threads(requested: usize) -> usize {
-    if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        requested
-    }
+    metis_nn::par::resolve_threads(requested)
 }
 
 /// Minimum `samples x features` product for a node before the split scan
@@ -217,7 +211,7 @@ struct Candidate {
 
 impl PartialEq for Candidate {
     fn eq(&self, other: &Self) -> bool {
-        self.best.gain == other.best.gain
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for Candidate {}
@@ -229,10 +223,14 @@ impl PartialOrd for Candidate {
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap on gain; ties broken by node index for determinism.
+        // `total_cmp` (not `partial_cmp(..).unwrap_or(Equal)`): a NaN gain
+        // made NaN compare "equal" to *everything* while finite gains
+        // still ordered, violating the Ord contract and silently
+        // scrambling `BinaryHeap` pop order. Under the IEEE total order a
+        // positive NaN simply sorts above +inf and transitivity holds.
         self.best
             .gain
-            .partial_cmp(&other.best.gain)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.best.gain)
             .then_with(|| other.node_idx.cmp(&self.node_idx))
     }
 }
@@ -326,32 +324,25 @@ fn best_split(
         }
         return best;
     }
-    // Contiguous feature chunks, reduced in ascending order so the
-    // tie-breaking matches the sequential scan exactly.
+    // Contiguous feature chunks on the persistent worker pool, reduced in
+    // ascending order so the tie-breaking matches the sequential scan
+    // exactly. `lo` is clamped: with ceil-divided chunks a late worker's
+    // start can exceed `n_features` (e.g. 5 features over 4 workers), and
+    // the unclamped slice would panic.
     let chunk = n_features.div_ceil(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(n_features);
-                let orders = &orders[lo..hi];
-                scope.spawn(move || {
-                    let mut best: Option<BestSplit> = None;
-                    for (off, order) in orders.iter().enumerate() {
-                        best = better(
-                            best,
-                            scan_feature(ds, lo + off, order, parent, parent_imp, config),
-                        );
-                    }
-                    best
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("split-scan worker panicked"))
-            .fold(None, better)
-    })
+    let per_chunk = metis_nn::par::parallel_map_indexed(workers, workers, |w| {
+        let lo = (w * chunk).min(n_features);
+        let hi = ((w + 1) * chunk).min(n_features);
+        let mut best: Option<BestSplit> = None;
+        for (off, order) in orders[lo..hi].iter().enumerate() {
+            best = better(
+                best,
+                scan_feature(ds, lo + off, order, parent, parent_imp, config),
+            );
+        }
+        best
+    });
+    per_chunk.into_iter().fold(None, better)
 }
 
 /// Build the root's per-feature sorted index lists (ties broken by index,
@@ -601,7 +592,7 @@ mod reference {
 
     impl PartialEq for RefCandidate {
         fn eq(&self, other: &Self) -> bool {
-            self.best.gain == other.best.gain
+            self.cmp(other) == Ordering::Equal
         }
     }
     impl Eq for RefCandidate {}
@@ -612,10 +603,11 @@ mod reference {
     }
     impl Ord for RefCandidate {
         fn cmp(&self, other: &Self) -> Ordering {
+            // Same total_cmp fix as `Candidate::cmp`: the oracle heap must
+            // honour the Ord contract for NaN gains too.
             self.best
                 .gain
-                .partial_cmp(&other.best.gain)
-                .unwrap_or(Ordering::Equal)
+                .total_cmp(&other.best.gain)
                 .then_with(|| other.node_idx.cmp(&self.node_idx))
         }
     }
@@ -1036,6 +1028,81 @@ mod tests {
         assert_eq!(t1, fit_with(2));
         assert_eq!(t1, fit_with(5));
         assert_eq!(t1, fit_with(16));
+    }
+
+    /// Regression for the Ord-contract bug: `partial_cmp(..).unwrap_or(Equal)`
+    /// made a NaN-gain candidate "equal" to every other candidate while
+    /// finite gains still ordered, so `BinaryHeap` pop order was scrambled
+    /// (NaN could surface anywhere, dragging neighbours with it). Under
+    /// `total_cmp`, positive NaN sorts above +inf, ties (including
+    /// NaN-vs-NaN, e.g. two zero-variance/overflowed splits) break toward
+    /// the lower node index, and pops are a strict total order.
+    #[test]
+    fn heap_pop_order_is_total_with_nan_gain_candidates() {
+        let mk = |gain: f64, node_idx: usize| Candidate {
+            node_idx,
+            indices: Vec::new(),
+            orders: Vec::new(),
+            depth: 0,
+            best: BestSplit {
+                feature: 0,
+                threshold: 0.0,
+                gain,
+            },
+        };
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+        for (gain, node_idx) in [
+            (1.0, 10),
+            (f64::NAN, 11),
+            (2.0, 12),
+            (0.0, 13),
+            (f64::NAN, 14),
+            (f64::INFINITY, 15),
+        ] {
+            heap.push(mk(gain, node_idx));
+        }
+        let popped: Vec<usize> = std::iter::from_fn(|| heap.pop())
+            .map(|c| c.node_idx)
+            .collect();
+        assert_eq!(popped, vec![11, 14, 15, 12, 10, 13]);
+
+        // And the comparator is a genuine total order over NaN candidates:
+        // reflexivity-of-equality and antisymmetry spot checks.
+        let (a, b) = (mk(f64::NAN, 1), mk(f64::NAN, 2));
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        assert!(mk(f64::NAN, 1) == mk(f64::NAN, 1));
+        assert!(mk(f64::NAN, 1) != mk(f64::NAN, 2));
+    }
+
+    /// Regression for the parallel split-scan chunk guard: with a worker
+    /// count that over-divides the feature count (ceil chunks), a late
+    /// worker's `lo` exceeds `n_features` — 5 features over 4 workers put
+    /// worker 3 at `lo = 6` — and the unclamped slice panicked.
+    #[test]
+    fn threaded_scan_with_overdivided_feature_chunks() {
+        // 5 features x 4000 samples > PAR_SPLIT_THRESHOLD, threads = 4
+        // => chunk = ceil(5/4) = 2, worker 3 starts past the feature end.
+        let x = parity_features(4000, 5, 29);
+        assert!(x.len() * x[0].len() > super::PAR_SPLIT_THRESHOLD);
+        let y: Vec<usize> = x
+            .iter()
+            .map(|xi| ((xi[0] + xi[4]) * 2.0) as usize % 4)
+            .collect();
+        let ds = Dataset::classification(x, y, 4).unwrap();
+        let fit_with = |threads: usize| {
+            fit(
+                &ds,
+                &TreeConfig {
+                    max_leaf_nodes: 16,
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let sequential = fit_with(1);
+        assert_eq!(sequential, fit_with(4));
     }
 
     #[test]

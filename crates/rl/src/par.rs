@@ -1,7 +1,10 @@
 //! Deterministic fork/join primitives — re-exported from [`metis_nn::par`],
 //! where they now live so every layer of the stack (including the
 //! hypergraph mask search, which does not depend on this crate) shares the
-//! same index-ordered merge contract. Existing `metis_rl::par` paths keep
+//! same index-ordered merge contract — and, since the persistent worker
+//! pool, the same thread budget. Existing `metis_rl::par` paths keep
 //! working.
 
-pub use metis_nn::par::{mix_seed, parallel_map_indexed, resolve_threads};
+pub use metis_nn::par::{
+    fresh_group, global, mix_seed, parallel_map_indexed, resolve_threads, with_group, WorkerPool,
+};
