@@ -1,0 +1,398 @@
+//! Online-serving benchmarks behind the `metis_serve` subsystem: batched
+//! compiled-tree throughput vs the single-request arena walk, registry
+//! read cost, and the micro-batching engine under open-loop load —
+//! including a sustained-load hot-swap audit (zero drops, every response
+//! bit-identical to its epoch's sequential oracle). Emits
+//! `BENCH_serving.json` at the workspace root for the `bench_guard` CI
+//! regression gate (only the compute-bound `per_sec` metrics are gated;
+//! scheduling-sensitive engine/latency numbers are reported ungated).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metis_dt::{fit, prune_to_leaves, CompiledTree, Dataset, DecisionTree, Prediction, TreeConfig};
+use metis_flowsched::LRLA_STATE_DIM;
+use metis_serve::{
+    drive_open_loop, ArrivalProcess, ModelRegistry, Response, ServeConfig, TreeServer,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+const BATCH_SIZES: [usize; 3] = [1, 32, 256];
+
+/// The shared bench fixture: a paper-scale serving tree, its compiled
+/// form, and a fixed pool of request feature vectors (request `k` uses
+/// `pool[k % len]`, so swap audits can regenerate any request's features
+/// from its id alone). Built once — the 2000-leaf CART fit is seconds of
+/// work and both criterion targets need the identical artifact.
+struct Fixture {
+    tree: DecisionTree,
+    compiled: CompiledTree,
+    pool: Vec<Vec<f64>>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(23);
+        // A 2000-leaf tree over the lRLA feature space (content does not
+        // affect traversal cost; only depth/branching does).
+        let n = 6000;
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..LRLA_STATE_DIM)
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect()
+            })
+            .collect();
+        let y: Vec<usize> = x
+            .iter()
+            .map(|xi| ((xi[0] * 17.0 + xi[5] * 9.0 + xi[40] * 4.0) as usize) % 108)
+            .collect();
+        let ds = Dataset::classification(x, y, 108).unwrap();
+        let tree = fit(
+            &ds,
+            &TreeConfig {
+                max_leaf_nodes: 2000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let compiled = CompiledTree::compile(&tree);
+        let pool = (0..1024)
+            .map(|_| {
+                (0..LRLA_STATE_DIM)
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect()
+            })
+            .collect();
+        Fixture {
+            tree,
+            compiled,
+            pool,
+        }
+    })
+}
+
+/// Median rate over several fixed-minimum wall-clock windows — the robust
+/// summary every gated metric uses.
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn rows_per_sec(rows_per_call: usize, mut f: impl FnMut()) -> f64 {
+    const WINDOWS: usize = 9;
+    const MIN_WINDOW_S: f64 = 0.1;
+    f(); // warmup
+    let rates: Vec<f64> = (0..WINDOWS)
+        .map(|_| {
+            let mut calls = 0usize;
+            let start = Instant::now();
+            loop {
+                f();
+                calls += 1;
+                let seconds = start.elapsed().as_secs_f64();
+                if seconds >= MIN_WINDOW_S {
+                    break (calls * rows_per_call) as f64 / seconds;
+                }
+            }
+        })
+        .collect();
+    median(rates)
+}
+
+fn bench_backend(c: &mut Criterion) {
+    let Fixture {
+        tree,
+        compiled,
+        pool,
+    } = fixture();
+
+    let mut group = c.benchmark_group("serving_backend");
+    group.bench_function("tree_single", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % pool.len();
+            black_box(tree.predict(black_box(&pool[k])))
+        })
+    });
+    group.bench_function("compiled_single", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % pool.len();
+            black_box(compiled.predict(black_box(&pool[k])))
+        })
+    });
+    for batch in BATCH_SIZES {
+        let flat: Vec<f64> = pool.iter().take(batch).flatten().copied().collect();
+        group.bench_with_input(BenchmarkId::new("batched", batch), &flat, |b, flat| {
+            b.iter(|| black_box(compiled.predict_batch(black_box(flat))))
+        });
+    }
+    group.finish();
+}
+
+/// Outcome of one open-loop engine run plus its response audit.
+struct EngineRun {
+    served: usize,
+    wall_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+    mean_batch: f64,
+    mismatches: usize,
+}
+
+fn audit(responses: &[Response], sources: &[DecisionTree], pool: &[Vec<f64>]) -> usize {
+    responses
+        .iter()
+        .filter(|r| {
+            let oracle = sources[r.epoch as usize].predict(&pool[r.id as usize % pool.len()]);
+            match (r.prediction, oracle) {
+                (Prediction::Class(a), Prediction::Class(b)) => a != b,
+                (Prediction::Value(a), Prediction::Value(b)) => a.to_bits() != b.to_bits(),
+                _ => true,
+            }
+        })
+        .count()
+}
+
+fn run_engine(
+    sources: &[DecisionTree],
+    pool: &[Vec<f64>],
+    arrivals: &ArrivalProcess,
+    time_scale: f64,
+    publish_mid_run: bool,
+) -> (EngineRun, u64, f64) {
+    let registry = Arc::new(ModelRegistry::new(sources[0].clone()));
+    let server = TreeServer::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            max_batch: 256,
+            max_delay: Duration::from_micros(200),
+            ..Default::default()
+        },
+    );
+    let mut handle = server.handle();
+    let start = Instant::now();
+    let mut publish_max_us = 0.0f64;
+    let (responses, swaps) = std::thread::scope(|scope| {
+        let publisher = publish_mid_run.then(|| {
+            let registry = Arc::clone(&registry);
+            let trees = &sources[1..];
+            scope.spawn(move || {
+                let mut max_us = 0.0f64;
+                for tree in trees {
+                    std::thread::sleep(Duration::from_millis(15));
+                    let t0 = Instant::now();
+                    registry.publish(tree.clone());
+                    max_us = max_us.max(t0.elapsed().as_secs_f64() * 1e6);
+                }
+                max_us
+            })
+        });
+        let responses = drive_open_loop(
+            &mut handle,
+            arrivals,
+            |k| pool[k as usize % pool.len()].clone(),
+            time_scale,
+        );
+        if let Some(p) = publisher {
+            publish_max_us = p.join().expect("publisher panicked");
+        }
+        (responses, registry.swap_count())
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let report = server.shutdown();
+    // Same percentile convention as the engine's own report: the shared
+    // metis_serve::summarize, not a local re-implementation.
+    let summary =
+        metis_serve::summarize(&responses.iter().map(|r| r.latency_s).collect::<Vec<f64>>());
+    let run = EngineRun {
+        served: responses.len(),
+        wall_s,
+        p50_us: summary.p50_s * 1e6,
+        p99_us: summary.p99_s * 1e6,
+        max_us: summary.max_s * 1e6,
+        mean_batch: report.mean_batch,
+        mismatches: audit(&responses, sources, pool),
+    };
+    assert_eq!(report.delivery_failures, 0, "responses went undelivered");
+    (run, swaps, publish_max_us)
+}
+
+/// Measured summary for the JSON artifact consumed by the CI guard.
+fn emit_report(_c: &mut Criterion) {
+    let Fixture {
+        tree,
+        compiled,
+        pool,
+    } = fixture();
+
+    // Backend throughput: the arena walk the seed deployed vs the
+    // levelwise compiled batch walk the serving engine flushes.
+    let tree_single_per_sec = rows_per_sec(pool.len(), || {
+        for x in pool {
+            black_box(tree.predict(black_box(x)));
+        }
+    });
+    let compiled_single_per_sec = rows_per_sec(pool.len(), || {
+        for x in pool {
+            black_box(compiled.predict(black_box(x)));
+        }
+    });
+    let batch_rates: Vec<f64> = BATCH_SIZES
+        .iter()
+        .map(|&batch| {
+            let flat: Vec<f64> = pool.iter().take(batch).flatten().copied().collect();
+            rows_per_sec(batch, || {
+                black_box(compiled.predict_batch(black_box(&flat)));
+            })
+        })
+        .collect();
+
+    // Registry read cost: what every flush pays to pin an epoch.
+    let registry = ModelRegistry::new(tree.clone());
+    let registry_read_per_sec = rows_per_sec(1024, || {
+        for _ in 0..1024 {
+            black_box(registry.current());
+        }
+    });
+
+    // "Retrained" swap candidates: cheaper prunes of the serving tree —
+    // structurally different answers, instant to produce.
+    let sources: Vec<DecisionTree> = std::iter::once(tree.clone())
+        .chain(
+            [1500, 1000, 600, 300]
+                .iter()
+                .map(|&l| prune_to_leaves(tree, l)),
+        )
+        .collect();
+
+    // Engine capacity: everything submitted at once (scale 0) — the queue
+    // drain rate with full batches.
+    let burst = ArrivalProcess::poisson(1.0, 30_000, 3);
+    let (cap, _, _) = run_engine(&sources[..1], pool, &burst, 0.0, false);
+    assert_eq!(cap.served, 30_000);
+    assert_eq!(cap.mismatches, 0, "burst responses diverged from oracle");
+    let capacity_rps = cap.served as f64 / cap.wall_s;
+
+    // Steady open-loop Poisson load at half capacity: honest tail latency.
+    let offered = capacity_rps * 0.5;
+    let steady_arrivals = ArrivalProcess::poisson(offered, 20_000, 7);
+    let (steady, _, _) = run_engine(&sources[..1], pool, &steady_arrivals, 1.0, false);
+    assert_eq!(
+        steady.mismatches, 0,
+        "steady responses diverged from oracle"
+    );
+
+    // Hot swaps under the same sustained load: zero drops, bit-identical
+    // per epoch, and the publisher's worst swap cost.
+    let swap_arrivals = ArrivalProcess::poisson(offered, 20_000, 11);
+    let (swap, swap_count, publish_max_us) = run_engine(&sources, pool, &swap_arrivals, 1.0, true);
+    assert_eq!(swap.served, 20_000, "requests dropped across hot swaps");
+    assert_eq!(
+        swap.mismatches, 0,
+        "hot-swap responses diverged from oracle"
+    );
+
+    // ABR-trace replay (decision-per-chunk cadence), compressed 2000x so
+    // the bench stays fast while keeping the trace's burst shape.
+    let trace = metis_abr::generate_trace(&metis_abr::TraceGenConfig::hsdpa_like(), "bench", 5);
+    let abr_arrivals = ArrivalProcess::from_abr_trace(&trace, 1_000_000.0, 400);
+    let (abr, _, _) = run_engine(&sources[..1], pool, &abr_arrivals, 0.0005, false);
+    assert_eq!(abr.mismatches, 0, "ABR replay diverged from oracle");
+
+    let report = ServingReport {
+        cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n_features: compiled.n_features(),
+        tree_nodes: compiled.node_count(),
+        tree_single_per_sec,
+        compiled_single_per_sec,
+        serve_batch_rows_per_sec_b1: batch_rates[0],
+        serve_batch_rows_per_sec_b32: batch_rates[1],
+        serve_batch_rows_per_sec_b256: batch_rates[2],
+        batch256_speedup_vs_single_tree: batch_rates[2] / tree_single_per_sec.max(1e-12),
+        registry_read_per_sec,
+        engine_capacity_rps: capacity_rps,
+        engine_offered_rps: offered,
+        engine_mean_batch: steady.mean_batch,
+        engine_p50_us: steady.p50_us,
+        engine_p99_us: steady.p99_us,
+        engine_max_us: steady.max_us,
+        abr_replay_served: abr.served,
+        swap_count,
+        swap_dropped: 20_000 - swap.served,
+        swap_bit_mismatches: swap.mismatches,
+        swap_publish_max_us: publish_max_us,
+        swap_p99_us: swap.p99_us,
+        swap_max_latency_us: swap.max_us,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serving.json");
+    std::fs::write(&path, &json).expect("write BENCH_serving.json");
+    println!(
+        "serving backend: tree {:.0} rows/s, compiled batch-256 {:.0} rows/s ({:.1}x); \
+         engine {:.0} rps capacity, p99 {:.0} us at {:.0} rps offered; \
+         {} swaps under load: {} dropped, {} mismatches -> {}",
+        report.tree_single_per_sec,
+        report.serve_batch_rows_per_sec_b256,
+        report.batch256_speedup_vs_single_tree,
+        report.engine_capacity_rps,
+        report.engine_p99_us,
+        report.engine_offered_rps,
+        report.swap_count,
+        report.swap_dropped,
+        report.swap_bit_mismatches,
+        path.display()
+    );
+    // Acceptance bar: batched compiled serving >= 3x the single-request
+    // arena walk at batch 256. Warn loudly rather than panic so a noisy
+    // runner cannot fail the bench step on hardware variance alone.
+    if report.batch256_speedup_vs_single_tree < 3.0 {
+        eprintln!(
+            "WARNING: batch-256 serving speedup is {:.2}x (< 3x target)",
+            report.batch256_speedup_vs_single_tree
+        );
+    }
+}
+
+#[derive(serde::Serialize)]
+struct ServingReport {
+    cores: usize,
+    n_features: usize,
+    tree_nodes: usize,
+    tree_single_per_sec: f64,
+    compiled_single_per_sec: f64,
+    serve_batch_rows_per_sec_b1: f64,
+    serve_batch_rows_per_sec_b32: f64,
+    serve_batch_rows_per_sec_b256: f64,
+    batch256_speedup_vs_single_tree: f64,
+    registry_read_per_sec: f64,
+    engine_capacity_rps: f64,
+    engine_offered_rps: f64,
+    engine_mean_batch: f64,
+    engine_p50_us: f64,
+    engine_p99_us: f64,
+    engine_max_us: f64,
+    abr_replay_served: usize,
+    swap_count: u64,
+    swap_dropped: usize,
+    swap_bit_mismatches: usize,
+    swap_publish_max_us: f64,
+    swap_p99_us: f64,
+    swap_max_latency_us: f64,
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_backend, emit_report
+}
+criterion_main!(benches);

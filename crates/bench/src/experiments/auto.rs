@@ -305,20 +305,21 @@ pub fn fig17b(out: &mut dyn Write) -> std::io::Result<()> {
         "{:<18} {:>12} {:>14.2} s",
         "Pensieve DNN",
         dnn_bytes,
-        dnn.load_time_s(1200.0)
+        dnn.load_time_s(1200.0).expect("positive bandwidth")
     )?;
     writeln!(
         out,
         "{:<18} {:>12} {:>14.3} s",
         "Metis tree",
         tree_bytes,
-        tr.load_time_s(1200.0)
+        tr.load_time_s(1200.0).expect("positive bandwidth")
     )?;
     writeln!(
         out,
         "size ratio {:.0}x, load-time ratio {:.0}x",
         dnn_bytes as f64 / tree_bytes as f64,
-        dnn.load_time_s(1200.0) / tr.load_time_s(1200.0)
+        dnn.load_time_s(1200.0).expect("positive bandwidth")
+            / tr.load_time_s(1200.0).expect("positive bandwidth")
     )?;
     writeln!(
         out,

@@ -5,8 +5,32 @@
 //! reproduction the artifacts are the serialized models and latency is
 //! measured in-process (DESIGN.md §1.3, substitutions 2–3): the absolute
 //! numbers differ from a browser/Python stack, the *ratios* are the claim.
+//!
+//! Latency summaries share the serving-side percentile vocabulary
+//! ([`metis_serve::latency`]) — the same p50/p95/p99/max discipline the
+//! online engine accounts SLOs in.
 
+use metis_serve::latency::{summarize_sorted, LatencySummary};
 use std::time::Instant;
+
+/// Errors of the deployment cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeployError {
+    /// Load-time projection needs a strictly positive bandwidth.
+    NonPositiveBandwidth(f64),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::NonPositiveBandwidth(b) => {
+                write!(f, "bandwidth must be positive, got {b} kbps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
 
 /// Cost summary of a deployable model artifact.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,19 +45,34 @@ impl ArtifactCost {
 
     /// Transfer time of the artifact at a given bandwidth (the paper's
     /// page-load model uses 1200 kbps, the mean of its evaluation traces).
-    pub fn load_time_s(&self, bandwidth_kbps: f64) -> f64 {
-        assert!(bandwidth_kbps > 0.0);
-        self.bytes as f64 * 8.0 / (bandwidth_kbps * 1000.0)
+    /// Non-positive bandwidth is a checked error, not a panic.
+    pub fn load_time_s(&self, bandwidth_kbps: f64) -> Result<f64, DeployError> {
+        if bandwidth_kbps.is_nan() || bandwidth_kbps <= 0.0 {
+            return Err(DeployError::NonPositiveBandwidth(bandwidth_kbps));
+        }
+        Ok(self.bytes as f64 * 8.0 / (bandwidth_kbps * 1000.0))
     }
 }
 
-/// Latency sample summary (seconds).
+/// Latency sample summary (seconds): the raw samples plus the serving
+/// engine's percentile summary, flattened for callers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencyStats {
+    /// Measured samples, sorted ascending (`total_cmp` order).
     pub samples_s: Vec<f64>,
     pub mean_s: f64,
     pub p50_s: f64,
+    pub p95_s: f64,
     pub p99_s: f64,
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    /// The full percentile summary in the serving engine's vocabulary
+    /// (`samples_s` is stored sorted, so no re-sort happens here).
+    pub fn summary(&self) -> LatencySummary {
+        summarize_sorted(&self.samples_s)
+    }
 }
 
 /// Measure per-call latency of `f` over `iters` calls (after `warmup`
@@ -50,16 +89,15 @@ pub fn measure_latency(mut f: impl FnMut(), iters: usize, warmup: usize) -> Late
             t0.elapsed().as_secs_f64()
         })
         .collect();
-    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let pct = |p: f64| {
-        samples[((p / 100.0 * (samples.len() - 1) as f64) as usize).min(samples.len() - 1)]
-    };
+    samples.sort_by(f64::total_cmp);
+    let summary = summarize_sorted(&samples);
     LatencyStats {
-        mean_s: mean,
-        p50_s: pct(50.0),
-        p99_s: pct(99.0),
         samples_s: samples,
+        mean_s: summary.mean_s,
+        p50_s: summary.p50_s,
+        p95_s: summary.p95_s,
+        p99_s: summary.p99_s,
+        max_s: summary.max_s,
     }
 }
 
@@ -71,12 +109,22 @@ mod tests {
     fn load_time_scales_with_size_and_bandwidth() {
         let small = ArtifactCost::new(15_000); // ~15 KB tree
         let big = ArtifactCost::new(1_370_000); // ~1.37 MB DNN (paper's delta)
-        let t_small = small.load_time_s(1200.0);
-        let t_big = big.load_time_s(1200.0);
+        let t_small = small.load_time_s(1200.0).unwrap();
+        let t_big = big.load_time_s(1200.0).unwrap();
         assert!(t_big / t_small > 80.0, "ratio {}", t_big / t_small);
         // 1.37 MB at 1200 kbps ≈ 9.1 s — the paper's "9.36 seconds" scale.
         assert!(t_big > 8.0 && t_big < 11.0, "t_big {t_big}");
-        assert!(small.load_time_s(2400.0) < t_small);
+        assert!(small.load_time_s(2400.0).unwrap() < t_small);
+    }
+
+    #[test]
+    fn load_time_rejects_non_positive_bandwidth_without_panicking() {
+        let cost = ArtifactCost::new(1000);
+        for bad in [0.0, -5.0, f64::NAN] {
+            let err = cost.load_time_s(bad).unwrap_err();
+            assert!(matches!(err, DeployError::NonPositiveBandwidth(_)));
+            assert!(err.to_string().contains("positive"), "{err}");
+        }
     }
 
     #[test]
@@ -105,7 +153,25 @@ mod tests {
             expensive.mean_s,
             cheap.mean_s
         );
-        assert!(cheap.p50_s <= cheap.p99_s);
+        assert!(cheap.p50_s <= cheap.p95_s && cheap.p95_s <= cheap.p99_s);
+        assert!(cheap.p99_s <= cheap.max_s);
         assert_eq!(cheap.samples_s.len(), 200);
+    }
+
+    #[test]
+    fn stats_agree_with_serve_summary() {
+        let stats = measure_latency(
+            || {
+                std::hint::black_box(2 * 2);
+            },
+            50,
+            5,
+        );
+        let summary = stats.summary();
+        assert_eq!(summary.count, 50);
+        assert_eq!(summary.p50_s, stats.p50_s);
+        assert_eq!(summary.p95_s, stats.p95_s);
+        assert_eq!(summary.p99_s, stats.p99_s);
+        assert_eq!(summary.max_s, stats.max_s);
     }
 }

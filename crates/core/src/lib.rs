@@ -21,6 +21,8 @@
 //! * [`deploy`] — artifact/latency cost model (§6.4),
 //! * [`workload`] — cross-workload sharding: many pipelines concurrently
 //!   over one shared thread budget ([`workload::WorkloadRunner`]),
+//! * [`serving`] — serve-while-converting: live `metis_serve` traffic and
+//!   a conversion pipeline over one budget, with per-round hot swaps,
 //! * [`config`] — Table-4 defaults,
 //! * [`stats`] — experiment statistics helpers.
 
@@ -31,6 +33,7 @@ pub mod deploy;
 pub mod formulate;
 pub mod interpret;
 pub mod pipeline;
+pub mod serving;
 pub mod stats;
 pub mod workload;
 
@@ -39,12 +42,13 @@ pub use convert::{
     convert_policy, oversample_rare_actions, ConversionConfig, ConversionResult, MultiRegressor,
     TreePolicy,
 };
-pub use deploy::{measure_latency, ArtifactCost, LatencyStats};
+pub use deploy::{measure_latency, ArtifactCost, DeployError, LatencyStats};
 pub use interpret::{
     adhoc_points, classify_connection, interpret_policy_features, interpret_routing,
     mask_mass_per_link, routing_hypergraph, AdhocPoint, ConnectionReport, FeatureReport,
     InterpretationKind, MaskedRouting,
 };
 pub use pipeline::{ConversionPipeline, PipelineStats};
+pub use serving::{serve_while_converting, ServeWhileConvertOutcome};
 pub use stats::{ecdf, mean, pearson, quadrant13_fraction, std_dev};
-pub use workload::{Workload, WorkloadResult, WorkloadRunner};
+pub use workload::{RunnerStats, Workload, WorkloadResult, WorkloadRunner};

@@ -161,6 +161,16 @@ where
     /// Run the full conversion loop: teacher round, DAgger rounds with
     /// takeover, Eq.-1 resampling, fitting, and CCP pruning.
     pub fn run(&self) -> ConversionResult {
+        self.run_publishing(|_, _| {})
+    }
+
+    /// [`ConversionPipeline::run`] with a publication hook: `publish`
+    /// fires after every round's fit with `(round, &student)` — the
+    /// serve-while-converting wiring hands each freshly fitted tree to a
+    /// [`metis_serve::ModelRegistry`] so live traffic hot-swaps onto it
+    /// mid-conversion. The hook never influences the conversion itself:
+    /// results are bit-identical to [`ConversionPipeline::run`].
+    pub fn run_publishing(&self, mut publish: impl FnMut(usize, &TreePolicy)) -> ConversionResult {
         let cfg = &self.conversion;
         let n_actions = self.pool[0].n_actions();
         let collect_cfg = self.collect_cfg();
@@ -184,6 +194,7 @@ where
         stats.collect_s += t0.elapsed().as_secs_f64();
 
         let mut student = self.debug_oversample_and_fit(&mut all_states, n_actions, 0, &mut stats);
+        publish(0, &student);
         let mut fidelity_history = vec![metis_rl::fidelity_sharded(
             &all_states,
             &student,
@@ -208,6 +219,7 @@ where
             all_states.extend(new_states);
             student =
                 self.debug_oversample_and_fit(&mut all_states, n_actions, round as u64, &mut stats);
+            publish(round, &student);
             fidelity_history.push(metis_rl::fidelity_sharded(
                 &all_states,
                 &student,

@@ -1,0 +1,197 @@
+//! Serve-while-converting: live tree serving and §3.2 conversion sharing
+//! one thread budget.
+//!
+//! The deployment story the paper gestures at (§6.4) and the ROADMAP's
+//! north star both need the same shape: a converted tree **keeps serving
+//! decisions** while the conversion pipeline retrains behind it, each
+//! freshly fitted round hot-swapping into the serving path with zero
+//! dropped requests. [`serve_while_converting`] wires the pieces:
+//!
+//! * the [`crate::ConversionPipeline`] runs as one [`crate::Workload`]
+//!   and publishes every round's student tree to a
+//!   [`metis_serve::ModelRegistry`] via
+//!   [`crate::ConversionPipeline::run_publishing`],
+//! * an open-loop traffic schedule ([`metis_serve::ArrivalProcess`])
+//!   drives a [`metis_serve::TreeServer`] as a second workload,
+//! * both run under one [`crate::WorkloadRunner`] (shared admission
+//!   budget); the engine's batches and the pipeline's stages share the
+//!   process-wide worker pool under distinct fairness groups.
+//!
+//! Every response is bit-identical to `DecisionTree::predict` on the
+//! epoch it reports — swaps change *which* tree answers, never *how*.
+
+use crate::convert::ConversionResult;
+use crate::pipeline::ConversionPipeline;
+use crate::workload::{RunnerStats, Workload, WorkloadRunner};
+use metis_dt::DecisionTree;
+use metis_rl::{Env, Policy, ValueEstimate};
+use metis_serve::{
+    drive_open_loop, ArrivalProcess, EngineReport, ModelRegistry, Response, ServeConfig, TreeServer,
+};
+use std::sync::Arc;
+
+/// Everything one serve-while-converting run produces.
+#[derive(Debug)]
+pub struct ServeWhileConvertOutcome {
+    /// The conversion pipeline's final result (identical to a solo run).
+    pub conversion: ConversionResult,
+    /// The serving engine's lifetime report (latency percentiles, batch
+    /// shapes, per-epoch served counts).
+    pub serving: EngineReport,
+    /// Every response, sorted by request id.
+    pub responses: Vec<Response>,
+    /// Trees published by the pipeline (one per conversion round).
+    pub published_epochs: u64,
+    /// Admission-queue statistics of the shared runner.
+    pub runner: RunnerStats,
+}
+
+enum Lane {
+    Converted(Box<ConversionResult>),
+    Served(Vec<Response>),
+}
+
+/// Run `pipeline` and an open-loop serving lane concurrently over one
+/// shared [`WorkloadRunner`] budget. `initial` seeds the registry's
+/// epoch 0 (traffic never waits for the first fit); each conversion
+/// round's student is published as the next epoch. `features(k)` supplies
+/// request `k`'s feature vector; `time_scale` stretches the arrival
+/// schedule (0 = submit as fast as possible).
+pub fn serve_while_converting<E, T, V>(
+    pipeline: &ConversionPipeline<'_, E, T, V>,
+    initial: DecisionTree,
+    serve_cfg: ServeConfig,
+    arrivals: &ArrivalProcess,
+    features: impl FnMut(u64) -> Vec<f64> + Send,
+    time_scale: f64,
+) -> ServeWhileConvertOutcome
+where
+    E: Env + Sync,
+    T: Policy + Sync + ?Sized,
+    V: ValueEstimate,
+{
+    let registry = Arc::new(ModelRegistry::new(initial));
+    let server = TreeServer::start(Arc::clone(&registry), serve_cfg);
+    let mut handle = server.handle();
+    let mut features = features;
+    let (results, runner) = WorkloadRunner::new(2).run_detailed(vec![
+        Workload::new("convert", {
+            let registry = &registry;
+            move || {
+                Lane::Converted(Box::new(pipeline.run_publishing(|_, student| {
+                    registry.publish(student.tree.clone());
+                })))
+            }
+        }),
+        Workload::new("serve", move || {
+            Lane::Served(drive_open_loop(
+                &mut handle,
+                arrivals,
+                &mut features,
+                time_scale,
+            ))
+        }),
+    ]);
+    let mut conversion = None;
+    let mut responses = Vec::new();
+    for result in results {
+        match result.value {
+            Lane::Converted(c) => conversion = Some(*c),
+            Lane::Served(r) => responses = r,
+        }
+    }
+    let serving = server.shutdown();
+    ServeWhileConvertOutcome {
+        conversion: conversion.expect("conversion workload completed"),
+        serving,
+        responses,
+        published_epochs: registry.swap_count(),
+        runner,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::ConversionConfig;
+    use metis_rl::env::test_envs::BanditEnv;
+    use std::time::Duration;
+
+    #[derive(Clone)]
+    struct Oracle;
+    impl Policy for Oracle {
+        fn action_probs(&self, obs: &[f64]) -> Vec<f64> {
+            let mut p = vec![0.0; obs.len()];
+            p[obs.iter().position(|&x| x == 1.0).unwrap()] = 1.0;
+            p
+        }
+    }
+
+    fn one_hot(k: u64) -> Vec<f64> {
+        let mut v = vec![0.0; 3];
+        v[(k % 3) as usize] = 1.0;
+        v
+    }
+
+    #[test]
+    fn traffic_is_served_across_conversion_epochs_with_zero_drops() {
+        let pool: Vec<BanditEnv> = (0..3).map(|s| BanditEnv::new(3, 16, s)).collect();
+        let cfg = ConversionConfig {
+            max_leaf_nodes: 8,
+            episodes_per_round: 6,
+            max_steps: 16,
+            dagger_rounds: 2,
+            ..Default::default()
+        };
+        let pipeline = ConversionPipeline::new(&pool, &Oracle, |_| 0.0)
+            .conversion(cfg)
+            .seed(5);
+        // Epoch 0: a quick teacher-round fit so serving never waits.
+        let seed_states = pipeline.collect_teacher_states(4, 16);
+        let initial = pipeline.fit_states(&seed_states, 3, 0).tree;
+        let solo = pipeline.run();
+
+        let arrivals = ArrivalProcess::poisson(20_000.0, 400, 9);
+        let outcome = serve_while_converting(
+            &pipeline,
+            initial.clone(),
+            ServeConfig {
+                max_batch: 32,
+                max_delay: Duration::from_micros(300),
+                ..Default::default()
+            },
+            &arrivals,
+            one_hot,
+            1.0,
+        );
+
+        // Conversion is bit-identical to the solo run: serving never
+        // perturbs the pipeline.
+        assert_eq!(outcome.conversion.policy.tree, solo.policy.tree);
+        assert_eq!(outcome.conversion.fidelity_history, solo.fidelity_history);
+        // One publish per round (round 0 + 2 DAgger rounds).
+        assert_eq!(outcome.published_epochs, 3);
+        // Zero drops: every request answered, every answer consistent
+        // with the epoch that served it.
+        assert_eq!(outcome.responses.len(), 400);
+        assert_eq!(outcome.serving.served, 400);
+        assert_eq!(outcome.serving.delivery_failures, 0);
+        let mut sources = vec![initial];
+        // Rebuild the per-round students exactly as run_publishing saw
+        // them, via a replay of the solo pipeline.
+        pipeline.run_publishing(|_, student| sources.push(student.tree.clone()));
+        for resp in &outcome.responses {
+            let oracle = &sources[resp.epoch as usize];
+            assert_eq!(
+                resp.prediction,
+                oracle.predict(&one_hot(resp.id)),
+                "epoch {} diverged",
+                resp.epoch
+            );
+        }
+        let served_total: u64 = outcome.serving.per_epoch.iter().map(|(_, c)| c).sum();
+        assert_eq!(served_total, 400);
+        assert_eq!(outcome.serving.latency.count, 400);
+        assert!(outcome.runner.peak_queue_depth >= 1);
+    }
+}

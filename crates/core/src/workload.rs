@@ -72,13 +72,32 @@ impl<'a, R> Workload<'a, R> {
     }
 }
 
-/// The outcome of one workload: its name, its return value, and the wall
-/// clock it held an admission slot (queueing time excluded).
+/// The outcome of one workload: its name, its return value, the wall
+/// clock it held an admission slot, and how long it queued for one.
 #[derive(Debug, Clone)]
 pub struct WorkloadResult<R> {
     pub name: String,
     pub value: R,
     pub seconds: f64,
+    /// Elapsed time between batch submission and this workload's
+    /// admission (a driver picking it up). Workloads admitted immediately
+    /// still record the microseconds of driver spawn + lock handoff, so
+    /// treat small values as "no queueing", not exactly zero.
+    pub queue_wait_s: f64,
+}
+
+/// Admission-queue statistics of one [`WorkloadRunner::run_detailed`]
+/// batch — the observability the ROADMAP's time-sliced scheduler needs:
+/// who waited, for how long, and how deep the queue ran.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunnerStats {
+    /// Deepest the admission queue got (workloads still waiting at the
+    /// moment some workload was admitted, including it).
+    pub peak_queue_depth: usize,
+    /// Mean queue wait across all workloads (seconds).
+    pub mean_wait_s: f64,
+    /// Worst queue wait (seconds).
+    pub max_wait_s: f64,
 }
 
 /// Runs batches of [`Workload`]s concurrently over a shared thread
@@ -114,12 +133,26 @@ impl WorkloadRunner {
     /// admission is genuinely FIFO and a thousand-point sweep never
     /// creates a thousand OS threads.
     pub fn run<R: Send>(&self, workloads: Vec<Workload<'_, R>>) -> Vec<WorkloadResult<R>> {
+        self.run_detailed(workloads).0
+    }
+
+    /// [`WorkloadRunner::run`] plus admission-queue statistics: per-result
+    /// `queue_wait_s` is populated either way; [`RunnerStats`] adds the
+    /// batch-level peak depth and wait aggregates.
+    pub fn run_detailed<R: Send>(
+        &self,
+        workloads: Vec<Workload<'_, R>>,
+    ) -> (Vec<WorkloadResult<R>>, RunnerStats) {
         let n = workloads.len();
         let drivers = self.budget.min(n).max(1);
         // Submission-ordered FIFO of (slot index, workload); each result
         // lands in its submission slot regardless of which driver ran it.
+        // All workloads enqueue at `submitted`, so a workload's queue wait
+        // is simply its admission instant.
+        let submitted = Instant::now();
         let queue: Mutex<VecDeque<(usize, Workload<'_, R>)>> =
             Mutex::new(workloads.into_iter().enumerate().collect());
+        let peak_depth = std::sync::atomic::AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<WorkloadResult<R>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
@@ -127,10 +160,18 @@ impl WorkloadRunner {
                 .map(|_| {
                     let queue = &queue;
                     let slots = &slots;
+                    let peak_depth = &peak_depth;
                     scope.spawn(move || loop {
-                        let Some((idx, workload)) = queue.lock().unwrap().pop_front() else {
-                            return;
+                        let (idx, workload, depth) = {
+                            let mut queue = queue.lock().unwrap();
+                            let depth = queue.len();
+                            let Some((idx, workload)) = queue.pop_front() else {
+                                return;
+                            };
+                            (idx, workload, depth)
                         };
+                        peak_depth.fetch_max(depth, std::sync::atomic::Ordering::Relaxed);
+                        let queue_wait_s = submitted.elapsed().as_secs_f64();
                         let group = metis_nn::par::fresh_group();
                         let result = metis_nn::par::with_group(group, || {
                             let start = Instant::now();
@@ -139,6 +180,7 @@ impl WorkloadRunner {
                                 name: workload.name,
                                 value,
                                 seconds: start.elapsed().as_secs_f64(),
+                                queue_wait_s,
                             }
                         });
                         *slots[idx].lock().unwrap() = Some(result);
@@ -151,14 +193,24 @@ impl WorkloadRunner {
             }
             assert!(!panicked, "workload panicked");
         });
-        slots
+        let results: Vec<WorkloadResult<R>> = slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .unwrap()
                     .expect("every submitted workload produced a result")
             })
-            .collect()
+            .collect();
+        let stats = RunnerStats {
+            peak_queue_depth: peak_depth.load(std::sync::atomic::Ordering::Relaxed),
+            mean_wait_s: if results.is_empty() {
+                0.0
+            } else {
+                results.iter().map(|r| r.queue_wait_s).sum::<f64>() / results.len() as f64
+            },
+            max_wait_s: results.iter().map(|r| r.queue_wait_s).fold(0.0, f64::max),
+        };
+        (results, stats)
     }
 }
 
@@ -220,6 +272,46 @@ mod tests {
                 .collect(),
         );
         assert!(peak.load(Ordering::SeqCst) <= 2, "budget exceeded");
+    }
+
+    /// The queue-observability satellite: FIFO admission under a tight
+    /// budget produces monotone queue waits, a full-depth peak, and
+    /// consistent aggregates.
+    #[test]
+    fn queue_stats_expose_depth_and_waits() {
+        let (results, stats) = WorkloadRunner::new(1).run_detailed(
+            (0..4)
+                .map(|k| {
+                    Workload::new(format!("w{k}"), move || {
+                        std::thread::sleep(std::time::Duration::from_millis(3));
+                        k
+                    })
+                })
+                .collect::<Vec<_>>(),
+        );
+        // With one driver, admission is strictly FIFO: later submissions
+        // wait at least as long as earlier ones.
+        for pair in results.windows(2) {
+            assert!(
+                pair[1].queue_wait_s >= pair[0].queue_wait_s,
+                "FIFO waits must be monotone: {:?}",
+                results.iter().map(|r| r.queue_wait_s).collect::<Vec<_>>()
+            );
+        }
+        // The first pop sees the whole batch queued.
+        assert_eq!(stats.peak_queue_depth, 4);
+        assert!(results[3].queue_wait_s >= 3.0 * 0.003 * 0.5, "tail waited");
+        assert!(stats.max_wait_s >= stats.mean_wait_s);
+        assert!((stats.max_wait_s - results[3].queue_wait_s).abs() < 1e-9);
+        // A wide-open budget admits everything at depth n but with tiny
+        // waits.
+        let (results, stats) = WorkloadRunner::new(4).run_detailed(
+            (0..2)
+                .map(|k| Workload::new(format!("w{k}"), move || k))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(results.len(), 2);
+        assert!(stats.peak_queue_depth >= 1 && stats.peak_queue_depth <= 2);
     }
 
     /// The acceptance bar: concurrent scenario pipelines over a shared

@@ -305,10 +305,14 @@ impl DecisionTree {
     }
 }
 
-/// A flattened, branch-only evaluator: structure-of-arrays layout with no
-/// enum dispatch, demonstrating the paper's "decision trees can be
-/// implemented with branching clauses only" deployment claim (§6.4) and
-/// used by the latency benchmarks.
+/// A flattened, branch-only evaluator in a cache-friendly
+/// structure-of-arrays layout (per-node `feature`/`threshold`/`left`/
+/// `right` columns, no enum dispatch and no per-call histogram scans),
+/// demonstrating the paper's "decision trees can be implemented with
+/// branching clauses only" deployment claim (§6.4). It backs both the
+/// latency benchmarks and the `metis_serve` online serving engine, whose
+/// micro-batches walk row blocks levelwise through
+/// [`CompiledTree::predict_batch`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CompiledTree {
     feature: Vec<u32>,
@@ -319,6 +323,7 @@ pub struct CompiledTree {
     right: Vec<u32>,
     values: Vec<f64>,
     n_features: usize,
+    kind: TreeKind,
 }
 
 impl CompiledTree {
@@ -333,6 +338,7 @@ impl CompiledTree {
             right: vec![0; n],
             values: Vec::new(),
             n_features: tree.n_features,
+            kind: tree.kind,
         };
         for (i, node) in tree.nodes.iter().enumerate() {
             match &node.split {
@@ -385,7 +391,288 @@ impl CompiledTree {
         self.values[self.eval_raw(x) as usize]
     }
 
+    /// Predict for a single feature vector — same comparator
+    /// (`x[f] < thr` goes left; NaN therefore routes **right**) and
+    /// bit-identical payload as [`DecisionTree::predict`].
+    #[inline]
+    pub fn predict(&self, x: &[f64]) -> Prediction {
+        assert_eq!(
+            x.len(),
+            self.n_features,
+            "predict: expected {} features, got {}",
+            self.n_features,
+            x.len()
+        );
+        self.payload_to_prediction(self.eval_raw(x))
+    }
+
+    #[inline]
+    fn payload_to_prediction(&self, payload: u32) -> Prediction {
+        match self.kind {
+            TreeKind::Classifier { .. } => Prediction::Class(payload as usize),
+            TreeKind::Regressor => Prediction::Value(self.values[payload as usize]),
+        }
+    }
+
+    /// Batched prediction over a row-major block of feature vectors
+    /// (`rows.len() == out.len() * n_features`), walking all rows
+    /// **levelwise**: every pass advances each still-live row by one
+    /// split, so the SoA node columns stream through cache once per level
+    /// instead of once per row. Rows that reach a leaf drop out of the
+    /// live set, so total work is the summed path length, not
+    /// `rows × max_depth` (skewed trees stay cheap). Per row the result
+    /// is **bit-identical** to [`DecisionTree::predict`] — same `<`
+    /// comparator, so a NaN feature always fails the test and routes
+    /// right.
+    pub fn predict_batch_into(&self, rows: &[f64], out: &mut [Prediction]) {
+        let n = out.len();
+        assert_eq!(
+            rows.len(),
+            n * self.n_features,
+            "predict_batch_into: {} values is not {} rows of {} features",
+            rows.len(),
+            n,
+            self.n_features
+        );
+        let mut idx = vec![0u32; n];
+        // Dense phase: full levelwise sweeps over the cursor array while
+        // at least half the rows are still walking — the branch-light hot
+        // path for balanced trees, where nearly every slot advances.
+        let mut active = if self.left.first() == Some(&u32::MAX) {
+            0
+        } else {
+            n
+        };
+        while active * 2 >= n.max(1) && active > 0 {
+            active = 0;
+            for (r, slot) in idx.iter_mut().enumerate() {
+                let i = *slot as usize;
+                let l = self.left[i];
+                if l == u32::MAX {
+                    continue;
+                }
+                let x = &rows[r * self.n_features..(r + 1) * self.n_features];
+                let next = if x[self.feature[i] as usize] < self.threshold[i] {
+                    l
+                } else {
+                    self.right[i]
+                };
+                *slot = next;
+                if self.left[next as usize] != u32::MAX {
+                    active += 1;
+                }
+            }
+        }
+        // Sparse phase: once most rows reached leaves, walk only the
+        // survivors, compacting each level — total work stays bounded by
+        // the summed path length even when a skewed branch runs deep.
+        if active > 0 {
+            let mut live: Vec<u32> = (0..n as u32)
+                .filter(|&r| self.left[idx[r as usize] as usize] != u32::MAX)
+                .collect();
+            while !live.is_empty() {
+                live.retain(|&r| {
+                    let row = r as usize;
+                    let i = idx[row] as usize;
+                    let x = &rows[row * self.n_features..(row + 1) * self.n_features];
+                    let next = if x[self.feature[i] as usize] < self.threshold[i] {
+                        self.left[i]
+                    } else {
+                        self.right[i]
+                    };
+                    idx[row] = next;
+                    self.left[next as usize] != u32::MAX
+                });
+            }
+        }
+        for (slot, &i) in out.iter_mut().zip(idx.iter()) {
+            *slot = self.payload_to_prediction(self.right[i as usize]);
+        }
+    }
+
+    /// [`CompiledTree::predict_batch_into`] into a fresh vector. `rows` is
+    /// row-major with `n_features` values per row.
+    pub fn predict_batch(&self, rows: &[f64]) -> Vec<Prediction> {
+        assert!(
+            self.n_features > 0 && rows.len().is_multiple_of(self.n_features),
+            "predict_batch: {} values do not divide into {}-feature rows",
+            rows.len(),
+            self.n_features
+        );
+        let mut out = vec![Prediction::Class(0); rows.len() / self.n_features];
+        self.predict_batch_into(rows, &mut out);
+        out
+    }
+
+    /// Batched class prediction (classification trees only).
+    pub fn predict_class_batch(&self, rows: &[f64]) -> Vec<usize> {
+        self.predict_batch(rows)
+            .into_iter()
+            .map(Prediction::class)
+            .collect()
+    }
+
     pub fn n_features(&self) -> usize {
         self.n_features
+    }
+
+    /// Kind of the source tree (drives [`CompiledTree::predict`] payloads).
+    pub fn kind(&self) -> TreeKind {
+        self.kind
+    }
+
+    /// Node count of the flattened arena.
+    pub fn node_count(&self) -> usize {
+        self.left.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{fit, TreeConfig};
+    use crate::dataset::Dataset;
+
+    /// Deterministic pseudo-random features without pulling in `rand`.
+    fn lcg_features(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                (0..dims)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        (state >> 11) as f64 / (1u64 << 53) as f64
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn fitted_classifier(seed: u64) -> DecisionTree {
+        let x = lcg_features(400, 4, seed);
+        let y: Vec<usize> = x
+            .iter()
+            .map(|xi| ((xi[0] * 5.0 + xi[2] * 3.0) as usize) % 5)
+            .collect();
+        let ds = Dataset::classification(x, y, 5).unwrap();
+        fit(
+            &ds,
+            &TreeConfig {
+                max_leaf_nodes: 40,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn fitted_regressor(seed: u64) -> DecisionTree {
+        let x = lcg_features(300, 3, seed);
+        let y: Vec<f64> = x.iter().map(|xi| xi[0] * 2.0 - xi[1]).collect();
+        let ds = Dataset::regression(x, y).unwrap();
+        fit(
+            &ds,
+            &TreeConfig {
+                max_leaf_nodes: 30,
+                criterion: crate::builder::Criterion::Mse,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn assert_predictions_bit_identical(a: Prediction, b: Prediction, label: &str) {
+        match (a, b) {
+            (Prediction::Class(x), Prediction::Class(y)) => {
+                assert_eq!(x, y, "{label}: class diverges")
+            }
+            (Prediction::Value(x), Prediction::Value(y)) => {
+                assert_eq!(x.to_bits(), y.to_bits(), "{label}: value diverges")
+            }
+            _ => panic!("{label}: prediction kinds diverge"),
+        }
+    }
+
+    /// The serving backend's core contract: the levelwise batched walk is
+    /// bit-identical per row to `DecisionTree::predict`, for classifiers
+    /// and regressors, at every batch size including 0 and 1.
+    #[test]
+    fn predict_batch_bit_identical_to_tree_predict() {
+        for (tree, dims) in [(fitted_classifier(7), 4), (fitted_regressor(9), 3)] {
+            let compiled = CompiledTree::compile(&tree);
+            assert_eq!(compiled.kind(), tree.kind());
+            for batch in [0usize, 1, 2, 7, 33, 256] {
+                let rows = lcg_features(batch, dims, 1000 + batch as u64);
+                let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+                let batched = compiled.predict_batch(&flat);
+                assert_eq!(batched.len(), batch);
+                for (row, got) in rows.iter().zip(batched.iter()) {
+                    assert_predictions_bit_identical(*got, tree.predict(row), "batch vs tree");
+                    assert_predictions_bit_identical(*got, compiled.predict(row), "batch vs one");
+                }
+            }
+        }
+    }
+
+    /// NaN-routing parity: `x[f] < thr` is false for NaN, so every
+    /// evaluator — `leaf_for`/`predict`, the compiled single-row walk, and
+    /// the levelwise batch walk — must send a NaN feature to the **right**
+    /// child, at every split it reaches.
+    #[test]
+    fn nan_features_route_right_in_every_evaluator() {
+        // A known single-split tree: x[0] < 0.5 -> class 0, else class 1.
+        let ds = Dataset::classification(
+            vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]],
+            vec![0, 0, 1, 1],
+            2,
+        )
+        .unwrap();
+        let tree = fit(&ds, &TreeConfig::default()).unwrap();
+        let compiled = CompiledTree::compile(&tree);
+        let nan_row = [f64::NAN];
+        // NaN fails the `<` test, so it must land in the right (class 1) leaf.
+        assert_eq!(tree.predict_class(&nan_row), 1);
+        assert_eq!(compiled.predict_class(&nan_row), 1);
+        assert_eq!(compiled.predict_class_batch(&nan_row), vec![1]);
+        let split = tree.node(0).split.as_ref().expect("root splits");
+        assert_eq!(tree.leaf_for(&nan_row), split.right);
+
+        // And on a deeper fitted tree: every path agrees row-for-row when
+        // NaNs are scattered through the features.
+        let tree = fitted_classifier(21);
+        let compiled = CompiledTree::compile(&tree);
+        let mut rows = lcg_features(64, 4, 77);
+        for (r, row) in rows.iter_mut().enumerate() {
+            row[r % 4] = f64::NAN;
+            if r % 3 == 0 {
+                row[(r + 2) % 4] = f64::NAN;
+            }
+        }
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let batched = compiled.predict_batch(&flat);
+        for (row, got) in rows.iter().zip(batched.iter()) {
+            assert_predictions_bit_identical(*got, tree.predict(row), "NaN batch vs tree");
+            assert_predictions_bit_identical(*got, compiled.predict(row), "NaN batch vs one");
+            // The decision path itself must only ever take right edges at
+            // NaN-featured splits.
+            let mut idx = 0usize;
+            while let Some(s) = &tree.node(idx).split {
+                let went_right = row[s.feature] >= s.threshold || row[s.feature].is_nan();
+                if row[s.feature].is_nan() {
+                    assert!(went_right, "NaN took a left edge at node {idx}");
+                }
+                idx = if went_right { s.right } else { s.left };
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "predict_batch_into")]
+    fn predict_batch_rejects_misaligned_rows() {
+        let tree = fitted_classifier(3);
+        let compiled = CompiledTree::compile(&tree);
+        let mut out = vec![Prediction::Class(0); 2];
+        compiled.predict_batch_into(&[0.0; 7], &mut out);
     }
 }

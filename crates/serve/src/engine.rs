@@ -1,0 +1,547 @@
+//! The request engine: MPSC ingest → micro-batcher → striped compiled-tree
+//! execution on the shared worker pool.
+//!
+//! One long-lived **batcher thread** owns the ingest queue. It opens a
+//! batch at the first queued request and flushes when either `max_batch`
+//! requests are queued or `max_delay` has elapsed since the batch opened —
+//! the classic size-or-deadline micro-batching rule. Each flush:
+//!
+//! 1. pins the live model epoch ([`crate::ModelRegistry::current`]) — a
+//!    concurrent hot swap never retroactively changes a dispatched batch,
+//! 2. walks the batch levelwise through
+//!    [`metis_dt::CompiledTree::predict_batch`], striping row chunks
+//!    across [`metis_nn::par::parallel_map_indexed`] under the engine's
+//!    **dedicated pool group** (so serving shares the process-wide pool
+//!    fairly with concurrently running conversion pipelines),
+//! 3. answers every request with its prediction, the serving epoch, and
+//!    its measured queue+service latency.
+//!
+//! Results are merged by row index, so every response is bit-identical to
+//! sequential `DecisionTree::predict` on the reported epoch's source tree
+//! for any batch size, deadline, thread count, or swap interleaving.
+
+use crate::latency::{LatencyRecorder, LatencySummary};
+use crate::registry::ModelRegistry;
+use metis_dt::Prediction;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Micro-batching and execution knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Flush a batch as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Flush an incomplete batch this long after it opened.
+    pub max_delay: Duration,
+    /// Worker threads a flush stripes across (0 = all cores). Results are
+    /// identical for any value.
+    pub threads: usize,
+    /// Rows per pool stripe chunk; batches at or below this size execute
+    /// inline on the batcher thread.
+    pub stripe_rows: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 256,
+            max_delay: Duration::from_micros(500),
+            threads: 0,
+            stripe_rows: 64,
+        }
+    }
+}
+
+/// One in-flight request.
+pub struct Request {
+    pub id: u64,
+    pub features: Vec<f64>,
+    submitted: Instant,
+    reply: Sender<Response>,
+}
+
+/// The engine's answer to one [`Request`].
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Id the submitting [`ServerHandle`] assigned.
+    pub id: u64,
+    /// Bit-identical to `DecisionTree::predict` on the epoch's source tree.
+    pub prediction: Prediction,
+    /// Model epoch that served this request.
+    pub epoch: u64,
+    /// Queue wait + batching delay + service time, in seconds.
+    pub latency_s: f64,
+    /// Size of the micro-batch this request was flushed in.
+    pub batch_size: usize,
+}
+
+enum Msg {
+    Req(Request),
+    Shutdown,
+}
+
+/// What the batcher thread accumulated over its lifetime.
+#[derive(Default)]
+struct EngineLog {
+    latency: LatencyRecorder,
+    served: u64,
+    batches: u64,
+    delivery_failures: u64,
+    max_batch_seen: usize,
+    per_epoch: BTreeMap<u64, u64>,
+}
+
+/// Lifetime summary of one [`TreeServer`], returned by
+/// [`TreeServer::shutdown`].
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Requests answered (predictions computed and sent).
+    pub served: u64,
+    /// Micro-batches flushed.
+    pub batches: u64,
+    /// Responses whose submitter had already dropped its handle.
+    pub delivery_failures: u64,
+    /// Largest micro-batch flushed.
+    pub max_batch_seen: usize,
+    /// Mean flushed batch size.
+    pub mean_batch: f64,
+    /// Percentile summary over every served request's latency.
+    pub latency: LatencySummary,
+    /// `(epoch, requests served from it)`, ascending by epoch.
+    pub per_epoch: Vec<(u64, u64)>,
+}
+
+/// A per-client submission handle with its own response channel. Submit
+/// open-loop with [`ServerHandle::submit`]; gather everything outstanding
+/// with [`ServerHandle::collect`]. Handles are independent — one per
+/// client thread.
+pub struct ServerHandle {
+    tx: Sender<Msg>,
+    reply_tx: Sender<Response>,
+    reply_rx: Receiver<Response>,
+    next_id: u64,
+    outstanding: usize,
+    n_features: usize,
+}
+
+impl ServerHandle {
+    /// Feature width every request must carry (invariant across hot
+    /// swaps — the registry rejects trees with a different schema).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Enqueue one request and return its (per-handle) id. Never blocks on
+    /// the server: ingest is an unbounded MPSC queue. A malformed request
+    /// panics **here**, in the submitting client's thread — the shared
+    /// batcher never sees it, so one bad client cannot take the engine
+    /// down for its neighbours.
+    pub fn submit(&mut self, features: Vec<f64>) -> u64 {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "submit: request has {} features, the server's models take {}",
+            features.len(),
+            self.n_features
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        self.outstanding += 1;
+        self.tx
+            .send(Msg::Req(Request {
+                id,
+                features,
+                submitted: Instant::now(),
+                reply: self.reply_tx.clone(),
+            }))
+            .expect("TreeServer ingest queue closed while submitting");
+        id
+    }
+
+    /// Requests submitted through this handle that have not been collected.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Block until every outstanding request is answered; returns the
+    /// responses **sorted by id** (deterministic regardless of batching).
+    pub fn collect(&mut self) -> Vec<Response> {
+        let mut out = Vec::with_capacity(self.outstanding);
+        for _ in 0..self.outstanding {
+            out.push(
+                self.reply_rx
+                    .recv()
+                    .expect("TreeServer dropped with requests in flight"),
+            );
+        }
+        self.outstanding = 0;
+        out.sort_by_key(|r| r.id);
+        out
+    }
+}
+
+/// The serving engine: spawn with [`TreeServer::start`], mint client
+/// handles with [`TreeServer::handle`], stop with [`TreeServer::shutdown`].
+pub struct TreeServer {
+    tx: Sender<Msg>,
+    thread: Option<JoinHandle<EngineLog>>,
+    registry: Arc<ModelRegistry>,
+}
+
+impl TreeServer {
+    /// Start the batcher thread over a model registry.
+    pub fn start(registry: Arc<ModelRegistry>, cfg: ServeConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.stripe_rows >= 1, "stripe_rows must be at least 1");
+        let (tx, rx) = channel();
+        let reg = Arc::clone(&registry);
+        let thread = std::thread::Builder::new()
+            .name("metis-serve-batcher".into())
+            .spawn(move || batcher_loop(rx, reg, cfg))
+            .expect("spawn serve batcher");
+        TreeServer {
+            tx,
+            thread: Some(thread),
+            registry,
+        }
+    }
+
+    /// The registry this server reads — publish to it to hot-swap.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Mint an independent client handle.
+    pub fn handle(&self) -> ServerHandle {
+        let (reply_tx, reply_rx) = channel();
+        ServerHandle {
+            tx: self.tx.clone(),
+            reply_tx,
+            reply_rx,
+            next_id: 0,
+            outstanding: 0,
+            n_features: self.registry.n_features(),
+        }
+    }
+
+    /// Stop the engine: already-queued requests are drained and answered
+    /// (zero drops for clients that finished submitting), then the batcher
+    /// exits and its lifetime report is returned.
+    pub fn shutdown(mut self) -> EngineReport {
+        let _ = self.tx.send(Msg::Shutdown);
+        let log = self
+            .thread
+            .take()
+            .expect("shutdown called once")
+            .join()
+            .expect("serve batcher panicked");
+        let batches = log.batches.max(1);
+        EngineReport {
+            served: log.served,
+            batches: log.batches,
+            delivery_failures: log.delivery_failures,
+            max_batch_seen: log.max_batch_seen,
+            mean_batch: log.served as f64 / batches as f64,
+            latency: log.latency.summary(),
+            per_epoch: log.per_epoch.into_iter().collect(),
+        }
+    }
+}
+
+fn batcher_loop(rx: Receiver<Msg>, registry: Arc<ModelRegistry>, cfg: ServeConfig) -> EngineLog {
+    // Every pool submission this engine makes carries its own group, so
+    // the pool's round-robin treats the serving path as one tenant.
+    let group = metis_nn::par::fresh_group();
+    let mut log = EngineLog::default();
+    loop {
+        // Open a batch at the first request (block indefinitely — an idle
+        // server costs nothing).
+        let first = match rx.recv() {
+            Ok(Msg::Req(r)) => r,
+            Ok(Msg::Shutdown) | Err(_) => break,
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + cfg.max_delay;
+        let mut shutting_down = false;
+        while batch.len() < cfg.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(Msg::Req(r)) => batch.push(r),
+                Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+                    shutting_down = true;
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+            }
+        }
+        flush(&mut log, &registry, &cfg, group, batch);
+        if shutting_down {
+            // Drain whatever was queued behind the shutdown marker so no
+            // already-submitted request is dropped.
+            let mut rest: Vec<Request> = Vec::new();
+            while let Ok(Msg::Req(r)) = rx.try_recv() {
+                rest.push(r);
+            }
+            let mut rest = rest.into_iter().peekable();
+            while rest.peek().is_some() {
+                let chunk: Vec<Request> = rest.by_ref().take(cfg.max_batch).collect();
+                flush(&mut log, &registry, &cfg, group, chunk);
+            }
+            break;
+        }
+    }
+    log
+}
+
+fn flush(
+    log: &mut EngineLog,
+    registry: &ModelRegistry,
+    cfg: &ServeConfig,
+    group: u64,
+    batch: Vec<Request>,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    // Pin the epoch for the whole batch: in-flight work finishes on the
+    // model it started with even if a publish lands mid-execution.
+    let model = registry.current();
+    let n_features = model.compiled.n_features();
+    let n = batch.len();
+    let mut rows = Vec::with_capacity(n * n_features);
+    for req in &batch {
+        // Unreachable for well-typed use: submit() validates width and
+        // publish() keeps it invariant across epochs.
+        debug_assert_eq!(req.features.len(), n_features);
+        rows.extend_from_slice(&req.features);
+    }
+    let chunks = n.div_ceil(cfg.stripe_rows);
+    let predictions: Vec<Prediction> = if chunks <= 1 {
+        model.compiled.predict_batch(&rows)
+    } else {
+        // Contiguous row chunks across the pool, merged in chunk order —
+        // identical to the single-chunk walk for any thread count.
+        metis_nn::par::with_group(group, || {
+            metis_nn::par::parallel_map_indexed(chunks, cfg.threads, |c| {
+                let lo = c * cfg.stripe_rows;
+                let hi = ((c + 1) * cfg.stripe_rows).min(n);
+                model
+                    .compiled
+                    .predict_batch(&rows[lo * n_features..hi * n_features])
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    log.batches += 1;
+    log.max_batch_seen = log.max_batch_seen.max(n);
+    *log.per_epoch.entry(model.epoch).or_insert(0) += n as u64;
+    for (req, prediction) in batch.into_iter().zip(predictions) {
+        let latency_s = req.submitted.elapsed().as_secs_f64();
+        log.latency.record(latency_s);
+        log.served += 1;
+        let sent = req.reply.send(Response {
+            id: req.id,
+            prediction,
+            epoch: model.epoch,
+            latency_s,
+            batch_size: n,
+        });
+        if sent.is_err() {
+            log.delivery_failures += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metis_dt::{fit, Dataset, DecisionTree, TreeConfig};
+
+    fn staircase_tree(n_classes: usize) -> DecisionTree {
+        let x: Vec<Vec<f64>> = (0..120)
+            .map(|i| vec![i as f64 / 120.0, (i % 7) as f64])
+            .collect();
+        let y: Vec<usize> = (0..120).map(|i| i * n_classes / 120).collect();
+        let ds = Dataset::classification(x, y, n_classes).unwrap();
+        fit(
+            &ds,
+            &TreeConfig {
+                max_leaf_nodes: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn req_features(k: u64) -> Vec<f64> {
+        vec![(k % 120) as f64 / 120.0, (k % 7) as f64]
+    }
+
+    #[test]
+    fn responses_match_sequential_oracle_and_ids() {
+        let tree = staircase_tree(6);
+        let server = TreeServer::start(
+            Arc::new(ModelRegistry::new(tree.clone())),
+            ServeConfig {
+                max_batch: 8,
+                max_delay: Duration::from_millis(2),
+                ..Default::default()
+            },
+        );
+        let mut handle = server.handle();
+        for k in 0..50u64 {
+            handle.submit(req_features(k));
+        }
+        let responses = handle.collect();
+        assert_eq!(responses.len(), 50);
+        for (k, resp) in responses.iter().enumerate() {
+            assert_eq!(resp.id, k as u64, "collect sorts by id");
+            assert_eq!(resp.epoch, 0);
+            assert_eq!(resp.prediction, tree.predict(&req_features(k as u64)));
+            assert!(resp.latency_s >= 0.0 && resp.batch_size >= 1 && resp.batch_size <= 8);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.served, 50);
+        assert_eq!(report.delivery_failures, 0);
+        assert!(report.max_batch_seen <= 8);
+        assert_eq!(report.per_epoch, vec![(0, 50)]);
+        assert_eq!(report.latency.count, 50);
+    }
+
+    #[test]
+    fn batch_one_flushes_immediately_and_deadline_flushes_partials() {
+        let tree = staircase_tree(3);
+        let server = TreeServer::start(
+            Arc::new(ModelRegistry::new(tree)),
+            ServeConfig {
+                max_batch: 1,
+                max_delay: Duration::from_secs(10), // never the trigger
+                ..Default::default()
+            },
+        );
+        let mut handle = server.handle();
+        for k in 0..5 {
+            handle.submit(req_features(k));
+        }
+        let responses = handle.collect();
+        assert!(responses.iter().all(|r| r.batch_size == 1));
+        let report = server.shutdown();
+        assert_eq!(report.batches, 5);
+        assert!((report.mean_batch - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests_zero_drops() {
+        let tree = staircase_tree(4);
+        let server = TreeServer::start(
+            Arc::new(ModelRegistry::new(tree)),
+            ServeConfig {
+                max_batch: 64,
+                max_delay: Duration::from_secs(10),
+                ..Default::default()
+            },
+        );
+        let mut handle = server.handle();
+        for k in 0..200 {
+            handle.submit(req_features(k));
+        }
+        // Shut down while most requests are still queued: all must answer.
+        let report = std::thread::scope(|scope| {
+            let collector = scope.spawn(move || {
+                let responses = handle.collect();
+                assert_eq!(responses.len(), 200);
+            });
+            let report = server.shutdown();
+            collector.join().unwrap();
+            report
+        });
+        assert_eq!(report.served, 200);
+        assert_eq!(report.delivery_failures, 0);
+    }
+
+    #[test]
+    fn hot_swap_mid_stream_serves_each_epoch_consistently() {
+        let t0 = staircase_tree(5);
+        let t1 = staircase_tree(2);
+        let registry = Arc::new(ModelRegistry::new(t0.clone()));
+        let server = TreeServer::start(
+            Arc::clone(&registry),
+            ServeConfig {
+                max_batch: 4,
+                max_delay: Duration::from_micros(200),
+                ..Default::default()
+            },
+        );
+        let mut handle = server.handle();
+        for k in 0..30 {
+            handle.submit(req_features(k));
+        }
+        registry.publish(t1.clone());
+        for k in 30..60 {
+            handle.submit(req_features(k));
+        }
+        let responses = handle.collect();
+        assert_eq!(responses.len(), 60);
+        let sources = [t0, t1];
+        let mut late_epoch_seen = false;
+        for resp in &responses {
+            let oracle = &sources[resp.epoch as usize];
+            assert_eq!(
+                resp.prediction,
+                oracle.predict(&req_features(resp.id)),
+                "epoch {} answer diverges from its own tree",
+                resp.epoch
+            );
+            late_epoch_seen |= resp.epoch == 1;
+        }
+        // Requests submitted after the publish must see the new epoch
+        // (the swap completed before they were enqueued).
+        assert!(late_epoch_seen, "post-swap requests never saw epoch 1");
+        assert!(responses[59].epoch == 1);
+        let report = server.shutdown();
+        assert_eq!(report.served, 60);
+        assert_eq!(report.per_epoch.iter().map(|(_, c)| c).sum::<u64>(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "features")]
+    fn malformed_submit_panics_in_the_client_not_the_batcher() {
+        let tree = staircase_tree(3);
+        let server = TreeServer::start(Arc::new(ModelRegistry::new(tree)), ServeConfig::default());
+        let mut handle = server.handle();
+        assert_eq!(handle.n_features(), 2);
+        let _ = handle.submit(vec![0.5]); // wrong width: dies here
+    }
+
+    #[test]
+    fn large_batches_stripe_across_the_pool_bit_identically() {
+        let tree = staircase_tree(6);
+        for threads in [1usize, 3] {
+            let server = TreeServer::start(
+                Arc::new(ModelRegistry::new(tree.clone())),
+                ServeConfig {
+                    max_batch: 512,
+                    max_delay: Duration::from_millis(20),
+                    threads,
+                    stripe_rows: 16,
+                },
+            );
+            let mut handle = server.handle();
+            for k in 0..300 {
+                handle.submit(req_features(k));
+            }
+            for resp in handle.collect() {
+                assert_eq!(resp.prediction, tree.predict(&req_features(resp.id)));
+            }
+            server.shutdown();
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Latency capture and percentile summaries — the SLO-accounting
+//! vocabulary of the serving engine, reused by `metis_core::deploy` for
+//! its per-decision measurements.
+
+use serde::Serialize;
+
+/// Percentile summary of a latency sample set (seconds). Percentiles use
+/// the floor-index convention (`samples[floor(p/100 * (len-1))]` of the
+/// sorted samples) so they match the historical `deploy::measure_latency`
+/// numbers exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LatencySummary {
+    pub count: usize,
+    pub mean_s: f64,
+    pub p50_s: f64,
+    pub p95_s: f64,
+    pub p99_s: f64,
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    /// The all-zero summary of an empty sample set.
+    pub fn empty() -> Self {
+        LatencySummary {
+            count: 0,
+            mean_s: 0.0,
+            p50_s: 0.0,
+            p95_s: 0.0,
+            p99_s: 0.0,
+            max_s: 0.0,
+        }
+    }
+
+    /// True when `p99 <= budget_s` — the serving SLO check.
+    pub fn meets_p99_slo(&self, budget_s: f64) -> bool {
+        self.count > 0 && self.p99_s <= budget_s
+    }
+}
+
+/// Summarize a latency sample set (seconds). Sorts a copy; NaN samples
+/// order last via `total_cmp`, so a poisoned sample inflates the tail
+/// percentiles instead of silently vanishing.
+pub fn summarize(samples: &[f64]) -> LatencySummary {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    summarize_sorted(&sorted)
+}
+
+/// [`summarize`] over samples the caller already sorted (`total_cmp`
+/// order) — skips the copy and re-sort.
+pub fn summarize_sorted(sorted: &[f64]) -> LatencySummary {
+    if sorted.is_empty() {
+        return LatencySummary::empty();
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+        "summarize_sorted: samples not in total_cmp order"
+    );
+    let pct =
+        |p: f64| sorted[((p / 100.0 * (sorted.len() - 1) as f64) as usize).min(sorted.len() - 1)];
+    LatencySummary {
+        count: sorted.len(),
+        mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p50_s: pct(50.0),
+        p95_s: pct(95.0),
+        p99_s: pct(99.0),
+        max_s: *sorted.last().unwrap(),
+    }
+}
+
+/// Accumulates per-request latencies. Single-writer by design (the
+/// engine's batcher thread owns one); summarization is on demand.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples_s: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample in seconds.
+    pub fn record(&mut self, seconds: f64) {
+        self.samples_s.push(seconds);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples_s.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples_s.is_empty()
+    }
+
+    /// The raw samples, in capture order.
+    pub fn samples_s(&self) -> &[f64] {
+        &self.samples_s
+    }
+
+    /// Percentile summary of everything recorded so far.
+    pub fn summary(&self) -> LatencySummary {
+        summarize(&self.samples_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_summarizes_to_zero() {
+        let rec = LatencyRecorder::new();
+        assert!(rec.is_empty());
+        assert_eq!(rec.summary(), LatencySummary::empty());
+        assert!(!rec.summary().meets_p99_slo(1.0), "empty set meets no SLO");
+    }
+
+    #[test]
+    fn percentiles_follow_floor_index_convention() {
+        // 0..100 ms: p50 floor-index = samples[49], p99 = samples[98].
+        let samples: Vec<f64> = (0..100).map(|i| i as f64 * 1e-3).collect();
+        let s = summarize(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.p50_s - 0.049).abs() < 1e-12, "p50 {}", s.p50_s);
+        assert!((s.p95_s - 0.094).abs() < 1e-12, "p95 {}", s.p95_s);
+        assert!((s.p99_s - 0.098).abs() < 1e-12, "p99 {}", s.p99_s);
+        assert!((s.max_s - 0.099).abs() < 1e-12);
+        assert!((s.mean_s - 0.0495).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capture_order_does_not_matter() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        for i in 0..50 {
+            a.record(i as f64);
+            b.record((49 - i) as f64);
+        }
+        assert_eq!(a.summary(), b.summary());
+        assert_eq!(a.samples_s().len(), 50);
+    }
+
+    #[test]
+    fn slo_check_uses_p99() {
+        // 4 samples: p99 floor-index = 2 -> 0.002 (the max stays separate).
+        let s = summarize(&[0.001, 0.001, 0.002, 0.010]);
+        assert!((s.p99_s - 0.002).abs() < 1e-12);
+        assert!(s.meets_p99_slo(0.002));
+        assert!(!s.meets_p99_slo(0.001));
+        assert!((s.max_s - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_samples_inflate_the_tail_not_vanish() {
+        let s = summarize(&[0.001, f64::NAN, 0.002]);
+        assert_eq!(s.count, 3);
+        assert!(s.max_s.is_nan(), "NaN must surface in max");
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = summarize(&[0.5]);
+        assert_eq!(s.p50_s, 0.5);
+        assert_eq!(s.p99_s, 0.5);
+        assert_eq!(s.max_s, 0.5);
+        assert_eq!(s.count, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # metis-serve — online tree-serving engine
+//!
+//! The paper's deployability claim (§6.4, Figures 16a/17b) is that the
+//! converted decision trees are small and fast enough to serve decisions
+//! in production where the teacher DNN cannot. This crate turns that
+//! closed-loop measurement into an actual serving subsystem, the shape a
+//! tree takes when it sits in front of live traffic:
+//!
+//! * [`latency`] — per-request latency capture with percentile summaries
+//!   (p50/p95/p99/max), the SLO-accounting vocabulary shared with
+//!   `metis_core::deploy`,
+//! * [`registry`] — an epoch-pointer model registry with atomic hot-swap:
+//!   readers grab an `Arc` to the current compiled model and never block;
+//!   the §3.2 conversion pipeline publishes each newly fitted tree
+//!   mid-traffic, and in-flight batches finish on the epoch they started
+//!   with,
+//! * [`engine`] — the request engine: an MPSC ingest queue feeding a
+//!   micro-batcher (flush on batch size *or* deadline) whose batches walk
+//!   the compiled tree levelwise ([`metis_dt::CompiledTree::predict_batch`])
+//!   and fan across [`metis_nn::par::WorkerPool::global`] stripe jobs
+//!   under a dedicated pool group,
+//! * [`traffic`] — open-loop load generation: ABR-trace replay
+//!   inter-arrivals and Poisson (flowsched-style) arrival processes driven
+//!   against a server without ever waiting for responses.
+//!
+//! Determinism contract: every response is bit-identical to evaluating
+//! `DecisionTree::predict` sequentially on the model epoch the response
+//! reports — for any batch size, flush deadline, thread count, and any
+//! interleaving of hot swaps (`tests/serving_determinism.rs`).
+
+pub mod engine;
+pub mod latency;
+pub mod registry;
+pub mod traffic;
+
+pub use engine::{EngineReport, Request, Response, ServeConfig, ServerHandle, TreeServer};
+pub use latency::{summarize, summarize_sorted, LatencyRecorder, LatencySummary};
+pub use registry::{EpochModel, ModelRegistry};
+pub use traffic::{drive_open_loop, ArrivalProcess};

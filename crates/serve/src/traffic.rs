@@ -1,0 +1,252 @@
+//! Open-loop traffic generation: request arrival processes replayed
+//! against a [`crate::TreeServer`] without ever waiting for responses —
+//! the discipline that makes tail-latency measurements honest (a
+//! closed loop would self-throttle exactly when the server falls behind).
+//!
+//! Two arrival shapes mirror the paper's two local scenarios:
+//!
+//! * **ABR replay** — one decision per video chunk, so inter-arrival
+//!   times are successive chunk download times over a bandwidth trace
+//!   ([`ArrivalProcess::from_abr_trace`]), bursty exactly where the trace
+//!   is.
+//! * **Poisson** — memoryless flow arrivals like the AuTO workload
+//!   generator ([`ArrivalProcess::poisson`], or
+//!   [`ArrivalProcess::from_flow_arrivals`] to replay a generated
+//!   [`metis_flowsched::FlowRequest`] schedule exactly).
+
+use crate::engine::{Response, ServerHandle};
+use metis_abr::NetworkTrace;
+use metis_flowsched::FlowRequest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// A finite schedule of request inter-arrival gaps (seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalProcess {
+    name: String,
+    gaps_s: Vec<f64>,
+}
+
+impl ArrivalProcess {
+    /// Replay an explicit gap sequence.
+    pub fn replay(name: impl Into<String>, gaps_s: Vec<f64>) -> Self {
+        assert!(
+            gaps_s.iter().all(|g| g.is_finite() && *g >= 0.0),
+            "inter-arrival gaps must be finite and non-negative"
+        );
+        ArrivalProcess {
+            name: name.into(),
+            gaps_s,
+        }
+    }
+
+    /// ABR decision cadence over a bandwidth trace: request `k`'s gap is
+    /// the time the trace needs to download the `k`-th chunk of
+    /// `chunk_bytes`, starting where the previous download ended.
+    pub fn from_abr_trace(trace: &NetworkTrace, chunk_bytes: f64, requests: usize) -> Self {
+        let mut t = 0.0;
+        let gaps: Vec<f64> = (0..requests)
+            .map(|_| {
+                let dt = trace.download_time(t, chunk_bytes);
+                t += dt;
+                dt
+            })
+            .collect();
+        ArrivalProcess::replay(format!("abr:{}", trace.name), gaps)
+    }
+
+    /// Memoryless arrivals at `rate_per_s`, via the same inverse-transform
+    /// exponential draw the AuTO workload generator uses.
+    pub fn poisson(rate_per_s: f64, requests: usize, seed: u64) -> Self {
+        assert!(rate_per_s > 0.0, "arrival rate must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gaps: Vec<f64> = (0..requests)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                -u.ln() / rate_per_s
+            })
+            .collect();
+        ArrivalProcess::replay(format!("poisson:{rate_per_s}"), gaps)
+    }
+
+    /// Replay the exact arrival instants of a generated flow schedule
+    /// (gaps are successive `arrival_s` differences).
+    pub fn from_flow_arrivals(flows: &[FlowRequest]) -> Self {
+        let mut last = 0.0;
+        let gaps: Vec<f64> = flows
+            .iter()
+            .map(|f| {
+                let gap = (f.arrival_s - last).max(0.0);
+                last = f.arrival_s;
+                gap
+            })
+            .collect();
+        ArrivalProcess::replay("flowsched", gaps)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of requests this schedule issues.
+    pub fn len(&self) -> usize {
+        self.gaps_s.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.gaps_s.is_empty()
+    }
+
+    /// The raw gap sequence (seconds).
+    pub fn gaps_s(&self) -> &[f64] {
+        &self.gaps_s
+    }
+
+    /// Wall-clock span of the full schedule at scale 1.
+    pub fn duration_s(&self) -> f64 {
+        self.gaps_s.iter().sum()
+    }
+
+    /// Mean offered load in requests per second at scale 1.
+    pub fn offered_rate_per_s(&self) -> f64 {
+        let d = self.duration_s();
+        if d > 0.0 {
+            self.len() as f64 / d
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Sleep until `target`, finishing with a short spin so sub-millisecond
+/// schedules keep their shape despite coarse OS timer granularity.
+fn wait_until(target: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= target {
+            return;
+        }
+        let left = target - now;
+        if left > Duration::from_micros(200) {
+            std::thread::sleep(left - Duration::from_micros(100));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Drive one arrival schedule open-loop against a server: request `k` is
+/// submitted at its scheduled instant (`time_scale` stretches or, at
+/// `0.0`, removes the gaps) with features `features(k)`, never waiting
+/// for an answer; once everything is submitted, block for the responses
+/// and return them **sorted by request id**.
+pub fn drive_open_loop(
+    handle: &mut ServerHandle,
+    arrivals: &ArrivalProcess,
+    mut features: impl FnMut(u64) -> Vec<f64>,
+    time_scale: f64,
+) -> Vec<Response> {
+    assert!(
+        time_scale.is_finite() && time_scale >= 0.0,
+        "time_scale must be finite and non-negative"
+    );
+    let start = Instant::now();
+    let mut t = 0.0;
+    for (k, gap) in arrivals.gaps_s().iter().enumerate() {
+        if time_scale > 0.0 {
+            t += gap * time_scale;
+            wait_until(start + Duration::from_secs_f64(t));
+        }
+        handle.submit(features(k as u64));
+    }
+    handle.collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ServeConfig, TreeServer};
+    use crate::registry::ModelRegistry;
+    use metis_abr::{generate_trace, TraceGenConfig};
+    use metis_dt::{fit, Dataset, TreeConfig};
+    use metis_flowsched::{generate_flows, SizeDistribution};
+    use std::sync::Arc;
+
+    #[test]
+    fn abr_replay_matches_trace_download_times() {
+        let trace = generate_trace(&TraceGenConfig::hsdpa_like(), "t", 3);
+        let proc = ArrivalProcess::from_abr_trace(&trace, 500_000.0, 40);
+        assert_eq!(proc.len(), 40);
+        assert!(proc.gaps_s().iter().all(|&g| g > 0.0));
+        // Replaying is deterministic and the gaps chain: gap k starts where
+        // gap k-1 ended.
+        let again = ArrivalProcess::from_abr_trace(&trace, 500_000.0, 40);
+        assert_eq!(proc, again);
+        let mut t = 0.0;
+        for &g in proc.gaps_s() {
+            assert_eq!(g, trace.download_time(t, 500_000.0));
+            t += g;
+        }
+        // ~1.2 Mbps mean for 4 Mb chunks => gaps on the order of seconds.
+        assert!(proc.duration_s() > 10.0, "{}", proc.duration_s());
+    }
+
+    #[test]
+    fn poisson_rate_is_approximately_honoured() {
+        let proc = ArrivalProcess::poisson(1000.0, 5000, 7);
+        let rate = proc.offered_rate_per_s();
+        assert!((800.0..1200.0).contains(&rate), "rate {rate}");
+        assert_eq!(proc, ArrivalProcess::poisson(1000.0, 5000, 7));
+        assert_ne!(
+            proc.gaps_s(),
+            ArrivalProcess::poisson(1000.0, 5000, 8).gaps_s()
+        );
+    }
+
+    #[test]
+    fn flow_arrivals_replay_exact_schedule() {
+        let dist = SizeDistribution::web_search();
+        let mut rng = StdRng::seed_from_u64(5);
+        let flows = generate_flows(&dist, 8, 10e9, 0.4, 0.5, &mut rng);
+        let proc = ArrivalProcess::from_flow_arrivals(&flows);
+        assert_eq!(proc.len(), flows.len());
+        let reconstructed: f64 = proc.gaps_s().iter().sum();
+        assert!((reconstructed - flows.last().unwrap().arrival_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_loop_drive_answers_every_request_in_id_order() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..60).map(|i| usize::from(i >= 30)).collect();
+        let tree = fit(
+            &Dataset::classification(x, y, 2).unwrap(),
+            &TreeConfig::default(),
+        )
+        .unwrap();
+        let server = TreeServer::start(
+            Arc::new(ModelRegistry::new(tree.clone())),
+            ServeConfig {
+                max_batch: 16,
+                ..Default::default()
+            },
+        );
+        let mut handle = server.handle();
+        let arrivals = ArrivalProcess::poisson(50_000.0, 120, 11);
+        let responses = drive_open_loop(&mut handle, &arrivals, |k| vec![(k % 60) as f64], 1.0);
+        assert_eq!(responses.len(), 120);
+        for (k, resp) in responses.iter().enumerate() {
+            assert_eq!(resp.id, k as u64);
+            assert_eq!(resp.prediction, tree.predict(&[(k % 60) as f64]));
+        }
+        let report = server.shutdown();
+        assert_eq!(report.served, 120);
+        assert_eq!(report.delivery_failures, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_gaps() {
+        let _ = ArrivalProcess::replay("bad", vec![0.1, -0.2]);
+    }
+}

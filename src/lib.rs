@@ -15,6 +15,8 @@
 //! * [`routing`] — the RouteNet* substrate: NSFNet, candidate paths,
 //!   queueing ground truth, message-passing predictor, closed loop,
 //! * [`hypergraph`] — hypergraph structure + differentiable mask search,
+//! * [`serve`] — the online tree-serving engine: micro-batched request
+//!   engine, hot-swap model registry, open-loop traffic generation,
 //! * [`dt`] — CART trees with cost-complexity pruning and export,
 //! * [`rl`] — env/policy traits, rollouts, actor-critic, VIPER utilities,
 //! * [`nn`] — matrices, layers, optimizers, losses, autodiff tape.
@@ -31,3 +33,4 @@ pub use metis_hypergraph as hypergraph;
 pub use metis_nn as nn;
 pub use metis_rl as rl;
 pub use metis_routing as routing;
+pub use metis_serve as serve;

@@ -1,0 +1,218 @@
+//! Proptest suite pinning the online serving engine to its sequential
+//! oracle: for **any** micro-batch size, flush deadline, thread count,
+//! stripe width, and hot-swap interleaving, every response must be
+//! bit-identical to evaluating `DecisionTree::predict` on the source tree
+//! of the epoch the response reports — including NaN-laden feature
+//! vectors, which route right at every split in every evaluator.
+//!
+//! Thread counts default to 1/2/3/8; set `METIS_TEST_THREADS=<n>` to test
+//! an additional setting (CI runs the suite under two values).
+
+use metis::dt::{fit, CompiledTree, Dataset, DecisionTree, Prediction, TreeConfig};
+use metis::serve::{ModelRegistry, ServeConfig, TreeServer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIMS: usize = 5;
+
+/// Thread counts every property sweeps, plus an optional CI-injected one.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 3, 8];
+    if let Ok(extra) = std::env::var("METIS_TEST_THREADS") {
+        if let Ok(n) = extra.trim().parse::<usize>() {
+            if !counts.contains(&n) {
+                counts.push(n);
+            }
+        }
+    }
+    counts
+}
+
+/// A fitted multi-class tree over DIMS features, varied by seed.
+fn fitted_tree(seed: u64) -> DecisionTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x: Vec<Vec<f64>> = (0..150)
+        .map(|_| (0..DIMS).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let y: Vec<usize> = x
+        .iter()
+        .map(|xi| ((xi[0] * 4.0 + xi[2] * 3.0 + xi[4] * 2.0) as usize) % 4)
+        .collect();
+    let ds = Dataset::classification(x, y, 4).unwrap();
+    fit(
+        &ds,
+        &TreeConfig {
+            max_leaf_nodes: 20,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Request features: deterministic in the request id, with NaNs injected
+/// into every fifth request to pin the comparator hazard on the live path.
+fn request_features(k: u64, salt: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(salt ^ k.wrapping_mul(0x9E3779B97F4A7C15));
+    let mut v: Vec<f64> = (0..DIMS).map(|_| rng.gen_range(0.0..1.0)).collect();
+    if k % 5 == 4 {
+        v[(k % DIMS as u64) as usize] = f64::NAN;
+    }
+    v
+}
+
+fn assert_prediction_bits(a: Prediction, b: Prediction, label: &str) {
+    match (a, b) {
+        (Prediction::Class(x), Prediction::Class(y)) => {
+            assert_eq!(x, y, "{label}: class diverges")
+        }
+        (Prediction::Value(x), Prediction::Value(y)) => {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: value diverges")
+        }
+        _ => panic!("{label}: prediction kinds diverge"),
+    }
+}
+
+proptest! {
+    /// Micro-batched serving is bit-identical to sequential per-request
+    /// evaluation for any batch size, flush deadline, thread count, and
+    /// stripe width — the batching schedule may change *when* a request
+    /// is answered, never *what* the answer is.
+    #[test]
+    fn prop_microbatching_never_changes_answers(
+        tree_seed in 0u64..30,
+        batch in 1usize..48,
+        deadline_us in 0u64..400,
+        stripe in 1usize..32,
+        n in 1u64..140,
+        salt in 0u64..10_000,
+    ) {
+        let tree = fitted_tree(tree_seed);
+        let threads = thread_counts()[(salt % 5 % thread_counts().len() as u64) as usize];
+        let server = TreeServer::start(
+            Arc::new(ModelRegistry::new(tree.clone())),
+            ServeConfig {
+                max_batch: batch,
+                max_delay: Duration::from_micros(deadline_us),
+                threads,
+                stripe_rows: stripe,
+            },
+        );
+        let mut handle = server.handle();
+        for k in 0..n {
+            handle.submit(request_features(k, salt));
+        }
+        let responses = handle.collect();
+        prop_assert_eq!(responses.len() as u64, n, "zero drops");
+        for resp in &responses {
+            prop_assert_eq!(resp.epoch, 0);
+            prop_assert!(resp.batch_size >= 1 && resp.batch_size <= batch);
+            assert_prediction_bits(
+                resp.prediction,
+                tree.predict(&request_features(resp.id, salt)),
+                "serve vs sequential oracle",
+            );
+        }
+        let report = server.shutdown();
+        prop_assert_eq!(report.served, n);
+        prop_assert_eq!(report.delivery_failures, 0);
+    }
+
+    /// Mid-stream hot swaps: requests keep flowing while new epochs are
+    /// published. Every response must match its *own* epoch's tree
+    /// (in-flight batches finish on the model they pinned), epochs are
+    /// monotone in submission order, and nothing is dropped.
+    #[test]
+    fn prop_hot_swap_serves_each_epoch_consistently(
+        tree_seed in 0u64..20,
+        batch in 1usize..24,
+        swaps in 1usize..4,
+        per_phase in 1u64..40,
+        salt in 0u64..10_000,
+    ) {
+        let sources: Vec<DecisionTree> =
+            (0..=swaps as u64).map(|e| fitted_tree(tree_seed ^ (e << 8) ^ 1)).collect();
+        let registry = Arc::new(ModelRegistry::new(sources[0].clone()));
+        let server = TreeServer::start(
+            Arc::clone(&registry),
+            ServeConfig {
+                max_batch: batch,
+                max_delay: Duration::from_micros(200),
+                threads: thread_counts()[(salt % thread_counts().len() as u64) as usize],
+                stripe_rows: 8,
+            },
+        );
+        let mut handle = server.handle();
+        let mut submitted = 0u64;
+        for epoch_tree in &sources[1..] {
+            for _ in 0..per_phase {
+                handle.submit(request_features(submitted, salt));
+                submitted += 1;
+            }
+            registry.publish(epoch_tree.clone());
+        }
+        for _ in 0..per_phase {
+            handle.submit(request_features(submitted, salt));
+            submitted += 1;
+        }
+        let responses = handle.collect();
+        prop_assert_eq!(responses.len() as u64, submitted, "zero drops across swaps");
+        let mut last_epoch = 0u64;
+        for resp in &responses {
+            prop_assert!(
+                (resp.epoch as usize) < sources.len(),
+                "unknown epoch {}", resp.epoch
+            );
+            prop_assert!(
+                resp.epoch >= last_epoch,
+                "epochs regressed: {} after {}", resp.epoch, last_epoch
+            );
+            last_epoch = resp.epoch;
+            assert_prediction_bits(
+                resp.prediction,
+                sources[resp.epoch as usize].predict(&request_features(resp.id, salt)),
+                "old-epoch request must get old-epoch answer",
+            );
+        }
+        // The final phase ran after every publish, so the last response
+        // must have seen the final epoch.
+        prop_assert_eq!(last_epoch, swaps as u64, "final epoch never served");
+        let report = server.shutdown();
+        prop_assert_eq!(report.served, submitted);
+        let per_epoch_total: u64 = report.per_epoch.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(per_epoch_total, submitted);
+    }
+
+    /// The compiled batch walk used by every flush agrees with both
+    /// single-row evaluators on NaN-laden inputs for any chunking — the
+    /// backend-level restatement of the engine property above.
+    #[test]
+    fn prop_compiled_batch_nan_parity(tree_seed in 0u64..40, n in 1usize..100, salt in 0u64..10_000) {
+        let tree = fitted_tree(tree_seed);
+        let compiled = CompiledTree::compile(&tree);
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|k| request_features(k as u64, salt)).collect();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let batched = compiled.predict_batch(&flat);
+        prop_assert_eq!(batched.len(), n);
+        for (row, got) in rows.iter().zip(batched.iter()) {
+            assert_prediction_bits(*got, tree.predict(row), "batch vs tree");
+            assert_prediction_bits(*got, compiled.predict(row), "batch vs single");
+            if row.iter().any(|v| v.is_nan()) {
+                // NaN fails `<` everywhere: the decision path may only take
+                // right edges at NaN-featured splits.
+                let mut idx = 0usize;
+                while let Some(split) = &tree.node(idx).split {
+                    let right =
+                        row[split.feature] >= split.threshold || row[split.feature].is_nan();
+                    if row[split.feature].is_nan() {
+                        prop_assert!(right, "NaN took a left edge");
+                    }
+                    idx = if right { split.right } else { split.left };
+                }
+            }
+        }
+    }
+}
