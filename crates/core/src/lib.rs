@@ -22,7 +22,10 @@
 //! * [`workload`] — cross-workload sharding: many pipelines concurrently
 //!   over one shared thread budget ([`workload::WorkloadRunner`]),
 //! * [`serving`] — serve-while-converting: live `metis_serve` traffic and
-//!   a conversion pipeline over one budget, with per-round hot swaps,
+//!   a conversion pipeline over one budget, with per-round hot swaps —
+//!   plus the `metis_fabric`-backed variant that routes traffic through
+//!   session-affine shards and shadow-audits each round's student before
+//!   it goes live,
 //! * [`config`] — Table-4 defaults,
 //! * [`stats`] — experiment statistics helpers.
 
@@ -49,6 +52,9 @@ pub use interpret::{
     InterpretationKind, MaskedRouting,
 };
 pub use pipeline::{ConversionPipeline, PipelineStats};
-pub use serving::{serve_while_converting, ServeWhileConvertOutcome};
+pub use serving::{
+    serve_fabric_while_converting, serve_while_converting, FabricServeOutcome,
+    ServeWhileConvertOutcome, FABRIC_STUDENT_KEY,
+};
 pub use stats::{ecdf, mean, pearson, quadrant13_fraction, std_dev};
 pub use workload::{RunnerStats, Workload, WorkloadResult, WorkloadRunner};

@@ -24,11 +24,15 @@ use crate::convert::ConversionResult;
 use crate::pipeline::ConversionPipeline;
 use crate::workload::{RunnerStats, Workload, WorkloadRunner};
 use metis_dt::DecisionTree;
+use metis_fabric::{
+    FabricConfig, FabricReport, FabricResponse, Router, ScenarioSpec, ShadowConfig, TenantSpec,
+};
 use metis_rl::{Env, Policy, ValueEstimate};
 use metis_serve::{
     drive_open_loop, ArrivalProcess, EngineReport, ModelRegistry, Response, ServeConfig, TreeServer,
 };
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Everything one serve-while-converting run produces.
 #[derive(Debug)]
@@ -110,12 +114,123 @@ where
     }
 }
 
+/// Everything one fabric-backed serve-while-converting run produces.
+#[derive(Debug)]
+pub struct FabricServeOutcome {
+    /// The conversion pipeline's final result (identical to a solo run).
+    pub conversion: ConversionResult,
+    /// The fabric's merged shutdown report: per-shard engine reports,
+    /// the scenario's shadow audit trail, per-tenant SLO accounting.
+    pub fabric: FabricReport,
+    /// Every response, sorted by submission id.
+    pub responses: Vec<FabricResponse>,
+    /// Admission-queue statistics of the shared runner.
+    pub runner: RunnerStats,
+}
+
+enum FabricLane {
+    Converted(Box<ConversionResult>),
+    Served(Vec<FabricResponse>),
+}
+
+/// The scenario key the conversion lane publishes under.
+pub const FABRIC_STUDENT_KEY: &str = "student";
+
+/// [`serve_while_converting`] upgraded to the fabric: traffic flows
+/// through a session-affine sharded [`Router`] while the conversion
+/// pipeline retrains behind it, and each round's student tree is
+/// **staged** into the scenario's shadow slot instead of being published
+/// blind — mirrored traffic diffs it bit-exactly against the live model
+/// and the `shadow` policy decides the swap
+/// ([`metis_fabric::PromotePolicy::AfterAudit`] to hot-swap every round
+/// with its behavioural diff on the record,
+/// [`metis_fabric::PromotePolicy::OnZeroDiff`] to only ever auto-swap
+/// no-op refreshes). `session(k)` names request `k`'s sticky session;
+/// `shards` splits the scenario's batching across that many
+/// session-affine micro-batchers. Conversion results stay bit-identical
+/// to a solo [`ConversionPipeline::run`].
+#[allow(clippy::too_many_arguments)]
+pub fn serve_fabric_while_converting<E, T, V>(
+    pipeline: &ConversionPipeline<'_, E, T, V>,
+    initial: DecisionTree,
+    fabric_cfg: FabricConfig,
+    shadow: ShadowConfig,
+    shards: usize,
+    arrivals: &ArrivalProcess,
+    features: impl FnMut(u64) -> Vec<f64> + Send,
+    session: impl FnMut(u64) -> u64 + Send,
+    time_scale: f64,
+) -> FabricServeOutcome
+where
+    E: Env + Sync,
+    T: Policy + Sync + ?Sized,
+    V: ValueEstimate,
+{
+    assert!(
+        time_scale.is_finite() && time_scale >= 0.0,
+        "time_scale must be finite and non-negative"
+    );
+    let router = Router::new(
+        vec![TenantSpec::new("convert-serve")],
+        vec![
+            ScenarioSpec::new(FABRIC_STUDENT_KEY, "convert-serve", initial)
+                .shards(shards)
+                .shadow(shadow),
+        ],
+        fabric_cfg,
+    );
+    let mut handle = router.handle();
+    let mut features = features;
+    let mut session = session;
+    let (results, runner) = WorkloadRunner::new(2).run_detailed(vec![
+        Workload::new("convert", {
+            let router = &router;
+            move || {
+                FabricLane::Converted(Box::new(pipeline.run_publishing(|_, student| {
+                    router.stage(FABRIC_STUDENT_KEY, student.tree.clone());
+                })))
+            }
+        }),
+        Workload::new("serve", move || {
+            let start = Instant::now();
+            let mut t = 0.0;
+            for (k, gap) in arrivals.gaps_s().iter().enumerate() {
+                if time_scale > 0.0 {
+                    t += gap * time_scale;
+                    let target = start + Duration::from_secs_f64(t);
+                    let now = Instant::now();
+                    if target > now {
+                        std::thread::sleep(target - now);
+                    }
+                }
+                let k = k as u64;
+                handle.submit(0, session(k), features(k));
+            }
+            FabricLane::Served(handle.collect())
+        }),
+    ]);
+    let mut conversion = None;
+    let mut responses = Vec::new();
+    for result in results {
+        match result.value {
+            FabricLane::Converted(c) => conversion = Some(*c),
+            FabricLane::Served(r) => responses = r,
+        }
+    }
+    let fabric = router.shutdown();
+    FabricServeOutcome {
+        conversion: conversion.expect("conversion workload completed"),
+        fabric,
+        responses,
+        runner,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::convert::ConversionConfig;
     use metis_rl::env::test_envs::BanditEnv;
-    use std::time::Duration;
 
     #[derive(Clone)]
     struct Oracle;
@@ -193,5 +308,91 @@ mod tests {
         assert_eq!(served_total, 400);
         assert_eq!(outcome.serving.latency.count, 400);
         assert!(outcome.runner.peak_queue_depth >= 1);
+    }
+
+    #[test]
+    fn fabric_variant_stages_rounds_and_stays_bit_identical_to_solo() {
+        use metis_fabric::PromotePolicy;
+
+        let pool: Vec<BanditEnv> = (0..3).map(|s| BanditEnv::new(3, 16, s)).collect();
+        let cfg = ConversionConfig {
+            max_leaf_nodes: 8,
+            episodes_per_round: 6,
+            max_steps: 16,
+            dagger_rounds: 2,
+            ..Default::default()
+        };
+        let pipeline = ConversionPipeline::new(&pool, &Oracle, |_| 0.0)
+            .conversion(cfg)
+            .seed(5);
+        let seed_states = pipeline.collect_teacher_states(4, 16);
+        let initial = pipeline.fit_states(&seed_states, 3, 0).tree;
+        let solo = pipeline.run();
+
+        let arrivals = ArrivalProcess::poisson(20_000.0, 500, 9);
+        let outcome = serve_fabric_while_converting(
+            &pipeline,
+            initial.clone(),
+            FabricConfig {
+                serve: ServeConfig {
+                    max_batch: 32,
+                    max_delay: Duration::from_micros(300),
+                    ..Default::default()
+                },
+                mirror_batch: 16,
+            },
+            metis_fabric::ShadowConfig {
+                audit_rows: 32,
+                policy: PromotePolicy::AfterAudit,
+            },
+            2,
+            &arrivals,
+            one_hot,
+            |k| k % 7, // seven sticky sessions
+            1.0,
+        );
+
+        // Conversion is bit-identical to the solo run: the fabric never
+        // perturbs the pipeline.
+        assert_eq!(outcome.conversion.policy.tree, solo.policy.tree);
+        assert_eq!(outcome.conversion.fidelity_history, solo.fidelity_history);
+        // Zero drops, and session affinity held for every response.
+        assert_eq!(outcome.responses.len(), 500);
+        assert_eq!(outcome.fabric.served, 500);
+        let scenario = outcome.fabric.scenario(FABRIC_STUDENT_KEY).unwrap();
+        assert_eq!(scenario.shards.len(), 2);
+        assert_eq!(scenario.served, 500);
+        for report in &scenario.shards {
+            assert_eq!(report.delivery_failures, 0);
+        }
+        let mut session_shard = std::collections::HashMap::new();
+        for resp in &outcome.responses {
+            assert_eq!(resp.session, resp.id % 7);
+            let prev = session_shard.entry(resp.session).or_insert(resp.shard);
+            assert_eq!(*prev, resp.shard, "session hopped shards");
+            if resp.response.epoch == 0 {
+                assert_eq!(
+                    resp.response.prediction,
+                    initial.predict(&one_hot(resp.id)),
+                    "epoch-0 answers must come from the initial tree"
+                );
+            }
+        }
+        // One staging per round (round 0 + 2 DAgger rounds); every staged
+        // candidate is accounted for as promoted, replaced, or pending.
+        assert_eq!(scenario.shadow.staged, 3);
+        let decided = scenario.shadow.promotions.len() as u64
+            + scenario.shadow.replaced
+            + scenario.shadow.rejected
+            + u64::from(scenario.shadow.pending.is_some());
+        assert_eq!(decided, 3, "shadow audit lost a candidate");
+        // Promotions went live in order and were audited first.
+        assert_eq!(scenario.swaps, scenario.shadow.promotions.len() as u64);
+        for promo in &scenario.shadow.promotions {
+            assert!(promo.audited_rows >= 32);
+        }
+        let tenant = outcome.fabric.tenant("convert-serve").unwrap();
+        assert_eq!(tenant.served, 500);
+        assert!(tenant.met_p99_budget);
     }
 }

@@ -31,4 +31,6 @@ pub use builder::{fit, Criterion, FitError, TreeConfig};
 pub use dataset::{Dataset, DatasetError, Targets};
 pub use export::{render, to_graphviz, RenderOptions};
 pub use prune::{alpha_sequence, prune_alpha, prune_to_leaves, truncate_depth, PruneStep};
-pub use tree::{CompiledTree, DecisionTree, Node, NodeStats, Prediction, Split, TreeKind};
+pub use tree::{
+    BatchDiff, CompiledTree, DecisionTree, Node, NodeStats, Prediction, Split, TreeKind,
+};

@@ -516,6 +516,43 @@ impl CompiledTree {
         self.n_features
     }
 
+    /// Bit-exact response diff against another compiled tree over a
+    /// row-major block: for every row, both trees' predictions are
+    /// compared the way the serving path compares answers — class indices
+    /// by equality, values by `to_bits` (so `0.0` vs `-0.0` or a NaN
+    /// payload swap counts as a mismatch, exactly like a diverging
+    /// response would). This is the shadow-serving audit primitive: a
+    /// staged candidate is promoted only after mirrored traffic diffs
+    /// clean against the live model. Trees of different kinds mismatch on
+    /// every row; a different feature width panics (rows can't be valid
+    /// for both).
+    pub fn diff_batch(&self, other: &CompiledTree, rows: &[f64]) -> BatchDiff {
+        assert_eq!(
+            self.n_features, other.n_features,
+            "diff_batch: trees take {} vs {} features",
+            self.n_features, other.n_features
+        );
+        let ours = self.predict_batch(rows);
+        let theirs = other.predict_batch(rows);
+        let mut diff = BatchDiff {
+            rows: ours.len(),
+            mismatches: 0,
+            first_mismatch: None,
+        };
+        for (row, (a, b)) in ours.iter().zip(theirs.iter()).enumerate() {
+            let same = match (a, b) {
+                (Prediction::Class(x), Prediction::Class(y)) => x == y,
+                (Prediction::Value(x), Prediction::Value(y)) => x.to_bits() == y.to_bits(),
+                _ => false,
+            };
+            if !same {
+                diff.mismatches += 1;
+                diff.first_mismatch.get_or_insert(row);
+            }
+        }
+        diff
+    }
+
     /// Kind of the source tree (drives [`CompiledTree::predict`] payloads).
     pub fn kind(&self) -> TreeKind {
         self.kind
@@ -524,6 +561,26 @@ impl CompiledTree {
     /// Node count of the flattened arena.
     pub fn node_count(&self) -> usize {
         self.left.len()
+    }
+}
+
+/// Outcome of [`CompiledTree::diff_batch`]: how many rows two trees
+/// answered differently, bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchDiff {
+    /// Rows compared.
+    pub rows: usize,
+    /// Rows where the predictions differ (class inequality, or value
+    /// bit-pattern inequality).
+    pub mismatches: usize,
+    /// Index of the first differing row, if any.
+    pub first_mismatch: Option<usize>,
+}
+
+impl BatchDiff {
+    /// True when every compared row answered identically.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches == 0
     }
 }
 
@@ -665,6 +722,91 @@ mod tests {
                 idx = if went_right { s.right } else { s.left };
             }
         }
+    }
+
+    /// The shadow-audit primitive: identical trees diff clean on any
+    /// traffic (including NaN rows); a perturbed tree reports its
+    /// mismatches with a stable first-row index; regressors compare by
+    /// bit pattern.
+    #[test]
+    fn diff_batch_clean_for_identical_trees_and_counts_perturbations() {
+        let tree = fitted_classifier(13);
+        let compiled = CompiledTree::compile(&tree);
+        let mut rows = lcg_features(120, 4, 31);
+        for (r, row) in rows.iter_mut().enumerate() {
+            if r % 7 == 0 {
+                row[r % 4] = f64::NAN;
+            }
+        }
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let clean = compiled.diff_batch(&CompiledTree::compile(&tree), &flat);
+        assert_eq!(
+            clean,
+            BatchDiff {
+                rows: 120,
+                mismatches: 0,
+                first_mismatch: None
+            }
+        );
+        assert!(clean.is_clean());
+
+        // A pruned tree answers differently somewhere on 120 rows.
+        let perturbed = CompiledTree::compile(&crate::prune::prune_to_leaves(&tree, 3));
+        let diff = compiled.diff_batch(&perturbed, &flat);
+        assert_eq!(diff.rows, 120);
+        assert!(
+            diff.mismatches > 0,
+            "pruning to 3 leaves must change answers"
+        );
+        let first = diff.first_mismatch.expect("mismatches imply a first row");
+        assert_ne!(
+            compiled.predict(&rows[first]),
+            perturbed.predict(&rows[first]),
+            "first_mismatch must point at a genuinely differing row"
+        );
+        // Symmetry: mismatch counting has no direction.
+        assert_eq!(
+            perturbed.diff_batch(&compiled, &flat).mismatches,
+            diff.mismatches
+        );
+
+        // Empty traffic diffs clean trivially.
+        assert!(compiled.diff_batch(&perturbed, &[]).is_clean());
+    }
+
+    #[test]
+    fn diff_batch_compares_regressor_values_by_bit_pattern() {
+        let tree = fitted_regressor(17);
+        let compiled = CompiledTree::compile(&tree);
+        let rows = lcg_features(50, 3, 91);
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        assert!(compiled
+            .diff_batch(&CompiledTree::compile(&tree), &flat)
+            .is_clean());
+        let other = CompiledTree::compile(&fitted_regressor(18));
+        let diff = compiled.diff_batch(&other, &flat);
+        assert!(diff.mismatches > 0, "different fits must diff");
+        // A classifier against a regressor mismatches on every row.
+        let classifier = {
+            let x = lcg_features(40, 3, 5);
+            let y: Vec<usize> = x.iter().map(|xi| usize::from(xi[0] > 0.5)).collect();
+            CompiledTree::compile(
+                &fit(
+                    &Dataset::classification(x, y, 2).unwrap(),
+                    &TreeConfig::default(),
+                )
+                .unwrap(),
+            )
+        };
+        assert_eq!(compiled.diff_batch(&classifier, &flat).mismatches, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "diff_batch")]
+    fn diff_batch_rejects_mismatched_feature_widths() {
+        let a = CompiledTree::compile(&fitted_classifier(1)); // 4 features
+        let b = CompiledTree::compile(&fitted_regressor(1)); // 3 features
+        let _ = a.diff_batch(&b, &[0.0; 12]);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Merged fabric accounting: per-shard engine reports rolled up into
+//! per-scenario and per-tenant views, with SLO budgets checked.
+//!
+//! Two merge flavours, deliberately both exercised: scenario and tenant
+//! percentiles are **exact** — the shards' raw
+//! [`metis_serve::LatencyRecorder`]s are unioned before summarizing, and
+//! every SLO decision reads these — while the fabric-wide line uses
+//! [`metis_serve::LatencySummary::merge`], a display rollup whose
+//! percentiles take the larger input (accurate for well-sampled inputs,
+//! but able to understate the union tail when inputs are tiny; see its
+//! docs). Nothing is enforced off the rollup.
+
+use crate::shadow::ShadowReport;
+use metis_serve::{EngineReport, LatencySummary};
+
+/// One scenario's merged view: its shards' engine reports, the exact
+/// union latency summary, and its shadow audit trail.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    pub key: String,
+    /// Owning tenant's name.
+    pub tenant: String,
+    /// Requests served across all shards.
+    pub served: u64,
+    /// Hot swaps (audited promotions + direct publishes).
+    pub swaps: u64,
+    /// Epoch live at shutdown.
+    pub live_epoch: u64,
+    /// Exact percentile summary over the union of all shards' samples.
+    pub latency: LatencySummary,
+    /// Per-shard engine reports, in shard order.
+    pub shards: Vec<EngineReport>,
+    /// Shadow-serving audit trail.
+    pub shadow: ShadowReport,
+}
+
+/// One tenant's SLO view across every scenario it owns.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    pub name: String,
+    /// Deadline class its pool submissions carried (lower = more urgent).
+    pub deadline_class: u8,
+    /// The p99 budget the tenant declared (seconds).
+    pub p99_budget_s: f64,
+    /// Requests served for this tenant.
+    pub served: u64,
+    /// Exact percentile summary over every request the tenant's
+    /// scenarios served.
+    pub latency: LatencySummary,
+    /// True when `latency.p99_s` is within `p99_budget_s` (an idle tenant
+    /// cannot violate).
+    pub met_p99_budget: bool,
+}
+
+/// Everything one fabric run produced, returned by
+/// [`crate::Router::shutdown`].
+#[derive(Debug, Clone)]
+pub struct FabricReport {
+    /// Requests served across the whole fabric.
+    pub served: u64,
+    /// Fabric-wide display rollup via [`LatencySummary::merge`]
+    /// (count/mean/max exact; percentiles take the larger input — not a
+    /// bound for tiny sample sets, so SLO checks use the exact
+    /// per-scenario/per-tenant summaries instead).
+    pub latency_rollup: LatencySummary,
+    /// Per-scenario views, in construction order.
+    pub scenarios: Vec<ScenarioReport>,
+    /// Per-tenant SLO views, in construction order.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl FabricReport {
+    /// Tenants that blew their p99 budget, most urgent class first —
+    /// the page-worthy list.
+    pub fn violations(&self) -> Vec<&TenantReport> {
+        let mut out: Vec<&TenantReport> =
+            self.tenants.iter().filter(|t| !t.met_p99_budget).collect();
+        out.sort_by_key(|t| t.deadline_class);
+        out
+    }
+
+    /// Look up one scenario's report by key.
+    pub fn scenario(&self, key: &str) -> Option<&ScenarioReport> {
+        self.scenarios.iter().find(|s| s.key == key)
+    }
+
+    /// Look up one tenant's report by name.
+    pub fn tenant(&self, name: &str) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+}

@@ -1,0 +1,780 @@
+//! The request router: one ingest surface fanned across scenarios,
+//! session-affine shards, and tenants.
+//!
+//! A [`Router`] owns, per *scenario*, one
+//! [`metis_serve::ModelRegistry`] and `shards` independent
+//! [`metis_serve::TreeServer`] micro-batchers over it, each batcher on
+//! its own pool group. A request names its scenario and a **session id**;
+//! [`shard_for_session`] hashes the session to a shard, so a sticky
+//! client (an ABR session carrying per-client state) always flows through
+//! the same micro-batcher — its decisions stay ordered relative to each
+//! other — while unrelated sessions spread across shards. The hash is a
+//! pure SplitMix64 finalize of the session id: stable across thread
+//! counts, process restarts, and request interleavings.
+//!
+//! Tenancy: every scenario belongs to a [`TenantSpec`], whose
+//! `deadline_class` is stamped onto the shards' pool submissions (the
+//! pool drains urgent classes first — [`metis_nn::par::with_deadline_class`])
+//! and whose `p99_budget_s` is checked in the shutdown report. Shadow
+//! staging ([`Router::stage`]) audits a candidate tree on mirrored
+//! traffic before (or instead of) letting it serve — see [`crate::shadow`].
+
+use crate::report::{FabricReport, ScenarioReport, TenantReport};
+use crate::shadow::{ShadowConfig, ShadowState};
+use metis_dt::DecisionTree;
+use metis_serve::{
+    LatencyRecorder, LatencySummary, ModelRegistry, Response, ServeConfig, ServerHandle, TreeServer,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Map a session id onto one of `shards` batcher shards. Pure function of
+/// its arguments (SplitMix64 finalize), so the mapping is identical for
+/// any thread count, submission order, or process — the property that
+/// makes shard affinity a contract rather than an accident.
+pub fn shard_for_session(session: u64, shards: usize) -> usize {
+    assert!(shards >= 1, "a scenario has at least one shard");
+    (metis_nn::par::mix_seed(session) % shards as u64) as usize
+}
+
+/// One SLO tenant: a deadline class (lower = the pool schedules its
+/// batches' helper work first) and a p99 latency budget checked in the
+/// [`TenantReport`].
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    pub name: String,
+    /// Deadline class of every pool submission made on this tenant's
+    /// behalf (see [`metis_nn::par::with_deadline_class`]).
+    pub deadline_class: u8,
+    /// p99 latency budget in seconds ([`f64::INFINITY`] = unbounded).
+    pub p99_budget_s: f64,
+}
+
+impl TenantSpec {
+    /// An unconstrained tenant: class 0, infinite budget.
+    pub fn new(name: impl Into<String>) -> Self {
+        TenantSpec {
+            name: name.into(),
+            deadline_class: 0,
+            p99_budget_s: f64::INFINITY,
+        }
+    }
+}
+
+/// One served scenario: a model family behind one registry, split into
+/// session-affine shards, owned by a tenant.
+pub struct ScenarioSpec {
+    pub key: String,
+    /// Name of the owning [`TenantSpec`].
+    pub tenant: String,
+    /// Epoch-0 model.
+    pub initial: DecisionTree,
+    /// Session-affine batcher shards (≥ 1).
+    pub shards: usize,
+    /// Shadow-serving knobs.
+    pub shadow: ShadowConfig,
+}
+
+impl ScenarioSpec {
+    /// A 1-shard scenario with default shadow policy.
+    pub fn new(key: impl Into<String>, tenant: impl Into<String>, initial: DecisionTree) -> Self {
+        ScenarioSpec {
+            key: key.into(),
+            tenant: tenant.into(),
+            initial,
+            shards: 1,
+            shadow: ShadowConfig::default(),
+        }
+    }
+
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    pub fn shadow(mut self, shadow: ShadowConfig) -> Self {
+        self.shadow = shadow;
+        self
+    }
+}
+
+/// Fabric-wide knobs.
+#[derive(Debug, Clone, Default)]
+pub struct FabricConfig {
+    /// Per-shard micro-batching template. `group` and `deadline_class`
+    /// are **owned by the fabric** and overridden per shard: every shard
+    /// gets its own fresh pool group (a user-set shared group would let
+    /// one tenant's class re-tag another's queued tickets, silently
+    /// defeating per-tenant SLO scheduling) and its tenant's class.
+    pub serve: ServeConfig,
+    /// Mirrored feature rows a handle buffers before flushing them to a
+    /// scenario's shadow audit (0 = flush on every submit).
+    pub mirror_batch: usize,
+}
+
+struct ScenarioRuntime {
+    key: String,
+    tenant: usize,
+    registry: Arc<ModelRegistry>,
+    shards: Vec<TreeServer>,
+    shadow: Mutex<ShadowState>,
+    /// Cached [`ShadowState::active_generation`] (0 = nothing staged) so
+    /// the submit hot path can skip mirroring — and tag buffered rows
+    /// with the staging generation — without taking the lock.
+    shadow_gen: AtomicU64,
+}
+
+impl ScenarioRuntime {
+    fn mirror_rows(&self, rows: &[f64], generation: u64) {
+        if rows.is_empty() {
+            return;
+        }
+        let mut shadow = self.shadow.lock().unwrap();
+        shadow.mirror(rows, generation, &self.registry);
+        self.shadow_gen
+            .store(shadow.active_generation().unwrap_or(0), Ordering::Relaxed);
+    }
+}
+
+/// The serving fabric. Build with [`Router::new`], mint per-client
+/// [`FabricHandle`]s, publish or stage new models per scenario, and
+/// [`Router::shutdown`] for the merged [`FabricReport`].
+pub struct Router {
+    scenarios: Vec<ScenarioRuntime>,
+    tenants: Vec<TenantSpec>,
+    mirror_batch: usize,
+}
+
+impl Router {
+    /// Start every scenario's shards. Scenario keys and tenant names must
+    /// be unique; every scenario's `tenant` must resolve.
+    pub fn new(tenants: Vec<TenantSpec>, scenarios: Vec<ScenarioSpec>, cfg: FabricConfig) -> Self {
+        assert!(!tenants.is_empty(), "a fabric needs at least one tenant");
+        assert!(
+            !scenarios.is_empty(),
+            "a fabric needs at least one scenario"
+        );
+        for (i, t) in tenants.iter().enumerate() {
+            assert!(
+                tenants[..i].iter().all(|o| o.name != t.name),
+                "duplicate tenant `{}`",
+                t.name
+            );
+        }
+        let mut runtimes: Vec<ScenarioRuntime> = Vec::new();
+        for spec in scenarios {
+            assert!(spec.shards >= 1, "scenario `{}` needs ≥ 1 shard", spec.key);
+            assert!(
+                runtimes.iter().all(|o| o.key != spec.key),
+                "duplicate scenario key `{}`",
+                spec.key
+            );
+            let tenant = tenants
+                .iter()
+                .position(|t| t.name == spec.tenant)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "scenario `{}` names unknown tenant `{}`",
+                        spec.key, spec.tenant
+                    )
+                });
+            let registry = Arc::new(ModelRegistry::new(spec.initial));
+            let shards = (0..spec.shards)
+                .map(|_| {
+                    TreeServer::start(
+                        Arc::clone(&registry),
+                        ServeConfig {
+                            deadline_class: tenants[tenant].deadline_class,
+                            // Always a fresh group per shard: sharing one
+                            // group across tenants would let the last
+                            // flusher's class re-tag every queued ticket.
+                            group: None,
+                            ..cfg.serve.clone()
+                        },
+                    )
+                })
+                .collect();
+            runtimes.push(ScenarioRuntime {
+                key: spec.key,
+                tenant,
+                registry,
+                shards,
+                shadow: Mutex::new(ShadowState::new(spec.shadow)),
+                shadow_gen: AtomicU64::new(0),
+            });
+        }
+        let scenarios = runtimes;
+        Router {
+            scenarios,
+            tenants,
+            mirror_batch: cfg.mirror_batch,
+        }
+    }
+
+    /// Index of a scenario key (stable for the router's lifetime; submit
+    /// by index on the hot path).
+    pub fn scenario_index(&self, key: &str) -> Option<usize> {
+        self.scenarios.iter().position(|s| s.key == key)
+    }
+
+    fn scenario(&self, key: &str) -> &ScenarioRuntime {
+        let idx = self
+            .scenario_index(key)
+            .unwrap_or_else(|| panic!("unknown scenario `{key}`"));
+        &self.scenarios[idx]
+    }
+
+    /// The registry behind a scenario (publish to it for an unaudited hot
+    /// swap).
+    pub fn registry(&self, key: &str) -> &Arc<ModelRegistry> {
+        &self.scenario(key).registry
+    }
+
+    /// Shards a scenario runs.
+    pub fn shard_count(&self, key: &str) -> usize {
+        self.scenario(key).shards.len()
+    }
+
+    /// Feature width a scenario serves.
+    pub fn n_features(&self, key: &str) -> usize {
+        self.scenario(key).registry.n_features()
+    }
+
+    /// Hot-swap a scenario's live model immediately (no shadow audit);
+    /// returns the new epoch.
+    pub fn publish(&self, key: &str, tree: DecisionTree) -> u64 {
+        self.scenario(key).registry.publish(tree)
+    }
+
+    /// Stage `tree` as the scenario's shadow candidate: mirrored traffic
+    /// diffs it bit-exactly against the live model it would replace, and
+    /// the scenario's [`ShadowConfig`] policy decides the swap once the
+    /// audit quota is reached. A still-undecided previous candidate is
+    /// replaced (latest round wins).
+    pub fn stage(&self, key: &str, tree: DecisionTree) {
+        let scenario = self.scenario(key);
+        // Compile before taking the shadow lock: a mirror flush on the
+        // live submit path must never wait out a tree compile.
+        let compiled = metis_dt::CompiledTree::compile(&tree);
+        let mut shadow = scenario.shadow.lock().unwrap();
+        shadow.stage(tree, compiled, &scenario.registry);
+        scenario.shadow_gen.store(
+            shadow.active_generation().expect("just staged"),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Mint an independent per-client handle (one per client thread).
+    pub fn handle(&self) -> FabricHandle<'_> {
+        FabricHandle {
+            lanes: self
+                .scenarios
+                .iter()
+                .map(|s| s.shards.iter().map(|shard| shard.handle()).collect())
+                .collect(),
+            id_maps: self
+                .scenarios
+                .iter()
+                .map(|s| vec![Vec::new(); s.shards.len()])
+                .collect(),
+            local_base: self
+                .scenarios
+                .iter()
+                .map(|s| vec![0u64; s.shards.len()])
+                .collect(),
+            submissions: Vec::new(),
+            global_base: 0,
+            mirror_buf: vec![Vec::new(); self.scenarios.len()],
+            mirror_gen: vec![0; self.scenarios.len()],
+            router: self,
+            outstanding: 0,
+        }
+    }
+
+    /// Stop every shard (draining all queued requests — zero drops for
+    /// clients that finished submitting) and merge the per-shard reports
+    /// into the fabric rollup. Drop all handles first.
+    pub fn shutdown(self) -> FabricReport {
+        let mut tenant_recorders: Vec<LatencyRecorder> = self
+            .tenants
+            .iter()
+            .map(|_| LatencyRecorder::new())
+            .collect();
+        let mut tenant_served = vec![0u64; self.tenants.len()];
+        let mut scenario_reports = Vec::with_capacity(self.scenarios.len());
+        let mut summary_rollup = LatencySummary::empty();
+        let mut served_total = 0u64;
+        for scenario in self.scenarios {
+            let shard_reports: Vec<_> = scenario.shards.into_iter().map(|s| s.shutdown()).collect();
+            let mut merged = LatencyRecorder::new();
+            let mut served = 0u64;
+            for report in &shard_reports {
+                merged.merge(&report.recorder);
+                served += report.served;
+            }
+            // Exact per-scenario percentiles from the union sample set;
+            // the fabric-wide line uses the summary-level merge (upper
+            // bound) so both merge flavours are exercised in production.
+            let latency = merged.summary();
+            summary_rollup = summary_rollup.merge(&latency);
+            served_total += served;
+            tenant_recorders[scenario.tenant].merge(&merged);
+            tenant_served[scenario.tenant] += served;
+            scenario_reports.push(ScenarioReport {
+                key: scenario.key,
+                tenant: self.tenants[scenario.tenant].name.clone(),
+                served,
+                swaps: scenario.registry.swap_count(),
+                live_epoch: scenario.registry.epoch(),
+                latency,
+                shards: shard_reports,
+                shadow: scenario.shadow.into_inner().unwrap().finish(),
+            });
+        }
+        let tenants = self
+            .tenants
+            .into_iter()
+            .zip(tenant_recorders)
+            .zip(tenant_served)
+            .map(|((spec, recorder), served)| {
+                let latency = recorder.summary();
+                TenantReport {
+                    met_p99_budget: served == 0 || latency.meets_p99_slo(spec.p99_budget_s),
+                    name: spec.name,
+                    deadline_class: spec.deadline_class,
+                    p99_budget_s: spec.p99_budget_s,
+                    served,
+                    latency,
+                }
+            })
+            .collect();
+        FabricReport {
+            served: served_total,
+            latency_rollup: summary_rollup,
+            scenarios: scenario_reports,
+            tenants,
+        }
+    }
+}
+
+/// One fabric answer: the engine's [`Response`] plus where it was routed.
+#[derive(Debug, Clone)]
+pub struct FabricResponse {
+    /// Handle-global submission id ([`FabricHandle::collect`] sorts by it).
+    pub id: u64,
+    /// Scenario index the request named.
+    pub scenario: usize,
+    /// Shard the session hashed onto.
+    pub shard: usize,
+    /// Session id the request carried.
+    pub session: u64,
+    /// The serving engine's answer (its `id` field is shard-local;
+    /// use [`FabricResponse::id`]).
+    pub response: Response,
+}
+
+/// A per-client submission surface over every scenario and shard. Submit
+/// open-loop with [`FabricHandle::submit`]; gather everything outstanding
+/// with [`FabricHandle::collect`]. Handles are independent — one per
+/// client thread.
+pub struct FabricHandle<'r> {
+    router: &'r Router,
+    /// `[scenario][shard]` engine handles.
+    lanes: Vec<Vec<ServerHandle>>,
+    /// `[scenario][shard][shard-local id - local_base] -> global id`.
+    /// Rebased (emptied) whenever a collect leaves nothing outstanding,
+    /// so a long-lived handle's memory is bounded by its in-flight
+    /// window, not its lifetime request count.
+    id_maps: Vec<Vec<Vec<u64>>>,
+    /// `[scenario][shard]` shard-local id each `id_maps` entry starts at.
+    local_base: Vec<Vec<u64>>,
+    /// `[global id - global_base] -> (scenario, shard, session)`.
+    submissions: Vec<(u32, u32, u64)>,
+    /// Global id the `submissions` window starts at.
+    global_base: u64,
+    /// Per-scenario mirrored rows awaiting a shadow flush…
+    mirror_buf: Vec<Vec<f64>>,
+    /// …and the staging generation they were captured under (a buffer
+    /// from a decided/replaced candidate is discarded, never counted
+    /// toward a later candidate's audit).
+    mirror_gen: Vec<u64>,
+    outstanding: usize,
+}
+
+impl FabricHandle<'_> {
+    /// Route one request: hash `session` to its scenario shard, mirror
+    /// the features to a staged shadow candidate (when one is staged),
+    /// and enqueue. Returns the handle-global id. Never blocks on the
+    /// servers; a malformed request panics here, in the client.
+    pub fn submit(&mut self, scenario: usize, session: u64, features: Vec<f64>) -> u64 {
+        let runtime = &self.router.scenarios[scenario];
+        let live_gen = runtime.shadow_gen.load(Ordering::Relaxed);
+        if !self.mirror_buf[scenario].is_empty() && self.mirror_gen[scenario] != live_gen {
+            // The candidate these rows shadowed was decided or replaced:
+            // they must not leak into a different candidate's audit.
+            self.mirror_buf[scenario].clear();
+        }
+        if live_gen != 0 {
+            self.mirror_gen[scenario] = live_gen;
+            self.mirror_buf[scenario].extend_from_slice(&features);
+            let n_features = runtime.registry.n_features().max(1);
+            if self.mirror_buf[scenario].len() >= self.router.mirror_batch.max(1) * n_features {
+                runtime.mirror_rows(&self.mirror_buf[scenario], live_gen);
+                self.mirror_buf[scenario].clear();
+            }
+        }
+        let shard = shard_for_session(session, self.lanes[scenario].len());
+        let global = self.global_base + self.submissions.len() as u64;
+        let local = self.lanes[scenario][shard].submit(features);
+        debug_assert_eq!(
+            local,
+            self.local_base[scenario][shard] + self.id_maps[scenario][shard].len() as u64
+        );
+        self.id_maps[scenario][shard].push(global);
+        self.submissions
+            .push((scenario as u32, shard as u32, session));
+        self.outstanding += 1;
+        global
+    }
+
+    /// Requests submitted through this handle that have not been
+    /// collected.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Flush any buffered mirror rows to their shadow audits without
+    /// waiting for responses (collect does this implicitly).
+    pub fn flush_mirrors(&mut self) {
+        for (scenario, buf) in self.mirror_buf.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                self.router.scenarios[scenario].mirror_rows(buf, self.mirror_gen[scenario]);
+                buf.clear();
+            }
+        }
+    }
+
+    /// Block until every outstanding request is answered; returns the
+    /// responses **sorted by global id** (deterministic regardless of
+    /// scenario, shard, or batching interleavings). Internal id windows
+    /// are rebased afterwards, so long-lived handles stay lean.
+    pub fn collect(&mut self) -> Vec<FabricResponse> {
+        self.flush_mirrors();
+        let mut out = Vec::with_capacity(self.outstanding);
+        for (scenario, shard_handles) in self.lanes.iter_mut().enumerate() {
+            for (shard, handle) in shard_handles.iter_mut().enumerate() {
+                for response in handle.collect() {
+                    let local = (response.id - self.local_base[scenario][shard]) as usize;
+                    let id = self.id_maps[scenario][shard][local];
+                    let (_, _, session) = self.submissions[(id - self.global_base) as usize];
+                    out.push(FabricResponse {
+                        id,
+                        scenario,
+                        shard,
+                        session,
+                        response,
+                    });
+                }
+            }
+        }
+        self.outstanding = 0;
+        // Everything in the window is answered: slide the id windows
+        // forward and drop the dead mapping entries.
+        for (scenario, shard_maps) in self.id_maps.iter_mut().enumerate() {
+            for (shard, map) in shard_maps.iter_mut().enumerate() {
+                self.local_base[scenario][shard] += map.len() as u64;
+                map.clear();
+            }
+        }
+        self.global_base += self.submissions.len() as u64;
+        self.submissions.clear();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shadow::PromotePolicy;
+    use metis_dt::{fit, Dataset, TreeConfig};
+    use std::time::Duration;
+
+    fn tree(leaves: usize, classes: usize) -> DecisionTree {
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![i as f64 / 200.0, (i % 9) as f64])
+            .collect();
+        let y: Vec<usize> = (0..200).map(|i| (i * classes / 200) % classes).collect();
+        fit(
+            &Dataset::classification(x, y, classes).unwrap(),
+            &TreeConfig {
+                max_leaf_nodes: leaves,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn features(k: u64) -> Vec<f64> {
+        vec![(k % 200) as f64 / 200.0, (k % 9) as f64]
+    }
+
+    fn quick_cfg() -> FabricConfig {
+        FabricConfig {
+            serve: ServeConfig {
+                max_batch: 16,
+                max_delay: Duration::from_micros(200),
+                ..Default::default()
+            },
+            mirror_batch: 32,
+        }
+    }
+
+    #[test]
+    fn session_hashing_is_stable_and_spreads() {
+        for shards in [1usize, 2, 3, 8] {
+            let mut hits = vec![0usize; shards];
+            for session in 0..4096u64 {
+                let shard = shard_for_session(session, shards);
+                assert_eq!(
+                    shard,
+                    shard_for_session(session, shards),
+                    "mapping must be pure"
+                );
+                hits[shard] += 1;
+            }
+            let (min, max) = (
+                *hits.iter().min().unwrap() as f64,
+                *hits.iter().max().unwrap() as f64,
+            );
+            assert!(
+                max / min.max(1.0) < 1.5,
+                "shard load skew {hits:?} for {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn requests_fan_across_scenarios_and_stick_to_session_shards() {
+        let t_abr = tree(24, 6);
+        let t_flow = tree(12, 4);
+        let router = Router::new(
+            vec![TenantSpec::new("video"), TenantSpec::new("dc")],
+            vec![
+                ScenarioSpec::new("abr", "video", t_abr.clone()).shards(3),
+                ScenarioSpec::new("flow", "dc", t_flow.clone()),
+            ],
+            quick_cfg(),
+        );
+        assert_eq!(router.shard_count("abr"), 3);
+        assert_eq!(router.shard_count("flow"), 1);
+        let abr = router.scenario_index("abr").unwrap();
+        let flow = router.scenario_index("flow").unwrap();
+        let mut handle = router.handle();
+        for k in 0..240u64 {
+            let scenario = if k % 3 == 0 { flow } else { abr };
+            handle.submit(scenario, k % 17, features(k));
+        }
+        let responses = handle.collect();
+        assert_eq!(responses.len(), 240);
+        let mut session_shard = std::collections::HashMap::new();
+        for resp in &responses {
+            // Global ids are submission-ordered.
+            let k = resp.id;
+            assert_eq!(resp.scenario, if k % 3 == 0 { flow } else { abr });
+            assert_eq!(resp.session, k % 17);
+            let oracle = if resp.scenario == abr {
+                &t_abr
+            } else {
+                &t_flow
+            };
+            assert_eq!(resp.response.prediction, oracle.predict(&features(k)));
+            // Affinity: one shard per (scenario, session), forever.
+            let prev = session_shard
+                .entry((resp.scenario, resp.session))
+                .or_insert(resp.shard);
+            assert_eq!(*prev, resp.shard, "session hopped shards");
+        }
+        drop(handle);
+        let report = router.shutdown();
+        assert_eq!(report.served, 240);
+        assert_eq!(report.scenarios.len(), 2);
+        assert_eq!(report.tenants.len(), 2);
+        let abr_report = &report.scenarios[abr];
+        assert_eq!(abr_report.served, 160);
+        assert_eq!(abr_report.shards.len(), 3);
+        assert_eq!(
+            abr_report.shards.iter().map(|s| s.served).sum::<u64>(),
+            160,
+            "per-shard serves must add up"
+        );
+        assert_eq!(abr_report.latency.count, 160, "merged recorder is exact");
+        assert_eq!(report.latency_rollup.count, 240);
+        for tenant in &report.tenants {
+            assert!(tenant.met_p99_budget, "infinite budgets always met");
+        }
+        assert_eq!(report.tenants[0].served, 160);
+        assert_eq!(report.tenants[1].served, 80);
+    }
+
+    /// Long-lived handles: every collect that drains the window rebases
+    /// the id maps, so memory is bounded by in-flight requests — and
+    /// global ids keep counting across waves with answers staying
+    /// correct.
+    #[test]
+    fn repeated_submit_collect_waves_rebase_and_stay_correct() {
+        let t = tree(24, 6);
+        let router = Router::new(
+            vec![TenantSpec::new("t")],
+            vec![ScenarioSpec::new("s", "t", t.clone()).shards(2)],
+            quick_cfg(),
+        );
+        let mut handle = router.handle();
+        let mut next_expected = 0u64;
+        for wave in 0..5u64 {
+            for k in 0..40u64 {
+                let id = handle.submit(0, k % 5, features(wave * 40 + k));
+                assert_eq!(id, next_expected, "global ids must keep counting");
+                next_expected += 1;
+            }
+            let responses = handle.collect();
+            assert_eq!(responses.len(), 40);
+            for (k, resp) in responses.iter().enumerate() {
+                assert_eq!(resp.id, wave * 40 + k as u64);
+                assert_eq!(
+                    resp.response.prediction,
+                    t.predict(&features(wave * 40 + k as u64))
+                );
+            }
+            // The window is drained: the dead mappings must be gone.
+            assert!(handle.submissions.is_empty(), "submissions not rebased");
+            assert!(
+                handle.id_maps.iter().flatten().all(|m| m.is_empty()),
+                "id maps not rebased"
+            );
+        }
+        assert_eq!(handle.global_base, 200);
+        drop(handle);
+        assert_eq!(router.shutdown().served, 200);
+    }
+
+    #[test]
+    fn staged_identical_tree_promotes_on_mirrored_traffic() {
+        let t = tree(24, 6);
+        let router = Router::new(
+            vec![TenantSpec::new("t")],
+            vec![ScenarioSpec::new("s", "t", t.clone()).shadow(ShadowConfig {
+                audit_rows: 64,
+                policy: PromotePolicy::OnZeroDiff,
+            })],
+            quick_cfg(),
+        );
+        router.stage("s", t.clone());
+        let mut handle = router.handle();
+        for k in 0..100u64 {
+            handle.submit(0, k, features(k));
+        }
+        let responses = handle.collect();
+        assert_eq!(responses.len(), 100);
+        assert_eq!(router.registry("s").epoch(), 1, "clean audit promoted");
+        drop(handle);
+        let report = router.shutdown();
+        let shadow = &report.scenarios[0].shadow;
+        assert_eq!(shadow.promotions.len(), 1);
+        assert_eq!(shadow.promotions[0].mismatches, 0);
+        assert!(shadow.mirrored_rows >= 64);
+        assert_eq!(shadow.mismatch_rows, 0);
+        assert_eq!(report.scenarios[0].swaps, 1);
+    }
+
+    #[test]
+    fn staged_perturbed_tree_is_rejected_with_nonzero_diffs() {
+        let t = tree(24, 6);
+        let router = Router::new(
+            vec![TenantSpec::new("t")],
+            vec![ScenarioSpec::new("s", "t", t.clone()).shadow(ShadowConfig {
+                audit_rows: 64,
+                policy: PromotePolicy::OnZeroDiff,
+            })],
+            quick_cfg(),
+        );
+        router.stage("s", tree(2, 6)); // coarse fit: must diverge
+        let mut handle = router.handle();
+        for k in 0..100u64 {
+            handle.submit(0, k, features(k));
+        }
+        let responses = handle.collect();
+        // Live answers stay on epoch 0 throughout: the dirty candidate
+        // never served.
+        for resp in &responses {
+            assert_eq!(resp.response.epoch, 0);
+            assert_eq!(resp.response.prediction, t.predict(&features(resp.id)));
+        }
+        assert_eq!(router.registry("s").epoch(), 0);
+        drop(handle);
+        let report = router.shutdown();
+        let shadow = &report.scenarios[0].shadow;
+        assert_eq!(shadow.rejected, 1);
+        assert!(shadow.mismatch_rows > 0, "audit must surface the diffs");
+        assert!(shadow.promotions.is_empty());
+    }
+
+    #[test]
+    fn tenant_p99_budget_violations_surface_in_the_report() {
+        let t = tree(8, 3);
+        let router = Router::new(
+            vec![TenantSpec {
+                name: "strict".into(),
+                deadline_class: 0,
+                p99_budget_s: 1e-12, // unmeetably tight
+            }],
+            vec![ScenarioSpec::new("s", "strict", t)],
+            quick_cfg(),
+        );
+        let mut handle = router.handle();
+        for k in 0..50u64 {
+            handle.submit(0, k, features(k));
+        }
+        handle.collect();
+        drop(handle);
+        let report = router.shutdown();
+        assert!(!report.tenants[0].met_p99_budget, "1ps budget must fail");
+        assert_eq!(report.tenants[0].deadline_class, 0);
+        // A served==0 tenant cannot violate.
+        let router = Router::new(
+            vec![TenantSpec {
+                name: "idle".into(),
+                deadline_class: 3,
+                p99_budget_s: 1e-12,
+            }],
+            vec![ScenarioSpec::new("s", "idle", tree(8, 3))],
+            quick_cfg(),
+        );
+        let report = router.shutdown();
+        assert!(report.tenants[0].met_p99_budget);
+        assert_eq!(report.served, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tenant")]
+    fn scenario_with_unknown_tenant_panics() {
+        let _ = Router::new(
+            vec![TenantSpec::new("a")],
+            vec![ScenarioSpec::new("s", "b", tree(8, 3))],
+            FabricConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scenario")]
+    fn duplicate_scenario_keys_panic() {
+        let _ = Router::new(
+            vec![TenantSpec::new("a")],
+            vec![
+                ScenarioSpec::new("s", "a", tree(8, 3)),
+                ScenarioSpec::new("s", "a", tree(8, 3)),
+            ],
+            FabricConfig::default(),
+        );
+    }
+}

@@ -26,6 +26,16 @@
 //!   thread's *group* (see [`with_group`]); the queue round-robins across
 //!   groups so concurrent workloads share the pool instead of the first
 //!   submitter draining it.
+//! * **Deadline classes** — a group may additionally carry a *deadline
+//!   class* (see [`with_deadline_class`]; lower = more urgent). Workers
+//!   drain every ticket of the most urgent class present before touching
+//!   laxer ones, round-robinning across groups *within* a class. This is
+//!   how the serving fabric pushes per-tenant SLO tiers into the pool:
+//!   an urgent tenant's micro-batches get the helper threads first.
+//!   Classes reorder **helpers only** — the submitting thread always
+//!   claims stripes of its own job, so a lax job still progresses (no
+//!   starvation-induced deadlock) and results stay bit-identical for any
+//!   class assignment (merging is by index, never by completion order).
 //! * **Determinism is structural** — the `threads` knob picks the stripe
 //!   layout, results scatter into a pre-sized output by item index, and
 //!   nothing depends on which OS thread computes which stripe. The output
@@ -64,6 +74,10 @@ thread_local! {
     /// Scheduling group of pool submissions made from this thread
     /// (0 = ungrouped). Purely a fairness tag — results never depend on it.
     static GROUP: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// Deadline class of pool submissions made from this thread
+    /// (lower = more urgent; 0 = the default, most-urgent class). Purely
+    /// a scheduling tag — results never depend on it.
+    static CLASS: std::cell::Cell<u8> = const { std::cell::Cell::new(0) };
 }
 
 static NEXT_GROUP: AtomicU64 = AtomicU64::new(1);
@@ -93,6 +107,29 @@ fn current_group() -> u64 {
     GROUP.with(|g| g.get())
 }
 
+/// Run `f` with every pool submission from this thread scheduled in
+/// deadline `class` (lower = more urgent; ties round-robin across
+/// groups). The previous class is restored afterwards (also on unwind).
+/// The class only steers which queued tickets pool workers pick up
+/// first — the submitter still works its own job, so a lax class delays
+/// helpers, never completion, and results are bit-identical for any
+/// class assignment.
+pub fn with_deadline_class<R>(class: u8, f: impl FnOnce() -> R) -> R {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CLASS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(CLASS.with(|c| c.replace(class)));
+    f()
+}
+
+/// Deadline class pool submissions from this thread currently carry.
+pub fn current_deadline_class() -> u8 {
+    CLASS.with(|c| c.get())
+}
+
 #[derive(Default)]
 struct JobState {
     /// Stripes whose bodies have finished running.
@@ -114,6 +151,9 @@ struct Job {
     /// bodies so *nested* submissions made from pool workers inherit the
     /// workload's fairness tag instead of the worker's default group.
     group: u64,
+    /// Deadline class of the submitter, re-applied around stripe bodies
+    /// for the same nested-inheritance reason as `group`.
+    class: u8,
     body: *const (dyn Fn(usize) + Sync),
 }
 
@@ -136,7 +176,7 @@ impl Job {
             // SAFETY: see the `unsafe impl Send` comment above.
             let body = unsafe { &*self.body };
             let result = catch_unwind(AssertUnwindSafe(|| {
-                with_group(self.group, || body(w));
+                with_deadline_class(self.class, || with_group(self.group, || body(w)));
             }));
             let mut state = self.state.lock().unwrap();
             state.completed += 1;
@@ -163,23 +203,42 @@ impl Job {
     }
 }
 
-/// Per-group FIFO ticket queues with a rotating cursor: each pop serves
-/// the next group in round-robin order, so one chatty workload cannot
-/// starve the others. Groups vanish as soon as they drain.
+/// One group's pending tickets plus the deadline class its most recent
+/// submission carried.
+struct GroupQueue {
+    group: u64,
+    class: u8,
+    tickets: VecDeque<Arc<Job>>,
+}
+
+/// Per-group FIFO ticket queues with deadline-aware ordering: each pop
+/// serves the most urgent (lowest) deadline class present, round-robin
+/// across the groups *of that class* so one chatty workload cannot
+/// starve its peers. Groups vanish as soon as they drain, so every
+/// present entry holds at least one ticket.
 #[derive(Default)]
 struct Queues {
-    groups: Vec<(u64, VecDeque<Arc<Job>>)>,
+    groups: Vec<GroupQueue>,
     cursor: usize,
     shutdown: bool,
 }
 
 impl Queues {
-    fn push(&mut self, group: u64, job: &Arc<Job>, tickets: usize) {
-        let queue = match self.groups.iter_mut().position(|(g, _)| *g == group) {
-            Some(i) => &mut self.groups[i].1,
+    fn push(&mut self, group: u64, class: u8, job: &Arc<Job>, tickets: usize) {
+        let queue = match self.groups.iter_mut().position(|g| g.group == group) {
+            Some(i) => {
+                // Latest submission wins: a workload that tightens (or
+                // relaxes) its class mid-run reschedules its whole queue.
+                self.groups[i].class = class;
+                &mut self.groups[i].tickets
+            }
             None => {
-                self.groups.push((group, VecDeque::new()));
-                &mut self.groups.last_mut().unwrap().1
+                self.groups.push(GroupQueue {
+                    group,
+                    class,
+                    tickets: VecDeque::new(),
+                });
+                &mut self.groups.last_mut().unwrap().tickets
             }
         };
         for _ in 0..tickets {
@@ -188,11 +247,15 @@ impl Queues {
     }
 
     fn pop(&mut self) -> Option<Arc<Job>> {
+        let urgent = self.groups.iter().map(|g| g.class).min()?;
         let len = self.groups.len();
         for k in 0..len {
             let idx = (self.cursor + k) % len;
-            if let Some(job) = self.groups[idx].1.pop_front() {
-                if self.groups[idx].1.is_empty() {
+            if self.groups[idx].class != urgent {
+                continue;
+            }
+            if let Some(job) = self.groups[idx].tickets.pop_front() {
+                if self.groups[idx].tickets.is_empty() {
                     self.groups.remove(idx);
                     let remaining = self.groups.len();
                     self.cursor = if remaining == 0 { 0 } else { idx % remaining };
@@ -287,12 +350,14 @@ impl WorkerPool {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(erased)
         };
         let group = current_group();
+        let class = current_deadline_class();
         let job = Arc::new(Job {
             next: AtomicUsize::new(0),
             total: stripes,
             state: Mutex::new(JobState::default()),
             done: Condvar::new(),
             group,
+            class,
             body: erased as *const _,
         });
         let helpers = (stripes - 1).min(self.handles.len());
@@ -300,7 +365,7 @@ impl WorkerPool {
             .queues
             .lock()
             .unwrap()
-            .push(group, &job, helpers);
+            .push(group, class, &job, helpers);
         if helpers == 1 {
             self.shared.available.notify_one();
         } else {
@@ -529,6 +594,84 @@ mod tests {
         assert_eq!(ok, (0..8).map(|i| i * 2).collect::<Vec<_>>());
     }
 
+    /// End-to-end class ordering on a real pool: with the only worker
+    /// gated, a lax job queued *first* and an urgent job queued second,
+    /// the freed worker must help the urgent job first — so the urgent
+    /// job finishes before the earlier-queued lax one. Sleeping stripes
+    /// make the timing robust on any core count (threads sleep
+    /// concurrently), and the gate only opens once both tickets are
+    /// provably queued.
+    #[test]
+    fn urgent_class_gets_the_helper_before_an_earlier_lax_job() {
+        use std::time::{Duration, Instant};
+        let pool = WorkerPool::new(1);
+        let waiters = AtomicUsize::new(0);
+        let gate = (Mutex::new(false), Condvar::new());
+        let queued_groups = |n: usize| {
+            let queues = pool.shared.queues.lock().unwrap();
+            queues.groups.len() >= n
+        };
+        let (u_done, l_done) = std::thread::scope(|scope| {
+            // Occupy the only worker (and this job's submitter) behind
+            // the gate: both stripes block until it opens.
+            let gate_job = scope.spawn(|| {
+                pool.run_stripes(2, |_| {
+                    waiters.fetch_add(1, Ordering::SeqCst);
+                    let (lock, cv) = &gate;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                });
+            });
+            while waiters.load(Ordering::SeqCst) < 2 {
+                std::thread::yield_now();
+            }
+            let t0 = Instant::now();
+            let pool = &pool;
+            // Lax job enqueues its helper ticket first…
+            let lax = scope.spawn(move || {
+                with_group(fresh_group(), || {
+                    with_deadline_class(4, || {
+                        pool.run_stripes(2, |_| std::thread::sleep(Duration::from_millis(9)));
+                    })
+                });
+                t0.elapsed()
+            });
+            while !queued_groups(1) {
+                std::thread::yield_now();
+            }
+            // …then the urgent job.
+            let urgent = scope.spawn(move || {
+                with_group(fresh_group(), || {
+                    with_deadline_class(0, || {
+                        pool.run_stripes(2, |_| std::thread::sleep(Duration::from_millis(9)));
+                    })
+                });
+                t0.elapsed()
+            });
+            while !queued_groups(2) {
+                std::thread::yield_now();
+            }
+            // Open the gate: the worker frees up and must pick the
+            // urgent ticket despite the lax one being queued longer.
+            {
+                let (lock, cv) = &gate;
+                *lock.lock().unwrap() = true;
+                cv.notify_all();
+            }
+            gate_job.join().unwrap();
+            (urgent.join().unwrap(), lax.join().unwrap())
+        });
+        // Urgent: own stripe + helped stripe run concurrently (~9ms).
+        // Lax: walks both stripes itself (~18ms) because its helper
+        // ticket is only honoured after the urgent job drains.
+        assert!(
+            u_done < l_done,
+            "urgent job ({u_done:?}) must finish before the earlier lax job ({l_done:?})"
+        );
+    }
+
     #[test]
     fn group_tag_propagates_into_worker_executed_stripes() {
         // Stripe bodies may run on pool worker threads whose own
@@ -558,6 +701,91 @@ mod tests {
             assert_eq!(current_group(), a);
         });
         assert_eq!(current_group(), 0);
+    }
+
+    /// A queue ticket that never runs a body — identity-compared via
+    /// `Arc::ptr_eq` to pin the scheduler's pop order exactly.
+    fn dummy_job(group: u64, class: u8) -> Arc<Job> {
+        static NOOP: fn(usize) = |_| {};
+        let body: &'static (dyn Fn(usize) + Sync) = &NOOP;
+        Arc::new(Job {
+            next: AtomicUsize::new(0),
+            total: 1,
+            state: Mutex::new(JobState::default()),
+            done: Condvar::new(),
+            group,
+            class,
+            body: body as *const _,
+        })
+    }
+
+    #[test]
+    fn queue_pops_round_robin_within_a_class_and_urgent_class_first() {
+        let mut queues = Queues::default();
+        let (a, b, c) = (dummy_job(1, 0), dummy_job(2, 2), dummy_job(3, 0));
+        queues.push(1, 0, &a, 2);
+        queues.push(2, 2, &b, 2);
+        queues.push(3, 0, &c, 1);
+        // Class 0 drains first (groups 1 and 3 alternating), then class 2.
+        let order: Vec<Arc<Job>> = std::iter::from_fn(|| queues.pop()).collect();
+        assert_eq!(order.len(), 5);
+        let expected = [&a, &c, &a, &b, &b];
+        for (got, want) in order.iter().zip(expected) {
+            assert!(Arc::ptr_eq(got, want), "pop order diverged");
+        }
+        assert!(queues.pop().is_none());
+    }
+
+    #[test]
+    fn urgent_arrival_preempts_queued_lax_tickets() {
+        let mut queues = Queues::default();
+        let lax = dummy_job(7, 3);
+        queues.push(7, 3, &lax, 3);
+        assert!(Arc::ptr_eq(&queues.pop().unwrap(), &lax));
+        // An urgent group arriving mid-drain is served before the
+        // remaining lax tickets…
+        let urgent = dummy_job(8, 1);
+        queues.push(8, 1, &urgent, 1);
+        assert!(Arc::ptr_eq(&queues.pop().unwrap(), &urgent));
+        assert!(Arc::ptr_eq(&queues.pop().unwrap(), &lax));
+        // …and a group re-pushed under a tighter class reschedules its
+        // whole queue (latest submission wins).
+        let tightened = dummy_job(7, 0);
+        queues.push(7, 0, &tightened, 1);
+        let nine = dummy_job(9, 1);
+        queues.push(9, 1, &nine, 1);
+        assert!(
+            Arc::ptr_eq(&queues.pop().unwrap(), &lax),
+            "group 7's FIFO serves its older ticket first, now at class 0"
+        );
+        assert!(Arc::ptr_eq(&queues.pop().unwrap(), &tightened));
+        assert!(Arc::ptr_eq(&queues.pop().unwrap(), &nine));
+        assert!(queues.pop().is_none());
+    }
+
+    #[test]
+    fn deadline_class_is_scoped_and_never_changes_results() {
+        assert_eq!(current_deadline_class(), 0);
+        let expected: Vec<usize> = (0..31).map(|i| i * 13).collect();
+        with_deadline_class(2, || {
+            assert_eq!(current_deadline_class(), 2);
+            assert_eq!(parallel_map_indexed(31, 3, |i| i * 13), expected);
+            with_deadline_class(5, || assert_eq!(current_deadline_class(), 5));
+            assert_eq!(current_deadline_class(), 2);
+            // Stripe bodies inherit the submitter's class, so nested
+            // submissions keep the tenant's SLO tier.
+            let seen = parallel_map_indexed(6, 3, |_| current_deadline_class());
+            assert!(seen.iter().all(|&c| c == 2), "stripe lost class: {seen:?}");
+        });
+        assert_eq!(current_deadline_class(), 0);
+    }
+
+    #[test]
+    fn lax_class_jobs_still_complete_under_urgent_load() {
+        // The submitter always claims its own stripes, so a lax job
+        // finishes even while urgent groups keep the helpers busy.
+        let out = with_deadline_class(250, || parallel_map_indexed(64, 8, |i| i + 1));
+        assert_eq!(out, (0..64).map(|i| i + 1).collect::<Vec<_>>());
     }
 
     #[test]

@@ -42,6 +42,16 @@ pub struct ServeConfig {
     /// Rows per pool stripe chunk; batches at or below this size execute
     /// inline on the batcher thread.
     pub stripe_rows: usize,
+    /// Pool scheduling group this server's flushes submit under. `None`
+    /// (the default) reserves a fresh group per batcher, making the
+    /// server its own fairness tenant; the fabric's shards pass explicit
+    /// groups so related batchers can share or split tenancy as the
+    /// tenant map dictates. Never affects results.
+    pub group: Option<u64>,
+    /// Deadline class of this server's pool submissions (lower = more
+    /// urgent; see [`metis_nn::par::with_deadline_class`]). The fabric
+    /// maps per-tenant SLO tiers onto this. Never affects results.
+    pub deadline_class: u8,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +61,8 @@ impl Default for ServeConfig {
             max_delay: Duration::from_micros(500),
             threads: 0,
             stripe_rows: 64,
+            group: None,
+            deadline_class: 0,
         }
     }
 }
@@ -110,6 +122,10 @@ pub struct EngineReport {
     pub mean_batch: f64,
     /// Percentile summary over every served request's latency.
     pub latency: LatencySummary,
+    /// The raw per-request latency samples behind [`EngineReport::latency`]
+    /// — the fabric merges these across shards for exact per-scenario and
+    /// per-tenant percentiles ([`LatencyRecorder::merge`]).
+    pub recorder: LatencyRecorder,
     /// `(epoch, requests served from it)`, ascending by epoch.
     pub per_epoch: Vec<(u64, u64)>,
 }
@@ -246,21 +262,26 @@ impl TreeServer {
             max_batch_seen: log.max_batch_seen,
             mean_batch: log.served as f64 / batches as f64,
             latency: log.latency.summary(),
+            recorder: log.latency,
             per_epoch: log.per_epoch.into_iter().collect(),
         }
     }
 }
 
 fn batcher_loop(rx: Receiver<Msg>, registry: Arc<ModelRegistry>, cfg: ServeConfig) -> EngineLog {
-    // Every pool submission this engine makes carries its own group, so
-    // the pool's round-robin treats the serving path as one tenant.
-    let group = metis_nn::par::fresh_group();
+    // Pool submissions carry this server's group (its own fresh one by
+    // default), so the pool's scheduler treats the serving path as one
+    // tenant — or as part of a shared tenant when the config says so.
+    let group = cfg.group.unwrap_or_else(metis_nn::par::fresh_group);
     let mut log = EngineLog::default();
     loop {
         // Open a batch at the first request (block indefinitely — an idle
         // server costs nothing).
         let first = match rx.recv() {
             Ok(Msg::Req(r)) => r,
+            // Shutdown can land exactly on a batch boundary: break into
+            // the drain below rather than exiting — requests queued
+            // behind the marker must still be answered.
             Ok(Msg::Shutdown) | Err(_) => break,
         };
         let mut batch = vec![first];
@@ -282,19 +303,26 @@ fn batcher_loop(rx: Receiver<Msg>, registry: Arc<ModelRegistry>, cfg: ServeConfi
         }
         flush(&mut log, &registry, &cfg, group, batch);
         if shutting_down {
-            // Drain whatever was queued behind the shutdown marker so no
-            // already-submitted request is dropped.
-            let mut rest: Vec<Request> = Vec::new();
-            while let Ok(Msg::Req(r)) = rx.try_recv() {
-                rest.push(r);
-            }
-            let mut rest = rest.into_iter().peekable();
-            while rest.peek().is_some() {
-                let chunk: Vec<Request> = rest.by_ref().take(cfg.max_batch).collect();
-                flush(&mut log, &registry, &cfg, group, chunk);
-            }
             break;
         }
+    }
+    // Shutdown drain: answer everything still queued so no
+    // already-submitted request is dropped, whichever path saw the
+    // marker. Extra shutdown markers mid-queue (a fabric broadcasting
+    // shutdown to shards, or two owners racing) must not truncate the
+    // drain: skip markers, keep draining until the queue is empty.
+    let mut rest: Vec<Request> = Vec::new();
+    loop {
+        match rx.try_recv() {
+            Ok(Msg::Req(r)) => rest.push(r),
+            Ok(Msg::Shutdown) => continue,
+            Err(_) => break,
+        }
+    }
+    let mut rest = rest.into_iter().peekable();
+    while rest.peek().is_some() {
+        let chunk: Vec<Request> = rest.by_ref().take(cfg.max_batch).collect();
+        flush(&mut log, &registry, &cfg, group, chunk);
     }
     log
 }
@@ -326,14 +354,18 @@ fn flush(
         model.compiled.predict_batch(&rows)
     } else {
         // Contiguous row chunks across the pool, merged in chunk order —
-        // identical to the single-chunk walk for any thread count.
-        metis_nn::par::with_group(group, || {
-            metis_nn::par::parallel_map_indexed(chunks, cfg.threads, |c| {
-                let lo = c * cfg.stripe_rows;
-                let hi = ((c + 1) * cfg.stripe_rows).min(n);
-                model
-                    .compiled
-                    .predict_batch(&rows[lo * n_features..hi * n_features])
+        // identical to the single-chunk walk for any thread count. The
+        // deadline class steers which tenant's chunks the pool's helpers
+        // pick up first under contention; it never touches results.
+        metis_nn::par::with_deadline_class(cfg.deadline_class, || {
+            metis_nn::par::with_group(group, || {
+                metis_nn::par::parallel_map_indexed(chunks, cfg.threads, |c| {
+                    let lo = c * cfg.stripe_rows;
+                    let hi = ((c + 1) * cfg.stripe_rows).min(n);
+                    model
+                        .compiled
+                        .predict_batch(&rows[lo * n_features..hi * n_features])
+                })
             })
         })
         .into_iter()
@@ -532,6 +564,7 @@ mod tests {
                     max_delay: Duration::from_millis(20),
                     threads,
                     stripe_rows: 16,
+                    ..Default::default()
                 },
             );
             let mut handle = server.handle();
@@ -543,5 +576,109 @@ mod tests {
             }
             server.shutdown();
         }
+    }
+
+    /// The drain-ordering audit: several servers sharing one pool group
+    /// (fabric shards under a single tenant), all with deep queues, shut
+    /// down while the others are still flushing. Every server must drain
+    /// its own queue completely — shared-group ticketing may reorder
+    /// helpers but can never starve a sibling's drain — and answers stay
+    /// bit-identical throughout.
+    #[test]
+    fn shared_group_servers_drain_fully_on_shutdown() {
+        let tree = staircase_tree(5);
+        let group = metis_nn::par::fresh_group();
+        let servers: Vec<TreeServer> = (0..3)
+            .map(|_| {
+                TreeServer::start(
+                    Arc::new(ModelRegistry::new(tree.clone())),
+                    ServeConfig {
+                        max_batch: 32,
+                        max_delay: Duration::from_secs(10), // drain path only
+                        stripe_rows: 4,
+                        group: Some(group),
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        let mut handles: Vec<ServerHandle> = servers.iter().map(|s| s.handle()).collect();
+        for (s, handle) in handles.iter_mut().enumerate() {
+            for k in 0..150u64 {
+                handle.submit(req_features(k.wrapping_add(s as u64 * 37)));
+            }
+        }
+        // Shut all three down concurrently: each batcher flushes its
+        // backlog through the shared group at the same time.
+        std::thread::scope(|scope| {
+            let collectors: Vec<_> = handles
+                .into_iter()
+                .enumerate()
+                .map(|(s, mut handle)| {
+                    let tree = &tree;
+                    scope.spawn(move || {
+                        let responses = handle.collect();
+                        assert_eq!(responses.len(), 150, "server {s} dropped requests");
+                        for resp in &responses {
+                            assert_eq!(
+                                resp.prediction,
+                                tree.predict(&req_features(resp.id.wrapping_add(s as u64 * 37)))
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for (s, server) in servers.into_iter().enumerate() {
+                let report = server.shutdown();
+                assert_eq!(report.served, 150, "server {s} under-served");
+                assert_eq!(report.delivery_failures, 0);
+            }
+            for c in collectors {
+                c.join().unwrap();
+            }
+        });
+    }
+
+    /// The drain-ordering regression this PR's audit found: a shutdown
+    /// marker landing exactly on a batch boundary used to make the outer
+    /// `recv` exit without draining, dropping every request queued behind
+    /// the marker; a second marker mid-queue used to truncate the drain
+    /// the same way. Pre-filling the queue before the batcher runs makes
+    /// the interleaving deterministic.
+    #[test]
+    fn requests_behind_shutdown_markers_still_drain() {
+        let tree = staircase_tree(4);
+        let registry = Arc::new(ModelRegistry::new(tree.clone()));
+        let (tx, rx) = channel();
+        let (reply_tx, reply_rx) = channel();
+        for k in 0..30u64 {
+            // Marker after request 7 lands exactly on the max_batch=8
+            // boundary (the outer-recv path); the one after 19 lands
+            // mid-queue during the drain (the skip path).
+            tx.send(Msg::Req(Request {
+                id: k,
+                features: req_features(k),
+                submitted: Instant::now(),
+                reply: reply_tx.clone(),
+            }))
+            .unwrap();
+            if k == 7 || k == 19 {
+                tx.send(Msg::Shutdown).unwrap();
+            }
+        }
+        drop(tx);
+        let log = batcher_loop(
+            rx,
+            registry,
+            ServeConfig {
+                max_batch: 8,
+                max_delay: Duration::from_secs(10),
+                ..Default::default()
+            },
+        );
+        assert_eq!(log.served, 30, "requests behind a marker were dropped");
+        let mut ids: Vec<u64> = (0..30).map(|_| reply_rx.recv().unwrap().id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..30).collect::<Vec<u64>>());
     }
 }

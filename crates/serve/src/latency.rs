@@ -35,6 +35,39 @@ impl LatencySummary {
     pub fn meets_p99_slo(&self, budget_s: f64) -> bool {
         self.count > 0 && self.p99_s <= budget_s
     }
+
+    /// Combine two summaries into one covering both sample sets. `count`,
+    /// `mean_s`, and `max_s` are exact (count-weighted mean; `total_cmp`
+    /// max, so a NaN-inflated tail stays inflated across the merge). The
+    /// percentiles are a **heuristic**: the larger of the two inputs.
+    /// That tracks the union's tail well when each input holds many
+    /// samples relative to `1/(1-p)`, but for tiny inputs the floor-index
+    /// convention can make it *understate* the union percentile (two
+    /// 2-sample sets each report their fast sample as p99). Exact
+    /// percentiles of a union need the raw samples — merge
+    /// [`LatencyRecorder`]s (see [`LatencyRecorder::merge`]) wherever a
+    /// decision rides on the result, as the fabric's per-scenario and
+    /// per-tenant SLO reports do; treat a summary-level merge as a
+    /// display rollup only.
+    pub fn merge(&self, other: &LatencySummary) -> LatencySummary {
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        let max_by_total = |a: f64, b: f64| if a.total_cmp(&b).is_ge() { a } else { b };
+        let count = self.count + other.count;
+        LatencySummary {
+            count,
+            mean_s: (self.mean_s * self.count as f64 + other.mean_s * other.count as f64)
+                / count as f64,
+            p50_s: max_by_total(self.p50_s, other.p50_s),
+            p95_s: max_by_total(self.p95_s, other.p95_s),
+            p99_s: max_by_total(self.p99_s, other.p99_s),
+            max_s: max_by_total(self.max_s, other.max_s),
+        }
+    }
 }
 
 /// Summarize a latency sample set (seconds). Sorts a copy; NaN samples
@@ -98,6 +131,14 @@ impl LatencyRecorder {
         &self.samples_s
     }
 
+    /// Fold another recorder's samples into this one. Unlike
+    /// [`LatencySummary::merge`] this is **exact**: the merged summary is
+    /// the summary of the union sample set, which is how the fabric turns
+    /// per-shard recorders into one per-scenario/per-tenant report.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_s.extend_from_slice(&other.samples_s);
+    }
+
     /// Percentile summary of everything recorded so far.
     pub fn summary(&self) -> LatencySummary {
         summarize(&self.samples_s)
@@ -156,6 +197,108 @@ mod tests {
         let s = summarize(&[0.001, f64::NAN, 0.002]);
         assert_eq!(s.count, 3);
         assert!(s.max_s.is_nan(), "NaN must surface in max");
+    }
+
+    #[test]
+    fn recorder_merge_is_exact() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        let mut all = LatencyRecorder::new();
+        for i in 0..40 {
+            let s = (i as f64).sin().abs() * 1e-3;
+            if i % 3 == 0 {
+                a.record(s);
+            } else {
+                b.record(s);
+            }
+            all.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 40);
+        assert_eq!(a.summary(), all.summary(), "merged summary must be exact");
+    }
+
+    #[test]
+    fn summary_merge_empty_and_single_sample_edges() {
+        let empty = LatencySummary::empty();
+        assert_eq!(empty.merge(&empty), empty);
+        // Empty is the identity: merging must not drag zeros into the
+        // percentiles or the mean.
+        let one = summarize(&[0.5]);
+        assert_eq!(empty.merge(&one), one);
+        assert_eq!(one.merge(&empty), one);
+        // Two single-sample summaries: exact count/mean/max, upper-bound
+        // percentiles.
+        let other = summarize(&[0.1]);
+        let merged = one.merge(&other);
+        assert_eq!(merged.count, 2);
+        assert!((merged.mean_s - 0.3).abs() < 1e-12);
+        assert_eq!(merged.max_s, 0.5);
+        assert_eq!(merged.p99_s, 0.5);
+    }
+
+    #[test]
+    fn summary_merge_tracks_the_union_for_well_sampled_inputs() {
+        // Inputs large relative to 1/(1-p): the max-of-inputs heuristic
+        // must not understate the union's tail here.
+        let fast: Vec<f64> = (0..80).map(|i| i as f64 * 1e-4).collect();
+        let slow: Vec<f64> = (0..20).map(|i| 0.01 + i as f64 * 1e-3).collect();
+        let merged = summarize(&fast).merge(&summarize(&slow));
+        let union: Vec<f64> = fast.iter().chain(slow.iter()).copied().collect();
+        let exact = summarize(&union);
+        assert_eq!(merged.count, exact.count);
+        assert!((merged.mean_s - exact.mean_s).abs() < 1e-12);
+        assert_eq!(merged.max_s, exact.max_s);
+        for (rolled, true_pct) in [
+            (merged.p50_s, exact.p50_s),
+            (merged.p95_s, exact.p95_s),
+            (merged.p99_s, exact.p99_s),
+        ] {
+            assert!(rolled >= true_pct, "well-sampled rollup understated a tail");
+        }
+    }
+
+    /// The documented limitation, pinned so nobody mistakes the rollup
+    /// for a bound: with tiny inputs the floor-index convention makes
+    /// max-of-percentiles *understate* the union tail (each 2-sample set
+    /// reports its fast sample as p99) — exact tails need the recorder
+    /// merge. `max_s` stays exact either way.
+    #[test]
+    fn summary_merge_percentiles_are_not_a_bound_for_tiny_inputs() {
+        let a = summarize(&[1e-6, 1e-2]);
+        let b = summarize(&[1e-6, 1e-2]);
+        let merged = a.merge(&b);
+        let exact = summarize(&[1e-6, 1e-6, 1e-2, 1e-2]);
+        assert!(merged.p99_s < exact.p99_s, "the heuristic understates here");
+        assert_eq!(merged.max_s, exact.max_s);
+        let mut recorder = LatencyRecorder::new();
+        recorder.record(1e-6);
+        recorder.record(1e-2);
+        let mut other = LatencyRecorder::new();
+        other.record(1e-6);
+        other.record(1e-2);
+        recorder.merge(&other);
+        assert_eq!(recorder.summary(), exact, "recorder merge stays exact");
+    }
+
+    #[test]
+    fn nan_inflated_tail_survives_both_merges() {
+        // Summary-level: total_cmp keeps NaN as the merged max even
+        // though f64::max would silently discard it.
+        let poisoned = summarize(&[0.001, f64::NAN]);
+        let clean = summarize(&[0.002, 0.003]);
+        for merged in [poisoned.merge(&clean), clean.merge(&poisoned)] {
+            assert!(merged.max_s.is_nan(), "NaN tail vanished in merge");
+            assert!(merged.mean_s.is_nan(), "NaN must poison the mean");
+            assert_eq!(merged.count, 4);
+        }
+        // Recorder-level: the union sample set still carries the NaN.
+        let mut rec = LatencyRecorder::new();
+        rec.record(0.001);
+        let mut poisoned_rec = LatencyRecorder::new();
+        poisoned_rec.record(f64::NAN);
+        rec.merge(&poisoned_rec);
+        assert!(rec.summary().max_s.is_nan());
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub mod traffic;
 pub use engine::{EngineReport, Request, Response, ServeConfig, ServerHandle, TreeServer};
 pub use latency::{summarize, summarize_sorted, LatencyRecorder, LatencySummary};
 pub use registry::{EpochModel, ModelRegistry};
-pub use traffic::{drive_open_loop, ArrivalProcess};
+pub use traffic::{drive_open_loop, drive_open_loop_virtual, ArrivalProcess};

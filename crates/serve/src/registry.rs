@@ -55,7 +55,36 @@ impl ModelRegistry {
     /// (queued requests were validated against the old width).
     pub fn publish(&self, tree: DecisionTree) -> u64 {
         let compiled = CompiledTree::compile(&tree);
+        self.install(tree, compiled, None)
+            .expect("unconditional publish cannot be superseded")
+    }
+
+    /// Compare-and-swap publish: install `tree` only if `expected_epoch`
+    /// is still live, returning `None` (and installing nothing) when a
+    /// concurrent publish moved the pointer first. The epoch check and
+    /// the swap happen under one write lock, so an audited promotion can
+    /// never clobber a model it was not audited against. The caller
+    /// supplies the compiled artifact (shadow audits already hold one),
+    /// so the lock covers no compile work.
+    pub fn publish_if_current(
+        &self,
+        tree: DecisionTree,
+        compiled: CompiledTree,
+        expected_epoch: u64,
+    ) -> Option<u64> {
+        self.install(tree, compiled, Some(expected_epoch))
+    }
+
+    fn install(
+        &self,
+        tree: DecisionTree,
+        compiled: CompiledTree,
+        expected_epoch: Option<u64>,
+    ) -> Option<u64> {
         let mut current = self.current.write().unwrap();
+        if expected_epoch.is_some_and(|e| current.epoch != e) {
+            return None;
+        }
         assert_eq!(
             compiled.n_features(),
             current.compiled.n_features(),
@@ -71,7 +100,7 @@ impl ModelRegistry {
             source: tree,
         });
         self.swaps.fetch_add(1, Ordering::Relaxed);
-        epoch
+        Some(epoch)
     }
 
     /// The live model. The returned `Arc` pins its epoch for as long as
@@ -134,6 +163,28 @@ mod tests {
         )
         .unwrap();
         let _ = reg.publish(wide);
+    }
+
+    /// The shadow-promotion CAS: a publish conditioned on a stale epoch
+    /// must install nothing, and the check races correctly under one
+    /// write lock with unconditional publishes.
+    #[test]
+    fn conditional_publish_refuses_a_moved_epoch() {
+        let reg = ModelRegistry::new(tree(0.0));
+        let candidate = tree(0.1);
+        let compiled = CompiledTree::compile(&candidate);
+        // Live epoch matches: installs.
+        assert_eq!(
+            reg.publish_if_current(candidate.clone(), compiled.clone(), 0),
+            Some(1)
+        );
+        // A hotfix lands…
+        let hotfix_epoch = reg.publish(tree(0.2));
+        assert_eq!(hotfix_epoch, 2);
+        // …so a promotion audited against epoch 1 must refuse.
+        assert_eq!(reg.publish_if_current(candidate, compiled, 1), None);
+        assert_eq!(reg.epoch(), 2, "refused publish must install nothing");
+        assert_eq!(reg.swap_count(), 2);
     }
 
     #[test]

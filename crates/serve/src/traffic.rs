@@ -163,6 +163,41 @@ pub fn drive_open_loop(
     handle.collect()
 }
 
+/// [`drive_open_loop`] on a **virtual clock**: no real sleeps, so a run
+/// takes compute time instead of schedule time — the mode the fabric's
+/// determinism suites run under in CI. The schedule's *shape* is kept by
+/// reading each gap against `drain_gap_s`: before submitting a request
+/// whose scheduled gap is at least `drain_gap_s`, every outstanding
+/// response is collected first. Draining quiesces the ingest queue, so
+/// the batcher's **deadline flush** fires on whatever partial batch is
+/// open — the timeout path gets exercised at every large gap,
+/// deterministically placed by the schedule rather than by wall-clock
+/// raciness — and it splits the stream into segments that can never share
+/// a micro-batch (each segment's responses are all collected before the
+/// next segment submits). Responses return **sorted by request id**, as
+/// in the real-clock mode.
+pub fn drive_open_loop_virtual(
+    handle: &mut ServerHandle,
+    arrivals: &ArrivalProcess,
+    mut features: impl FnMut(u64) -> Vec<f64>,
+    drain_gap_s: f64,
+) -> Vec<Response> {
+    assert!(
+        drain_gap_s.is_finite() && drain_gap_s > 0.0,
+        "drain_gap_s must be finite and positive"
+    );
+    let mut responses = Vec::with_capacity(arrivals.len());
+    for (k, gap) in arrivals.gaps_s().iter().enumerate() {
+        if *gap >= drain_gap_s && handle.outstanding() > 0 {
+            responses.extend(handle.collect());
+        }
+        handle.submit(features(k as u64));
+    }
+    responses.extend(handle.collect());
+    responses.sort_by_key(|r| r.id);
+    responses
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +283,81 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn rejects_negative_gaps() {
         let _ = ArrivalProcess::replay("bad", vec![0.1, -0.2]);
+    }
+
+    /// The Poisson generator is a pure function of (rate, n, seed): same
+    /// seed ⇒ the identical schedule to the bit, across repeated calls
+    /// and regardless of what else the process computed in between —
+    /// the property the fabric determinism suites lean on.
+    #[test]
+    fn poisson_same_seed_identical_schedule_to_the_bit() {
+        let a = ArrivalProcess::poisson(750.0, 300, 42);
+        let _interleaved = ArrivalProcess::poisson(99.0, 10, 1); // unrelated draw
+        let b = ArrivalProcess::poisson(750.0, 300, 42);
+        assert_eq!(a.len(), 300);
+        for (x, y) in a.gaps_s().iter().zip(b.gaps_s()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "schedule diverged bitwise");
+        }
+        // Different seeds must actually consume the seed.
+        assert_ne!(a.gaps_s(), ArrivalProcess::poisson(750.0, 300, 43).gaps_s());
+    }
+
+    /// Virtual-clock driving: no real sleeps, yet the schedule's large
+    /// gaps still split the stream into segments whose requests can never
+    /// share a micro-batch — and every partial segment is answered via
+    /// the batcher's deadline flush (segment sizes below max_batch force
+    /// the timeout path).
+    #[test]
+    fn virtual_clock_preserves_segment_structure_and_answers_everything() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..60).map(|i| usize::from(i >= 30)).collect();
+        let tree = fit(
+            &Dataset::classification(x, y, 2).unwrap(),
+            &TreeConfig::default(),
+        )
+        .unwrap();
+        let server = TreeServer::start(
+            Arc::new(ModelRegistry::new(tree.clone())),
+            ServeConfig {
+                max_batch: 64, // bigger than any segment: deadline flushes only
+                max_delay: Duration::from_micros(500),
+                ..Default::default()
+            },
+        );
+        // Segments of 4, 3, and 5 requests separated by 1-second gaps the
+        // virtual clock never actually sleeps.
+        let gaps = vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0];
+        let segment_of = |id: u64| match id {
+            0..=3 => 0usize,
+            4..=6 => 1,
+            _ => 2,
+        };
+        let segment_len = [4usize, 3, 5];
+        let arrivals = ArrivalProcess::replay("segments", gaps);
+        let mut handle = server.handle();
+        let start = Instant::now();
+        let responses =
+            drive_open_loop_virtual(&mut handle, &arrivals, |k| vec![(k % 60) as f64], 0.5);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "virtual clock must not sleep the 2s of scheduled gaps"
+        );
+        assert_eq!(responses.len(), 12);
+        for (k, resp) in responses.iter().enumerate() {
+            assert_eq!(resp.id, k as u64, "sorted by id");
+            assert_eq!(resp.prediction, tree.predict(&[(k % 60) as f64]));
+            assert!(
+                resp.batch_size <= segment_len[segment_of(resp.id)],
+                "request {} in a batch of {} spans a drain boundary",
+                resp.id,
+                resp.batch_size
+            );
+        }
+        let report = server.shutdown();
+        assert_eq!(report.served, 12);
+        assert!(
+            report.batches >= 3,
+            "each segment needs at least one deadline flush"
+        );
     }
 }

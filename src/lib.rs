@@ -17,6 +17,9 @@
 //! * [`hypergraph`] — hypergraph structure + differentiable mask search,
 //! * [`serve`] — the online tree-serving engine: micro-batched request
 //!   engine, hot-swap model registry, open-loop traffic generation,
+//! * [`fabric`] — the multi-model serving fabric over [`serve`]:
+//!   session-affine sharded routing, shadow serving with bit-exact
+//!   response diffing, per-tenant SLO scheduling and reporting,
 //! * [`dt`] — CART trees with cost-complexity pruning and export,
 //! * [`rl`] — env/policy traits, rollouts, actor-critic, VIPER utilities,
 //! * [`nn`] — matrices, layers, optimizers, losses, autodiff tape.
@@ -28,6 +31,7 @@
 pub use metis_abr as abr;
 pub use metis_core as core;
 pub use metis_dt as dt;
+pub use metis_fabric as fabric;
 pub use metis_flowsched as flowsched;
 pub use metis_hypergraph as hypergraph;
 pub use metis_nn as nn;

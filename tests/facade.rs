@@ -30,6 +30,15 @@ fn all_reexports_reachable() {
     assert_eq!(metis::flowsched::SRLA_STATE_DIM, 700);
     // routing
     assert_eq!(metis::routing::Topology::nsfnet().n_nodes(), 14);
+    // serve + fabric: compile a tree, check the hash contract surface
+    let compiled = metis::dt::CompiledTree::compile(&tree);
+    assert_eq!(compiled.n_features(), 1);
+    assert!(compiled
+        .diff_batch(&compiled.clone(), &[0.0, 1.0])
+        .is_clean());
+    assert!(metis::fabric::shard_for_session(7, 3) < 3);
+    let _cfg: metis::serve::ServeConfig = Default::default();
+    let _shadow = metis::fabric::ShadowConfig::default();
     // core defaults (Table 4)
     let d = metis::core::MetisDefaults::default();
     assert_eq!(d.pensieve_leaves, 200);

@@ -98,6 +98,7 @@ proptest! {
                 max_delay: Duration::from_micros(deadline_us),
                 threads,
                 stripe_rows: stripe,
+                ..Default::default()
             },
         );
         let mut handle = server.handle();
@@ -142,6 +143,7 @@ proptest! {
                 max_delay: Duration::from_micros(200),
                 threads: thread_counts()[(salt % thread_counts().len() as u64) as usize],
                 stripe_rows: 8,
+                ..Default::default()
             },
         );
         let mut handle = server.handle();
