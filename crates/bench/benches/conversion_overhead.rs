@@ -8,6 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use metis_abr::{env_pool, hsdpa_corpus, pensieve_agent, NetworkTrace, PensieveArch, VideoModel};
+use metis_bench::measure::{median, median_rate, Windows};
 use metis_core::{ConversionConfig, ConversionPipeline, Workload, WorkloadRunner};
 use metis_dt::{fit, prune_to_leaves, Criterion as SplitCriterion, Dataset, TreeConfig};
 use metis_hypergraph::{MaskConfig, MaskedSystem};
@@ -88,44 +89,48 @@ fn bench_mask_step(c: &mut Criterion) {
 /// 2-stripe, trivial body) indexed map — the shape the inner batched
 /// stages issue thousands of times per conversion — through the
 /// persistent pool vs the retained spawn-per-call reference. This is the
-/// overhead the pool exists to delete.
-/// Median of a sample set — the robust summary every gated metric below
-/// uses, so one preempted window can't trip the 20% bench_guard gate.
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(f64::total_cmp);
-    xs[xs.len() / 2]
-}
-
+/// overhead the pool exists to delete. Median-of-windows via the shared
+/// [`metis_bench::measure`] loop: the pool mode sustains ~1M calls/s (a
+/// fixed call count would finish in microseconds), and spawn-mode
+/// thread-creation latency is noisy, so single-window rates swing far
+/// more than the guard tolerance.
 fn fine_map_calls_per_sec(use_pool: bool) -> f64 {
-    // Median rate over several fixed-minimum wall-clock windows: the pool
-    // mode sustains ~1M calls/s (a fixed call count would finish in
-    // microseconds), and spawn-mode thread-creation latency is noisy, so
-    // single-window rates swing far more than the guard tolerance.
-    const WINDOWS: usize = 5;
-    const MIN_WINDOW_S: f64 = 0.08;
     const N: usize = 64;
     let mut acc = 0usize;
-    let rates: Vec<f64> = (0..WINDOWS)
-        .map(|_| {
-            let mut calls = 0usize;
-            let start = Instant::now();
-            loop {
-                let out = if use_pool {
-                    metis_nn::par::parallel_map_indexed(N, 2, |i| i * 3 + calls)
-                } else {
-                    metis_nn::par::reference::parallel_map_indexed(N, 2, |i| i * 3 + calls)
-                };
-                acc = acc.wrapping_add(out[N - 1]);
-                calls += 1;
-                let seconds = start.elapsed().as_secs_f64();
-                if seconds >= MIN_WINDOW_S {
-                    break calls as f64 / seconds;
-                }
-            }
-        })
-        .collect();
+    let mut calls = 0usize;
+    let rate = median_rate(Windows::fine(), 1, || {
+        let out = if use_pool {
+            metis_nn::par::parallel_map_indexed(N, 2, |i| i * 3 + calls)
+        } else {
+            metis_nn::par::reference::parallel_map_indexed(N, 2, |i| i * 3 + calls)
+        };
+        acc = acc.wrapping_add(out[N - 1]);
+        calls += 1;
+    });
     black_box(acc);
-    median(rates)
+    rate
+}
+
+/// Frontier-parallel CART fit rate (fits per second) on a paper-shaped
+/// workload: ABR-width features where per-node feature-parallelism runs
+/// out long before a wide pool does — exactly the gap
+/// [`TreeConfig::frontier`] speculation exists to fill. Fitted with
+/// defaults (`threads: 0`, `frontier: 0` = resolved width), so the gated
+/// number tracks whatever the host genuinely runs.
+fn frontier_fit_per_sec(ds: &Dataset) -> f64 {
+    median_rate(Windows::fine(), 1, || {
+        black_box(
+            fit(
+                black_box(ds),
+                &TreeConfig {
+                    max_leaf_nodes: 96,
+                    criterion: SplitCriterion::Gini,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+    })
 }
 
 /// Per-workload and aggregate throughput of [`WorkloadRunner`] sharding
@@ -250,6 +255,9 @@ fn bench_conversion_throughput(c: &mut Criterion) {
     let pool_map_fine_per_sec = fine_map_calls_per_sec(true);
     let spawn_map_fine_per_sec = fine_map_calls_per_sec(false);
 
+    let fit_ds = pensieve_like_dataset(5000, &mut rng);
+    let frontier_fit_per_sec = frontier_fit_per_sec(&fit_ds);
+
     let sharding = workload_sharding_report(&pool, &agent.policy, &cfg);
     let workload_per_sec = |name: &str| {
         sharding
@@ -275,6 +283,7 @@ fn bench_conversion_throughput(c: &mut Criterion) {
         pool_map_fine_per_sec,
         spawn_map_fine_per_sec,
         pool_fine_speedup: pool_map_fine_per_sec / spawn_map_fine_per_sec.max(1e-12),
+        frontier_fit_per_sec,
         workload_count: sharding.per_workload.len(),
         workload_abr_leaves64_per_sec: workload_per_sec("abr_leaves64"),
         workload_abr_leaves32_per_sec: workload_per_sec("abr_leaves32"),
@@ -300,6 +309,11 @@ fn bench_conversion_throughput(c: &mut Criterion) {
         report.pool_map_fine_per_sec, report.spawn_map_fine_per_sec, report.pool_fine_speedup
     );
     println!(
+        "frontier-parallel CART: {:.2} fits/s (5000x{} rows, 96 leaves)",
+        report.frontier_fit_per_sec,
+        metis_abr::OBS_DIM
+    );
+    println!(
         "workload sharding ({} pipelines, shared budget): {:.0} aggregate samples/s",
         report.workload_count, report.workload_agg_per_sec
     );
@@ -323,6 +337,9 @@ struct ThroughputReport {
     /// …vs the retained spawn-per-call reference (same work).
     spawn_map_fine_per_sec: f64,
     pool_fine_speedup: f64,
+    /// Frontier-parallel CART fits per second (5000x25 ABR-shaped rows,
+    /// 96-leaf budget, default thread/frontier resolution).
+    frontier_fit_per_sec: f64,
     workload_count: usize,
     workload_abr_leaves64_per_sec: f64,
     workload_abr_leaves32_per_sec: f64,

@@ -19,13 +19,13 @@
 //!   The headline `speedup_batch256` is this unit's ratio.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metis_bench::measure::{median_rate, Windows};
 use metis_hypergraph::{MaskedMlp, MaskedSystem, OutputKind};
 use metis_nn::{argmax, softmax, Activation, Matrix, Mlp, Network};
 use metis_rl::{Policy, SoftmaxPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use std::time::Instant;
 
 const BATCH_SIZES: [usize; 3] = [1, 32, 256];
 
@@ -78,19 +78,10 @@ fn label_reference(net: &Mlp, row: &[f64]) -> (usize, Vec<f64>) {
     (action, probs)
 }
 
-/// Observations per second through repeated timed runs of `f`.
-fn throughput(obs_per_run: usize, mut f: impl FnMut()) -> f64 {
-    // Warmup.
-    for _ in 0..3 {
-        f();
-    }
-    let mut runs = 0usize;
-    let t0 = Instant::now();
-    while runs < 10 || t0.elapsed().as_secs_f64() < 0.2 {
-        f();
-        runs += 1;
-    }
-    (runs * obs_per_run) as f64 / t0.elapsed().as_secs_f64()
+/// Observations per second of `f` under this bench's historical schedule
+/// (one long window after warmup — see [`Windows::inference`]).
+fn throughput(obs_per_run: usize, f: impl FnMut()) -> f64 {
+    median_rate(Windows::inference(), obs_per_run, f)
 }
 
 fn bench_forward(c: &mut Criterion) {

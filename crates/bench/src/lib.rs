@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod guard;
+pub mod measure;
 pub mod setup;
 
 use std::io::Write;

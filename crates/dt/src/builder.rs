@@ -4,8 +4,8 @@
 //! scikit-learn's behaviour under `max_leaf_nodes` — the knob Table 4 of the
 //! paper sets to 200 (Pensieve) and 2000 (AuTO agents).
 //!
-//! Two optimizations over the naive splitter (which re-sorted every node's
-//! samples for every feature):
+//! Three optimizations over the naive splitter (which re-sorted every
+//! node's samples for every feature):
 //!
 //! * **Sort-once presorting** — per-feature sorted sample indices are built
 //!   once at the root and *partitioned* (order-preserving) into the child
@@ -15,6 +15,16 @@
 //!   best gain with the same tie-breaking (lowest feature index first) as
 //!   a sequential scan, so the fitted tree is identical for any thread
 //!   count.
+//! * **Frontier-parallel growth** — when feature-parallelism is narrower
+//!   than the worker count (ABR's ~25 dims vs a many-core pool), the
+//!   builder speculatively *expands* several heap candidates concurrently
+//!   ([`TreeConfig::frontier`]): each expansion precomputes the partition,
+//!   child statistics, and child best splits for one candidate. Expansions
+//!   are pure functions of their candidate, and splits are still *applied*
+//!   strictly in heap-pop order by the sequential main loop, so the fitted
+//!   tree is bit-identical for any frontier width and thread count — the
+//!   only cost of speculation is wasted work on candidates the leaf budget
+//!   never reaches.
 
 use crate::dataset::{Dataset, Targets};
 use crate::tree::{DecisionTree, Node, NodeStats, Split, TreeKind};
@@ -56,6 +66,12 @@ pub struct TreeConfig {
     /// Threads for the per-node split search (0 = all available cores).
     /// The fitted tree is identical for every thread count.
     pub threads: usize,
+    /// Heap candidates expanded concurrently by the frontier-parallel
+    /// grower (0 = match the resolved thread count; 1 = strictly
+    /// sequential expansion). The fitted tree is identical for every
+    /// setting — wider frontiers only trade speculative work for wall
+    /// time on deep best-first growths.
+    pub frontier: usize,
 }
 
 impl Default for TreeConfig {
@@ -67,6 +83,7 @@ impl Default for TreeConfig {
             min_gain: 1e-12,
             criterion: Criterion::Gini,
             threads: 0,
+            frontier: 0,
         }
     }
 }
@@ -207,6 +224,104 @@ struct Candidate {
     orders: Vec<Vec<u32>>,
     depth: usize,
     best: BestSplit,
+    /// Precomputed split application, attached by the frontier-parallel
+    /// expander. Never participates in the heap order, so attaching it
+    /// cannot change which candidate pops next.
+    expansion: Option<Box<Expansion>>,
+}
+
+/// Everything needed to apply a candidate's best split: the partition,
+/// both children's statistics, and both children's own best splits. An
+/// expansion is a **pure function** of its candidate (plus the dataset
+/// and config), so it can be computed speculatively and in parallel
+/// without changing the fitted tree: the sequential main loop still
+/// applies splits strictly in heap-pop order.
+struct Expansion {
+    left: ChildData,
+    right: ChildData,
+}
+
+/// One side of an applied split.
+struct ChildData {
+    indices: Vec<u32>,
+    acc: Acc,
+    /// The child's partitioned per-feature order lists and its best
+    /// split — present only when the child may grow further (depth cap
+    /// not reached and a qualifying split exists).
+    grow: Option<(Vec<Vec<u32>>, BestSplit)>,
+}
+
+std::thread_local! {
+    /// Per-thread membership mark for order-list partitioning. Expansions
+    /// run concurrently on pool workers, so the scratch cannot live in
+    /// `fit`'s stack frame; each worker sets, uses, and clears its own
+    /// buffer with **no pool calls inside the marked window**, so nested
+    /// work-stealing can never observe another expansion's marks.
+    static LEFT_MARK: std::cell::RefCell<Vec<bool>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Expand one candidate: partition its members and order lists, build the
+/// child statistics, and find the children's best splits. Deterministic
+/// given `(ds, config, cand)` — thread count only changes how fast the
+/// child split scans run, not what they return.
+fn expand(ds: &Dataset, config: &TreeConfig, threads: usize, cand: &Candidate) -> Expansion {
+    let (left_idx, right_idx) = partition_by(ds, &cand.indices, &cand.best);
+    debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+    let children_may_grow = config.max_depth.is_none_or(|m| cand.depth + 1 < m);
+
+    // Partition every presorted feature list (order-preserving, so
+    // children never re-sort), reusing the split predicate via the
+    // per-thread membership mark. Skipped entirely under a depth cap that
+    // forbids the children from splitting again.
+    let (left_orders, right_orders) = if children_may_grow {
+        LEFT_MARK.with(|mark| {
+            let mut mark = mark.borrow_mut();
+            if mark.len() < ds.len() {
+                mark.resize(ds.len(), false);
+            }
+            for &i in &left_idx {
+                mark[i as usize] = true;
+            }
+            let mut left_orders = Vec::with_capacity(cand.orders.len());
+            let mut right_orders = Vec::with_capacity(cand.orders.len());
+            for order in &cand.orders {
+                let (lo, ro) = partition_by_mark(&mark, order);
+                left_orders.push(lo);
+                right_orders.push(ro);
+            }
+            for &i in &left_idx {
+                mark[i as usize] = false;
+            }
+            (left_orders, right_orders)
+        })
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    let left_acc = Acc::from_indices(ds, &left_idx);
+    let right_acc = Acc::from_indices(ds, &right_idx);
+    debug_assert!(left_acc.weight() > 0.0 && right_acc.weight() > 0.0);
+
+    let grow_of = |orders: Vec<Vec<u32>>, acc: &Acc| {
+        if !children_may_grow {
+            return None;
+        }
+        best_split(ds, &orders, acc, config, threads).map(|b| (orders, b))
+    };
+    let left_grow = grow_of(left_orders, &left_acc);
+    let right_grow = grow_of(right_orders, &right_acc);
+    Expansion {
+        left: ChildData {
+            indices: left_idx,
+            acc: left_acc,
+            grow: left_grow,
+        },
+        right: ChildData {
+            indices: right_idx,
+            acc: right_acc,
+            grow: right_grow,
+        },
+    }
 }
 
 impl PartialEq for Candidate {
@@ -430,57 +545,78 @@ pub fn fit(ds: &Dataset, config: &TreeConfig) -> Result<DecisionTree, FitError> 
                 orders,
                 depth: 0,
                 best,
+                expansion: None,
             });
         }
     }
 
+    let frontier = if config.frontier == 0 {
+        threads
+    } else {
+        config.frontier
+    };
     let mut n_leaves = 1usize;
-    // Scratch membership mark, written and cleared per split (O(node size)).
-    let mut left_mark = vec![false; ds.len()];
     while n_leaves < config.max_leaf_nodes {
-        let Some(cand) = heap.pop() else { break };
+        let Some(mut cand) = heap.pop() else { break };
+
+        if cand.expansion.is_none() {
+            if frontier <= 1 {
+                cand.expansion = Some(Box::new(expand(ds, config, threads, &cand)));
+            } else {
+                // Frontier-parallel expansion: gather up to `frontier`
+                // unexpanded candidates (never more than the remaining
+                // leaf budget could apply — anything beyond is guaranteed
+                // waste), parking already-expanded ones, expand the batch
+                // on the pool, and push everything back. The heap key
+                // ignores expansions, so the re-pop surfaces the same
+                // best candidate — now expanded — and the `continue`
+                // applies it through the sequential path below. Splits
+                // therefore apply in exactly the heap-pop order of a
+                // frontier=1 build, and the tree is bit-identical for
+                // any frontier width and thread count.
+                let want = frontier.min(config.max_leaf_nodes - n_leaves);
+                let mut batch = vec![cand];
+                let mut parked = Vec::new();
+                while batch.len() < want {
+                    match heap.pop() {
+                        Some(c) if c.expansion.is_none() => batch.push(c),
+                        Some(c) => parked.push(c),
+                        None => break,
+                    }
+                }
+                let expansions = metis_nn::par::parallel_map_indexed(batch.len(), threads, |b| {
+                    Box::new(expand(ds, config, threads, &batch[b]))
+                });
+                for (mut c, e) in batch.into_iter().zip(expansions) {
+                    c.expansion = Some(e);
+                    heap.push(c);
+                }
+                for c in parked {
+                    heap.push(c);
+                }
+                continue;
+            }
+        }
+
+        // Apply the (pre)computed expansion — the only place the tree is
+        // mutated, strictly in heap-pop order.
         let Candidate {
             node_idx,
-            indices,
-            orders,
             depth,
             best,
+            expansion,
+            ..
         } = cand;
-
-        // Partition members and every presorted feature list (order-
-        // preserving, so children never re-sort). The split predicate is
-        // evaluated once per member; the feature lists reuse it via the
-        // scratch membership mark.
-        let (left_idx, right_idx) = partition_by(ds, &indices, &best);
-        debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
-        for &i in &left_idx {
-            left_mark[i as usize] = true;
-        }
-        let (mut left_orders, mut right_orders) = (
-            Vec::with_capacity(orders.len()),
-            Vec::with_capacity(orders.len()),
-        );
-        for order in &orders {
-            let (lo, ro) = partition_by_mark(&left_mark, order);
-            left_orders.push(lo);
-            right_orders.push(ro);
-        }
-        for &i in &left_idx {
-            left_mark[i as usize] = false;
-        }
-
-        let left_acc = Acc::from_indices(ds, &left_idx);
-        let right_acc = Acc::from_indices(ds, &right_idx);
-        debug_assert!(left_acc.weight() > 0.0 && right_acc.weight() > 0.0);
+        let Expansion { left, right } = *expansion.expect("expanded above");
 
         let left_node = nodes.len();
         nodes.push(Node {
-            stats: left_acc.clone().into_stats(),
+            stats: left.acc.into_stats(),
             split: None,
         });
         let right_node = nodes.len();
         nodes.push(Node {
-            stats: right_acc.clone().into_stats(),
+            stats: right.acc.into_stats(),
             split: None,
         });
         nodes[node_idx].split = Some(Split {
@@ -491,25 +627,25 @@ pub fn fit(ds: &Dataset, config: &TreeConfig) -> Result<DecisionTree, FitError> 
         });
         n_leaves += 1;
 
-        if depth_ok(depth + 1) {
-            if let Some(b) = best_split(ds, &left_orders, &left_acc, config, threads) {
-                heap.push(Candidate {
-                    node_idx: left_node,
-                    indices: left_idx,
-                    orders: left_orders,
-                    depth: depth + 1,
-                    best: b,
-                });
-            }
-            if let Some(b) = best_split(ds, &right_orders, &right_acc, config, threads) {
-                heap.push(Candidate {
-                    node_idx: right_node,
-                    indices: right_idx,
-                    orders: right_orders,
-                    depth: depth + 1,
-                    best: b,
-                });
-            }
+        if let Some((orders, b)) = left.grow {
+            heap.push(Candidate {
+                node_idx: left_node,
+                indices: left.indices,
+                orders,
+                depth: depth + 1,
+                best: b,
+                expansion: None,
+            });
+        }
+        if let Some((orders, b)) = right.grow {
+            heap.push(Candidate {
+                node_idx: right_node,
+                indices: right.indices,
+                orders,
+                depth: depth + 1,
+                best: b,
+                expansion: None,
+            });
         }
     }
 
@@ -1030,6 +1166,85 @@ mod tests {
         assert_eq!(t1, fit_with(16));
     }
 
+    /// Frontier-parallel growth is bit-identical to strictly sequential
+    /// expansion for every frontier width and thread count — including
+    /// frontiers wider than the heap ever gets and wider than the leaf
+    /// budget, under a depth cap, and for regression. Speculation may
+    /// waste work; it may never change the tree.
+    #[test]
+    fn frontier_parallel_fit_identical_to_sequential() {
+        let x = parity_features(1200, 6, 33);
+        let y: Vec<usize> = x
+            .iter()
+            .map(|xi| ((xi[1] * 3.0 + xi[4] * 4.0) as usize) % 5)
+            .collect();
+        let ds = Dataset::classification(x.clone(), y, 5).unwrap();
+        for max_depth in [None, Some(4)] {
+            let fit_with = |frontier: usize, threads: usize| {
+                fit(
+                    &ds,
+                    &TreeConfig {
+                        max_leaf_nodes: 48,
+                        max_depth,
+                        frontier,
+                        threads,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            };
+            let sequential = fit_with(1, 1);
+            for frontier in [2, 3, 8, 64] {
+                for threads in [1, 2, 8] {
+                    assert_eq!(
+                        sequential,
+                        fit_with(frontier, threads),
+                        "diverged at frontier={frontier} threads={threads} depth={max_depth:?}"
+                    );
+                }
+            }
+        }
+
+        let yv: Vec<f64> = x.iter().map(|xi| xi[0] * 3.0 - xi[5] + 0.5).collect();
+        let reg = Dataset::regression(x, yv).unwrap();
+        let cfg = |frontier: usize| TreeConfig {
+            criterion: Criterion::Mse,
+            max_leaf_nodes: 32,
+            min_samples_leaf: 2,
+            frontier,
+            threads: 4,
+            ..Default::default()
+        };
+        let sequential = fit(&reg, &cfg(1)).unwrap();
+        for frontier in [2, 6, 16] {
+            assert_eq!(sequential, fit(&reg, &cfg(frontier)).unwrap());
+        }
+    }
+
+    /// The frontier gather path survives a leaf budget that runs out
+    /// mid-speculation (want clamps to the remaining budget) and a heap
+    /// that drains during the gather.
+    #[test]
+    fn frontier_wider_than_budget_or_heap() {
+        let x = parity_features(200, 3, 41);
+        let y: Vec<usize> = x.iter().map(|xi| usize::from(xi[0] > 0.5)).collect();
+        let ds = Dataset::classification(x, y, 2).unwrap();
+        for max in [1, 2, 3] {
+            let seq = fit(&ds, &TreeConfig::with_max_leaves(max)).unwrap();
+            let wide = fit(
+                &ds,
+                &TreeConfig {
+                    max_leaf_nodes: max,
+                    frontier: 32,
+                    threads: 8,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(seq, wide, "diverged at max_leaf_nodes={max}");
+        }
+    }
+
     /// Regression for the Ord-contract bug: `partial_cmp(..).unwrap_or(Equal)`
     /// made a NaN-gain candidate "equal" to every other candidate while
     /// finite gains still ordered, so `BinaryHeap` pop order was scrambled
@@ -1049,6 +1264,7 @@ mod tests {
                 threshold: 0.0,
                 gain,
             },
+            expansion: None,
         };
         let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
         for (gain, node_idx) in [

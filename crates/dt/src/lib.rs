@@ -15,6 +15,9 @@
 //!   (powers the Figure-7 decision-frequency annotations) and
 //!   [`tree::CompiledTree`], a flat branch-only evaluator backing the
 //!   lightweight-deployment claims of §6.4,
+//! * [`kernel`] — the lane-vectorized quantized-layout walk behind
+//!   [`tree::CompiledTree::predict_batch_into`] and the [`kernel::Forest`]
+//!   ensemble evaluator (block-major across member trees),
 //! * [`export`] — ASCII (Figure 7 style) and Graphviz rendering,
 //! * [`metrics`] — accuracy / RMSE / agreement (Figures 27–28 axes).
 //!
@@ -23,6 +26,7 @@
 pub mod builder;
 pub mod dataset;
 pub mod export;
+pub mod kernel;
 pub mod metrics;
 pub mod prune;
 pub mod tree;
@@ -30,6 +34,7 @@ pub mod tree;
 pub use builder::{fit, Criterion, FitError, TreeConfig};
 pub use dataset::{Dataset, DatasetError, Targets};
 pub use export::{render, to_graphviz, RenderOptions};
+pub use kernel::{Forest, ForestError, LANES};
 pub use prune::{alpha_sequence, prune_alpha, prune_to_leaves, truncate_depth, PruneStep};
 pub use tree::{
     BatchDiff, CompiledTree, DecisionTree, Node, NodeStats, Prediction, Split, TreeKind,

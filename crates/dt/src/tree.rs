@@ -305,78 +305,53 @@ impl DecisionTree {
     }
 }
 
-/// A flattened, branch-only evaluator in a cache-friendly
-/// structure-of-arrays layout (per-node `feature`/`threshold`/`left`/
-/// `right` columns, no enum dispatch and no per-call histogram scans),
-/// demonstrating the paper's "decision trees can be implemented with
-/// branching clauses only" deployment claim (§6.4). It backs both the
-/// latency benchmarks and the `metis_serve` online serving engine, whose
-/// micro-batches walk row blocks levelwise through
-/// [`CompiledTree::predict_batch`].
+/// A flattened, branch-only evaluator in a cache-friendly quantized
+/// structure-of-arrays layout (see [`crate::kernel`]: `u16` feature ids,
+/// `u32` child indices, `f64` thresholds in their own contiguous column,
+/// leaves as self-loops), demonstrating the paper's "decision trees can
+/// be implemented with branching clauses only" deployment claim (§6.4).
+/// It backs both the latency benchmarks and the `metis_serve` online
+/// serving engine, whose micro-batches walk row blocks through the
+/// lane-vectorized [`CompiledTree::predict_batch`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CompiledTree {
-    feature: Vec<u32>,
-    threshold: Vec<f64>,
-    /// Child indices; for leaves, `left == u32::MAX` and `right` encodes the
-    /// class index or an index into `values`.
-    left: Vec<u32>,
-    right: Vec<u32>,
+    table: crate::kernel::NodeTable,
     values: Vec<f64>,
     n_features: usize,
     kind: TreeKind,
 }
 
 impl CompiledTree {
-    /// Flatten a [`DecisionTree`].
+    /// Flatten a [`DecisionTree`] into the kernel's quantized node table
+    /// (breadth-first order, so the hot top levels are contiguous).
     pub fn compile(tree: &DecisionTree) -> Self {
         let tree = tree.compact();
-        let n = tree.nodes.len();
-        let mut out = CompiledTree {
-            feature: vec![0; n],
-            threshold: vec![0.0; n],
-            left: vec![u32::MAX; n],
-            right: vec![0; n],
-            values: Vec::new(),
+        let (table, values) = crate::kernel::NodeTable::build(&tree);
+        CompiledTree {
+            table,
+            values,
             n_features: tree.n_features,
             kind: tree.kind,
-        };
-        for (i, node) in tree.nodes.iter().enumerate() {
-            match &node.split {
-                Some(s) => {
-                    out.feature[i] = s.feature as u32;
-                    out.threshold[i] = s.threshold;
-                    out.left[i] = s.left as u32;
-                    out.right[i] = s.right as u32;
-                }
-                None => match node.stats.prediction() {
-                    Prediction::Class(c) => {
-                        out.right[i] = c as u32;
-                    }
-                    Prediction::Value(v) => {
-                        out.right[i] = out.values.len() as u32;
-                        out.values.push(v);
-                    }
-                },
-            }
         }
-        out
+    }
+
+    /// The kernel node table (crate-internal: the forest evaluator walks
+    /// member tables directly).
+    #[inline]
+    pub(crate) fn table(&self) -> &crate::kernel::NodeTable {
+        &self.table
+    }
+
+    /// Regression leaf values, indexed by leaf payload.
+    #[inline]
+    pub(crate) fn values(&self) -> &[f64] {
+        &self.values
     }
 
     /// Evaluate to a raw leaf payload (class index or value index).
     #[inline]
     fn eval_raw(&self, x: &[f64]) -> u32 {
-        let mut idx = 0usize;
-        loop {
-            let l = self.left[idx];
-            if l == u32::MAX {
-                return self.right[idx];
-            }
-            idx = if x[self.feature[idx] as usize] < self.threshold[idx] {
-                l as usize
-            } else {
-                self.right[idx] as usize
-            };
-        }
+        crate::kernel::walk_one(&self.table, x)
     }
 
     /// Predicted class (classification trees).
@@ -415,14 +390,12 @@ impl CompiledTree {
     }
 
     /// Batched prediction over a row-major block of feature vectors
-    /// (`rows.len() == out.len() * n_features`), walking all rows
-    /// **levelwise**: every pass advances each still-live row by one
-    /// split, so the SoA node columns stream through cache once per level
-    /// instead of once per row. Rows that reach a leaf drop out of the
-    /// live set, so total work is the summed path length, not
-    /// `rows × max_depth` (skewed trees stay cheap). Per row the result
-    /// is **bit-identical** to [`DecisionTree::predict`] — same `<`
-    /// comparator, so a NaN feature always fails the test and routes
+    /// (`rows.len() == out.len() * n_features`) through the
+    /// lane-vectorized kernel walk ([`crate::kernel`]): full
+    /// [`crate::kernel::LANES`]-row blocks advance together with
+    /// branch-free child selects, the tail walks scalar. Per row the
+    /// result is **bit-identical** to [`DecisionTree::predict`] — same
+    /// `<` comparator, so a NaN feature always fails the test and routes
     /// right.
     pub fn predict_batch_into(&self, rows: &[f64], out: &mut [Prediction]) {
         let n = out.len();
@@ -434,59 +407,76 @@ impl CompiledTree {
             n,
             self.n_features
         );
+        let mut payloads = vec![0u32; n];
+        crate::kernel::walk_payloads(&self.table, rows, self.n_features, &mut payloads);
+        for (slot, &p) in out.iter_mut().zip(payloads.iter()) {
+            *slot = self.payload_to_prediction(p);
+        }
+    }
+
+    /// The pre-kernel **levelwise** batch walk, retained verbatim (ported
+    /// to the quantized table) as the test oracle and the "naive per-tree
+    /// batch evaluation" baseline the forest benchmarks compare against:
+    /// every pass advances each still-live row by one split; rows that
+    /// reach a leaf drop out of the live set, so total work is the summed
+    /// path length. Bit-identical per row to
+    /// [`CompiledTree::predict_batch_into`] and [`DecisionTree::predict`].
+    pub fn predict_batch_levelwise(&self, rows: &[f64], out: &mut [Prediction]) {
+        let n = out.len();
+        assert_eq!(
+            rows.len(),
+            n * self.n_features,
+            "predict_batch_levelwise: {} values is not {} rows of {} features",
+            rows.len(),
+            n,
+            self.n_features
+        );
+        let table = &self.table;
         let mut idx = vec![0u32; n];
         // Dense phase: full levelwise sweeps over the cursor array while
-        // at least half the rows are still walking — the branch-light hot
-        // path for balanced trees, where nearly every slot advances.
-        let mut active = if self.left.first() == Some(&u32::MAX) {
-            0
-        } else {
-            n
-        };
+        // at least half the rows are still walking.
+        let mut active = if table.is_leaf(0) { 0 } else { n };
         while active * 2 >= n.max(1) && active > 0 {
             active = 0;
             for (r, slot) in idx.iter_mut().enumerate() {
                 let i = *slot as usize;
-                let l = self.left[i];
-                if l == u32::MAX {
+                if table.is_leaf(i) {
                     continue;
                 }
                 let x = &rows[r * self.n_features..(r + 1) * self.n_features];
-                let next = if x[self.feature[i] as usize] < self.threshold[i] {
-                    l
+                let next = if x[table.feat[i] as usize] < table.thr[i] {
+                    table.left[i]
                 } else {
-                    self.right[i]
+                    table.right[i]
                 };
                 *slot = next;
-                if self.left[next as usize] != u32::MAX {
+                if !table.is_leaf(next as usize) {
                     active += 1;
                 }
             }
         }
-        // Sparse phase: once most rows reached leaves, walk only the
-        // survivors, compacting each level — total work stays bounded by
-        // the summed path length even when a skewed branch runs deep.
+        // Sparse phase: walk only the survivors, compacting each level.
         if active > 0 {
             let mut live: Vec<u32> = (0..n as u32)
-                .filter(|&r| self.left[idx[r as usize] as usize] != u32::MAX)
+                .filter(|&r| !table.is_leaf(idx[r as usize] as usize))
                 .collect();
             while !live.is_empty() {
                 live.retain(|&r| {
                     let row = r as usize;
                     let i = idx[row] as usize;
                     let x = &rows[row * self.n_features..(row + 1) * self.n_features];
-                    let next = if x[self.feature[i] as usize] < self.threshold[i] {
-                        self.left[i]
+                    let next = if x[table.feat[i] as usize] < table.thr[i] {
+                        table.left[i]
                     } else {
-                        self.right[i]
+                        table.right[i]
                     };
                     idx[row] = next;
-                    self.left[next as usize] != u32::MAX
+                    !table.is_leaf(next as usize)
                 });
             }
         }
         for (slot, &i) in out.iter_mut().zip(idx.iter()) {
-            *slot = self.payload_to_prediction(self.right[i as usize]);
+            *slot = self.payload_to_prediction(table.payload[i as usize]);
         }
     }
 
@@ -560,7 +550,7 @@ impl CompiledTree {
 
     /// Node count of the flattened arena.
     pub fn node_count(&self) -> usize {
-        self.left.len()
+        self.table.len()
     }
 }
 

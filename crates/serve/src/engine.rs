@@ -8,8 +8,8 @@
 //!
 //! 1. pins the live model epoch ([`crate::ModelRegistry::current`]) — a
 //!    concurrent hot swap never retroactively changes a dispatched batch,
-//! 2. walks the batch levelwise through
-//!    [`metis_dt::CompiledTree::predict_batch`], striping row chunks
+//! 2. walks the batch through the lane-vectorized compiled kernel
+//!    ([`metis_dt::CompiledTree::predict_batch`]), striping row chunks
 //!    across [`metis_nn::par::parallel_map_indexed`] under the engine's
 //!    **dedicated pool group** (so serving shares the process-wide pool
 //!    fairly with concurrently running conversion pipelines),

@@ -15,8 +15,8 @@
 //!   mid-traffic, and in-flight batches finish on the epoch they started
 //!   with,
 //! * [`engine`] — the request engine: an MPSC ingest queue feeding a
-//!   micro-batcher (flush on batch size *or* deadline) whose batches walk
-//!   the compiled tree levelwise ([`metis_dt::CompiledTree::predict_batch`])
+//!   micro-batcher (flush on batch size *or* deadline) whose batches run
+//!   the lane-vectorized kernel ([`metis_dt::CompiledTree::predict_batch`])
 //!   and fan across [`metis_nn::par::WorkerPool::global`] stripe jobs
 //!   under a dedicated pool group,
 //! * [`traffic`] — open-loop load generation: ABR-trace replay

@@ -1,0 +1,275 @@
+//! Proptest suite pinning the lane-vectorized compiled-tree kernel, the
+//! [`Forest`] ensemble evaluator, and the frontier-parallel CART grower
+//! to their sequential oracles:
+//!
+//! * `CompiledTree::predict_batch_into` (the quantized lane walk) and
+//!   `predict_batch_levelwise` (the retained pre-kernel walk) must both
+//!   be bit-identical to `DecisionTree::predict` row by row — including
+//!   NaN-laden rows, which route right at every split in every path.
+//! * `Forest::predict_batch_into` must equal the per-tree oracle reduce
+//!   (majority vote with lowest-class-index tie-break; mean in tree
+//!   order) computed from `DecisionTree::predict`.
+//! * `fit` with any `frontier`/`threads` setting must produce a tree
+//!   bit-identical to strictly sequential growth.
+//!
+//! Thread counts default to 1/2/3/8; set `METIS_TEST_THREADS=<n>` to test
+//! an additional setting (CI runs the suite under two values).
+
+use metis::dt::{
+    fit, CompiledTree, Criterion, Dataset, DecisionTree, Forest, Prediction, TreeConfig, LANES,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIMS: usize = 6;
+
+/// Thread counts every property sweeps, plus an optional CI-injected one.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 3, 8];
+    if let Ok(extra) = std::env::var("METIS_TEST_THREADS") {
+        if let Ok(n) = extra.trim().parse::<usize>() {
+            if !counts.contains(&n) {
+                counts.push(n);
+            }
+        }
+    }
+    counts
+}
+
+/// A fitted multi-class tree over DIMS features, varied by seed and leaf
+/// budget (budget 1 yields a single-leaf tree, 2 a depth-1 stump).
+fn fitted_classifier(seed: u64, max_leaf_nodes: usize) -> DecisionTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x: Vec<Vec<f64>> = (0..200)
+        .map(|_| (0..DIMS).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let y: Vec<usize> = x
+        .iter()
+        .map(|xi| ((xi[0] * 5.0 + xi[2] * 3.0 + xi[4] * 2.0) as usize) % 5)
+        .collect();
+    let ds = Dataset::classification(x, y, 5).unwrap();
+    fit(
+        &ds,
+        &TreeConfig {
+            max_leaf_nodes,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// A fitted regressor over DIMS features, varied by seed.
+fn fitted_regressor(seed: u64, max_leaf_nodes: usize) -> DecisionTree {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let x: Vec<Vec<f64>> = (0..200)
+        .map(|_| (0..DIMS).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|xi| xi[0] * 2.0 - xi[3] + xi[5] * 0.5)
+        .collect();
+    let ds = Dataset::regression(x, y).unwrap();
+    fit(
+        &ds,
+        &TreeConfig {
+            max_leaf_nodes,
+            criterion: Criterion::Mse,
+            min_samples_leaf: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// `n` rows, flattened row-major; every fifth row gets one NaN feature
+/// and every eleventh row is entirely NaN, pinning the comparator hazard
+/// (`NaN < thr` is false, so NaNs must route right at every split).
+fn random_rows(n: usize, salt: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(salt.wrapping_mul(0x9E3779B97F4A7C15));
+    let mut rows = Vec::with_capacity(n * DIMS);
+    for k in 0..n {
+        let mut row: Vec<f64> = (0..DIMS).map(|_| rng.gen_range(0.0..1.0)).collect();
+        if k % 5 == 4 {
+            row[k % DIMS] = f64::NAN;
+        }
+        if k % 11 == 10 {
+            row.iter_mut().for_each(|v| *v = f64::NAN);
+        }
+        rows.extend_from_slice(&row);
+    }
+    rows
+}
+
+/// Per-row oracle over the flattened row block.
+fn oracle_predictions(tree: &DecisionTree, rows: &[f64]) -> Vec<Prediction> {
+    rows.chunks_exact(DIMS).map(|r| tree.predict(r)).collect()
+}
+
+fn assert_bits_equal(got: &[Prediction], want: &[Prediction], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (k, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        match (g, w) {
+            (Prediction::Class(a), Prediction::Class(b)) => {
+                assert_eq!(a, b, "{ctx}: row {k}");
+            }
+            (Prediction::Value(a), Prediction::Value(b)) => {
+                assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: row {k} ({a} vs {b})");
+            }
+            _ => panic!("{ctx}: row {k} prediction kind mismatch"),
+        }
+    }
+}
+
+proptest! {
+    /// The lane kernel and the retained levelwise walk are bit-identical
+    /// to `DecisionTree::predict` for arbitrary row counts (deliberately
+    /// spanning partial lane blocks) and leaf budgets, on classifiers
+    /// and regressors alike, NaNs included.
+    #[test]
+    fn kernel_matches_per_row_oracle(
+        seed in 0u64..12,
+        n in 1usize..70,
+        leaves in 1usize..40,
+    ) {
+        for tree in [fitted_classifier(seed, leaves), fitted_regressor(seed, leaves)] {
+            let compiled = CompiledTree::compile(&tree);
+            let rows = random_rows(n, seed * 1000 + n as u64);
+            let want = oracle_predictions(&tree, &rows);
+
+            let mut got = vec![Prediction::Class(usize::MAX); n];
+            compiled.predict_batch_into(&rows, &mut got);
+            assert_bits_equal(&got, &want, "lane kernel");
+
+            let mut level = vec![Prediction::Class(usize::MAX); n];
+            compiled.predict_batch_levelwise(&rows, &mut level);
+            assert_bits_equal(&level, &want, "levelwise oracle walk");
+
+            for (k, row) in rows.chunks_exact(DIMS).enumerate() {
+                prop_assert_eq!(compiled.predict(row), want[k], "scalar predict row {}", k);
+            }
+        }
+    }
+
+    /// Forest block-major evaluation equals the per-tree oracle reduce:
+    /// majority vote with lowest-class-index tie-break for classifiers,
+    /// tree-order mean for regressors.
+    #[test]
+    fn forest_matches_per_tree_oracle_reduce(
+        seed in 0u64..8,
+        n in 1usize..60,
+        n_trees in 1usize..6,
+    ) {
+        let members: Vec<DecisionTree> = (0..n_trees)
+            .map(|t| fitted_classifier(seed * 31 + t as u64, 8 + 4 * t))
+            .collect();
+        let forest = Forest::from_trees(&members).unwrap();
+        let rows = random_rows(n, seed * 7777 + n as u64);
+
+        let mut want = Vec::with_capacity(n);
+        for row in rows.chunks_exact(DIMS) {
+            let mut votes = [0u32; 5];
+            for tree in &members {
+                votes[tree.predict(row).class()] += 1;
+            }
+            let best = (0..5).max_by_key(|&c| (votes[c], std::cmp::Reverse(c))).unwrap();
+            want.push(Prediction::Class(best));
+        }
+        let got = forest.predict_batch(&rows);
+        assert_bits_equal(&got, &want, "forest vote");
+
+        for (k, row) in rows.chunks_exact(DIMS).enumerate() {
+            prop_assert_eq!(forest.predict(row), want[k], "forest scalar row {}", k);
+        }
+
+        let regs: Vec<DecisionTree> = (0..n_trees)
+            .map(|t| fitted_regressor(seed * 13 + t as u64, 6 + 3 * t))
+            .collect();
+        let rforest = Forest::from_trees(&regs).unwrap();
+        let mut rwant = Vec::with_capacity(n);
+        for row in rows.chunks_exact(DIMS) {
+            let sum: f64 = regs.iter().map(|t| t.predict(row).value()).sum();
+            rwant.push(Prediction::Value(sum / n_trees as f64));
+        }
+        let rgot = rforest.predict_batch(&rows);
+        assert_bits_equal(&rgot, &rwant, "forest mean");
+    }
+
+    /// Frontier-parallel growth is bit-identical to strictly sequential
+    /// growth for every frontier width x thread count, with and without
+    /// a depth cap.
+    #[test]
+    fn frontier_fit_matches_sequential(seed in 0u64..6, max_depth in 0usize..2) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545F4914F6CDD1D));
+        let x: Vec<Vec<f64>> = (0..400)
+            .map(|_| (0..DIMS).map(|_| (rng.gen_range(0u32..16) as f64) / 16.0).collect())
+            .collect();
+        let y: Vec<usize> = x
+            .iter()
+            .map(|xi| ((xi[0] * 7.0 + xi[1] * 5.0 + xi[3] * 3.0) as usize) % 4)
+            .collect();
+        let ds = Dataset::classification(x, y, 4).unwrap();
+        let base = TreeConfig {
+            max_leaf_nodes: 24,
+            max_depth: if max_depth == 0 { None } else { Some(4) },
+            ..Default::default()
+        };
+        let sequential = fit(&ds, &TreeConfig { threads: 1, frontier: 1, ..base.clone() }).unwrap();
+        for threads in thread_counts() {
+            for frontier in [0usize, 2, 5, 32] {
+                let grown = fit(
+                    &ds,
+                    &TreeConfig { threads, frontier, ..base.clone() },
+                )
+                .unwrap();
+                prop_assert_eq!(
+                    &grown, &sequential,
+                    "threads {} frontier {}", threads, frontier
+                );
+            }
+        }
+    }
+}
+
+/// Edge shapes the lane walk must handle exactly: row counts around the
+/// lane width, single rows, all-NaN batches, stumps, and single leaves.
+#[test]
+fn kernel_edge_shapes() {
+    for (name, tree) in [
+        ("single-leaf", fitted_classifier(3, 1)),
+        ("depth-1 stump", fitted_classifier(3, 2)),
+        ("regressor stump", fitted_regressor(3, 2)),
+        ("full classifier", fitted_classifier(3, 30)),
+        ("full regressor", fitted_regressor(3, 30)),
+    ] {
+        let compiled = CompiledTree::compile(&tree);
+        for n in [1, 2, LANES - 1, LANES, LANES + 1, 3 * LANES, 3 * LANES + 7] {
+            let rows = random_rows(n, 42 + n as u64);
+            let want = oracle_predictions(&tree, &rows);
+            let mut got = vec![Prediction::Class(usize::MAX); n];
+            compiled.predict_batch_into(&rows, &mut got);
+            assert_bits_equal(&got, &want, &format!("{name}, {n} rows"));
+        }
+
+        // A batch where every value of every row is NaN: all rows must
+        // take the all-right path, identically to the oracle.
+        let n = LANES + 3;
+        let rows = vec![f64::NAN; n * DIMS];
+        let want = oracle_predictions(&tree, &rows);
+        let mut got = vec![Prediction::Class(usize::MAX); n];
+        compiled.predict_batch_into(&rows, &mut got);
+        assert_bits_equal(&got, &want, &format!("{name}, all-NaN batch"));
+    }
+}
+
+/// Forest schema validation: empty ensembles and mixed kinds/shapes are
+/// rejected rather than silently mis-reduced.
+#[test]
+fn forest_rejects_invalid_ensembles() {
+    assert!(Forest::from_trees(&[]).is_err());
+    let mixed_kind = [fitted_classifier(1, 8), fitted_regressor(1, 8)];
+    assert!(Forest::from_trees(&mixed_kind).is_err());
+    let ok = Forest::from_trees(&[fitted_classifier(1, 8), fitted_classifier(2, 8)]).unwrap();
+    assert_eq!(ok.n_trees(), 2);
+    assert_eq!(ok.n_features(), DIMS);
+}
