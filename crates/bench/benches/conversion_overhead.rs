@@ -269,6 +269,7 @@ fn bench_conversion_throughput(c: &mut Criterion) {
     };
 
     let report = ThroughputReport {
+        host: metis_bench::measure::host_id(),
         cores,
         threads_parallel: parallel.stats.threads,
         states_per_run: single.stats.states_collected,
@@ -321,6 +322,9 @@ fn bench_conversion_throughput(c: &mut Criterion) {
 
 #[derive(serde::Serialize)]
 struct ThroughputReport {
+    /// Machine that produced this artifact (baseline floors are
+    /// host-specific; see `metis_bench::measure::host_id`).
+    host: String,
     cores: usize,
     threads_parallel: usize,
     states_per_run: usize,

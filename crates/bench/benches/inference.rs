@@ -207,6 +207,7 @@ fn emit_report(_c: &mut Criterion) {
     });
 
     let report = InferenceReport {
+        host: metis_bench::measure::host_id(),
         cores: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -256,6 +257,9 @@ fn emit_report(_c: &mut Criterion) {
 
 #[derive(serde::Serialize)]
 struct InferenceReport {
+    /// Machine that produced this artifact (baseline floors are
+    /// host-specific; see `metis_bench::measure::host_id`).
+    host: String,
     cores: usize,
     obs_dim: usize,
     n_actions: usize,

@@ -15,7 +15,7 @@ use metis_dt::{
 use metis_fabric::{FabricConfig, PromotePolicy, Router, ScenarioSpec, ShadowConfig, TenantSpec};
 use metis_flowsched::LRLA_STATE_DIM;
 use metis_serve::{
-    drive_open_loop, ArrivalProcess, ModelRegistry, Response, ServeConfig, TreeServer,
+    drive_open_loop, ArrivalProcess, ModelRegistry, Response, ServeConfig, ServedModel, TreeServer,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -203,6 +203,108 @@ fn run_engine(
     };
     assert_eq!(report.delivery_failures, 0, "responses went undelivered");
     (run, swaps, publish_max_us)
+}
+
+/// Engine-level ensemble serving A/B: a k-tree majority-vote forest
+/// behind **one** `TreeServer` (each flush walks all members block-major
+/// over one micro-batch) vs the one-at-a-time shape it replaces — k
+/// single-tree servers all fed the same requests, majority vote on the
+/// client. Both sides do k tree-walks per request and drain a full burst;
+/// the returned rates are requests/s (median of `runs`). Every run
+/// cross-checks a response sample bit-exactly against the offline
+/// [`Forest`] oracle.
+fn forest_serve_rates(
+    members: &[DecisionTree],
+    pool: &[Vec<f64>],
+    requests: usize,
+    runs: usize,
+) -> (f64, f64) {
+    let k = members.len();
+    let oracle = Forest::from_trees(members).expect("ensemble members share the serving schema");
+    let n_classes = 108;
+    let cfg = ServeConfig {
+        max_batch: 256,
+        max_delay: Duration::from_micros(200),
+        ..Default::default()
+    };
+    let ensemble_rates: Vec<f64> = (0..runs)
+        .map(|_| {
+            let model = ServedModel::from_trees(members.to_vec()).expect("coherent ensemble");
+            let server = TreeServer::start(Arc::new(ModelRegistry::new_model(model)), cfg.clone());
+            let mut handle = server.handle();
+            let start = Instant::now();
+            for r in 0..requests {
+                handle.submit(pool[r % pool.len()].clone());
+            }
+            let responses = handle.collect();
+            let rate = requests as f64 / start.elapsed().as_secs_f64();
+            assert_eq!(
+                responses.len(),
+                requests,
+                "ensemble engine dropped requests"
+            );
+            for resp in responses.iter().step_by(97) {
+                let want = oracle.predict(&pool[resp.id as usize % pool.len()]);
+                assert_eq!(
+                    resp.prediction, want,
+                    "served ensemble vote diverged from the offline forest"
+                );
+            }
+            server.shutdown();
+            rate
+        })
+        .collect();
+    let naive_rates: Vec<f64> = (0..runs)
+        .map(|_| {
+            let servers: Vec<TreeServer> = members
+                .iter()
+                .map(|t| TreeServer::start(Arc::new(ModelRegistry::new(t.clone())), cfg.clone()))
+                .collect();
+            let mut handles: Vec<_> = servers.iter().map(|s| s.handle()).collect();
+            let start = Instant::now();
+            for r in 0..requests {
+                for handle in handles.iter_mut() {
+                    handle.submit(pool[r % pool.len()].clone());
+                }
+            }
+            // `collect` sorts by id, so index r is request r on every lane.
+            let lanes: Vec<Vec<Response>> = handles.iter_mut().map(|h| h.collect()).collect();
+            let mut votes = vec![0u32; n_classes];
+            let mut voted = Vec::with_capacity(requests);
+            for r in 0..requests {
+                votes.fill(0);
+                for lane in &lanes {
+                    votes[lane[r].prediction.class()] += 1;
+                }
+                let best = votes
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                    .unwrap()
+                    .0;
+                voted.push(Prediction::Class(best));
+            }
+            let rate = requests as f64 / start.elapsed().as_secs_f64();
+            black_box(&voted);
+            for lane in &lanes {
+                assert_eq!(lane.len(), requests, "a member server dropped requests");
+            }
+            for r in (0..requests).step_by(97) {
+                assert_eq!(
+                    voted[r],
+                    oracle.predict(&pool[r % pool.len()]),
+                    "client-side vote diverged from the offline forest"
+                );
+            }
+            drop(handles);
+            for server in servers {
+                server.shutdown();
+            }
+            rate
+        })
+        .collect();
+    assert_eq!(k, oracle.n_trees());
+    (median(ensemble_rates), median(naive_rates))
 }
 
 fn fabric_cfg() -> FabricConfig {
@@ -496,6 +598,61 @@ fn emit_report(_c: &mut Criterion) {
         assert_eq!(forest_out, naive_out, "forest reduce diverged from naive");
     }
 
+    // The in-register small-tree kernel: a 32-leaf prune (≤ 63 nodes,
+    // within the 64-slot budget) whose compiled table carries the
+    // register-resident threshold/feature/child lookups, vs the identical
+    // tree with them stripped (the hardware-gather per-level loads it
+    // replaces). Same rows, same process, back-to-back — the honest A/B
+    // on a noisy host. On machines without AVX-512 both sides take the
+    // same path and the ratio sits near 1x (warned, never gated: the
+    // gather twin is `rows_x1`, invisible to the guard).
+    let small_tree = prune_to_leaves(tree, 32);
+    let small = CompiledTree::compile(&small_tree);
+    assert!(
+        small.node_count() <= metis_dt::INREG_NODES,
+        "prune exceeded the in-register budget"
+    );
+    let small_gather = small.without_inreg();
+    let mut small_out = vec![Prediction::Class(0); FOREST_BATCH];
+    let kernel_inreg_rows_per_sec = rows_per_sec(FOREST_BATCH, || {
+        small.predict_batch_into(black_box(&forest_rows), black_box(&mut small_out));
+    });
+    let mut gather_out = vec![Prediction::Class(0); FOREST_BATCH];
+    let kernel_inreg_gather_rows_x1 = rows_per_sec(FOREST_BATCH, || {
+        small_gather.predict_batch_into(black_box(&forest_rows), black_box(&mut gather_out));
+    });
+    let kernel_inreg_vs_gather_x =
+        kernel_inreg_rows_per_sec / kernel_inreg_gather_rows_x1.max(1e-12);
+    // Cross-check while the fixtures are in hand: the in-register walk,
+    // the gather walk, and the sequential oracle must agree bit-exactly.
+    {
+        small.predict_batch_into(&forest_rows, &mut small_out);
+        small_gather.predict_batch_into(&forest_rows, &mut gather_out);
+        assert_eq!(
+            small_out, gather_out,
+            "in-register walk diverged from the gather walk"
+        );
+        for (r, row) in forest_rows.chunks_exact(small.n_features()).enumerate() {
+            assert_eq!(small_out[r], small_tree.predict(row), "row {r} diverged");
+        }
+    }
+
+    // Ensemble serving through the engine: the same 8-member forest
+    // behind one TreeServer vs eight single-tree servers with a
+    // client-side vote (the one-at-a-time shape a naive deployment would
+    // run). Requests/s over a burst drain, k tree-walks per request on
+    // both sides.
+    let ensemble_sources: Vec<DecisionTree> = std::iter::once(tree.clone())
+        .chain(
+            [1750, 1500, 1250, 1000, 800, 600, 400]
+                .iter()
+                .map(|&l| prune_to_leaves(tree, l)),
+        )
+        .collect();
+    let (forest_serve_per_sec, forest_serve_onebyone_rps) =
+        forest_serve_rates(&ensemble_sources, pool, 10_000, 3);
+    let forest_serve_vs_onebyone_x8 = forest_serve_per_sec / forest_serve_onebyone_rps.max(1e-12);
+
     // Registry read cost: what every flush pays to pin an epoch.
     let registry = ModelRegistry::new(tree.clone());
     let registry_read_per_sec = rows_per_sec(1024, || {
@@ -601,6 +758,7 @@ fn emit_report(_c: &mut Criterion) {
         fabric_shadow_audit(tree, pool, 12_000);
 
     let report = ServingReport {
+        host: metis_bench::measure::host_id(),
         cores,
         n_features: compiled.n_features(),
         tree_nodes: compiled.node_count(),
@@ -617,6 +775,13 @@ fn emit_report(_c: &mut Criterion) {
         forest_rows_per_sec,
         forest_naive_rows_x8: forest_naive_rows_per_sec,
         forest_vs_naive_x8,
+        inreg_tree_nodes: small.node_count(),
+        kernel_inreg_rows_per_sec,
+        kernel_inreg_gather_rows_x1,
+        kernel_inreg_vs_gather_x,
+        forest_serve_per_sec,
+        forest_serve_onebyone_rps,
+        forest_serve_vs_onebyone_x8,
         registry_read_per_sec,
         engine_capacity_rps: capacity_rps,
         engine_offered_rps: offered,
@@ -662,7 +827,9 @@ fn emit_report(_c: &mut Criterion) {
     println!(
         "serving backend: tree {:.0} rows/s, compiled batch-256 {:.0} rows/s ({:.1}x), \
          kernel batch-256 {:.0} rows/s ({:.2}x levelwise); \
+         in-register {}-node walk {:.0} rows/s ({:.2}x gather); \
          forest x8 {:.0} rows/s ({:.1}x naive per-tree); \
+         ensemble serving {:.0} rps ({:.2}x one-at-a-time x8); \
          engine {:.0} rps capacity, p99 {:.0} us at {:.0} rps offered; \
          {} swaps under load: {} dropped, {} mismatches; \
          fabric 1-shard {:.0} rps ({:.2}x engine), 4-shard {:.0} rps (ungated on {} cores), \
@@ -674,8 +841,13 @@ fn emit_report(_c: &mut Criterion) {
         report.batch256_speedup_vs_single_tree,
         report.kernel_rows_per_sec_b256,
         report.kernel_vs_levelwise_x_b256,
+        report.inreg_tree_nodes,
+        report.kernel_inreg_rows_per_sec,
+        report.kernel_inreg_vs_gather_x,
         report.forest_rows_per_sec,
         report.forest_vs_naive_x8,
+        report.forest_serve_per_sec,
+        report.forest_serve_vs_onebyone_x8,
         report.engine_capacity_rps,
         report.engine_p99_us,
         report.engine_offered_rps,
@@ -717,10 +889,26 @@ fn emit_report(_c: &mut Criterion) {
             report.forest_vs_naive_x8
         );
     }
+    if report.kernel_inreg_vs_gather_x < 1.5 {
+        eprintln!(
+            "WARNING: in-register kernel speedup over the gather walk is {:.2}x (< 1.5x target; \
+             ~1x is expected on hosts without AVX-512)",
+            report.kernel_inreg_vs_gather_x
+        );
+    }
+    if report.forest_serve_vs_onebyone_x8 < 2.0 {
+        eprintln!(
+            "WARNING: ensemble serving speedup over one-at-a-time k=8 is {:.2}x (< 2x target)",
+            report.forest_serve_vs_onebyone_x8
+        );
+    }
 }
 
 #[derive(serde::Serialize)]
 struct ServingReport {
+    /// Machine that produced this artifact (baseline floors are
+    /// host-specific; see `metis_bench::measure::host_id`).
+    host: String,
     cores: usize,
     n_features: usize,
     tree_nodes: usize,
@@ -750,6 +938,24 @@ struct ServingReport {
     /// the guard gates the evaluator, not the retained oracle).
     forest_naive_rows_x8: f64,
     forest_vs_naive_x8: f64,
+    /// Node count of the in-register A/B tree (≤ `metis_dt::INREG_NODES`).
+    inreg_tree_nodes: usize,
+    /// Gated: the in-register small-tree walk (`vpermi2*` register
+    /// lookups) on a 32-leaf prune, 16384-row batch.
+    kernel_inreg_rows_per_sec: f64,
+    /// Ungated reference (`rows_x1`, not `per_sec`): the identical tree
+    /// with its in-register tables stripped — the hardware-gather path.
+    kernel_inreg_gather_rows_x1: f64,
+    /// Same-process in-register speedup over the gather walk (~1x on
+    /// hosts without AVX-512, where both sides dispatch identically).
+    kernel_inreg_vs_gather_x: f64,
+    /// Gated: 8-tree ensemble serving through one micro-batching engine
+    /// (requests/s, each request a full majority vote).
+    forest_serve_per_sec: f64,
+    /// Ungated comparison point (`rps`, not `per_sec`): eight single-tree
+    /// servers fed the same requests with a client-side vote.
+    forest_serve_onebyone_rps: f64,
+    forest_serve_vs_onebyone_x8: f64,
     registry_read_per_sec: f64,
     engine_capacity_rps: f64,
     engine_offered_rps: f64,

@@ -61,6 +61,18 @@ impl Windows {
     }
 }
 
+/// Host identifier stamped into every `BENCH_*.json` artifact (alongside
+/// the core count) so a committed baseline can be traced to the machine
+/// that produced it — `per_sec` floors only mean anything same-host.
+/// Reads the kernel hostname; `"unknown"` when unavailable.
+pub fn host_id() -> String {
+    std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Median of a sample set under the IEEE total order (upper median for
 /// even lengths). Panics on an empty set — a gated metric with no
 /// samples is a bench bug, not a value.

@@ -53,8 +53,8 @@ pub use interpret::{
 };
 pub use pipeline::{ConversionPipeline, PipelineStats};
 pub use serving::{
-    serve_fabric_while_converting, serve_while_converting, FabricServeOutcome,
-    ServeWhileConvertOutcome, FABRIC_STUDENT_KEY,
+    serve_fabric_ensemble_while_converting, serve_fabric_while_converting, serve_while_converting,
+    FabricServeOutcome, ServeWhileConvertOutcome, FABRIC_STUDENT_KEY,
 };
 pub use stats::{ecdf, mean, pearson, quadrant13_fraction, std_dev};
 pub use workload::{RunnerStats, Workload, WorkloadResult, WorkloadRunner};

@@ -166,6 +166,91 @@ where
     T: Policy + Sync + ?Sized,
     V: ValueEstimate,
 {
+    run_fabric_serve(
+        pipeline,
+        initial,
+        fabric_cfg,
+        shadow,
+        shards,
+        arrivals,
+        features,
+        session,
+        time_scale,
+        |router, _, student| router.stage(FABRIC_STUDENT_KEY, student.tree.clone()),
+    )
+}
+
+/// [`serve_fabric_while_converting`] with **ensemble staging**: after
+/// round `r`, the candidate is a majority-vote [`metis_dt::Forest`] over
+/// the last `min(ensemble_k, r + 1)` students (vote order = round order)
+/// instead of round `r`'s tree alone — the serving-side analogue of
+/// epoch averaging, smoothing round-to-round fit jitter while the same
+/// mirrored audit and CAS promotion gate every swap. A window of one
+/// stages a plain tree, so `ensemble_k == 1` is exactly
+/// [`serve_fabric_while_converting`]. Conversion results stay
+/// bit-identical to a solo [`ConversionPipeline::run`].
+#[allow(clippy::too_many_arguments)]
+pub fn serve_fabric_ensemble_while_converting<E, T, V>(
+    pipeline: &ConversionPipeline<'_, E, T, V>,
+    initial: DecisionTree,
+    fabric_cfg: FabricConfig,
+    shadow: ShadowConfig,
+    shards: usize,
+    ensemble_k: usize,
+    arrivals: &ArrivalProcess,
+    features: impl FnMut(u64) -> Vec<f64> + Send,
+    session: impl FnMut(u64) -> u64 + Send,
+    time_scale: f64,
+) -> FabricServeOutcome
+where
+    E: Env + Sync,
+    T: Policy + Sync + ?Sized,
+    V: ValueEstimate,
+{
+    assert!(ensemble_k >= 1, "ensemble_k must be at least 1");
+    let mut recent: Vec<DecisionTree> = Vec::new();
+    run_fabric_serve(
+        pipeline,
+        initial,
+        fabric_cfg,
+        shadow,
+        shards,
+        arrivals,
+        features,
+        session,
+        time_scale,
+        move |router, _, student| {
+            recent.push(student.tree.clone());
+            if recent.len() > ensemble_k {
+                recent.remove(0);
+            }
+            if recent.len() == 1 {
+                router.stage(FABRIC_STUDENT_KEY, recent[0].clone());
+            } else {
+                router.stage_forest(FABRIC_STUDENT_KEY, recent.clone());
+            }
+        },
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_fabric_serve<E, T, V>(
+    pipeline: &ConversionPipeline<'_, E, T, V>,
+    initial: DecisionTree,
+    fabric_cfg: FabricConfig,
+    shadow: ShadowConfig,
+    shards: usize,
+    arrivals: &ArrivalProcess,
+    features: impl FnMut(u64) -> Vec<f64> + Send,
+    session: impl FnMut(u64) -> u64 + Send,
+    time_scale: f64,
+    stage: impl FnMut(&Router, usize, &crate::TreePolicy) + Send,
+) -> FabricServeOutcome
+where
+    E: Env + Sync,
+    T: Policy + Sync + ?Sized,
+    V: ValueEstimate,
+{
     assert!(
         time_scale.is_finite() && time_scale >= 0.0,
         "time_scale must be finite and non-negative"
@@ -182,12 +267,13 @@ where
     let mut handle = router.handle();
     let mut features = features;
     let mut session = session;
+    let mut stage = stage;
     let (results, runner) = WorkloadRunner::new(2).run_detailed(vec![
         Workload::new("convert", {
             let router = &router;
             move || {
-                FabricLane::Converted(Box::new(pipeline.run_publishing(|_, student| {
-                    router.stage(FABRIC_STUDENT_KEY, student.tree.clone());
+                FabricLane::Converted(Box::new(pipeline.run_publishing(|round, student| {
+                    stage(router, round, student);
                 })))
             }
         }),
@@ -394,5 +480,88 @@ mod tests {
         let tenant = outcome.fabric.tenant("convert-serve").unwrap();
         assert_eq!(tenant.served, 500);
         assert!(tenant.met_p99_budget);
+    }
+
+    /// The ensemble variant: each round stages a forest over the last
+    /// `k` students. Conversion stays bit-identical to solo, every
+    /// promotion records its ensemble width within the window bound, and
+    /// the live model at shutdown is whatever the last promotion
+    /// installed.
+    #[test]
+    fn ensemble_variant_stages_windowed_forests_and_preserves_conversion() {
+        use metis_fabric::PromotePolicy;
+
+        let pool: Vec<BanditEnv> = (0..3).map(|s| BanditEnv::new(3, 16, s)).collect();
+        let cfg = ConversionConfig {
+            max_leaf_nodes: 8,
+            episodes_per_round: 6,
+            max_steps: 16,
+            dagger_rounds: 2,
+            ..Default::default()
+        };
+        let pipeline = ConversionPipeline::new(&pool, &Oracle, |_| 0.0)
+            .conversion(cfg)
+            .seed(5);
+        let seed_states = pipeline.collect_teacher_states(4, 16);
+        let initial = pipeline.fit_states(&seed_states, 3, 0).tree;
+        let solo = pipeline.run();
+
+        let arrivals = ArrivalProcess::poisson(20_000.0, 500, 9);
+        let outcome = serve_fabric_ensemble_while_converting(
+            &pipeline,
+            initial.clone(),
+            FabricConfig {
+                serve: ServeConfig {
+                    max_batch: 32,
+                    max_delay: Duration::from_micros(300),
+                    ..Default::default()
+                },
+                mirror_batch: 16,
+            },
+            metis_fabric::ShadowConfig {
+                audit_rows: 32,
+                policy: PromotePolicy::AfterAudit,
+            },
+            2,
+            2, // ensemble_k: forests over the last two rounds
+            &arrivals,
+            one_hot,
+            |k| k % 7,
+            1.0,
+        );
+
+        // The staging hook never perturbs the conversion itself.
+        assert_eq!(outcome.conversion.policy.tree, solo.policy.tree);
+        assert_eq!(outcome.conversion.fidelity_history, solo.fidelity_history);
+        assert_eq!(outcome.responses.len(), 500);
+        assert_eq!(outcome.fabric.served, 500);
+        let scenario = outcome.fabric.scenario(FABRIC_STUDENT_KEY).unwrap();
+        // One staging per round; round 0 stages a lone tree, later rounds
+        // two-tree forests — every promotion's width reflects its window.
+        assert_eq!(scenario.shadow.staged, 3);
+        for (i, promo) in scenario.shadow.promotions.iter().enumerate() {
+            assert!(
+                promo.trees == 1 || promo.trees == 2,
+                "window bound violated: promotion {i} carries {} trees",
+                promo.trees
+            );
+            assert!(promo.audited_rows >= 32);
+        }
+        assert_eq!(scenario.swaps, scenario.shadow.promotions.len() as u64);
+        // The live model at shutdown is the last promotion's ensemble (or
+        // still the epoch-0 tree when nothing promoted in time).
+        match scenario.shadow.promotions.last() {
+            Some(last) => {
+                assert_eq!(scenario.live_trees, last.trees);
+                assert_eq!(scenario.live_epoch, last.epoch);
+            }
+            None => assert_eq!(scenario.live_trees, 1),
+        }
+        // Epoch-0 answers must still come from the initial tree.
+        for resp in &outcome.responses {
+            if resp.response.epoch == 0 {
+                assert_eq!(resp.response.prediction, initial.predict(&one_hot(resp.id)));
+            }
+        }
     }
 }

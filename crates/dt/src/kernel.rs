@@ -50,6 +50,20 @@
 //! the portable walk — an escape hatch for hosts where microcode
 //! mitigations (e.g. Downfall) made gathers slow, and the A/B lever the
 //! benches use.
+//!
+//! # In-register tables
+//!
+//! Trees with at most [`INREG_NODES`] nodes (CCP-pruned Metis trees are
+//! routinely this small) additionally carry an [`InRegTable`]: the
+//! `thr`/`pair`/`feat` columns padded to 64 entries. On AVX-512 hosts the
+//! walk then loads the whole node table into zmm registers **once per
+//! block** and replaces the per-level `thr`/`pair`/`feat` hardware
+//! gathers with `vpermi2pd`/`vpermi2q`/`vpermi2d` register-resident
+//! lookups (a two-deep blend cascade on index bits 4–5 covers all 64
+//! entries); only the per-row feature load remains a real gather. The
+//! same `_CMP_LT_OQ` comparator keeps the path inside the bit-exactness
+//! contract, and `METIS_NO_GATHER=1` disables it along with the gather
+//! walks.
 
 use crate::tree::{CompiledTree, DecisionTree, Prediction, TreeKind};
 use serde::{Deserialize, Serialize};
@@ -58,6 +72,49 @@ use serde::{Deserialize, Serialize};
 /// repo's widest serving schema) inside L1 alongside the hot node
 /// columns while giving the core enough independent loads to pipeline.
 pub const LANES: usize = 16;
+
+/// Largest node count that still fits the in-register table: 64 entries
+/// per column fill eight zmm registers of `f64` thresholds, eight of
+/// packed child pairs, and four of widened feature ids — twenty of the
+/// thirty-two architectural zmm registers, leaving headroom for the
+/// walk's working set.
+pub const INREG_NODES: usize = 64;
+
+/// The node columns of a small tree padded to [`INREG_NODES`] entries so
+/// the AVX-512 walk can keep the whole table register-resident (see the
+/// module docs). Entries past the real node count are self-loop leaves
+/// with `thr = +inf`, so a stray lookup behaves like a settled lane.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct InRegTable {
+    /// Split thresholds, `+inf` padded (64 × f64 — eight zmm).
+    pub(crate) thr: Vec<f64>,
+    /// Packed `left | right << 32` child pairs (64 × u64 — eight zmm).
+    pub(crate) pair: Vec<u64>,
+    /// Feature ids widened to `u32` (64 × u32 — four zmm).
+    pub(crate) feat: Vec<u32>,
+}
+
+impl InRegTable {
+    /// Pad the built columns of a table with at most [`INREG_NODES`]
+    /// nodes. Returns `None` for larger trees.
+    fn build(table: &NodeTable) -> Option<InRegTable> {
+        let n = table.len();
+        if n > INREG_NODES {
+            return None;
+        }
+        let mut reg = InRegTable {
+            thr: vec![f64::INFINITY; INREG_NODES],
+            pair: (0..INREG_NODES as u64).map(|i| i | i << 32).collect(),
+            feat: vec![0; INREG_NODES],
+        };
+        reg.thr[..n].copy_from_slice(&table.thr);
+        reg.pair[..n].copy_from_slice(&table.pair);
+        for (wide, &narrow) in reg.feat.iter_mut().zip(&table.feat) {
+            *wide = narrow as u32;
+        }
+        Some(reg)
+    }
+}
 
 /// The quantized structure-of-arrays node layout (see module docs).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -74,6 +131,9 @@ pub(crate) struct NodeTable {
     pub(crate) payload: Vec<u32>,
     /// Maximum root→leaf edge count — the walk's iteration bound.
     pub(crate) depth: usize,
+    /// Register-resident copy of the columns for trees with at most
+    /// [`INREG_NODES`] nodes; `None` for larger trees.
+    pub(crate) inreg: Option<InRegTable>,
 }
 
 impl NodeTable {
@@ -96,6 +156,7 @@ impl NodeTable {
             thr: vec![f64::INFINITY; n],
             payload: vec![0; n],
             depth: 0,
+            inreg: None,
         };
         let mut values = Vec::new();
         // BFS over the arena: `order[new] = old`, `remap[old] = new`.
@@ -143,6 +204,7 @@ impl NodeTable {
             .map(|(&l, &r)| l as u64 | (r as u64) << 32)
             .collect();
         table.feat.push(0); // gather over-read pad (see field doc)
+        table.inreg = InRegTable::build(&table);
         (table, values)
     }
 
@@ -222,7 +284,7 @@ fn walk_block<const L: usize>(t: &NodeTable, rows: &[f64], nf: usize, out: &mut 
 /// the portable walk; a unit test pins the two against each other.
 #[cfg(target_arch = "x86_64")]
 mod gather {
-    use super::{NodeTable, LANES};
+    use super::{InRegTable, NodeTable, LANES};
     use std::arch::x86_64::*;
 
     const GROUPS: usize = LANES / 4;
@@ -238,6 +300,9 @@ mod gather {
         Avx2,
         /// 8-lane (zmm) gathers — half the gather instructions per level.
         Avx512,
+        /// Register-resident node table (`vpermi2*` lookups): zmm lanes
+        /// with zero table gathers per level.
+        InReg512,
     }
 
     #[inline]
@@ -246,6 +311,9 @@ mod gather {
             return Width::None;
         }
         if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vl") {
+            if t.inreg.is_some() {
+                return Width::InReg512;
+            }
             return Width::Avx512;
         }
         if is_x86_feature_detected!("avx2") {
@@ -374,6 +442,116 @@ mod gather {
             out[l] = *t.payload.get_unchecked(lanes[l] as usize);
         }
     }
+
+    /// The register-resident walk for tables that fit [`InRegTable`]:
+    /// the `thr`/`pair`/`feat` columns are loaded into twenty zmm
+    /// registers **once per block**, and each level resolves them with
+    /// `vpermi2pd`/`vpermi2q`/`vpermi2d` two-table permutes — a blend
+    /// cascade on node-index bits 4–5 extends the 16-entry (f64/u64) and
+    /// 32-entry (u32) permute reach to all 64 padded entries. The only
+    /// remaining hardware gather per level is the per-row feature load,
+    /// which is data-dependent on the request batch and cannot live in
+    /// registers. Same `_CMP_LT_OQ` comparator, same results as the
+    /// portable walk.
+    ///
+    /// # Safety
+    ///
+    /// As [`walk_block`], but requires AVX-512 F + VL, and `reg` must be
+    /// the [`InRegTable`] built from `t`.
+    #[target_feature(enable = "avx512f,avx512vl")]
+    pub(super) unsafe fn walk_block_inreg(
+        t: &NodeTable,
+        reg: &InRegTable,
+        rows: &[f64],
+        nf: usize,
+        out: &mut [u32],
+    ) {
+        const G: usize = LANES / 8;
+        const _: () = assert!(LANES.is_multiple_of(8));
+        debug_assert_eq!(rows.len(), LANES * nf);
+        debug_assert_eq!(out.len(), LANES);
+        let rp = rows.as_ptr();
+        // The whole node table, register-resident for the block.
+        let th_tab: [__m512d; 8] = std::array::from_fn(|j| _mm512_loadu_pd(&reg.thr[8 * j]));
+        let pr_tab: [__m512i; 8] =
+            std::array::from_fn(|j| _mm512_loadu_epi64(reg.pair.as_ptr().add(8 * j) as *const i64));
+        let ft_tab: [__m512i; 4] =
+            std::array::from_fn(
+                |j| _mm512_loadu_epi32(reg.feat.as_ptr().add(16 * j) as *const i32),
+            );
+        let bit4_64 = _mm512_set1_epi64(16);
+        let bit5_64 = _mm512_set1_epi64(32);
+        let bit5_32 = _mm512_set1_epi32(32);
+        let base: [__m256i; G] = std::array::from_fn(|g| {
+            let mut b = [0i32; 8];
+            for (j, slot) in b.iter_mut().enumerate() {
+                *slot = ((8 * g + j) * nf) as i32;
+            }
+            _mm256_loadu_si256(b.as_ptr() as *const __m256i)
+        });
+        let mut idx = [_mm256_setzero_si256(); G];
+        for _ in 0..=t.depth {
+            let mut settled = true;
+            for g in 0..G {
+                let i = idx[g];
+                // feat[i]: two 32-entry vpermi2d halves, bit 5 selects.
+                let idz = _mm512_zextsi256_si512(i);
+                let f_lo = _mm512_permutex2var_epi32(ft_tab[0], idz, ft_tab[1]);
+                let f_hi = _mm512_permutex2var_epi32(ft_tab[2], idz, ft_tab[3]);
+                let b5_32 = _mm512_test_epi32_mask(idz, bit5_32);
+                let f = _mm512_castsi512_si256(_mm512_mask_blend_epi32(b5_32, f_lo, f_hi));
+                let x = _mm512_i32gather_pd::<8>(_mm256_add_epi32(base[g], f), rp);
+                // thr[i] / pair[i]: four 16-entry vpermi2 quarters each,
+                // bits 4 then 5 select through the cascade.
+                let i64s = _mm512_cvtepu32_epi64(i);
+                let b4 = _mm512_test_epi64_mask(i64s, bit4_64);
+                let b5 = _mm512_test_epi64_mask(i64s, bit5_64);
+                let th = _mm512_mask_blend_pd(
+                    b5,
+                    _mm512_mask_blend_pd(
+                        b4,
+                        _mm512_permutex2var_pd(th_tab[0], i64s, th_tab[1]),
+                        _mm512_permutex2var_pd(th_tab[2], i64s, th_tab[3]),
+                    ),
+                    _mm512_mask_blend_pd(
+                        b4,
+                        _mm512_permutex2var_pd(th_tab[4], i64s, th_tab[5]),
+                        _mm512_permutex2var_pd(th_tab[6], i64s, th_tab[7]),
+                    ),
+                );
+                let pr = _mm512_mask_blend_epi64(
+                    b5,
+                    _mm512_mask_blend_epi64(
+                        b4,
+                        _mm512_permutex2var_epi64(pr_tab[0], i64s, pr_tab[1]),
+                        _mm512_permutex2var_epi64(pr_tab[2], i64s, pr_tab[3]),
+                    ),
+                    _mm512_mask_blend_epi64(
+                        b4,
+                        _mm512_permutex2var_epi64(pr_tab[4], i64s, pr_tab[5]),
+                        _mm512_permutex2var_epi64(pr_tab[6], i64s, pr_tab[7]),
+                    ),
+                );
+                let go_left = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(x, th);
+                // Lanes going right take the pair's high half.
+                let sel = _mm512_mask_srli_epi64::<32>(pr, !go_left, pr);
+                let next = _mm512_cvtepi64_epi32(sel);
+                settled &= _mm256_cmpeq_epi32_mask(next, i) == 0xFF;
+                idx[g] = next;
+            }
+            if settled {
+                break;
+            }
+        }
+        let mut lanes = [0u32; LANES];
+        for (g, &v) in idx.iter().enumerate() {
+            _mm256_storeu_si256(lanes.as_mut_ptr().add(8 * g) as *mut __m256i, v);
+        }
+        for l in 0..LANES {
+            debug_assert!(t.is_leaf(lanes[l] as usize));
+            out[l] = *t.payload.get_unchecked(lanes[l] as usize);
+        }
+    }
 }
 
 /// Walk one row to its leaf payload — the scalar path for block tails
@@ -412,6 +590,11 @@ pub(crate) fn walk_payloads(t: &NodeTable, rows: &[f64], nf: usize, out: &mut [u
             // SAFETY: applicable() verified the ISA features and 32-bit
             // indexability; the slices are exactly one LANES-row block.
             match width {
+                gather::Width::InReg512 => {
+                    let reg = t.inreg.as_ref().expect("InReg512 dispatch without table");
+                    unsafe { gather::walk_block_inreg(t, reg, block_rows, nf, block_out) };
+                    continue;
+                }
                 gather::Width::Avx512 => {
                     unsafe { gather::walk_block_512(t, block_rows, nf, block_out) };
                     continue;

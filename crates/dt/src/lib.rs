@@ -34,8 +34,9 @@ pub mod tree;
 pub use builder::{fit, Criterion, FitError, TreeConfig};
 pub use dataset::{Dataset, DatasetError, Targets};
 pub use export::{render, to_graphviz, RenderOptions};
-pub use kernel::{Forest, ForestError, LANES};
+pub use kernel::{Forest, ForestError, INREG_NODES, LANES};
 pub use prune::{alpha_sequence, prune_alpha, prune_to_leaves, truncate_depth, PruneStep};
 pub use tree::{
-    BatchDiff, CompiledTree, DecisionTree, Node, NodeStats, Prediction, Split, TreeKind,
+    diff_predictions, BatchDiff, CompiledTree, DecisionTree, Node, NodeStats, Prediction, Split,
+    TreeKind,
 };

@@ -522,25 +522,7 @@ impl CompiledTree {
             "diff_batch: trees take {} vs {} features",
             self.n_features, other.n_features
         );
-        let ours = self.predict_batch(rows);
-        let theirs = other.predict_batch(rows);
-        let mut diff = BatchDiff {
-            rows: ours.len(),
-            mismatches: 0,
-            first_mismatch: None,
-        };
-        for (row, (a, b)) in ours.iter().zip(theirs.iter()).enumerate() {
-            let same = match (a, b) {
-                (Prediction::Class(x), Prediction::Class(y)) => x == y,
-                (Prediction::Value(x), Prediction::Value(y)) => x.to_bits() == y.to_bits(),
-                _ => false,
-            };
-            if !same {
-                diff.mismatches += 1;
-                diff.first_mismatch.get_or_insert(row);
-            }
-        }
-        diff
+        diff_predictions(&self.predict_batch(rows), &other.predict_batch(rows))
     }
 
     /// Kind of the source tree (drives [`CompiledTree::predict`] payloads).
@@ -552,6 +534,52 @@ impl CompiledTree {
     pub fn node_count(&self) -> usize {
         self.table.len()
     }
+
+    /// A copy of this tree with the in-register node table dropped, so
+    /// evaluation always takes the gather (or portable) walk — the A/B
+    /// lever the kernel benchmarks use to price the `vpermi2*` path
+    /// against hardware gathers on the same tree. Predictions are
+    /// bit-identical either way.
+    pub fn without_inreg(&self) -> CompiledTree {
+        let mut copy = self.clone();
+        copy.table.inreg = None;
+        copy
+    }
+}
+
+/// Compare two prediction slices the way the serving path compares
+/// answers — class indices by equality, values by `to_bits` (so `0.0` vs
+/// `-0.0` or a NaN payload swap counts as a mismatch, exactly like a
+/// diverging response would); predictions of different kinds mismatch.
+/// This is the one audit comparator shared by [`CompiledTree::diff_batch`]
+/// and the served-model ensemble audits, so single-tree and forest
+/// shadow promotion use identical semantics. The slices must be the same
+/// length (they came from the same row block).
+pub fn diff_predictions(ours: &[Prediction], theirs: &[Prediction]) -> BatchDiff {
+    assert_eq!(
+        ours.len(),
+        theirs.len(),
+        "diff_predictions: {} vs {} rows",
+        ours.len(),
+        theirs.len()
+    );
+    let mut diff = BatchDiff {
+        rows: ours.len(),
+        mismatches: 0,
+        first_mismatch: None,
+    };
+    for (row, (a, b)) in ours.iter().zip(theirs.iter()).enumerate() {
+        let same = match (a, b) {
+            (Prediction::Class(x), Prediction::Class(y)) => x == y,
+            (Prediction::Value(x), Prediction::Value(y)) => x.to_bits() == y.to_bits(),
+            _ => false,
+        };
+        if !same {
+            diff.mismatches += 1;
+            diff.first_mismatch.get_or_insert(row);
+        }
+    }
+    diff
 }
 
 /// Outcome of [`CompiledTree::diff_batch`]: how many rows two trees
@@ -660,6 +688,80 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Trees with at most `INREG_NODES` nodes carry the register-resident
+    /// table and (on AVX-512 hosts) take the `vpermi2*` walk; stripping
+    /// the table via `without_inreg` forces the gather/portable walk on
+    /// the *same* tree. The two must agree bit-for-bit with each other
+    /// and with the interpreted tree — NaN-salted and all-NaN rows
+    /// included. (On hosts without AVX-512 both sides take the same walk
+    /// and the test degenerates to a tautology, by design.)
+    #[test]
+    fn inreg_walk_bit_identical_to_gather_and_portable() {
+        for (max_leaves, regress) in [(2usize, false), (9, false), (32, false), (20, true)] {
+            let dims = if regress { 3 } else { 4 };
+            let x = lcg_features(400, dims, 33 + max_leaves as u64);
+            let tree = if regress {
+                let y: Vec<f64> = x.iter().map(|xi| xi[0] * 2.0 - xi[1]).collect();
+                let ds = Dataset::regression(x.clone(), y).unwrap();
+                fit(
+                    &ds,
+                    &TreeConfig {
+                        max_leaf_nodes: max_leaves,
+                        criterion: crate::builder::Criterion::Mse,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            } else {
+                let y: Vec<usize> = x
+                    .iter()
+                    .map(|xi| ((xi[0] * 5.0 + xi[2] * 3.0) as usize) % 5)
+                    .collect();
+                let ds = Dataset::classification(x.clone(), y, 5).unwrap();
+                fit(
+                    &ds,
+                    &TreeConfig {
+                        max_leaf_nodes: max_leaves,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            };
+            let compiled = CompiledTree::compile(&tree);
+            assert!(compiled.node_count() <= crate::kernel::INREG_NODES);
+            assert!(
+                compiled.table().inreg.is_some(),
+                "a {}-node tree must carry the in-register table",
+                compiled.node_count()
+            );
+            let stripped = compiled.without_inreg();
+            assert!(stripped.table().inreg.is_none());
+            let mut rows = lcg_features(3 * crate::kernel::LANES + 7, dims, 91);
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r % 5 == 0 {
+                    row[r % dims] = f64::NAN;
+                }
+                if r % 11 == 0 {
+                    row.iter_mut().for_each(|v| *v = f64::NAN);
+                }
+            }
+            let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+            let with_inreg = compiled.predict_batch(&flat);
+            let without = stripped.predict_batch(&flat);
+            for (r, (a, b)) in with_inreg.iter().zip(without.iter()).enumerate() {
+                assert_predictions_bit_identical(*a, *b, &format!("row {r}: inreg vs gather"));
+            }
+            for (row, got) in rows.iter().zip(with_inreg.iter()) {
+                assert_predictions_bit_identical(*got, tree.predict(row), "inreg vs tree");
+            }
+            assert!(compiled.diff_batch(&stripped, &flat).is_clean());
+        }
+        // Trees past the node cap must not carry the table.
+        let big = CompiledTree::compile(&fitted_classifier(7));
+        assert!(big.node_count() > crate::kernel::INREG_NODES);
+        assert!(big.table().inreg.is_none());
     }
 
     /// NaN-routing parity: `x[f] < thr` is false for NaN, so every

@@ -26,6 +26,9 @@ pub struct ScenarioReport {
     pub swaps: u64,
     /// Epoch live at shutdown.
     pub live_epoch: u64,
+    /// Ensemble width of the model live at shutdown (1 = a single tree,
+    /// k = a k-tree majority-vote [`metis_dt::Forest`]).
+    pub live_trees: usize,
     /// Exact percentile summary over the union of all shards' samples.
     pub latency: LatencySummary,
     /// Per-shard engine reports, in shard order.

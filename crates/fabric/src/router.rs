@@ -16,14 +16,17 @@
 //! `deadline_class` is stamped onto the shards' pool submissions (the
 //! pool drains urgent classes first — [`metis_nn::par::with_deadline_class`])
 //! and whose `p99_budget_s` is checked in the shutdown report. Shadow
-//! staging ([`Router::stage`]) audits a candidate tree on mirrored
-//! traffic before (or instead of) letting it serve — see [`crate::shadow`].
+//! staging ([`Router::stage`], [`Router::stage_forest`]) audits a
+//! candidate model — a single tree or a [`metis_dt::Forest`]
+//! majority-vote ensemble — on mirrored traffic before (or instead of)
+//! letting it serve — see [`crate::shadow`].
 
 use crate::report::{FabricReport, ScenarioReport, TenantReport};
 use crate::shadow::{ShadowConfig, ShadowState};
 use metis_dt::DecisionTree;
 use metis_serve::{
-    LatencyRecorder, LatencySummary, ModelRegistry, Response, ServeConfig, ServerHandle, TreeServer,
+    LatencyRecorder, LatencySummary, ModelRegistry, Response, ServeConfig, ServedModel,
+    ServerHandle, TreeServer,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -246,18 +249,40 @@ impl Router {
         self.scenario(key).registry.publish(tree)
     }
 
+    /// Hot-swap a scenario's live model to a majority-vote
+    /// [`metis_dt::Forest`] over `sources` (no shadow audit); returns the
+    /// new epoch. Panics when the ensemble is empty or mixes widths or
+    /// output kinds.
+    pub fn publish_forest(&self, key: &str, sources: Vec<DecisionTree>) -> u64 {
+        let model = ServedModel::from_trees(sources).expect("published ensemble must be coherent");
+        self.scenario(key).registry.publish_model(model)
+    }
+
     /// Stage `tree` as the scenario's shadow candidate: mirrored traffic
     /// diffs it bit-exactly against the live model it would replace, and
     /// the scenario's [`ShadowConfig`] policy decides the swap once the
     /// audit quota is reached. A still-undecided previous candidate is
     /// replaced (latest round wins).
     pub fn stage(&self, key: &str, tree: DecisionTree) {
+        self.stage_model(key, ServedModel::from_tree(tree));
+    }
+
+    /// Stage a majority-vote [`metis_dt::Forest`] over `sources` as the
+    /// scenario's shadow candidate — same mirrored audit and CAS
+    /// promotion as [`Router::stage`], but the candidate (and, once
+    /// promoted, the live epoch) is a k-tree ensemble. Panics when the
+    /// ensemble is empty or mixes widths or output kinds.
+    pub fn stage_forest(&self, key: &str, sources: Vec<DecisionTree>) {
+        let model = ServedModel::from_trees(sources).expect("staged ensemble must be coherent");
+        self.stage_model(key, model);
+    }
+
+    fn stage_model(&self, key: &str, model: ServedModel) {
         let scenario = self.scenario(key);
-        // Compile before taking the shadow lock: a mirror flush on the
-        // live submit path must never wait out a tree compile.
-        let compiled = metis_dt::CompiledTree::compile(&tree);
+        // `model` was compiled before this call — a mirror flush on the
+        // live submit path must never wait out a compile under the lock.
         let mut shadow = scenario.shadow.lock().unwrap();
-        shadow.stage(tree, compiled, &scenario.registry);
+        shadow.stage(model, &scenario.registry);
         scenario.shadow_gen.store(
             shadow.active_generation().expect("just staged"),
             Ordering::Relaxed,
@@ -326,6 +351,7 @@ impl Router {
                 served,
                 swaps: scenario.registry.swap_count(),
                 live_epoch: scenario.registry.epoch(),
+                live_trees: scenario.registry.current().model.n_trees(),
                 latency,
                 shards: shard_reports,
                 shadow: scenario.shadow.into_inner().unwrap().finish(),
@@ -717,6 +743,57 @@ mod tests {
         assert_eq!(shadow.rejected, 1);
         assert!(shadow.mismatch_rows > 0, "audit must surface the diffs");
         assert!(shadow.promotions.is_empty());
+    }
+
+    /// A k-tree ensemble flows through the same fabric surfaces a single
+    /// tree does: `stage_forest` audits it on mirrored traffic and CAS
+    /// promotion makes it live; after the swap every response matches the
+    /// offline `Forest` majority vote, and the report carries the live
+    /// ensemble width.
+    #[test]
+    fn staged_and_published_forests_serve_majority_votes() {
+        let t = tree(24, 6);
+        let members = vec![tree(24, 6), tree(12, 6), tree(6, 6)];
+        let oracle = metis_dt::Forest::from_trees(&members).unwrap();
+        let router = Router::new(
+            vec![TenantSpec::new("t")],
+            vec![ScenarioSpec::new("s", "t", t.clone()).shadow(ShadowConfig {
+                audit_rows: 64,
+                policy: PromotePolicy::OnZeroDiff,
+            })],
+            quick_cfg(),
+        );
+        // Identical members ⇒ the forest votes exactly like the live tree
+        // on every mirrored row, so the audit is clean and it promotes.
+        router.stage_forest("s", vec![t.clone(), t.clone(), t.clone()]);
+        let mut handle = router.handle();
+        for k in 0..100u64 {
+            handle.submit(0, k, features(k));
+        }
+        handle.collect();
+        assert_eq!(router.registry("s").epoch(), 1, "clean audit promoted");
+        assert_eq!(router.registry("s").current().model.n_trees(), 3);
+        // Direct ensemble hot swap, no audit: responses after the publish
+        // follow the forest's majority vote row-for-row.
+        let epoch = router.publish_forest("s", members);
+        assert_eq!(epoch, 2);
+        for k in 0..100u64 {
+            handle.submit(0, k, features(k));
+        }
+        let responses = handle.collect();
+        for resp in &responses {
+            assert_eq!(resp.response.epoch, 2);
+            assert_eq!(
+                resp.response.prediction,
+                oracle.predict(&features(resp.id - 100))
+            );
+        }
+        drop(handle);
+        let report = router.shutdown();
+        assert_eq!(report.scenarios[0].live_trees, 3);
+        assert_eq!(report.scenarios[0].swaps, 2);
+        assert_eq!(report.scenarios[0].shadow.promotions.len(), 1);
+        assert_eq!(report.scenarios[0].shadow.promotions[0].mismatches, 0);
     }
 
     #[test]

@@ -2,12 +2,15 @@
 //! mirrored traffic through both, and only hot-swap when the audit says
 //! so.
 //!
-//! A staged *candidate* pins the live epoch it would replace
-//! ([`metis_serve::ModelRegistry::current`] at staging time) as its
-//! **baseline**. Mirrored feature rows are diffed bit-exactly —
-//! candidate vs baseline — via [`metis_dt::CompiledTree::diff_batch`];
-//! once `audit_rows` rows have been mirrored the [`PromotePolicy`]
-//! decides:
+//! A staged *candidate* — a [`ServedModel`], so a single compiled tree
+//! or a majority-vote [`metis_dt::Forest`] ensemble — pins the live
+//! epoch it would replace ([`metis_serve::ModelRegistry::current`] at
+//! staging time) as its **baseline**. Mirrored feature rows are diffed
+//! bit-exactly — candidate vs baseline — via
+//! [`ServedModel::diff_batch`] (the same comparator as
+//! [`metis_dt::CompiledTree::diff_batch`], so tree and ensemble audits
+//! share one semantics); once `audit_rows` rows have been mirrored the
+//! [`PromotePolicy`] decides:
 //!
 //! * [`PromotePolicy::OnZeroDiff`] — promote only a clean audit: the swap
 //!   is provably a behavioural no-op on observed traffic (a safe
@@ -30,8 +33,7 @@
 //! a compare-and-swap on the baseline epoch: if a direct publish landed
 //! mid-audit, the candidate is *superseded* — recorded, never installed.
 
-use metis_dt::{CompiledTree, DecisionTree};
-use metis_serve::{EpochModel, ModelRegistry};
+use metis_serve::{EpochModel, ModelRegistry, ServedModel};
 use std::sync::Arc;
 
 /// What to do with a staged candidate once its audit quota is reached.
@@ -77,6 +79,9 @@ pub struct PromotionRecord {
     /// Rows that answered differently from the baseline (always 0 under
     /// [`PromotePolicy::OnZeroDiff`]).
     pub mismatches: usize,
+    /// Ensemble width of the promoted model (1 = a single tree, k = a
+    /// k-tree majority-vote forest).
+    pub trees: usize,
 }
 
 /// Lifetime shadow accounting of one scenario.
@@ -104,8 +109,7 @@ pub struct ShadowReport {
 }
 
 struct Candidate {
-    source: DecisionTree,
-    compiled: CompiledTree,
+    model: ServedModel,
     baseline: Arc<EpochModel>,
     /// Staging generation (monotone per slot) — mirrored rows carry the
     /// generation they were captured under, so traffic buffered before a
@@ -144,24 +148,19 @@ impl ShadowState {
         self.candidate.as_ref().map(|c| c.generation)
     }
 
-    /// Stage a candidate against the registry's current epoch, replacing
-    /// any undecided predecessor (latest round wins). The caller
-    /// compiles the candidate **before** locking this state (mirroring
-    /// the registry's compile-outside-the-lock rule) so live submits
-    /// flushing mirrors never stall behind a compile.
-    pub(crate) fn stage(
-        &mut self,
-        tree: DecisionTree,
-        compiled: CompiledTree,
-        registry: &ModelRegistry,
-    ) {
+    /// Stage a candidate model (tree or ensemble) against the registry's
+    /// current epoch, replacing any undecided predecessor (latest round
+    /// wins). The caller compiles the candidate **before** locking this
+    /// state (mirroring the registry's compile-outside-the-lock rule) so
+    /// live submits flushing mirrors never stall behind a compile.
+    pub(crate) fn stage(&mut self, model: ServedModel, registry: &ModelRegistry) {
         let baseline = registry.current();
         assert_eq!(
-            compiled.n_features(),
-            baseline.compiled.n_features(),
+            model.n_features(),
+            baseline.model.n_features(),
             "stage: candidate takes {} features, the scenario serves {}",
-            compiled.n_features(),
-            baseline.compiled.n_features()
+            model.n_features(),
+            baseline.model.n_features()
         );
         if let Some(old) = self.candidate.take() {
             self.report.replaced += 1;
@@ -172,8 +171,7 @@ impl ShadowState {
         let generation = self.next_generation;
         self.next_generation += 1;
         self.candidate = Some(Candidate {
-            source: tree,
-            compiled,
+            model,
             baseline,
             generation,
             mirrored: 0,
@@ -196,9 +194,7 @@ impl ShadowState {
         if candidate.generation != generation {
             return None;
         }
-        let diff = candidate
-            .compiled
-            .diff_batch(&candidate.baseline.compiled, rows);
+        let diff = candidate.model.diff_batch(&candidate.baseline.model, rows);
         candidate.mirrored += diff.rows;
         candidate.mismatches += diff.mismatches;
         if candidate.mirrored < self.cfg.audit_rows {
@@ -222,11 +218,10 @@ impl ShadowState {
                 // against a model that is no longer live — refusing to
                 // install it is the only honest outcome (a clobbered
                 // hotfix would be far worse than a lost refresh).
-                let Some(epoch) = registry.publish_if_current(
-                    promoted.source,
-                    promoted.compiled,
-                    promoted.baseline.epoch,
-                ) else {
+                let trees = promoted.model.n_trees();
+                let Some(epoch) =
+                    registry.publish_if_current(promoted.model, promoted.baseline.epoch)
+                else {
                     self.report.superseded += 1;
                     return None;
                 };
@@ -235,6 +230,7 @@ impl ShadowState {
                     baseline_epoch: promoted.baseline.epoch,
                     audited_rows: promoted.mirrored,
                     mismatches: promoted.mismatches,
+                    trees,
                 };
                 self.report.promotions.push(record.clone());
                 Some(record)
@@ -257,7 +253,7 @@ impl ShadowState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use metis_dt::{fit, Dataset, TreeConfig};
+    use metis_dt::{fit, Dataset, DecisionTree, TreeConfig};
 
     fn tree(leaves: usize) -> DecisionTree {
         let x: Vec<Vec<f64>> = (0..160)
@@ -282,8 +278,7 @@ mod tests {
 
     /// Test-side staging: compile then stage, as the router does.
     fn stage(shadow: &mut ShadowState, tree: DecisionTree, registry: &ModelRegistry) {
-        let compiled = CompiledTree::compile(&tree);
-        shadow.stage(tree, compiled, registry);
+        shadow.stage(ServedModel::from_tree(tree), registry);
     }
 
     #[test]
@@ -438,7 +433,42 @@ mod tests {
             &TreeConfig::default(),
         )
         .unwrap();
-        let compiled = CompiledTree::compile(&narrow);
-        ShadowState::new(ShadowConfig::default()).stage(narrow, compiled, &registry);
+        ShadowState::new(ShadowConfig::default()).stage(ServedModel::from_tree(narrow), &registry);
+    }
+
+    /// Ensemble candidates ride the same audit: a 1-tree forest of the
+    /// live tree diffs clean (the kernel guarantees a 1-tree forest is
+    /// bit-identical to its tree) and promotes a forest epoch; a wider
+    /// ensemble whose vote diverges is rejected under OnZeroDiff.
+    #[test]
+    fn forest_candidates_audit_and_promote_like_trees() {
+        let registry = ModelRegistry::new(tree(16));
+        let mut shadow = ShadowState::new(ShadowConfig {
+            audit_rows: 64,
+            policy: PromotePolicy::OnZeroDiff,
+        });
+        let clean = ServedModel::from_trees(vec![tree(16)]).unwrap();
+        shadow.stage(clean, &registry);
+        let gen = shadow.active_generation().unwrap();
+        let promo = shadow
+            .mirror(&rows(64), gen, &registry)
+            .expect("1-tree forest of the live tree must audit clean");
+        assert_eq!(promo.mismatches, 0);
+        assert_eq!(registry.epoch(), 1);
+        assert_eq!(
+            registry.current().model.n_trees(),
+            1,
+            "promoted model is the staged forest"
+        );
+
+        // A coarse ensemble diverges from the live tree: rejected.
+        let dirty = ServedModel::from_trees(vec![tree(2), tree(3), tree(4)]).unwrap();
+        shadow.stage(dirty, &registry);
+        let gen = shadow.active_generation().unwrap();
+        assert!(shadow.mirror(&rows(64), gen, &registry).is_none());
+        assert_eq!(registry.epoch(), 1, "dirty ensemble must not go live");
+        let report = shadow.finish();
+        assert_eq!(report.rejected, 1);
+        assert!(report.mismatch_rows > 0);
     }
 }

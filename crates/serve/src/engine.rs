@@ -8,17 +8,24 @@
 //!
 //! 1. pins the live model epoch ([`crate::ModelRegistry::current`]) — a
 //!    concurrent hot swap never retroactively changes a dispatched batch,
-//! 2. walks the batch through the lane-vectorized compiled kernel
-//!    ([`metis_dt::CompiledTree::predict_batch`]), striping row chunks
-//!    across [`metis_nn::par::parallel_map_indexed`] under the engine's
+//! 2. walks the batch through the epoch's [`crate::ServedModel`] — a
+//!    single lane-vectorized compiled tree or a block-major
+//!    [`metis_dt::Forest`] ensemble — into a scratch buffer reused
+//!    across flushes ([`crate::ServedModel::predict_batch_into`]),
+//!    striping row chunks across
+//!    [`metis_nn::par::parallel_map_indexed`] under the engine's
 //!    **dedicated pool group** (so serving shares the process-wide pool
 //!    fairly with concurrently running conversion pipelines),
 //! 3. answers every request with its prediction, the serving epoch, and
-//!    its measured queue+service latency.
+//!    its measured queue+service latency — latency is additionally
+//!    bucketed by the serving model's ensemble width, so a registry that
+//!    hot-swaps between tree and forest epochs reports each shape's
+//!    percentiles separately ([`EngineReport::per_width`]).
 //!
 //! Results are merged by row index, so every response is bit-identical to
-//! sequential `DecisionTree::predict` on the reported epoch's source tree
-//! for any batch size, deadline, thread count, or swap interleaving.
+//! the sequential oracle on the reported epoch's source trees (single
+//! `DecisionTree::predict`, or the forest's majority vote) for any batch
+//! size, deadline, thread count, or swap interleaving.
 
 use crate::latency::{LatencyRecorder, LatencySummary};
 use crate::registry::ModelRegistry;
@@ -104,6 +111,17 @@ struct EngineLog {
     delivery_failures: u64,
     max_batch_seen: usize,
     per_epoch: BTreeMap<u64, u64>,
+    /// Latency samples bucketed by the serving model's ensemble width
+    /// (1 = single tree, k = k-tree forest).
+    per_width: BTreeMap<usize, LatencyRecorder>,
+}
+
+/// Row and prediction buffers a batcher reuses across flushes, so the
+/// steady-state flush path allocates nothing per batch.
+#[derive(Default)]
+struct FlushScratch {
+    rows: Vec<f64>,
+    predictions: Vec<Prediction>,
 }
 
 /// Lifetime summary of one [`TreeServer`], returned by
@@ -128,6 +146,10 @@ pub struct EngineReport {
     pub recorder: LatencyRecorder,
     /// `(epoch, requests served from it)`, ascending by epoch.
     pub per_epoch: Vec<(u64, u64)>,
+    /// `(ensemble width, latency summary of requests served at that
+    /// width)`, ascending by width — separates single-tree epochs from
+    /// k-tree forest epochs when a registry hot-swaps between shapes.
+    pub per_width: Vec<(usize, LatencySummary)>,
 }
 
 /// A per-client submission handle with its own response channel. Submit
@@ -264,6 +286,11 @@ impl TreeServer {
             latency: log.latency.summary(),
             recorder: log.latency,
             per_epoch: log.per_epoch.into_iter().collect(),
+            per_width: log
+                .per_width
+                .into_iter()
+                .map(|(w, rec)| (w, rec.summary()))
+                .collect(),
         }
     }
 }
@@ -274,6 +301,7 @@ fn batcher_loop(rx: Receiver<Msg>, registry: Arc<ModelRegistry>, cfg: ServeConfi
     // tenant — or as part of a shared tenant when the config says so.
     let group = cfg.group.unwrap_or_else(metis_nn::par::fresh_group);
     let mut log = EngineLog::default();
+    let mut scratch = FlushScratch::default();
     loop {
         // Open a batch at the first request (block indefinitely — an idle
         // server costs nothing).
@@ -301,7 +329,7 @@ fn batcher_loop(rx: Receiver<Msg>, registry: Arc<ModelRegistry>, cfg: ServeConfi
                 Err(RecvTimeoutError::Timeout) => break,
             }
         }
-        flush(&mut log, &registry, &cfg, group, batch);
+        flush(&mut log, &mut scratch, &registry, &cfg, group, batch);
         if shutting_down {
             break;
         }
@@ -322,13 +350,14 @@ fn batcher_loop(rx: Receiver<Msg>, registry: Arc<ModelRegistry>, cfg: ServeConfi
     let mut rest = rest.into_iter().peekable();
     while rest.peek().is_some() {
         let chunk: Vec<Request> = rest.by_ref().take(cfg.max_batch).collect();
-        flush(&mut log, &registry, &cfg, group, chunk);
+        flush(&mut log, &mut scratch, &registry, &cfg, group, chunk);
     }
     log
 }
 
 fn flush(
     log: &mut EngineLog,
+    scratch: &mut FlushScratch,
     registry: &ModelRegistry,
     cfg: &ServeConfig,
     group: u64,
@@ -339,50 +368,57 @@ fn flush(
     }
     // Pin the epoch for the whole batch: in-flight work finishes on the
     // model it started with even if a publish lands mid-execution.
-    let model = registry.current();
-    let n_features = model.compiled.n_features();
+    let epoch_model = registry.current();
+    let model = &epoch_model.model;
+    let n_features = model.n_features();
     let n = batch.len();
-    let mut rows = Vec::with_capacity(n * n_features);
+    scratch.rows.clear();
+    scratch.rows.reserve(n * n_features);
     for req in &batch {
         // Unreachable for well-typed use: submit() validates width and
         // publish() keeps it invariant across epochs.
         debug_assert_eq!(req.features.len(), n_features);
-        rows.extend_from_slice(&req.features);
+        scratch.rows.extend_from_slice(&req.features);
     }
     let chunks = n.div_ceil(cfg.stripe_rows);
-    let predictions: Vec<Prediction> = if chunks <= 1 {
-        model.compiled.predict_batch(&rows)
+    scratch.predictions.clear();
+    if chunks <= 1 {
+        // The steady-state micro-batch path: evaluate straight into the
+        // reused scratch buffer — no allocation per flush.
+        scratch.predictions.resize(n, Prediction::Class(0));
+        model.predict_batch_into(&scratch.rows, &mut scratch.predictions);
     } else {
         // Contiguous row chunks across the pool, merged in chunk order —
         // identical to the single-chunk walk for any thread count. The
         // deadline class steers which tenant's chunks the pool's helpers
         // pick up first under contention; it never touches results.
-        metis_nn::par::with_deadline_class(cfg.deadline_class, || {
+        let rows = &scratch.rows;
+        let chunked = metis_nn::par::with_deadline_class(cfg.deadline_class, || {
             metis_nn::par::with_group(group, || {
                 metis_nn::par::parallel_map_indexed(chunks, cfg.threads, |c| {
                     let lo = c * cfg.stripe_rows;
                     let hi = ((c + 1) * cfg.stripe_rows).min(n);
-                    model
-                        .compiled
-                        .predict_batch(&rows[lo * n_features..hi * n_features])
+                    model.predict_batch(&rows[lo * n_features..hi * n_features])
                 })
             })
-        })
-        .into_iter()
-        .flatten()
-        .collect()
-    };
+        });
+        for chunk in chunked {
+            scratch.predictions.extend_from_slice(&chunk);
+        }
+    }
     log.batches += 1;
     log.max_batch_seen = log.max_batch_seen.max(n);
-    *log.per_epoch.entry(model.epoch).or_insert(0) += n as u64;
-    for (req, prediction) in batch.into_iter().zip(predictions) {
+    *log.per_epoch.entry(epoch_model.epoch).or_insert(0) += n as u64;
+    let width_latency = log.per_width.entry(model.n_trees()).or_default();
+    for (req, &prediction) in batch.into_iter().zip(scratch.predictions.iter()) {
         let latency_s = req.submitted.elapsed().as_secs_f64();
         log.latency.record(latency_s);
+        width_latency.record(latency_s);
         log.served += 1;
         let sent = req.reply.send(Response {
             id: req.id,
             prediction,
-            epoch: model.epoch,
+            epoch: epoch_model.epoch,
             latency_s,
             batch_size: n,
         });
@@ -541,6 +577,82 @@ mod tests {
         let report = server.shutdown();
         assert_eq!(report.served, 60);
         assert_eq!(report.per_epoch.iter().map(|(_, c)| c).sum::<u64>(), 60);
+    }
+
+    /// An ensemble epoch served through the engine answers exactly like
+    /// the offline `Forest` oracle, and a mid-stream swap from tree to
+    /// forest buckets latency under both ensemble widths.
+    #[test]
+    fn forest_epochs_serve_majority_votes_and_bucket_latency_by_width() {
+        let t0 = staircase_tree(5);
+        // Same kind (5 classes), different shapes: vary the leaf budget.
+        let members: Vec<DecisionTree> = [16usize, 8, 5]
+            .iter()
+            .map(|&leaves| {
+                let x: Vec<Vec<f64>> = (0..120)
+                    .map(|i| vec![i as f64 / 120.0, (i % 7) as f64])
+                    .collect();
+                let y: Vec<usize> = (0..120).map(|i| i * 5 / 120).collect();
+                fit(
+                    &Dataset::classification(x, y, 5).unwrap(),
+                    &TreeConfig {
+                        max_leaf_nodes: leaves,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        let ensemble = crate::ServedModel::from_trees(members.clone()).unwrap();
+        let forest = metis_dt::Forest::from_trees(&members).unwrap();
+        let registry = Arc::new(ModelRegistry::new(t0.clone()));
+        let server = TreeServer::start(
+            Arc::clone(&registry),
+            ServeConfig {
+                max_batch: 8,
+                max_delay: Duration::from_micros(200),
+                ..Default::default()
+            },
+        );
+        let mut handle = server.handle();
+        for k in 0..25 {
+            handle.submit(req_features(k));
+        }
+        registry.publish_model(ensemble);
+        for k in 25..60 {
+            handle.submit(req_features(k));
+        }
+        let responses = handle.collect();
+        assert_eq!(responses.len(), 60);
+        let mut forest_served = false;
+        for resp in &responses {
+            match resp.epoch {
+                0 => assert_eq!(resp.prediction, t0.predict(&req_features(resp.id))),
+                1 => {
+                    assert_eq!(
+                        resp.prediction,
+                        forest.predict(&req_features(resp.id)),
+                        "forest epoch answer diverges from the offline oracle"
+                    );
+                    forest_served = true;
+                }
+                e => panic!("unexpected epoch {e}"),
+            }
+        }
+        assert!(forest_served, "post-swap requests never saw the ensemble");
+        let report = server.shutdown();
+        assert_eq!(report.served, 60);
+        let widths: Vec<usize> = report.per_width.iter().map(|(w, _)| *w).collect();
+        assert!(widths.contains(&3), "3-tree bucket missing: {widths:?}");
+        assert_eq!(
+            report
+                .per_width
+                .iter()
+                .map(|(_, s)| s.count as u64)
+                .sum::<u64>(),
+            60,
+            "width buckets must partition the served requests"
+        );
     }
 
     #[test]

@@ -10,23 +10,26 @@
 //!   (p50/p95/p99/max), the SLO-accounting vocabulary shared with
 //!   `metis_core::deploy`,
 //! * [`registry`] — an epoch-pointer model registry with atomic hot-swap:
-//!   readers grab an `Arc` to the current compiled model and never block;
-//!   the §3.2 conversion pipeline publishes each newly fitted tree
-//!   mid-traffic, and in-flight batches finish on the epoch they started
-//!   with,
+//!   readers grab an `Arc` to the current [`ServedModel`] — one compiled
+//!   tree or a [`metis_dt::Forest`] majority-vote ensemble — and never
+//!   block; the §3.2 conversion pipeline publishes each newly fitted
+//!   model mid-traffic, and in-flight batches finish on the epoch they
+//!   started with,
 //! * [`engine`] — the request engine: an MPSC ingest queue feeding a
 //!   micro-batcher (flush on batch size *or* deadline) whose batches run
-//!   the lane-vectorized kernel ([`metis_dt::CompiledTree::predict_batch`])
-//!   and fan across [`metis_nn::par::WorkerPool::global`] stripe jobs
-//!   under a dedicated pool group,
+//!   the epoch's served model through the lane-vectorized kernel
+//!   ([`ServedModel::predict_batch_into`], into a flush-reused scratch
+//!   buffer) and fan across [`metis_nn::par::WorkerPool::global`] stripe
+//!   jobs under a dedicated pool group,
 //! * [`traffic`] — open-loop load generation: ABR-trace replay
 //!   inter-arrivals and Poisson (flowsched-style) arrival processes driven
 //!   against a server without ever waiting for responses.
 //!
 //! Determinism contract: every response is bit-identical to evaluating
-//! `DecisionTree::predict` sequentially on the model epoch the response
-//! reports — for any batch size, flush deadline, thread count, and any
-//! interleaving of hot swaps (`tests/serving_determinism.rs`).
+//! the reported epoch's model sequentially — `DecisionTree::predict` for
+//! tree epochs, the forest's majority vote for ensemble epochs — for any
+//! batch size, flush deadline, thread count, and any interleaving of hot
+//! swaps (`tests/serving_determinism.rs`).
 
 pub mod engine;
 pub mod latency;
@@ -35,5 +38,5 @@ pub mod traffic;
 
 pub use engine::{EngineReport, Request, Response, ServeConfig, ServerHandle, TreeServer};
 pub use latency::{summarize, summarize_sorted, LatencyRecorder, LatencySummary};
-pub use registry::{EpochModel, ModelRegistry};
+pub use registry::{EpochModel, ModelRegistry, ServedModel};
 pub use traffic::{drive_open_loop, drive_open_loop_virtual, ArrivalProcess};

@@ -3,24 +3,146 @@
 //!
 //! Readers ([`ModelRegistry::current`]) clone an `Arc` to the live
 //! [`EpochModel`] under a read lock held for a pointer copy — they never
-//! wait on a publisher compiling a tree (compilation happens *outside*
+//! wait on a publisher compiling a model (compilation happens *outside*
 //! the lock; the swap itself is a single pointer store). In-flight
 //! batches keep their `Arc`, so a swap never invalidates work already
 //! dispatched: requests served from epoch `e` are answered by epoch `e`'s
-//! tree, bit-identically to `DecisionTree::predict` on that tree.
+//! model, bit-identically to the sequential oracle on that model.
+//!
+//! An epoch's model is a [`ServedModel`]: either one compiled tree (the
+//! original serving shape) or a [`Forest`] majority-vote ensemble — the
+//! registry, the engine flush, and the fabric's shadow audit all operate
+//! on this enum, so a scenario can hot-swap between shapes with the same
+//! CAS / bit-exactness guarantees.
 
-use metis_dt::{CompiledTree, DecisionTree};
+use metis_dt::{
+    diff_predictions, BatchDiff, CompiledTree, DecisionTree, Forest, ForestError, Prediction,
+    TreeKind,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-/// One published model generation: the compiled serving artifact plus the
-/// source tree it was compiled from (the sequential oracle used by the
-/// determinism tests and the swap bit-identity audit).
+/// What an epoch actually serves: one compiled tree, or a majority-vote
+/// [`Forest`] over several. Both carry their source trees (the sequential
+/// oracles the determinism tests and swap bit-identity audits replay),
+/// and both answer through the same lane-vectorized kernel, so a 1-tree
+/// `Forest` is bit-identical to serving its tree directly.
+// The variants differ in size (a `CompiledTree` is inline, a `Forest`
+// holds its members behind a Vec), but the enum crosses function
+// boundaries only at publish/stage time — served epochs hold it behind
+// `Arc<EpochModel>` — so boxing the tree would tax every flush's
+// dispatch for a move that happens once per epoch.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum ServedModel {
+    /// A single compiled tree plus its source.
+    Tree {
+        compiled: CompiledTree,
+        source: DecisionTree,
+    },
+    /// A block-major ensemble plus its member sources, in vote order.
+    Forest {
+        forest: Forest,
+        sources: Vec<DecisionTree>,
+    },
+}
+
+impl ServedModel {
+    /// Compile a single-tree model.
+    pub fn from_tree(source: DecisionTree) -> ServedModel {
+        let compiled = CompiledTree::compile(&source);
+        ServedModel::Tree { compiled, source }
+    }
+
+    /// Compile a majority-vote ensemble from source trees (vote order =
+    /// slice order). Fails unless all trees agree on kind and width.
+    pub fn from_trees(sources: Vec<DecisionTree>) -> Result<ServedModel, ForestError> {
+        let forest = Forest::from_trees(&sources)?;
+        Ok(ServedModel::Forest { forest, sources })
+    }
+
+    /// Feature width every row served by this model must have.
+    pub fn n_features(&self) -> usize {
+        match self {
+            ServedModel::Tree { compiled, .. } => compiled.n_features(),
+            ServedModel::Forest { forest, .. } => forest.n_features(),
+        }
+    }
+
+    /// Kind shared by every member (class count for classifiers).
+    pub fn kind(&self) -> TreeKind {
+        match self {
+            ServedModel::Tree { compiled, .. } => compiled.kind(),
+            ServedModel::Forest { forest, .. } => forest.kind(),
+        }
+    }
+
+    /// Ensemble width: 1 for a single tree, `k` for a forest.
+    pub fn n_trees(&self) -> usize {
+        match self {
+            ServedModel::Tree { .. } => 1,
+            ServedModel::Forest { forest, .. } => forest.n_trees(),
+        }
+    }
+
+    /// The source trees this model was compiled from, in vote order.
+    pub fn source_trees(&self) -> &[DecisionTree] {
+        match self {
+            ServedModel::Tree { source, .. } => std::slice::from_ref(source),
+            ServedModel::Forest { sources, .. } => sources,
+        }
+    }
+
+    /// Predict one feature vector (majority vote for forests).
+    pub fn predict(&self, x: &[f64]) -> Prediction {
+        match self {
+            ServedModel::Tree { compiled, .. } => compiled.predict(x),
+            ServedModel::Forest { forest, .. } => forest.predict(x),
+        }
+    }
+
+    /// Batched prediction over a row-major block into a caller-owned
+    /// buffer (`rows.len() == out.len() * n_features()`) — the engine
+    /// flush path, which reuses one scratch buffer across flushes.
+    pub fn predict_batch_into(&self, rows: &[f64], out: &mut [Prediction]) {
+        match self {
+            ServedModel::Tree { compiled, .. } => compiled.predict_batch_into(rows, out),
+            ServedModel::Forest { forest, .. } => forest.predict_batch_into(rows, out),
+        }
+    }
+
+    /// [`ServedModel::predict_batch_into`] into a fresh vector.
+    pub fn predict_batch(&self, rows: &[f64]) -> Vec<Prediction> {
+        match self {
+            ServedModel::Tree { compiled, .. } => compiled.predict_batch(rows),
+            ServedModel::Forest { forest, .. } => forest.predict_batch(rows),
+        }
+    }
+
+    /// Bit-exact response diff against another served model over a
+    /// row-major block — the shadow-audit primitive, shared verbatim
+    /// (via [`diff_predictions`]) with [`CompiledTree::diff_batch`], so
+    /// single-tree and ensemble promotions use identical semantics.
+    /// Models of different kinds mismatch on every row; a different
+    /// feature width panics (rows can't be valid for both).
+    pub fn diff_batch(&self, other: &ServedModel, rows: &[f64]) -> BatchDiff {
+        assert_eq!(
+            self.n_features(),
+            other.n_features(),
+            "diff_batch: models take {} vs {} features",
+            self.n_features(),
+            other.n_features()
+        );
+        diff_predictions(&self.predict_batch(rows), &other.predict_batch(rows))
+    }
+}
+
+/// One published model generation: the served artifact (tree or ensemble)
+/// tagged with its registry epoch.
 #[derive(Debug)]
 pub struct EpochModel {
     pub epoch: u64,
-    pub compiled: CompiledTree,
-    pub source: DecisionTree,
+    pub model: ServedModel,
 }
 
 /// Epoch-pointer registry. See the module docs for the swap contract.
@@ -31,14 +153,17 @@ pub struct ModelRegistry {
 }
 
 impl ModelRegistry {
-    /// Seed the registry with its epoch-0 model.
+    /// Seed the registry with its epoch-0 single-tree model.
     pub fn new(initial: DecisionTree) -> Self {
-        let compiled = CompiledTree::compile(&initial);
+        Self::new_model(ServedModel::from_tree(initial))
+    }
+
+    /// Seed the registry with an arbitrary epoch-0 model (e.g. a forest).
+    pub fn new_model(initial: ServedModel) -> Self {
         ModelRegistry {
             current: RwLock::new(Arc::new(EpochModel {
                 epoch: 0,
-                compiled,
-                source: initial,
+                model: initial,
             })),
             next_epoch: AtomicU64::new(1),
             swaps: AtomicU64::new(0),
@@ -51,54 +176,47 @@ impl ModelRegistry {
     /// publishers install strictly increasing epochs (later publish ⇒
     /// later epoch ⇒ the one readers see) and readers stall for at most
     /// a pointer store. Every epoch of a registry serves the same
-    /// feature schema: a tree with a different `n_features` is rejected
+    /// feature schema: a model with a different `n_features` is rejected
     /// (queued requests were validated against the old width).
     pub fn publish(&self, tree: DecisionTree) -> u64 {
-        let compiled = CompiledTree::compile(&tree);
-        self.install(tree, compiled, None)
+        self.publish_model(ServedModel::from_tree(tree))
+    }
+
+    /// Publish an already-compiled model (tree or ensemble) — the same
+    /// compile-outside-lock contract as [`ModelRegistry::publish`];
+    /// callers holding source trees for a forest compile via
+    /// [`ServedModel::from_trees`] first.
+    pub fn publish_model(&self, model: ServedModel) -> u64 {
+        self.install(model, None)
             .expect("unconditional publish cannot be superseded")
     }
 
-    /// Compare-and-swap publish: install `tree` only if `expected_epoch`
+    /// Compare-and-swap publish: install `model` only if `expected_epoch`
     /// is still live, returning `None` (and installing nothing) when a
     /// concurrent publish moved the pointer first. The epoch check and
     /// the swap happen under one write lock, so an audited promotion can
     /// never clobber a model it was not audited against. The caller
     /// supplies the compiled artifact (shadow audits already hold one),
     /// so the lock covers no compile work.
-    pub fn publish_if_current(
-        &self,
-        tree: DecisionTree,
-        compiled: CompiledTree,
-        expected_epoch: u64,
-    ) -> Option<u64> {
-        self.install(tree, compiled, Some(expected_epoch))
+    pub fn publish_if_current(&self, model: ServedModel, expected_epoch: u64) -> Option<u64> {
+        self.install(model, Some(expected_epoch))
     }
 
-    fn install(
-        &self,
-        tree: DecisionTree,
-        compiled: CompiledTree,
-        expected_epoch: Option<u64>,
-    ) -> Option<u64> {
+    fn install(&self, model: ServedModel, expected_epoch: Option<u64>) -> Option<u64> {
         let mut current = self.current.write().unwrap();
         if expected_epoch.is_some_and(|e| current.epoch != e) {
             return None;
         }
         assert_eq!(
-            compiled.n_features(),
-            current.compiled.n_features(),
-            "publish: epoch {} serves {} features, new tree has {}",
+            model.n_features(),
+            current.model.n_features(),
+            "publish: epoch {} serves {} features, new model has {}",
             current.epoch,
-            current.compiled.n_features(),
-            compiled.n_features()
+            current.model.n_features(),
+            model.n_features()
         );
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
-        *current = Arc::new(EpochModel {
-            epoch,
-            compiled,
-            source: tree,
-        });
+        *current = Arc::new(EpochModel { epoch, model });
         self.swaps.fetch_add(1, Ordering::Relaxed);
         Some(epoch)
     }
@@ -118,7 +236,7 @@ impl ModelRegistry {
     /// Feature width every epoch of this registry serves (invariant
     /// across swaps — [`ModelRegistry::publish`] enforces it).
     pub fn n_features(&self) -> usize {
-        self.current.read().unwrap().compiled.n_features()
+        self.current.read().unwrap().model.n_features()
     }
 
     /// Number of completed hot swaps (publishes after the initial seed).
@@ -151,6 +269,18 @@ mod tests {
     }
 
     #[test]
+    fn forest_epochs_swap_like_tree_epochs() {
+        let reg = ModelRegistry::new(tree(0.0));
+        let ensemble = ServedModel::from_trees(vec![tree(0.0), tree(0.1), tree(0.2)]).unwrap();
+        assert_eq!(ensemble.n_trees(), 3);
+        assert_eq!(reg.publish_model(ensemble), 1);
+        assert_eq!(reg.current().model.n_trees(), 3);
+        // And back to a single tree — shape changes ride the same pointer.
+        assert_eq!(reg.publish(tree(0.3)), 2);
+        assert_eq!(reg.current().model.n_trees(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "features")]
     fn publish_rejects_a_different_feature_width() {
         let reg = ModelRegistry::new(tree(0.0));
@@ -171,18 +301,14 @@ mod tests {
     #[test]
     fn conditional_publish_refuses_a_moved_epoch() {
         let reg = ModelRegistry::new(tree(0.0));
-        let candidate = tree(0.1);
-        let compiled = CompiledTree::compile(&candidate);
+        let candidate = ServedModel::from_tree(tree(0.1));
         // Live epoch matches: installs.
-        assert_eq!(
-            reg.publish_if_current(candidate.clone(), compiled.clone(), 0),
-            Some(1)
-        );
+        assert_eq!(reg.publish_if_current(candidate.clone(), 0), Some(1));
         // A hotfix lands…
         let hotfix_epoch = reg.publish(tree(0.2));
         assert_eq!(hotfix_epoch, 2);
         // …so a promotion audited against epoch 1 must refuse.
-        assert_eq!(reg.publish_if_current(candidate, compiled, 1), None);
+        assert_eq!(reg.publish_if_current(candidate, 1), None);
         assert_eq!(reg.epoch(), 2, "refused publish must install nothing");
         assert_eq!(reg.swap_count(), 2);
     }
@@ -194,11 +320,11 @@ mod tests {
         reg.publish(tree(0.3));
         assert_eq!(pinned.epoch, 0, "in-flight handle must keep its epoch");
         assert_eq!(reg.current().epoch, 1);
-        // The pinned compiled model still answers from its own source tree.
+        // The pinned model still answers from its own source tree.
         let x = [0.25];
         assert_eq!(
-            pinned.compiled.predict_class(&x),
-            pinned.source.predict_class(&x)
+            pinned.model.predict(&x),
+            pinned.model.source_trees()[0].predict(&x)
         );
     }
 
@@ -216,11 +342,11 @@ mod tests {
                         while !stop.load(Ordering::Relaxed) {
                             let m = reg.current();
                             assert!(m.epoch >= last, "epochs must be monotone per reader");
-                            // The handle is internally consistent: compiled
-                            // and source agree.
+                            // The handle is internally consistent: the
+                            // served model and its source agree.
                             assert_eq!(
-                                m.compiled.predict_class(&[0.1]),
-                                m.source.predict_class(&[0.1])
+                                m.model.predict(&[0.1]),
+                                m.model.source_trees()[0].predict(&[0.1])
                             );
                             last = m.epoch;
                         }
@@ -237,5 +363,82 @@ mod tests {
             }
         });
         assert_eq!(reg.epoch(), 20);
+    }
+
+    /// The compile-outside-lock claim, pinned: while writer threads
+    /// publish a mix of single-tree and forest epochs, every model a
+    /// reader observes is fully compiled — its served answers match its
+    /// own source trees' sequential oracle on every probe, for every
+    /// handle ever returned. A torn or half-installed epoch would
+    /// diverge.
+    #[test]
+    fn readers_only_observe_fully_compiled_epochs_during_concurrent_publishes() {
+        let reg = std::sync::Arc::new(ModelRegistry::new(tree(0.0)));
+        let probes: Vec<[f64; 1]> = (0..16).map(|i| [i as f64 / 16.0]).collect();
+        let oracle = |model: &ServedModel, x: &[f64]| -> Prediction {
+            let sources = model.source_trees();
+            match model.kind() {
+                TreeKind::Classifier { n_classes } => {
+                    let mut votes = vec![0u32; n_classes];
+                    for s in sources {
+                        votes[s.predict_class(x)] += 1;
+                    }
+                    let best = (0..n_classes).max_by_key(|&c| (votes[c], std::cmp::Reverse(c)));
+                    Prediction::Class(best.unwrap())
+                }
+                TreeKind::Regressor => {
+                    let sum: f64 = sources.iter().map(|s| s.predict_value(x)).sum();
+                    Prediction::Value(sum / sources.len() as f64)
+                }
+            }
+        };
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let stop = &stop;
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    let reg = &reg;
+                    let probes = &probes;
+                    scope.spawn(move || {
+                        let mut seen_widths = std::collections::BTreeSet::new();
+                        // Check-then-test, so at least one epoch is always
+                        // observed even if the publishers finish first.
+                        loop {
+                            let m = reg.current();
+                            seen_widths.insert(m.model.n_trees());
+                            for x in probes {
+                                assert_eq!(
+                                    m.model.predict(x),
+                                    oracle(&m.model, x),
+                                    "epoch {} served an answer its sources disown",
+                                    m.epoch
+                                );
+                            }
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                        seen_widths
+                    })
+                })
+                .collect();
+            for k in 0..12u64 {
+                if k % 2 == 0 {
+                    reg.publish(tree(k as f64 * 0.01));
+                } else {
+                    let width = 2 + (k as usize % 3);
+                    let sources: Vec<_> =
+                        (0..width).map(|j| tree(j as f64 * 0.02 + 0.005)).collect();
+                    reg.publish_model(ServedModel::from_trees(sources).unwrap());
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            for r in readers {
+                // Readers are free-running; they must at least have seen
+                // *some* epoch, and nothing they saw was torn.
+                assert!(!r.join().unwrap().is_empty());
+            }
+        });
+        assert_eq!(reg.epoch(), 12);
     }
 }

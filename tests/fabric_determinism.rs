@@ -5,6 +5,9 @@
 //!   a plain [`metis::serve::TreeServer`] fed the same requests, for any
 //!   micro-batch size, flush deadline, thread count, and stripe width —
 //!   the fabric is a strict generalization, not a new execution semantics;
+//! * a **1-tree [`metis::dt::Forest`]** published into the fabric answers
+//!   bit-identically to publishing its tree directly — ensemble epochs
+//!   change nothing when the vote is a vote of one;
 //! * any-shard-count fabrics keep every answer bit-identical to
 //!   `DecisionTree::predict` while holding **session→shard affinity**
 //!   exactly at [`metis::fabric::shard_for_session`]'s pure hash (stable
@@ -144,6 +147,67 @@ proptest! {
         prop_assert_eq!(report.served, baseline_report.served);
         prop_assert_eq!(report.scenarios[0].shards[0].delivery_failures, 0);
         prop_assert_eq!(report.latency_rollup.count as u64, n);
+    }
+
+    /// The ensemble acceptance bar: a **1-tree `Forest`** published into
+    /// the fabric is bit-identical to publishing the tree itself — same
+    /// predictions, same epochs, same id order, zero drops — for any
+    /// batch size, deadline, thread count, stripe width, and NaN-laden
+    /// rows. A vote of one must not be a new execution semantics.
+    #[test]
+    fn prop_one_tree_forest_fabric_bit_identical_to_tree_fabric(
+        tree_seed in 0u64..25,
+        batch in 1usize..48,
+        deadline_us in 0u64..400,
+        stripe in 1usize..32,
+        n in 1u64..120,
+        salt in 0u64..10_000,
+    ) {
+        let tree = fitted_tree(tree_seed);
+        let threads = thread_counts()[(salt % 5 % thread_counts().len() as u64) as usize];
+        let cfg = serve_cfg(batch, deadline_us, threads, stripe);
+
+        let run = |as_forest: bool| {
+            let router = Router::new(
+                vec![TenantSpec::new("only")],
+                vec![ScenarioSpec::new("model", "only", tree.clone())],
+                FabricConfig { serve: cfg.clone(), mirror_batch: 0 },
+            );
+            // Same epoch schedule on both sides: epoch 1 is the tree
+            // itself on one, a 1-tree forest over it on the other.
+            if as_forest {
+                router.publish_forest("model", vec![tree.clone()]);
+            } else {
+                router.publish("model", tree.clone());
+            }
+            let mut handle = router.handle();
+            for k in 0..n {
+                handle.submit(0, k, request_features(k, salt));
+            }
+            let responses = handle.collect();
+            drop(handle);
+            (responses, router.shutdown())
+        };
+        let (tree_resp, tree_report) = run(false);
+        let (forest_resp, forest_report) = run(true);
+
+        prop_assert_eq!(tree_resp.len() as u64, n);
+        prop_assert_eq!(forest_resp.len() as u64, n);
+        for (a, b) in tree_resp.iter().zip(forest_resp.iter()) {
+            prop_assert_eq!(a.id, b.id, "submission order must align");
+            prop_assert_eq!(a.response.epoch, b.response.epoch, "epoch diverges");
+            match (a.response.prediction, b.response.prediction) {
+                (metis::dt::Prediction::Class(x), metis::dt::Prediction::Class(y)) =>
+                    prop_assert_eq!(x, y, "1-tree forest vote diverges from its tree"),
+                (metis::dt::Prediction::Value(x), metis::dt::Prediction::Value(y)) =>
+                    prop_assert_eq!(x.to_bits(), y.to_bits(), "value diverges"),
+                _ => prop_assert!(false, "prediction kinds diverge"),
+            }
+        }
+        prop_assert_eq!(forest_report.served, tree_report.served);
+        prop_assert_eq!(forest_report.scenarios[0].live_trees, 1usize);
+        prop_assert_eq!(forest_report.scenarios[0].live_epoch, 1u64);
+        prop_assert_eq!(forest_report.scenarios[0].shards[0].delivery_failures, 0u64);
     }
 
     /// Sharded fabrics: every answer still matches the sequential oracle,

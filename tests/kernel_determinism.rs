@@ -195,6 +195,48 @@ proptest! {
         assert_bits_equal(&rgot, &rwant, "forest mean");
     }
 
+    /// `Forest::predict` and `Forest::predict_batch_into` are
+    /// bit-identical row-wise — the contract the serving engine's
+    /// ensemble flush path rests on. Leaf budgets are spread so small
+    /// members take the in-register walk while large ones stay on the
+    /// gather path, and the row block carries NaN-salted and all-NaN
+    /// rows (every evaluator must route NaN right at every split).
+    #[test]
+    fn forest_scalar_and_batched_paths_bit_identical(
+        seed in 0u64..8,
+        n in 1usize..70,
+        n_trees in 1usize..6,
+    ) {
+        let members: Vec<DecisionTree> = (0..n_trees)
+            .map(|t| fitted_classifier(seed * 17 + t as u64, 3 + 9 * t))
+            .collect();
+        let forest = Forest::from_trees(&members).unwrap();
+        let rows = random_rows(n, seed * 31337 + n as u64);
+        let mut got = vec![Prediction::Class(usize::MAX); n];
+        forest.predict_batch_into(&rows, &mut got);
+        let want: Vec<Prediction> = rows.chunks_exact(DIMS).map(|r| forest.predict(r)).collect();
+        assert_bits_equal(&got, &want, "forest batched vs scalar");
+
+        // Entirely-NaN batch: every member must walk the all-right path.
+        let nan_rows = vec![f64::NAN; n * DIMS];
+        let mut nan_got = vec![Prediction::Class(usize::MAX); n];
+        forest.predict_batch_into(&nan_rows, &mut nan_got);
+        let nan_want: Vec<Prediction> =
+            nan_rows.chunks_exact(DIMS).map(|r| forest.predict(r)).collect();
+        assert_bits_equal(&nan_got, &nan_want, "forest batched vs scalar, all-NaN");
+
+        // Regression ensembles: the tree-order sum is order-sensitive in
+        // floating point, so bit-identity here pins the reduction order.
+        let regs: Vec<DecisionTree> = (0..n_trees)
+            .map(|t| fitted_regressor(seed * 23 + t as u64, 4 + 7 * t))
+            .collect();
+        let rforest = Forest::from_trees(&regs).unwrap();
+        let mut rgot = vec![Prediction::Class(usize::MAX); n];
+        rforest.predict_batch_into(&rows, &mut rgot);
+        let rwant: Vec<Prediction> = rows.chunks_exact(DIMS).map(|r| rforest.predict(r)).collect();
+        assert_bits_equal(&rgot, &rwant, "regression forest batched vs scalar");
+    }
+
     /// Frontier-parallel growth is bit-identical to strictly sequential
     /// growth for every frontier width x thread count, with and without
     /// a depth cap.

@@ -8,8 +8,8 @@
 //! Thread counts default to 1/2/3/8; set `METIS_TEST_THREADS=<n>` to test
 //! an additional setting (CI runs the suite under two values).
 
-use metis::dt::{fit, CompiledTree, Dataset, DecisionTree, Prediction, TreeConfig};
-use metis::serve::{ModelRegistry, ServeConfig, TreeServer};
+use metis::dt::{fit, CompiledTree, Dataset, DecisionTree, Forest, Prediction, TreeConfig};
+use metis::serve::{ModelRegistry, ServeConfig, ServedModel, TreeServer};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -185,6 +185,74 @@ proptest! {
         prop_assert_eq!(report.served, submitted);
         let per_epoch_total: u64 = report.per_epoch.iter().map(|(_, c)| c).sum();
         prop_assert_eq!(per_epoch_total, submitted);
+    }
+
+    /// Ensemble epochs: a k-tree majority-vote forest served through the
+    /// micro-batching engine answers bit-identically to the offline
+    /// [`Forest`] oracle row-for-row, for any batch size, deadline,
+    /// thread count, and stripe width — and a swap from a tree epoch to
+    /// a forest epoch mid-stream keeps every response on its own epoch's
+    /// model.
+    #[test]
+    fn prop_forest_epochs_match_offline_forest_oracle(
+        tree_seed in 0u64..20,
+        batch in 1usize..32,
+        deadline_us in 0u64..300,
+        stripe in 1usize..24,
+        k in 2usize..5,
+        n in 1u64..120,
+        salt in 0u64..10_000,
+    ) {
+        let single = fitted_tree(tree_seed);
+        let members: Vec<DecisionTree> =
+            (0..k as u64).map(|t| fitted_tree(tree_seed ^ ((t + 1) << 9))).collect();
+        let forest = Forest::from_trees(&members).unwrap();
+        let threads = thread_counts()[(salt % 5 % thread_counts().len() as u64) as usize];
+        let registry = Arc::new(ModelRegistry::new(single.clone()));
+        let server = TreeServer::start(
+            Arc::clone(&registry),
+            ServeConfig {
+                max_batch: batch,
+                max_delay: Duration::from_micros(deadline_us),
+                threads,
+                stripe_rows: stripe,
+                ..Default::default()
+            },
+        );
+        let mut handle = server.handle();
+        // Phase 1 on the single-tree epoch, then hot-swap to the forest.
+        let phase = n / 2;
+        for idx in 0..phase {
+            handle.submit(request_features(idx, salt));
+        }
+        registry.publish_model(ServedModel::from_trees(members.clone()).unwrap());
+        for idx in phase..n {
+            handle.submit(request_features(idx, salt));
+        }
+        let responses = handle.collect();
+        prop_assert_eq!(responses.len() as u64, n, "zero drops across the shape swap");
+        let mut last_epoch = 0u64;
+        for resp in &responses {
+            prop_assert!(resp.epoch <= 1, "unknown epoch {}", resp.epoch);
+            prop_assert!(resp.epoch >= last_epoch, "epochs regressed");
+            last_epoch = resp.epoch;
+            let row = request_features(resp.id, salt);
+            let oracle = if resp.epoch == 0 {
+                single.predict(&row)
+            } else {
+                forest.predict(&row)
+            };
+            assert_prediction_bits(resp.prediction, oracle, "served vs offline ensemble oracle");
+        }
+        // Every request submitted after the publish saw the forest epoch.
+        prop_assert_eq!(last_epoch, 1, "forest epoch never served");
+        let report = server.shutdown();
+        prop_assert_eq!(report.served, n);
+        prop_assert_eq!(report.delivery_failures, 0);
+        // Latency is bucketed by ensemble width: only widths 1 and k.
+        for (width, _) in &report.per_width {
+            prop_assert!(*width == 1 || *width == k, "unexpected width {}", width);
+        }
     }
 
     /// The compiled batch walk used by every flush agrees with both
