@@ -7,7 +7,7 @@
 //! ladder index; the reward is the per-chunk linear QoE.
 
 use crate::qoe::QoeMetric;
-use crate::sim::StreamingSession;
+use crate::sim::{ChunkDownload, StreamingSession};
 use crate::trace::NetworkTrace;
 use crate::video::VideoModel;
 use metis_rl::{Env, Step};
@@ -162,6 +162,34 @@ impl AbrEnv {
         &self.video
     }
 
+    /// [`Env::step`] plus the raw [`ChunkDownload`] mechanics behind the
+    /// transition — download time, stall, and the sleep the client takes
+    /// when its buffer is full. Closed-loop co-simulation (`metis_sim`)
+    /// needs these to schedule the session's *next* request at
+    /// `now + download_time_s + sleep_s`, the Pensieve trace-replay rule
+    /// where the served bitrate decides when the client asks again.
+    /// `step` delegates here, so the two are bit-identical transitions.
+    pub fn step_detailed(&mut self, action: usize) -> (Step, ChunkDownload) {
+        let d = self.session.download_next(action);
+        let reward = self.metric.chunk_qoe(
+            self.video.bitrate_kbps(action),
+            self.video.bitrate_kbps(self.last_quality),
+            d.rebuffer_s,
+        );
+        self.last_quality = action;
+        self.thr_hist_mbps.remove(0);
+        self.thr_hist_mbps
+            .push(d.size_bytes * 8.0 / d.download_time_s.max(1e-9) / 1e6);
+        self.dl_hist_s.remove(0);
+        self.dl_hist_s.push(d.download_time_s);
+        let step = Step {
+            obs: self.observe(),
+            reward,
+            done: self.session.finished(),
+        };
+        (step, d)
+    }
+
     fn observe(&self) -> Vec<f64> {
         let mut obs = Vec::with_capacity(OBS_DIM);
         obs.push(self.video.bitrate_kbps(self.last_quality) / BITRATE_NORM_KBPS);
@@ -192,23 +220,7 @@ impl Env for AbrEnv {
     }
 
     fn step(&mut self, action: usize) -> Step {
-        let d = self.session.download_next(action);
-        let reward = self.metric.chunk_qoe(
-            self.video.bitrate_kbps(action),
-            self.video.bitrate_kbps(self.last_quality),
-            d.rebuffer_s,
-        );
-        self.last_quality = action;
-        self.thr_hist_mbps.remove(0);
-        self.thr_hist_mbps
-            .push(d.size_bytes * 8.0 / d.download_time_s.max(1e-9) / 1e6);
-        self.dl_hist_s.remove(0);
-        self.dl_hist_s.push(d.download_time_s);
-        Step {
-            obs: self.observe(),
-            reward,
-            done: self.session.finished(),
-        }
+        self.step_detailed(action).0
     }
 
     fn n_actions(&self) -> usize {

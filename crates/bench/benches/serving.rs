@@ -315,6 +315,7 @@ fn fabric_cfg() -> FabricConfig {
             ..Default::default()
         },
         mirror_batch: 0,
+        ..Default::default()
     }
 }
 
@@ -406,6 +407,7 @@ fn fabric_contention_p99_us(
                     ..Default::default()
                 },
                 mirror_batch: 0,
+                ..Default::default()
             },
         );
         std::thread::scope(|scope| {

@@ -32,7 +32,7 @@ use metis_serve::{
     drive_open_loop, ArrivalProcess, EngineReport, ModelRegistry, Response, ServeConfig, TreeServer,
 };
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Everything one serve-while-converting run produces.
 #[derive(Debug)]
@@ -268,6 +268,7 @@ where
     let mut features = features;
     let mut session = session;
     let mut stage = stage;
+    let pace_clock = Arc::clone(router.clock());
     let (results, runner) = WorkloadRunner::new(2).run_detailed(vec![
         Workload::new("convert", {
             let router = &router;
@@ -278,16 +279,17 @@ where
             }
         }),
         Workload::new("serve", move || {
-            let start = Instant::now();
+            let start_s = pace_clock.now_s();
             let mut t = 0.0;
             for (k, gap) in arrivals.gaps_s().iter().enumerate() {
                 if time_scale > 0.0 {
                     t += gap * time_scale;
-                    let target = start + Duration::from_secs_f64(t);
-                    let now = Instant::now();
-                    if target > now {
-                        std::thread::sleep(target - now);
-                    }
+                    // Paced on the fabric's clock: a real-clock fabric
+                    // sleeps each gap out (no busy-spin tail — this lane
+                    // shares its core budget with the conversion
+                    // pipeline), a virtual-clock fabric advances time
+                    // and submits immediately.
+                    pace_clock.sleep_until(start_s + t, Duration::ZERO);
                 }
                 let k = k as u64;
                 handle.submit(0, session(k), features(k));
@@ -426,6 +428,7 @@ mod tests {
                     ..Default::default()
                 },
                 mirror_batch: 16,
+                ..Default::default()
             },
             metis_fabric::ShadowConfig {
                 audit_rows: 32,
@@ -517,6 +520,7 @@ mod tests {
                     ..Default::default()
                 },
                 mirror_batch: 16,
+                ..Default::default()
             },
             metis_fabric::ShadowConfig {
                 audit_rows: 32,

@@ -25,7 +25,7 @@ use crate::report::{FabricReport, ScenarioReport, TenantReport};
 use crate::shadow::{ShadowConfig, ShadowState};
 use metis_dt::DecisionTree;
 use metis_serve::{
-    LatencyRecorder, LatencySummary, ModelRegistry, Response, ServeConfig, ServedModel,
+    Clock, LatencyRecorder, LatencySummary, ModelRegistry, Response, ServeConfig, ServedModel,
     ServerHandle, TreeServer,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -102,7 +102,7 @@ impl ScenarioSpec {
 }
 
 /// Fabric-wide knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FabricConfig {
     /// Per-shard micro-batching template. `group` and `deadline_class`
     /// are **owned by the fabric** and overridden per shard: every shard
@@ -113,6 +113,22 @@ pub struct FabricConfig {
     /// Mirrored feature rows a handle buffers before flushing them to a
     /// scenario's shadow audit (0 = flush on every submit).
     pub mirror_batch: usize,
+    /// The time source every shard stamps, batches, and paces on. The
+    /// default is the real clock (wall-time serving, exactly the
+    /// pre-clock fabric); a [`Clock::virtual_at`] fabric is the
+    /// discrete-event mode `metis_sim` drives millions of sessions
+    /// through.
+    pub clock: Arc<Clock>,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            serve: ServeConfig::default(),
+            mirror_batch: 0,
+            clock: Clock::real(),
+        }
+    }
 }
 
 struct ScenarioRuntime {
@@ -146,6 +162,7 @@ pub struct Router {
     scenarios: Vec<ScenarioRuntime>,
     tenants: Vec<TenantSpec>,
     mirror_batch: usize,
+    clock: Arc<Clock>,
 }
 
 impl Router {
@@ -184,7 +201,7 @@ impl Router {
             let registry = Arc::new(ModelRegistry::new(spec.initial));
             let shards = (0..spec.shards)
                 .map(|_| {
-                    TreeServer::start(
+                    TreeServer::start_clocked(
                         Arc::clone(&registry),
                         ServeConfig {
                             deadline_class: tenants[tenant].deadline_class,
@@ -194,6 +211,7 @@ impl Router {
                             group: None,
                             ..cfg.serve.clone()
                         },
+                        Arc::clone(&cfg.clock),
                     )
                 })
                 .collect();
@@ -211,7 +229,13 @@ impl Router {
             scenarios,
             tenants,
             mirror_batch: cfg.mirror_batch,
+            clock: cfg.clock,
         }
+    }
+
+    /// The time source every shard runs on ([`FabricConfig::clock`]).
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
     }
 
     /// Index of a scenario key (stable for the router's lifetime; submit
@@ -553,6 +577,7 @@ mod tests {
                 ..Default::default()
             },
             mirror_batch: 32,
+            ..Default::default()
         }
     }
 

@@ -26,7 +26,19 @@
 //! the sequential oracle on the reported epoch's source trees (single
 //! `DecisionTree::predict`, or the forest's majority vote) for any batch
 //! size, deadline, thread count, or swap interleaving.
+//!
+//! **Time** comes from a [`Clock`]: [`TreeServer::start`] runs on the
+//! real clock (wall-time stamps and the deadline flush, exactly the
+//! pre-clock behavior), while [`TreeServer::start_clocked`] with a
+//! virtual clock turns the engine into a discrete-event component — no
+//! wall deadline at all (batches close on size, an explicit
+//! [`ServerHandle`] flush, or shutdown), and per-request latency is the
+//! batch's virtual close time minus the request's virtual submit stamp,
+//! a pure function of the event schedule. That is what lets `metis_sim`
+//! run millions of virtual sessions through this exact hot path with
+//! bit-identical reports for any thread count.
 
+use crate::clock::Clock;
 use crate::latency::{LatencyRecorder, LatencySummary};
 use crate::registry::ModelRegistry;
 use metis_dt::Prediction;
@@ -74,11 +86,13 @@ impl Default for ServeConfig {
     }
 }
 
-/// One in-flight request.
+/// One in-flight request. `submitted` is a [`Clock`] reading (seconds),
+/// so the same struct carries wall stamps under the real clock and event
+/// stamps under a virtual one.
 pub struct Request {
     pub id: u64,
     pub features: Vec<f64>,
-    submitted: Instant,
+    submitted: f64,
     reply: Sender<Response>,
 }
 
@@ -99,6 +113,10 @@ pub struct Response {
 
 enum Msg {
     Req(Request),
+    /// Close the open batch now (no-op when none is open). Virtual-clock
+    /// collectors send this instead of relying on a wall deadline, so
+    /// batch composition is a function of submission order alone.
+    Flush,
     Shutdown,
 }
 
@@ -163,6 +181,7 @@ pub struct ServerHandle {
     next_id: u64,
     outstanding: usize,
     n_features: usize,
+    clock: Arc<Clock>,
 }
 
 impl ServerHandle {
@@ -170,6 +189,11 @@ impl ServerHandle {
     /// swaps — the registry rejects trees with a different schema).
     pub fn n_features(&self) -> usize {
         self.n_features
+    }
+
+    /// The clock this handle stamps submissions with — the server's own.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
     }
 
     /// Enqueue one request and return its (per-handle) id. Never blocks on
@@ -192,7 +216,7 @@ impl ServerHandle {
             .send(Msg::Req(Request {
                 id,
                 features,
-                submitted: Instant::now(),
+                submitted: self.clock.now_s(),
                 reply: self.reply_tx.clone(),
             }))
             .expect("TreeServer ingest queue closed while submitting");
@@ -206,7 +230,17 @@ impl ServerHandle {
 
     /// Block until every outstanding request is answered; returns the
     /// responses **sorted by id** (deterministic regardless of batching).
+    ///
+    /// On a virtual-clock server there is no deadline flush, so a partial
+    /// batch would otherwise wait forever: collecting first sends an
+    /// explicit flush marker (a no-op when nothing is open). The real
+    /// clock path is untouched — the deadline does the closing there.
     pub fn collect(&mut self) -> Vec<Response> {
+        if self.clock.is_virtual() && self.outstanding > 0 {
+            self.tx
+                .send(Msg::Flush)
+                .expect("TreeServer ingest queue closed while flushing");
+        }
         let mut out = Vec::with_capacity(self.outstanding);
         for _ in 0..self.outstanding {
             out.push(
@@ -227,29 +261,49 @@ pub struct TreeServer {
     tx: Sender<Msg>,
     thread: Option<JoinHandle<EngineLog>>,
     registry: Arc<ModelRegistry>,
+    clock: Arc<Clock>,
 }
 
 impl TreeServer {
-    /// Start the batcher thread over a model registry.
+    /// Start the batcher thread over a model registry, on the real clock.
     pub fn start(registry: Arc<ModelRegistry>, cfg: ServeConfig) -> Self {
+        TreeServer::start_clocked(registry, cfg, Clock::real())
+    }
+
+    /// [`TreeServer::start`] on an explicit [`Clock`]. A virtual clock
+    /// switches batching from size-or-deadline to size-or-explicit-flush
+    /// (see [`ServerHandle::collect`]) and makes every latency figure a
+    /// deterministic virtual-time span.
+    pub fn start_clocked(
+        registry: Arc<ModelRegistry>,
+        cfg: ServeConfig,
+        clock: Arc<Clock>,
+    ) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         assert!(cfg.stripe_rows >= 1, "stripe_rows must be at least 1");
         let (tx, rx) = channel();
         let reg = Arc::clone(&registry);
+        let batcher_clock = Arc::clone(&clock);
         let thread = std::thread::Builder::new()
             .name("metis-serve-batcher".into())
-            .spawn(move || batcher_loop(rx, reg, cfg))
+            .spawn(move || batcher_loop(rx, reg, cfg, batcher_clock))
             .expect("spawn serve batcher");
         TreeServer {
             tx,
             thread: Some(thread),
             registry,
+            clock,
         }
     }
 
     /// The registry this server reads — publish to it to hot-swap.
     pub fn registry(&self) -> &Arc<ModelRegistry> {
         &self.registry
+    }
+
+    /// The clock this server stamps and flushes on.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
     }
 
     /// Mint an independent client handle.
@@ -262,6 +316,7 @@ impl TreeServer {
             next_id: 0,
             outstanding: 0,
             n_features: self.registry.n_features(),
+            clock: Arc::clone(&self.clock),
         }
     }
 
@@ -295,11 +350,20 @@ impl TreeServer {
     }
 }
 
-fn batcher_loop(rx: Receiver<Msg>, registry: Arc<ModelRegistry>, cfg: ServeConfig) -> EngineLog {
+fn batcher_loop(
+    rx: Receiver<Msg>,
+    registry: Arc<ModelRegistry>,
+    cfg: ServeConfig,
+    clock: Arc<Clock>,
+) -> EngineLog {
     // Pool submissions carry this server's group (its own fresh one by
     // default), so the pool's scheduler treats the serving path as one
     // tenant — or as part of a shared tenant when the config says so.
     let group = cfg.group.unwrap_or_else(metis_nn::par::fresh_group);
+    // Virtual time has no wall deadline: batches close on size, an
+    // explicit flush marker, or shutdown — nothing else, so batch
+    // composition is deterministic in submission order.
+    let use_deadline = !clock.is_virtual();
     let mut log = EngineLog::default();
     let mut scratch = FlushScratch::default();
     loop {
@@ -307,29 +371,57 @@ fn batcher_loop(rx: Receiver<Msg>, registry: Arc<ModelRegistry>, cfg: ServeConfi
         // server costs nothing).
         let first = match rx.recv() {
             Ok(Msg::Req(r)) => r,
+            // A flush with no open batch: nothing to do.
+            Ok(Msg::Flush) => continue,
             // Shutdown can land exactly on a batch boundary: break into
             // the drain below rather than exiting — requests queued
             // behind the marker must still be answered.
             Ok(Msg::Shutdown) | Err(_) => break,
         };
         let mut batch = vec![first];
-        let deadline = Instant::now() + cfg.max_delay;
+        let deadline = use_deadline.then(|| Instant::now() + cfg.max_delay);
         let mut shutting_down = false;
         while batch.len() < cfg.max_batch {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            match rx.recv_timeout(deadline - now) {
-                Ok(Msg::Req(r)) => batch.push(r),
-                Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+            let msg = if let Some(deadline) = deadline {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(msg) => msg,
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        shutting_down = true;
+                        break;
+                    }
+                }
+            } else {
+                match rx.recv() {
+                    Ok(msg) => msg,
+                    Err(_) => {
+                        shutting_down = true;
+                        break;
+                    }
+                }
+            };
+            match msg {
+                Msg::Req(r) => batch.push(r),
+                Msg::Flush => break,
+                Msg::Shutdown => {
                     shutting_down = true;
                     break;
                 }
-                Err(RecvTimeoutError::Timeout) => break,
             }
         }
-        flush(&mut log, &mut scratch, &registry, &cfg, group, batch);
+        flush(
+            &mut log,
+            &mut scratch,
+            &registry,
+            &cfg,
+            group,
+            &clock,
+            batch,
+        );
         if shutting_down {
             break;
         }
@@ -343,14 +435,22 @@ fn batcher_loop(rx: Receiver<Msg>, registry: Arc<ModelRegistry>, cfg: ServeConfi
     loop {
         match rx.try_recv() {
             Ok(Msg::Req(r)) => rest.push(r),
-            Ok(Msg::Shutdown) => continue,
+            Ok(Msg::Flush) | Ok(Msg::Shutdown) => continue,
             Err(_) => break,
         }
     }
     let mut rest = rest.into_iter().peekable();
     while rest.peek().is_some() {
         let chunk: Vec<Request> = rest.by_ref().take(cfg.max_batch).collect();
-        flush(&mut log, &mut scratch, &registry, &cfg, group, chunk);
+        flush(
+            &mut log,
+            &mut scratch,
+            &registry,
+            &cfg,
+            group,
+            &clock,
+            chunk,
+        );
     }
     log
 }
@@ -361,11 +461,22 @@ fn flush(
     registry: &ModelRegistry,
     cfg: &ServeConfig,
     group: u64,
+    clock: &Clock,
     batch: Vec<Request>,
 ) {
     if batch.is_empty() {
         return;
     }
+    // Virtual-clock latency must not read the clock here: concurrent
+    // drivers may have pushed the high-water mark past this batch's
+    // events, and a racy read would leak host scheduling into the
+    // report. The batch closes at its **latest submit stamp** — a pure
+    // function of the event schedule — so latency_i = close - stamp_i,
+    // the virtual batching delay. The real clock keeps the historical
+    // wall measurement (now - stamp) per request.
+    let virtual_close_s = clock
+        .is_virtual()
+        .then(|| batch.iter().map(|r| r.submitted).fold(0.0, f64::max));
     // Pin the epoch for the whole batch: in-flight work finishes on the
     // model it started with even if a publish lands mid-execution.
     let epoch_model = registry.current();
@@ -411,8 +522,8 @@ fn flush(
     *log.per_epoch.entry(epoch_model.epoch).or_insert(0) += n as u64;
     let width_latency = log.per_width.entry(model.n_trees()).or_default();
     for (req, &prediction) in batch.into_iter().zip(scratch.predictions.iter()) {
-        let latency_s = req.submitted.elapsed().as_secs_f64();
-        log.latency.record(latency_s);
+        let completed_s = virtual_close_s.unwrap_or_else(|| clock.now_s());
+        let latency_s = log.latency.record_span(req.submitted, completed_s);
         width_latency.record(latency_s);
         log.served += 1;
         let sent = req.reply.send(Response {
@@ -504,6 +615,46 @@ mod tests {
         let report = server.shutdown();
         assert_eq!(report.batches, 5);
         assert!((report.mean_batch - 1.0).abs() < 1e-12);
+    }
+
+    /// On a virtual clock the deadline never fires (max_delay 10s would
+    /// hang the collect if it were consulted): the open batch closes on
+    /// the collect's explicit flush, and every latency is exactly the
+    /// batch's latest virtual stamp minus the request's own — a pure
+    /// function of the advance_to schedule.
+    #[test]
+    fn virtual_clock_server_flushes_on_collect_with_schedule_pure_latency() {
+        let tree = staircase_tree(4);
+        let clock = Clock::virtual_at(0.0);
+        let server = TreeServer::start_clocked(
+            Arc::new(ModelRegistry::new(tree.clone())),
+            ServeConfig {
+                max_batch: 64,
+                max_delay: Duration::from_secs(10), // must never be the trigger
+                ..Default::default()
+            },
+            Arc::clone(&clock),
+        );
+        let mut handle = server.handle();
+        for k in 0..5u64 {
+            handle.submit(req_features(k)); // stamped 0.0
+        }
+        clock.advance_to(2.5);
+        for k in 5..9u64 {
+            handle.submit(req_features(k)); // stamped 2.5
+        }
+        let responses = handle.collect();
+        assert_eq!(responses.len(), 9);
+        for resp in &responses {
+            assert_eq!(resp.prediction, tree.predict(&req_features(resp.id)));
+            assert_eq!(resp.batch_size, 9, "one explicit flush closes everything");
+            let expect = if resp.id < 5 { 2.5 } else { 0.0 };
+            assert_eq!(resp.latency_s, expect, "close(2.5) - own stamp, exactly");
+        }
+        let report = server.shutdown();
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.served, 9);
+        assert_eq!(report.latency.max_s, 2.5);
     }
 
     #[test]
@@ -770,7 +921,7 @@ mod tests {
             tx.send(Msg::Req(Request {
                 id: k,
                 features: req_features(k),
-                submitted: Instant::now(),
+                submitted: 0.0,
                 reply: reply_tx.clone(),
             }))
             .unwrap();
@@ -787,6 +938,7 @@ mod tests {
                 max_delay: Duration::from_secs(10),
                 ..Default::default()
             },
+            Clock::real(),
         );
         assert_eq!(log.served, 30, "requests behind a marker were dropped");
         let mut ids: Vec<u64> = (0..30).map(|_| reply_rx.recv().unwrap().id).collect();

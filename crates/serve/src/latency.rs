@@ -118,6 +118,17 @@ impl LatencyRecorder {
         self.samples_s.push(seconds);
     }
 
+    /// Record the span between two [`crate::Clock`] readings (seconds) —
+    /// a submit stamp and a completion stamp from the same clock, real or
+    /// virtual. The subtraction lives here so every recorder in the
+    /// engine and the fabric turns clock readings into samples the same
+    /// way.
+    pub fn record_span(&mut self, submitted_s: f64, completed_s: f64) -> f64 {
+        let span_s = completed_s - submitted_s;
+        self.samples_s.push(span_s);
+        span_s
+    }
+
     pub fn len(&self) -> usize {
         self.samples_s.len()
     }
@@ -168,6 +179,14 @@ mod tests {
         assert!((s.p99_s - 0.098).abs() < 1e-12, "p99 {}", s.p99_s);
         assert!((s.max_s - 0.099).abs() < 1e-12);
         assert!((s.mean_s - 0.0495).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_span_subtracts_clock_readings() {
+        let mut rec = LatencyRecorder::new();
+        assert_eq!(rec.record_span(1.5, 4.0), 2.5);
+        assert_eq!(rec.record_span(3.0, 3.0), 0.0);
+        assert_eq!(rec.samples_s(), &[2.5, 0.0]);
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //! closed-loop measurement into an actual serving subsystem, the shape a
 //! tree takes when it sits in front of live traffic:
 //!
+//! * [`clock`] — the time substrate: one [`Clock`] with a real
+//!   (wall-time) and a virtual (discrete-event) implementation; every
+//!   stamp, deadline, and pacing sleep in this crate reads it, so the
+//!   whole serving path runs unchanged under either time source,
 //! * [`latency`] — per-request latency capture with percentile summaries
 //!   (p50/p95/p99/max), the SLO-accounting vocabulary shared with
 //!   `metis_core::deploy`,
@@ -29,14 +33,21 @@
 //! the reported epoch's model sequentially — `DecisionTree::predict` for
 //! tree epochs, the forest's majority vote for ensemble epochs — for any
 //! batch size, flush deadline, thread count, and any interleaving of hot
-//! swaps (`tests/serving_determinism.rs`).
+//! swaps (`tests/serving_determinism.rs`). On a virtual clock the
+//! contract extends to **time itself**: batch composition and every
+//! latency figure are pure functions of the submission schedule
+//! (`tests/sim_determinism.rs` at the workspace root).
 
+pub mod clock;
 pub mod engine;
 pub mod latency;
 pub mod registry;
 pub mod traffic;
 
+pub use clock::Clock;
 pub use engine::{EngineReport, Request, Response, ServeConfig, ServerHandle, TreeServer};
 pub use latency::{summarize, summarize_sorted, LatencyRecorder, LatencySummary};
 pub use registry::{EpochModel, ModelRegistry, ServedModel};
-pub use traffic::{drive_open_loop, drive_open_loop_virtual, ArrivalProcess};
+pub use traffic::{
+    drive_open_loop, drive_open_loop_paced, drive_open_loop_virtual, ArrivalProcess,
+};

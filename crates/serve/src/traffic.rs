@@ -14,12 +14,14 @@
 //!   [`ArrivalProcess::from_flow_arrivals`] to replay a generated
 //!   [`metis_flowsched::FlowRequest`] schedule exactly).
 
+use crate::clock;
 use crate::engine::{Response, ServerHandle};
 use metis_abr::NetworkTrace;
 use metis_flowsched::FlowRequest;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A finite schedule of request inter-arrival gaps (seconds).
 #[derive(Debug, Clone, PartialEq)]
@@ -119,63 +121,73 @@ impl ArrivalProcess {
     }
 }
 
-/// Sleep until `target`, finishing with a short spin so sub-millisecond
-/// schedules keep their shape despite coarse OS timer granularity.
-fn wait_until(target: Instant) {
-    loop {
-        let now = Instant::now();
-        if now >= target {
-            return;
-        }
-        let left = target - now;
-        if left > Duration::from_micros(200) {
-            std::thread::sleep(left - Duration::from_micros(100));
-        } else {
-            std::hint::spin_loop();
-        }
-    }
-}
-
 /// Drive one arrival schedule open-loop against a server: request `k` is
 /// submitted at its scheduled instant (`time_scale` stretches or, at
 /// `0.0`, removes the gaps) with features `features(k)`, never waiting
 /// for an answer; once everything is submitted, block for the responses
 /// and return them **sorted by request id**.
+///
+/// Pacing follows the server's [`clock::Clock`]: on the real clock each gap is
+/// slept (with the default [`clock::DEFAULT_SPIN_TRIM`] busy-spin tail —
+/// see [`drive_open_loop_paced`] to bound or disable it), while on a
+/// virtual clock the gaps advance virtual time and cost nothing.
 pub fn drive_open_loop(
+    handle: &mut ServerHandle,
+    arrivals: &ArrivalProcess,
+    features: impl FnMut(u64) -> Vec<f64>,
+    time_scale: f64,
+) -> Vec<Response> {
+    drive_open_loop_paced(
+        handle,
+        arrivals,
+        features,
+        time_scale,
+        clock::DEFAULT_SPIN_TRIM,
+    )
+}
+
+/// [`drive_open_loop`] with an explicit busy-spin budget. The old pacer
+/// spun the last 100µs of **every** gap unconditionally; here the spin
+/// tail is the caller's choice — [`Duration::ZERO`] never spins (pure
+/// `thread::sleep` pacing, cheapest but at OS-timer granularity), and
+/// whatever is passed is clamped to [`clock::MAX_SPIN_TRIM`].
+pub fn drive_open_loop_paced(
     handle: &mut ServerHandle,
     arrivals: &ArrivalProcess,
     mut features: impl FnMut(u64) -> Vec<f64>,
     time_scale: f64,
+    spin_trim: Duration,
 ) -> Vec<Response> {
     assert!(
         time_scale.is_finite() && time_scale >= 0.0,
         "time_scale must be finite and non-negative"
     );
-    let start = Instant::now();
+    let clock = Arc::clone(handle.clock());
+    let start_s = clock.now_s();
     let mut t = 0.0;
     for (k, gap) in arrivals.gaps_s().iter().enumerate() {
         if time_scale > 0.0 {
             t += gap * time_scale;
-            wait_until(start + Duration::from_secs_f64(t));
+            clock.sleep_until(start_s + t, spin_trim);
         }
         handle.submit(features(k as u64));
     }
     handle.collect()
 }
 
-/// [`drive_open_loop`] on a **virtual clock**: no real sleeps, so a run
-/// takes compute time instead of schedule time — the mode the fabric's
-/// determinism suites run under in CI. The schedule's *shape* is kept by
-/// reading each gap against `drain_gap_s`: before submitting a request
-/// whose scheduled gap is at least `drain_gap_s`, every outstanding
-/// response is collected first. Draining quiesces the ingest queue, so
-/// the batcher's **deadline flush** fires on whatever partial batch is
-/// open — the timeout path gets exercised at every large gap,
-/// deterministically placed by the schedule rather than by wall-clock
-/// raciness — and it splits the stream into segments that can never share
-/// a micro-batch (each segment's responses are all collected before the
-/// next segment submits). Responses return **sorted by request id**, as
-/// in the real-clock mode.
+/// [`drive_open_loop`] in **drain-segmented** mode: before submitting a
+/// request whose scheduled gap is at least `drain_gap_s`, every
+/// outstanding response is collected first, so the schedule's large gaps
+/// split the stream into segments that can never share a micro-batch.
+///
+/// On a [`clock::Clock::virtual_at`] server (the mode the fabric determinism
+/// suites run in CI) nothing sleeps — each gap advances virtual time, a
+/// run takes compute time instead of schedule time, and every batch
+/// closes on the collect's explicit flush, deterministically placed by
+/// the schedule rather than by wall-clock raciness. On a real-clock
+/// server the same drains quiesce the ingest queue and the wall deadline
+/// closes each partial batch, as before this function grew a clock.
+/// Responses return **sorted by request id** either way.
 pub fn drive_open_loop_virtual(
     handle: &mut ServerHandle,
     arrivals: &ArrivalProcess,
@@ -186,8 +198,15 @@ pub fn drive_open_loop_virtual(
         drain_gap_s.is_finite() && drain_gap_s > 0.0,
         "drain_gap_s must be finite and positive"
     );
+    let clock = Arc::clone(handle.clock());
+    let start_s = clock.now_s();
+    let mut t = 0.0;
     let mut responses = Vec::with_capacity(arrivals.len());
     for (k, gap) in arrivals.gaps_s().iter().enumerate() {
+        t += gap;
+        if clock.is_virtual() {
+            clock.advance_to(start_s + t);
+        }
         if *gap >= drain_gap_s && handle.outstanding() > 0 {
             responses.extend(handle.collect());
         }
@@ -302,11 +321,13 @@ mod tests {
         assert_ne!(a.gaps_s(), ArrivalProcess::poisson(750.0, 300, 43).gaps_s());
     }
 
-    /// Virtual-clock driving: no real sleeps, yet the schedule's large
-    /// gaps still split the stream into segments whose requests can never
-    /// share a micro-batch — and every partial segment is answered via
-    /// the batcher's deadline flush (segment sizes below max_batch force
-    /// the timeout path).
+    /// Virtual-clock driving: the schedule's large gaps split the stream
+    /// into segments whose requests can never share a micro-batch, and —
+    /// with the server itself on a virtual [`Clock`] — *everything* is
+    /// virtual-time bookkeeping: the clock ends at exactly the gap sum,
+    /// each segment is one explicitly-flushed batch, and every latency is
+    /// exactly zero (stamps within a segment are identical). No assertion
+    /// reads the wall clock, so a loaded CI host cannot flake this.
     #[test]
     fn virtual_clock_preserves_segment_structure_and_answers_everything() {
         let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
@@ -316,48 +337,51 @@ mod tests {
             &TreeConfig::default(),
         )
         .unwrap();
-        let server = TreeServer::start(
+        let clock = crate::clock::Clock::virtual_at(0.0);
+        let server = TreeServer::start_clocked(
             Arc::new(ModelRegistry::new(tree.clone())),
             ServeConfig {
-                max_batch: 64, // bigger than any segment: deadline flushes only
-                max_delay: Duration::from_micros(500),
+                max_batch: 64,                      // bigger than any segment: only drains flush
+                max_delay: Duration::from_secs(10), // never consulted on a virtual clock
                 ..Default::default()
             },
+            Arc::clone(&clock),
         );
         // Segments of 4, 3, and 5 requests separated by 1-second gaps the
         // virtual clock never actually sleeps.
         let gaps = vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0];
-        let segment_of = |id: u64| match id {
-            0..=3 => 0usize,
-            4..=6 => 1,
-            _ => 2,
+        let segment_len = |id: u64| match id {
+            0..=3 => 4usize,
+            4..=6 => 3,
+            _ => 5,
         };
-        let segment_len = [4usize, 3, 5];
         let arrivals = ArrivalProcess::replay("segments", gaps);
         let mut handle = server.handle();
-        let start = Instant::now();
         let responses =
             drive_open_loop_virtual(&mut handle, &arrivals, |k| vec![(k % 60) as f64], 0.5);
-        assert!(
-            start.elapsed() < Duration::from_secs(1),
-            "virtual clock must not sleep the 2s of scheduled gaps"
+        assert_eq!(
+            clock.now_s(),
+            2.0,
+            "virtual time must advance by exactly the gap sum"
         );
         assert_eq!(responses.len(), 12);
         for (k, resp) in responses.iter().enumerate() {
             assert_eq!(resp.id, k as u64, "sorted by id");
             assert_eq!(resp.prediction, tree.predict(&[(k % 60) as f64]));
-            assert!(
-                resp.batch_size <= segment_len[segment_of(resp.id)],
-                "request {} in a batch of {} spans a drain boundary",
-                resp.id,
-                resp.batch_size
+            assert_eq!(
+                resp.batch_size,
+                segment_len(resp.id),
+                "request {} must batch with exactly its own segment",
+                resp.id
+            );
+            assert_eq!(
+                resp.latency_s, 0.0,
+                "same-stamp segment members have zero virtual latency"
             );
         }
         let report = server.shutdown();
         assert_eq!(report.served, 12);
-        assert!(
-            report.batches >= 3,
-            "each segment needs at least one deadline flush"
-        );
+        assert_eq!(report.batches, 3, "one explicit flush per segment");
+        assert_eq!(report.latency.max_s, 0.0);
     }
 }

@@ -20,6 +20,9 @@
 //! * [`fabric`] — the multi-model serving fabric over [`serve`]:
 //!   session-affine sharded routing, shadow serving with bit-exact
 //!   response diffing, per-tenant SLO scheduling and reporting,
+//! * [`sim`] — deterministic discrete-event core and the closed-loop ABR
+//!   co-simulation: millions of client sessions driving the live fabric
+//!   in virtual time, bit-identical for any thread or shard count,
 //! * [`dt`] — CART trees with cost-complexity pruning and export,
 //! * [`rl`] — env/policy traits, rollouts, actor-critic, VIPER utilities,
 //! * [`nn`] — matrices, layers, optimizers, losses, autodiff tape.
@@ -38,3 +41,4 @@ pub use metis_nn as nn;
 pub use metis_rl as rl;
 pub use metis_routing as routing;
 pub use metis_serve as serve;
+pub use metis_sim as sim;

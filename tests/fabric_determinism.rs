@@ -120,7 +120,7 @@ proptest! {
         let router = Router::new(
             vec![TenantSpec::new("only")],
             vec![ScenarioSpec::new("model", "only", tree.clone())],
-            FabricConfig { serve: cfg, mirror_batch: 0 },
+            FabricConfig { serve: cfg, mirror_batch: 0, ..Default::default() },
         );
         let mut handle = router.handle();
         for k in 0..n {
@@ -171,7 +171,7 @@ proptest! {
             let router = Router::new(
                 vec![TenantSpec::new("only")],
                 vec![ScenarioSpec::new("model", "only", tree.clone())],
-                FabricConfig { serve: cfg.clone(), mirror_batch: 0 },
+                FabricConfig { serve: cfg.clone(), mirror_batch: 0, ..Default::default() },
             );
             // Same epoch schedule on both sides: epoch 1 is the tree
             // itself on one, a 1-tree forest over it on the other.
@@ -230,6 +230,7 @@ proptest! {
             FabricConfig {
                 serve: serve_cfg(batch, 200, threads, 8),
                 mirror_batch: 0,
+                ..Default::default()
             },
         );
         let mut handle = router.handle();
@@ -287,6 +288,7 @@ proptest! {
                 FabricConfig {
                     serve: serve_cfg(16, 200, 1, 8),
                     mirror_batch: 8,
+                    ..Default::default()
                 },
             );
             router.stage("model", candidate);
