@@ -67,6 +67,7 @@ fn timed_run(
             },
             mirror_batch: 0,
             clock: Clock::virtual_at(0.0),
+            ..Default::default()
         },
     );
     let start = Instant::now();

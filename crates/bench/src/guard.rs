@@ -14,9 +14,19 @@
 //!   adding metrics never breaks the guard;
 //! * non-finite values (either side) fail — they carry no regression
 //!   information, and the offline serde shim decodes `null` as NaN, so a
-//!   metric that decayed to `null` would otherwise escape.
+//!   metric that decayed to `null` would otherwise escape;
+//! * every `overhead_pct` metric in the **current** artifact is gated
+//!   against the absolute ceiling [`OVERHEAD_CEILING_PCT`] — overheads
+//!   are budgets, not throughputs, so a drifting baseline must never
+//!   ratchet the allowance upward. Baseline `overhead_pct` metrics must
+//!   still have a current counterpart (rename detection).
 
 use serde::Value;
+
+/// Absolute ceiling (in percent) for every `overhead_pct` metric:
+/// instrumenting the serving path must cost less than this, no matter
+/// what any baseline artifact recorded.
+pub const OVERHEAD_CEILING_PCT: f64 = 5.0;
 
 /// Outcome of comparing one artifact pair (or a whole directory sweep).
 #[derive(Debug, Default)]
@@ -46,19 +56,23 @@ impl GuardOutcome {
 /// metric that decayed to `null`/string/NaN must not escape the gate
 /// (the offline serde shim reads `null` as NaN, so finiteness is the
 /// load-bearing check).
-fn per_sec_metrics(text: &str, origin: &str) -> Result<Vec<(String, f64)>, String> {
+fn keyed_metrics(text: &str, origin: &str, needle: &str) -> Result<Vec<(String, f64)>, String> {
     let value: Value = serde_json::from_str(text).map_err(|e| format!("{origin}: {e}"))?;
     let object = value
         .as_object()
         .ok_or_else(|| format!("{origin}: not a JSON object"))?;
     let mut out = Vec::new();
-    for (key, val) in object.iter().filter(|(k, _)| k.contains("per_sec")) {
+    for (key, val) in object.iter().filter(|(k, _)| k.contains(needle)) {
         match val.as_f64() {
             Some(x) if x.is_finite() => out.push((key.clone(), x)),
             _ => return Err(format!("{origin}: field `{key}` is not a finite number")),
         }
     }
     Ok(out)
+}
+
+fn per_sec_metrics(text: &str, origin: &str) -> Result<Vec<(String, f64)>, String> {
+    keyed_metrics(text, origin, "per_sec")
 }
 
 /// Compare one baseline/current artifact pair. `name` labels messages
@@ -115,7 +129,52 @@ pub fn compare_artifacts(
             ));
         }
     }
+    gate_overheads(name, baseline_text, current_text, &mut outcome);
     outcome
+}
+
+/// Gate every `overhead_pct` metric of the current artifact against the
+/// absolute [`OVERHEAD_CEILING_PCT`] ceiling, and fail any baseline
+/// `overhead_pct` metric that lost its current counterpart. Artifacts
+/// with no such metrics pass untouched (the `per_sec` contract already
+/// rejects empty baselines).
+fn gate_overheads(name: &str, baseline_text: &str, current_text: &str, outcome: &mut GuardOutcome) {
+    let baseline = match keyed_metrics(baseline_text, &format!("{name} (baseline)"), "overhead_pct")
+    {
+        Ok(b) => b,
+        Err(e) => {
+            outcome.failures.push(e);
+            return;
+        }
+    };
+    let current = match keyed_metrics(current_text, &format!("{name} (current)"), "overhead_pct") {
+        Ok(c) => c,
+        Err(e) => {
+            outcome.failures.push(e);
+            return;
+        }
+    };
+    for (field, _) in &baseline {
+        if !current.iter().any(|(k, _)| k == field) {
+            outcome.failures.push(format!(
+                "{name}: baseline metric `{field}` has no counterpart in the current run \
+                 (renamed or dropped?)"
+            ));
+        }
+    }
+    for (field, pct) in &current {
+        outcome.compared += 1;
+        let ok = *pct <= OVERHEAD_CEILING_PCT;
+        outcome.log.push(format!(
+            "{} {name}:{field}: {pct:.2}% (ceiling {OVERHEAD_CEILING_PCT:.1}%)",
+            if ok { "ok  " } else { "FAIL" },
+        ));
+        if !ok {
+            outcome.failures.push(format!(
+                "{name}: `{field}` at {pct:.2}% exceeds the {OVERHEAD_CEILING_PCT:.1}% ceiling"
+            ));
+        }
+    }
 }
 
 /// Compare every `BENCH_*.json` artifact of `baseline_dir` against its
@@ -279,6 +338,65 @@ mod tests {
             MAX,
         );
         assert!(!bad_baseline.ok());
+    }
+
+    /// `overhead_pct` metrics are budgets gated against an absolute
+    /// ceiling: the current value decides, never the baseline — a
+    /// baseline that drifted to 4.9% must not relax the gate.
+    #[test]
+    fn overhead_within_ceiling_passes_and_is_logged() {
+        let outcome = compare_artifacts(
+            "BENCH_x.json",
+            r#"{"a_per_sec": 100.0, "telemetry_overhead_pct": 4.9}"#,
+            r#"{"a_per_sec": 100.0, "telemetry_overhead_pct": 3.2}"#,
+            MAX,
+        );
+        assert!(outcome.ok(), "failures: {:?}", outcome.failures);
+        assert_eq!(outcome.compared, 2, "per_sec + overhead both gated");
+        assert!(outcome.log.iter().any(|l| l.contains("ceiling")));
+    }
+
+    #[test]
+    fn overhead_beyond_ceiling_fails_regardless_of_baseline() {
+        let outcome = compare_artifacts(
+            "BENCH_x.json",
+            // Baseline already over the ceiling: must not grandfather it.
+            r#"{"a_per_sec": 100.0, "telemetry_overhead_pct": 9.0}"#,
+            r#"{"a_per_sec": 100.0, "telemetry_overhead_pct": 8.5}"#,
+            MAX,
+        );
+        assert!(!outcome.ok());
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("telemetry_overhead_pct") && f.contains("ceiling")));
+    }
+
+    #[test]
+    fn overhead_metric_dropped_from_current_fails() {
+        let outcome = compare_artifacts(
+            "BENCH_x.json",
+            r#"{"a_per_sec": 100.0, "telemetry_overhead_pct": 1.0}"#,
+            r#"{"a_per_sec": 100.0}"#,
+            MAX,
+        );
+        assert!(!outcome.ok());
+        assert!(outcome.failures[0].contains("no counterpart"));
+    }
+
+    #[test]
+    fn overhead_decayed_to_null_fails() {
+        let outcome = compare_artifacts(
+            "BENCH_x.json",
+            r#"{"a_per_sec": 100.0, "telemetry_overhead_pct": 1.0}"#,
+            r#"{"a_per_sec": 100.0, "telemetry_overhead_pct": null}"#,
+            MAX,
+        );
+        assert!(!outcome.ok());
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("not a finite number")));
     }
 
     #[test]

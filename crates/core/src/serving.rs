@@ -418,6 +418,7 @@ mod tests {
         let solo = pipeline.run();
 
         let arrivals = ArrivalProcess::poisson(20_000.0, 500, 9);
+        let telemetry = metis_telemetry::Telemetry::enabled();
         let outcome = serve_fabric_while_converting(
             &pipeline,
             initial.clone(),
@@ -428,6 +429,7 @@ mod tests {
                     ..Default::default()
                 },
                 mirror_batch: 16,
+                telemetry: telemetry.clone(),
                 ..Default::default()
             },
             metis_fabric::ShadowConfig {
@@ -483,6 +485,31 @@ mod tests {
         let tenant = outcome.fabric.tenant("convert-serve").unwrap();
         assert_eq!(tenant.served, 500);
         assert!(tenant.met_p99_budget);
+        // The telemetry plane flowed through the fabric: one scope per
+        // shard plus the control scope, every request accounted for, and
+        // each concluded audit on the control scope's flight recorder.
+        let scopes = telemetry.scopes();
+        assert_eq!(scopes.len(), 3, "2 shard scopes + 1 control scope");
+        let served: u64 = scopes
+            .iter()
+            .filter(|s| s.shard() != metis_telemetry::CONTROL_SHARD)
+            .map(|s| s.served.get())
+            .sum();
+        assert_eq!(served, 500);
+        let control = scopes
+            .iter()
+            .find(|s| s.shard() == metis_telemetry::CONTROL_SHARD)
+            .expect("control scope");
+        let verdicts = control
+            .events
+            .events()
+            .iter()
+            .filter(|e| e.kind.name() == "audit_verdict")
+            .count() as u64;
+        let concluded = scenario.shadow.promotions.len() as u64
+            + scenario.shadow.rejected
+            + scenario.shadow.superseded;
+        assert_eq!(verdicts, concluded, "every concluded audit is recorded");
     }
 
     /// The ensemble variant: each round stages a forest over the last

@@ -47,8 +47,9 @@
 //! assert_eq!(results[0].name, "sweep-0");
 //! ```
 
+use metis_telemetry::ShardTelemetry;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One named unit of work for the [`WorkloadRunner`] — typically a whole
@@ -105,6 +106,7 @@ pub struct RunnerStats {
 /// contract.
 pub struct WorkloadRunner {
     budget: usize,
+    telemetry: Option<Arc<ShardTelemetry>>,
 }
 
 impl WorkloadRunner {
@@ -115,7 +117,19 @@ impl WorkloadRunner {
     pub fn new(budget: usize) -> Self {
         WorkloadRunner {
             budget: metis_nn::par::resolve_threads(budget).max(1),
+            telemetry: None,
         }
+    }
+
+    /// Report into the live telemetry plane: each workload lands on
+    /// `scope` as one request — full span = queue wait + run time,
+    /// queue-wait share = its admission delay — with stamps in seconds
+    /// since the batch's submission instant. The runner is wall-clock
+    /// machinery, so these stamps are monitoring data, not part of the
+    /// virtual-time determinism contract.
+    pub fn telemetry(mut self, scope: Arc<ShardTelemetry>) -> Self {
+        self.telemetry = Some(scope);
+        self
     }
 
     /// Concurrent workload slots.
@@ -161,6 +175,7 @@ impl WorkloadRunner {
                     let queue = &queue;
                     let slots = &slots;
                     let peak_depth = &peak_depth;
+                    let telemetry = self.telemetry.as_deref();
                     scope.spawn(move || loop {
                         let (idx, workload, depth) = {
                             let mut queue = queue.lock().unwrap();
@@ -183,6 +198,15 @@ impl WorkloadRunner {
                                 queue_wait_s,
                             }
                         });
+                        if let Some(scope) = telemetry {
+                            // One workload = one request: stamps are
+                            // seconds since the batch submission.
+                            scope.on_request(
+                                queue_wait_s + result.seconds,
+                                queue_wait_s + result.seconds,
+                                queue_wait_s,
+                            );
+                        }
                         *slots[idx].lock().unwrap() = Some(result);
                     })
                 })
@@ -312,6 +336,32 @@ mod tests {
         );
         assert_eq!(results.len(), 2);
         assert!(stats.peak_queue_depth >= 1 && stats.peak_queue_depth <= 2);
+    }
+
+    /// The telemetry hook: every workload lands on the attached scope as
+    /// one request, with its admission delay as the queue-wait share.
+    #[test]
+    fn telemetry_scope_records_each_workload_as_a_request() {
+        use metis_telemetry::{Stage, Telemetry, CONTROL_SHARD};
+
+        let plane = Telemetry::enabled();
+        let scope = plane
+            .register("runner", CONTROL_SHARD, "batch")
+            .expect("enabled plane registers");
+        let results = WorkloadRunner::new(2).telemetry(Arc::clone(&scope)).run(
+            (0..5)
+                .map(|k| Workload::new(format!("w{k}"), move || k))
+                .collect(),
+        );
+        assert_eq!(results.len(), 5);
+        assert_eq!(scope.latency.cumulative().count(), 5);
+        assert_eq!(scope.stage_sketch(Stage::QueueWait).count(), 5);
+        let p_max = scope
+            .latency
+            .cumulative()
+            .quantile(1.0)
+            .expect("non-empty sketch");
+        assert!(p_max >= 0.0, "workload spans are non-negative seconds");
     }
 
     /// The acceptance bar: concurrent scenario pipelines over a shared

@@ -24,7 +24,18 @@
 //!   [`metis_serve::LatencyRecorder::merge`], which every SLO decision
 //!   reads; plus a cross-scenario display rollup via
 //!   [`metis_serve::LatencySummary::merge`]), with each tenant's
-//!   **p99 budget** checked in its [`TenantReport`].
+//!   **p99 budget** checked in its [`TenantReport`]. Every report type
+//!   is serde-serializable, so a fabric run's full accounting exports
+//!   as JSON.
+//!
+//! Observability: [`FabricConfig::telemetry`] plugs the fabric into the
+//! live telemetry plane (`metis_telemetry`). The router registers one
+//! scope per `(scenario, shard)` — stage-attributed spans, streaming
+//! percentile sketches, flight-recorder events — plus a per-scenario
+//! *control scope* ([`metis_telemetry::CONTROL_SHARD`]) that records
+//! hot-swap costs and shadow-audit verdicts. All stamps read the fabric
+//! [`metis_serve::Clock`], and the whole plane exports a Chrome
+//! trace-event timeline ([`metis_telemetry::Telemetry::chrome_trace_json`]).
 //!
 //! SLO-aware scheduling: every tenant carries a *deadline class* that the
 //! fabric stamps onto its shards' pool submissions

@@ -12,10 +12,11 @@
 
 use crate::shadow::ShadowReport;
 use metis_serve::{EngineReport, LatencySummary};
+use serde::{Deserialize, Serialize};
 
 /// One scenario's merged view: its shards' engine reports, the exact
 /// union latency summary, and its shadow audit trail.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioReport {
     pub key: String,
     /// Owning tenant's name.
@@ -38,7 +39,7 @@ pub struct ScenarioReport {
 }
 
 /// One tenant's SLO view across every scenario it owns.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TenantReport {
     pub name: String,
     /// Deadline class its pool submissions carried (lower = more urgent).
@@ -57,7 +58,7 @@ pub struct TenantReport {
 
 /// Everything one fabric run produced, returned by
 /// [`crate::Router::shutdown`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FabricReport {
     /// Requests served across the whole fabric.
     pub served: u64,
@@ -90,5 +91,100 @@ impl FabricReport {
     /// Look up one tenant's report by name.
     pub fn tenant(&self, name: &str) -> Option<&TenantReport> {
         self.tenants.iter().find(|t| t.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shadow::PromotionRecord;
+    use metis_serve::{summarize, LatencyRecorder};
+
+    fn tenant(name: &str, class: u8, met: bool) -> TenantReport {
+        TenantReport {
+            name: name.into(),
+            deadline_class: class,
+            p99_budget_s: 0.5,
+            served: 10,
+            latency: summarize(&[0.1, 0.2, 0.3]),
+            met_p99_budget: met,
+        }
+    }
+
+    fn report() -> FabricReport {
+        let mut recorder = LatencyRecorder::new();
+        recorder.record(0.001);
+        recorder.record(0.002);
+        let latency = recorder.summary();
+        FabricReport {
+            served: 10,
+            latency_rollup: latency,
+            scenarios: vec![ScenarioReport {
+                key: "abr".into(),
+                tenant: "video".into(),
+                served: 10,
+                swaps: 1,
+                live_epoch: 1,
+                live_trees: 3,
+                latency,
+                shards: vec![],
+                shadow: ShadowReport {
+                    staged: 2,
+                    mirrored_rows: 67,
+                    promotions: vec![PromotionRecord {
+                        epoch: 1,
+                        baseline_epoch: 0,
+                        audited_rows: 64,
+                        mismatches: 0,
+                        trees: 3,
+                    }],
+                    pending: Some((3, 1)),
+                    ..Default::default()
+                },
+            }],
+            tenants: vec![
+                tenant("video", 2, false),
+                tenant("dc", 0, false),
+                tenant("idle", 1, true),
+            ],
+        }
+    }
+
+    /// `violations` pages the blown budgets most-urgent-class first;
+    /// the key/name lookups resolve hits and miss cleanly.
+    #[test]
+    fn violations_sort_by_urgency_and_lookups_resolve() {
+        let report = report();
+        let paged = report.violations();
+        assert_eq!(paged.len(), 2, "the met tenant is not a violation");
+        assert_eq!(paged[0].name, "dc", "class 0 pages before class 2");
+        assert_eq!(paged[1].name, "video");
+        assert_eq!(report.scenario("abr").unwrap().live_trees, 3);
+        assert!(report.scenario("nope").is_none());
+        assert_eq!(report.tenant("idle").unwrap().deadline_class, 1);
+        assert!(report.tenant("nope").is_none());
+    }
+
+    /// Every report type serializes to JSON and deserializes back to an
+    /// equivalent value (fixed-point re-serialization, since the nested
+    /// recorders don't implement `PartialEq`).
+    #[test]
+    fn reports_round_trip_through_json() {
+        let report = report();
+        let json = serde_json::to_string(&report).expect("reports serialize");
+        let back: FabricReport = serde_json::from_str(&json).expect("reports deserialize");
+        assert_eq!(
+            json,
+            serde_json::to_string(&back).unwrap(),
+            "round trip is a fixed point"
+        );
+        assert_eq!(back.served, report.served);
+        assert_eq!(back.scenarios[0].shadow, report.scenarios[0].shadow);
+        assert_eq!(back.tenants.len(), 3);
+        assert_eq!(back.tenants[0].latency.count, 3);
+        assert_eq!(
+            back.latency_rollup.p99_s.to_bits(),
+            report.latency_rollup.p99_s.to_bits()
+        );
     }
 }

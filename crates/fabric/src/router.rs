@@ -28,6 +28,7 @@ use metis_serve::{
     Clock, LatencyRecorder, LatencySummary, ModelRegistry, Response, ServeConfig, ServedModel,
     ServerHandle, TreeServer,
 };
+use metis_telemetry::{ShardTelemetry, Telemetry, CONTROL_SHARD};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -119,6 +120,15 @@ pub struct FabricConfig {
     /// discrete-event mode `metis_sim` drives millions of sessions
     /// through.
     pub clock: Arc<Clock>,
+    /// The live telemetry plane. [`Telemetry::off`] (the default) costs
+    /// one pointer check per shard flush; an enabled plane registers one
+    /// scope per `(scenario, shard)` — every flush decomposes into
+    /// stage-attributed spans and streaming sketches — plus one
+    /// *control scope* per scenario ([`CONTROL_SHARD`]) that records
+    /// hot-swap costs and shadow-audit verdicts. All stamps come from
+    /// `clock`, so a virtual-time fabric's telemetry is as deterministic
+    /// as its responses.
+    pub telemetry: Telemetry,
 }
 
 impl Default for FabricConfig {
@@ -127,6 +137,7 @@ impl Default for FabricConfig {
             serve: ServeConfig::default(),
             mirror_batch: 0,
             clock: Clock::real(),
+            telemetry: Telemetry::off(),
         }
     }
 }
@@ -141,6 +152,14 @@ struct ScenarioRuntime {
     /// the submit hot path can skip mirroring — and tag buffered rows
     /// with the staging generation — without taking the lock.
     shadow_gen: AtomicU64,
+    /// The scenario's telemetry control scope ([`CONTROL_SHARD`]):
+    /// hot-swap costs land here via the registry hook, audit verdicts
+    /// via [`ScenarioRuntime::mirror_rows`]. `None` when the plane is
+    /// off.
+    control: Option<Arc<ShardTelemetry>>,
+    /// The fabric clock, cloned here so audit verdicts can be stamped
+    /// without threading the clock through every mirror call site.
+    clock: Arc<Clock>,
 }
 
 impl ScenarioRuntime {
@@ -152,6 +171,16 @@ impl ScenarioRuntime {
         shadow.mirror(rows, generation, &self.registry);
         self.shadow_gen
             .store(shadow.active_generation().unwrap_or(0), Ordering::Relaxed);
+        if let Some(scope) = &self.control {
+            if let Some(verdict) = shadow.take_last_decision() {
+                scope.on_audit(
+                    self.clock.now_s(),
+                    verdict.epoch,
+                    verdict.mismatches,
+                    verdict.promoted,
+                );
+            }
+        }
     }
 }
 
@@ -163,6 +192,7 @@ pub struct Router {
     tenants: Vec<TenantSpec>,
     mirror_batch: usize,
     clock: Arc<Clock>,
+    telemetry: Telemetry,
 }
 
 impl Router {
@@ -199,8 +229,15 @@ impl Router {
                     )
                 });
             let registry = Arc::new(ModelRegistry::new(spec.initial));
+            let tenant_name = &tenants[tenant].name;
+            let control = cfg
+                .telemetry
+                .register(&spec.key, CONTROL_SHARD, tenant_name);
+            if let Some(scope) = &control {
+                registry.attach_telemetry(Arc::clone(scope), Arc::clone(&cfg.clock));
+            }
             let shards = (0..spec.shards)
-                .map(|_| {
+                .map(|shard_idx| {
                     TreeServer::start_clocked(
                         Arc::clone(&registry),
                         ServeConfig {
@@ -209,6 +246,7 @@ impl Router {
                             // group across tenants would let the last
                             // flusher's class re-tag every queued ticket.
                             group: None,
+                            telemetry: cfg.telemetry.register(&spec.key, shard_idx, tenant_name),
                             ..cfg.serve.clone()
                         },
                         Arc::clone(&cfg.clock),
@@ -222,6 +260,8 @@ impl Router {
                 shards,
                 shadow: Mutex::new(ShadowState::new(spec.shadow)),
                 shadow_gen: AtomicU64::new(0),
+                control,
+                clock: Arc::clone(&cfg.clock),
             });
         }
         let scenarios = runtimes;
@@ -230,12 +270,21 @@ impl Router {
             tenants,
             mirror_batch: cfg.mirror_batch,
             clock: cfg.clock,
+            telemetry: cfg.telemetry,
         }
     }
 
     /// The time source every shard runs on ([`FabricConfig::clock`]).
     pub fn clock(&self) -> &Arc<Clock> {
         &self.clock
+    }
+
+    /// The fabric's telemetry plane ([`FabricConfig::telemetry`]):
+    /// disabled it answers nothing; enabled it holds every scope the
+    /// router registered — live sketches, flight-recorder events, and
+    /// the [`Telemetry::chrome_trace_json`] timeline export.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Index of a scenario key (stable for the router's lifetime; submit
@@ -855,6 +904,110 @@ mod tests {
         let report = router.shutdown();
         assert!(report.tenants[0].met_p99_budget);
         assert_eq!(report.served, 0);
+    }
+
+    /// An enabled plane registers one scope per shard plus a control
+    /// scope per scenario; a staged promotion lands on the control scope
+    /// as the registry's hot-swap event followed by the audit verdict,
+    /// and the shard scopes account for every served request.
+    #[test]
+    fn telemetry_scopes_cover_shards_and_the_control_plane() {
+        let t = tree(24, 6);
+        let router = Router::new(
+            vec![TenantSpec::new("video")],
+            vec![ScenarioSpec::new("abr", "video", t.clone())
+                .shards(2)
+                .shadow(ShadowConfig {
+                    audit_rows: 64,
+                    policy: PromotePolicy::OnZeroDiff,
+                })],
+            FabricConfig {
+                telemetry: Telemetry::enabled(),
+                ..quick_cfg()
+            },
+        );
+        router.stage("abr", t.clone());
+        let mut handle = router.handle();
+        for k in 0..100u64 {
+            handle.submit(0, k, features(k));
+        }
+        assert_eq!(handle.collect().len(), 100);
+        assert_eq!(router.registry("abr").epoch(), 1, "clean audit promoted");
+        let scopes = router.telemetry().scopes();
+        assert_eq!(scopes.len(), 3, "2 shard scopes + 1 control scope");
+        let control = scopes
+            .iter()
+            .find(|s| s.shard() == CONTROL_SHARD)
+            .expect("control scope registered");
+        assert_eq!(control.scenario(), "abr");
+        assert_eq!(control.tenant(), "video");
+        let names: Vec<&str> = control
+            .events
+            .events()
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["hot_swap", "audit_verdict"],
+            "the registry hook fires inside the promotion CAS, then the \
+             verdict is recorded"
+        );
+        let served: u64 = scopes
+            .iter()
+            .filter(|s| s.shard() != CONTROL_SHARD)
+            .map(|s| s.served.get())
+            .sum();
+        assert_eq!(served, 100, "shard scopes account for every request");
+        // The trace export carries all three scopes' thread metadata.
+        let trace = router.telemetry().chrome_trace_json();
+        assert!(trace.contains("\"traceEvents\""));
+        drop(handle);
+        router.shutdown();
+    }
+
+    /// A rejected candidate still concludes its audit on the control
+    /// scope — promoted = false, with the mismatch count — and no
+    /// hot-swap event follows.
+    #[test]
+    fn rejected_audits_surface_on_the_control_scope() {
+        let t = tree(24, 6);
+        let router = Router::new(
+            vec![TenantSpec::new("t")],
+            vec![ScenarioSpec::new("s", "t", t.clone()).shadow(ShadowConfig {
+                audit_rows: 64,
+                policy: PromotePolicy::OnZeroDiff,
+            })],
+            FabricConfig {
+                telemetry: Telemetry::enabled(),
+                ..quick_cfg()
+            },
+        );
+        router.stage("s", tree(2, 6)); // coarse fit: must diverge
+        let mut handle = router.handle();
+        for k in 0..100u64 {
+            handle.submit(0, k, features(k));
+        }
+        handle.collect();
+        assert_eq!(router.registry("s").epoch(), 0, "rejected, never live");
+        let scopes = router.telemetry().scopes();
+        let control = scopes.iter().find(|s| s.shard() == CONTROL_SHARD).unwrap();
+        let events = control.events.events();
+        assert_eq!(events.len(), 1, "one audit verdict, no hot swap");
+        match &events[0].kind {
+            metis_telemetry::EventKind::AuditVerdict {
+                epoch,
+                mismatches,
+                promoted,
+            } => {
+                assert_eq!(*epoch, 0, "verdict names the audited baseline");
+                assert!(*mismatches > 0);
+                assert!(!promoted);
+            }
+            other => panic!("expected an audit verdict, got {other:?}"),
+        }
+        drop(handle);
+        router.shutdown();
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! mid-audit, the candidate is *superseded* — recorded, never installed.
 
 use metis_serve::{EpochModel, ModelRegistry, ServedModel};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// What to do with a staged candidate once its audit quota is reached.
@@ -68,7 +69,7 @@ impl Default for ShadowConfig {
 }
 
 /// One audited hot swap that went live.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PromotionRecord {
     /// Epoch the candidate became.
     pub epoch: u64,
@@ -85,7 +86,7 @@ pub struct PromotionRecord {
 }
 
 /// Lifetime shadow accounting of one scenario.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShadowReport {
     /// Candidates ever staged.
     pub staged: u64,
@@ -120,6 +121,16 @@ struct Candidate {
     mismatches: usize,
 }
 
+/// One concluded audit, for the telemetry plane's flight recorder:
+/// which epoch the verdict concerned, how many mirrored rows diverged,
+/// and whether the candidate went live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct AuditDecision {
+    pub epoch: u64,
+    pub mismatches: u64,
+    pub promoted: bool,
+}
+
 /// Per-scenario shadow slot: at most one staged candidate plus the
 /// accumulated report. Callers serialize access (the router wraps this in
 /// a `Mutex`).
@@ -128,6 +139,9 @@ pub(crate) struct ShadowState {
     candidate: Option<Candidate>,
     next_generation: u64,
     report: ShadowReport,
+    /// Verdict of the most recent concluded audit, until taken — the
+    /// router forwards it to the scenario's telemetry control scope.
+    last_decision: Option<AuditDecision>,
 }
 
 impl ShadowState {
@@ -138,7 +152,15 @@ impl ShadowState {
             candidate: None,
             next_generation: 1,
             report: ShadowReport::default(),
+            last_decision: None,
         }
+    }
+
+    /// Take the most recent concluded audit verdict, if one landed since
+    /// the last call. `epoch` is the newly live epoch on promotion, the
+    /// audited baseline epoch on rejection/supersession.
+    pub(crate) fn take_last_decision(&mut self) -> Option<AuditDecision> {
+        self.last_decision.take()
     }
 
     /// Generation of the staged candidate, or `None` when the slot is
@@ -207,6 +229,11 @@ impl ShadowState {
                 self.report.rejected += 1;
                 self.report.mirrored_rows += rejected.mirrored as u64;
                 self.report.mismatch_rows += rejected.mismatches as u64;
+                self.last_decision = Some(AuditDecision {
+                    epoch: rejected.baseline.epoch,
+                    mismatches: rejected.mismatches as u64,
+                    promoted: false,
+                });
                 None
             }
             PromotePolicy::OnZeroDiff | PromotePolicy::AfterAudit => {
@@ -223,8 +250,18 @@ impl ShadowState {
                     registry.publish_if_current(promoted.model, promoted.baseline.epoch)
                 else {
                     self.report.superseded += 1;
+                    self.last_decision = Some(AuditDecision {
+                        epoch: promoted.baseline.epoch,
+                        mismatches: promoted.mismatches as u64,
+                        promoted: false,
+                    });
                     return None;
                 };
+                self.last_decision = Some(AuditDecision {
+                    epoch,
+                    mismatches: promoted.mismatches as u64,
+                    promoted: true,
+                });
                 let record = PromotionRecord {
                     epoch,
                     baseline_epoch: promoted.baseline.epoch,

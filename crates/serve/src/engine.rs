@@ -42,6 +42,7 @@ use crate::clock::Clock;
 use crate::latency::{LatencyRecorder, LatencySummary};
 use crate::registry::ModelRegistry;
 use metis_dt::Prediction;
+use metis_telemetry::{FlushStamps, ShardTelemetry};
 use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -71,6 +72,13 @@ pub struct ServeConfig {
     /// urgent; see [`metis_nn::par::with_deadline_class`]). The fabric
     /// maps per-tenant SLO tiers onto this. Never affects results.
     pub deadline_class: u8,
+    /// Live telemetry scope this engine reports into (`None`, the
+    /// default, disables instrumentation — the hot path then pays one
+    /// `Option` test per site and reads no clocks for telemetry).
+    /// Under a virtual clock every stamp the engine feeds the scope is
+    /// derived from submit stamps, never from a live clock read, so the
+    /// scope's digest is bit-identical across thread counts.
+    pub telemetry: Option<Arc<ShardTelemetry>>,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +90,7 @@ impl Default for ServeConfig {
             stripe_rows: 64,
             group: None,
             deadline_class: 0,
+            telemetry: None,
         }
     }
 }
@@ -140,11 +149,16 @@ struct EngineLog {
 struct FlushScratch {
     rows: Vec<f64>,
     predictions: Vec<Prediction>,
+    /// Per-request latency / queue-wait of the batch in flight, staged
+    /// here so telemetry records them in one amortized pass before any
+    /// response is delivered.
+    latencies: Vec<f64>,
+    queue_waits: Vec<f64>,
 }
 
 /// Lifetime summary of one [`TreeServer`], returned by
 /// [`TreeServer::shutdown`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct EngineReport {
     /// Requests answered (predictions computed and sent).
     pub served: u64,
@@ -182,6 +196,7 @@ pub struct ServerHandle {
     outstanding: usize,
     n_features: usize,
     clock: Arc<Clock>,
+    telemetry: Option<Arc<ShardTelemetry>>,
 }
 
 impl ServerHandle {
@@ -212,6 +227,9 @@ impl ServerHandle {
         let id = self.next_id;
         self.next_id += 1;
         self.outstanding += 1;
+        if let Some(scope) = &self.telemetry {
+            scope.queue_depth.inc();
+        }
         self.tx
             .send(Msg::Req(Request {
                 id,
@@ -262,6 +280,7 @@ pub struct TreeServer {
     thread: Option<JoinHandle<EngineLog>>,
     registry: Arc<ModelRegistry>,
     clock: Arc<Clock>,
+    telemetry: Option<Arc<ShardTelemetry>>,
 }
 
 impl TreeServer {
@@ -284,6 +303,7 @@ impl TreeServer {
         let (tx, rx) = channel();
         let reg = Arc::clone(&registry);
         let batcher_clock = Arc::clone(&clock);
+        let telemetry = cfg.telemetry.clone();
         let thread = std::thread::Builder::new()
             .name("metis-serve-batcher".into())
             .spawn(move || batcher_loop(rx, reg, cfg, batcher_clock))
@@ -293,6 +313,7 @@ impl TreeServer {
             thread: Some(thread),
             registry,
             clock,
+            telemetry,
         }
     }
 
@@ -317,6 +338,7 @@ impl TreeServer {
             outstanding: 0,
             n_features: self.registry.n_features(),
             clock: Arc::clone(&self.clock),
+            telemetry: self.telemetry.clone(),
         }
     }
 
@@ -364,6 +386,8 @@ fn batcher_loop(
     // explicit flush marker, or shutdown — nothing else, so batch
     // composition is deterministic in submission order.
     let use_deadline = !clock.is_virtual();
+    let scope = cfg.telemetry.clone();
+    let scope = scope.as_deref();
     let mut log = EngineLog::default();
     let mut scratch = FlushScratch::default();
     loop {
@@ -378,6 +402,13 @@ fn batcher_loop(
             // behind the marker must still be answered.
             Ok(Msg::Shutdown) | Err(_) => break,
         };
+        if let Some(scope) = scope {
+            scope.on_batch_open();
+        }
+        // Wall stamp of the batch opening, for the batch-form span. Only
+        // read under a real clock — virtual stamps derive from the
+        // batch's submit stamps inside `flush`, never from a live read.
+        let wall_open_s = (scope.is_some() && use_deadline).then(|| clock.now_s());
         let mut batch = vec![first];
         let deadline = use_deadline.then(|| Instant::now() + cfg.max_delay);
         let mut shutting_down = false;
@@ -413,6 +444,11 @@ fn batcher_loop(
                 }
             }
         }
+        if let Some(scope) = scope {
+            // One balance update per batch, not one RMW per request —
+            // the gauge is monitoring-only, never digested.
+            scope.queue_depth.add(-(batch.len() as i64));
+        }
         flush(
             &mut log,
             &mut scratch,
@@ -421,6 +457,7 @@ fn batcher_loop(
             group,
             &clock,
             batch,
+            wall_open_s,
         );
         if shutting_down {
             break;
@@ -439,9 +476,26 @@ fn batcher_loop(
             Err(_) => break,
         }
     }
+    if let Some(scope) = scope {
+        scope.queue_depth.add(-(rest.len() as i64));
+        if !rest.is_empty() {
+            // Virtual stamp: the latest drained submit stamp (schedule-
+            // pure); real stamp: the wall drain time.
+            let stamp_s = if clock.is_virtual() {
+                rest.iter().map(|r| r.submitted).fold(0.0, f64::max)
+            } else {
+                clock.now_s()
+            };
+            scope.on_drain(stamp_s, rest.len());
+        }
+    }
     let mut rest = rest.into_iter().peekable();
     while rest.peek().is_some() {
         let chunk: Vec<Request> = rest.by_ref().take(cfg.max_batch).collect();
+        let wall_open_s = (scope.is_some() && use_deadline).then(|| clock.now_s());
+        if let Some(scope) = scope {
+            scope.on_batch_open();
+        }
         flush(
             &mut log,
             &mut scratch,
@@ -450,11 +504,13 @@ fn batcher_loop(
             group,
             &clock,
             chunk,
+            wall_open_s,
         );
     }
     log
 }
 
+#[allow(clippy::too_many_arguments)]
 fn flush(
     log: &mut EngineLog,
     scratch: &mut FlushScratch,
@@ -463,6 +519,8 @@ fn flush(
     group: u64,
     clock: &Clock,
     batch: Vec<Request>,
+    // Wall stamp of the batch opening (real clock + telemetry only).
+    wall_open_s: Option<f64>,
 ) {
     if batch.is_empty() {
         return;
@@ -477,6 +535,19 @@ fn flush(
     let virtual_close_s = clock
         .is_virtual()
         .then(|| batch.iter().map(|r| r.submitted).fold(0.0, f64::max));
+    // Telemetry stamps follow the same discipline: under a virtual clock
+    // the batch "opens" at its earliest submit stamp and the kernel/close
+    // stamps collapse onto the batch close — all pure functions of the
+    // schedule, so the span stream digests identically for any thread
+    // count. Under a real clock they are wall reads around the work.
+    let scope = cfg.telemetry.as_deref();
+    let open_s = scope.map(|_| match virtual_close_s {
+        Some(_) => batch
+            .iter()
+            .map(|r| r.submitted)
+            .fold(f64::INFINITY, f64::min),
+        None => wall_open_s.unwrap_or_else(|| clock.now_s()),
+    });
     // Pin the epoch for the whole batch: in-flight work finishes on the
     // model it started with even if a publish lands mid-execution.
     let epoch_model = registry.current();
@@ -492,6 +563,7 @@ fn flush(
         scratch.rows.extend_from_slice(&req.features);
     }
     let chunks = n.div_ceil(cfg.stripe_rows);
+    let kernel_start_s = scope.map(|_| virtual_close_s.unwrap_or_else(|| clock.now_s()));
     scratch.predictions.clear();
     if chunks <= 1 {
         // The steady-state micro-batch path: evaluate straight into the
@@ -517,15 +589,52 @@ fn flush(
             scratch.predictions.extend_from_slice(&chunk);
         }
     }
+    let kernel_end_s = scope.map(|_| virtual_close_s.unwrap_or_else(|| clock.now_s()));
     log.batches += 1;
     log.max_batch_seen = log.max_batch_seen.max(n);
     *log.per_epoch.entry(epoch_model.epoch).or_insert(0) += n as u64;
+    // Accounting pass: stamp every request and stage its latency (and,
+    // with telemetry on, queue-wait) before anything is delivered.
     let width_latency = log.per_width.entry(model.n_trees()).or_default();
-    for (req, &prediction) in batch.into_iter().zip(scratch.predictions.iter()) {
+    scratch.latencies.clear();
+    scratch.queue_waits.clear();
+    for req in &batch {
         let completed_s = virtual_close_s.unwrap_or_else(|| clock.now_s());
         let latency_s = log.latency.record_span(req.submitted, completed_s);
         width_latency.record(latency_s);
         log.served += 1;
+        scratch.latencies.push(latency_s);
+        if scope.is_some() {
+            // Queue-wait = submit → kernel start: everything before the
+            // model ran (ingest wait + batch formation).
+            scratch
+                .queue_waits
+                .push((kernel_start_s.unwrap_or(completed_s) - req.submitted).max(0.0));
+        }
+    }
+    // Record ALL the batch's telemetry (spans, flush event, served
+    // counters, request sketches) BEFORE delivering any response: a
+    // driver that has drained a wave must observe a quiescent scope,
+    // otherwise the digest races the tail of the flush and drifts
+    // across thread counts.
+    if let Some(scope) = scope {
+        let close_s = virtual_close_s.unwrap_or_else(|| clock.now_s());
+        scope.record_flush(&FlushStamps {
+            open_s: open_s.unwrap_or(close_s),
+            kernel_start_s: kernel_start_s.unwrap_or(close_s),
+            kernel_end_s: kernel_end_s.unwrap_or(close_s),
+            close_s,
+            rows: n,
+            epoch: epoch_model.epoch,
+            width: model.n_trees(),
+        });
+        scope.on_requests(close_s, &scratch.latencies, &scratch.queue_waits);
+    }
+    for ((req, &prediction), &latency_s) in batch
+        .into_iter()
+        .zip(scratch.predictions.iter())
+        .zip(scratch.latencies.iter())
+    {
         let sent = req.reply.send(Response {
             id: req.id,
             prediction,
@@ -655,6 +764,62 @@ mod tests {
         assert_eq!(report.batches, 1);
         assert_eq!(report.served, 9);
         assert_eq!(report.latency.max_s, 2.5);
+    }
+
+    /// Virtual-clock telemetry stamps are pure functions of the submit
+    /// schedule: batch-form spans min→max submit stamp, kernel/collect
+    /// collapse onto the close, and the admission event carries the
+    /// batch's deterministic composition.
+    #[test]
+    fn virtual_clock_telemetry_is_schedule_pure() {
+        use metis_telemetry::{Stage, Telemetry};
+        let tree = staircase_tree(4);
+        let clock = Clock::virtual_at(0.0);
+        let telemetry = Telemetry::enabled();
+        let scope = telemetry.register("abr", 0, "gold").unwrap();
+        let server = TreeServer::start_clocked(
+            Arc::new(ModelRegistry::new(tree)),
+            ServeConfig {
+                max_batch: 64,
+                max_delay: Duration::from_secs(10),
+                telemetry: Some(Arc::clone(&scope)),
+                ..Default::default()
+            },
+            Arc::clone(&clock),
+        );
+        let mut handle = server.handle();
+        for k in 0..5u64 {
+            handle.submit(req_features(k)); // stamped 0.0
+        }
+        clock.advance_to(2.5);
+        for k in 5..9u64 {
+            handle.submit(req_features(k)); // stamped 2.5
+        }
+        handle.collect();
+        server.shutdown();
+        assert_eq!(scope.served.get(), 9);
+        assert_eq!(scope.batches.get(), 1);
+        assert_eq!(scope.queue_depth.get(), 0, "submits all consumed");
+        assert_eq!(scope.inflight_batches.get(), 0);
+        assert_eq!(scope.served_per_epoch(), vec![(0, 9)]);
+        let spans = scope.spans.records();
+        assert_eq!(spans.len(), 3, "batch_form + kernel + collect");
+        assert_eq!(spans[0].stage, Stage::BatchForm);
+        assert_eq!(spans[0].start_s, 0.0, "opens at the earliest submit stamp");
+        assert_eq!(spans[0].dur_s, 2.5, "forms until the latest submit stamp");
+        for span in &spans[1..] {
+            assert_eq!(span.start_s, 2.5, "kernel/collect collapse onto the close");
+            assert_eq!(span.dur_s, 0.0);
+            assert_eq!(span.rows, 9);
+        }
+        let events = scope.events.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind.name(), "admission");
+        assert_eq!(events[0].time_s, 0.0);
+        assert_eq!(events[1].kind.name(), "flush");
+        assert_eq!(events[1].time_s, 2.5);
+        assert_eq!(scope.latency.cumulative().count(), 9);
+        assert_eq!(scope.stage_sketch(Stage::QueueWait).count(), 9);
     }
 
     #[test]

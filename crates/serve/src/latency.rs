@@ -2,13 +2,13 @@
 //! vocabulary of the serving engine, reused by `metis_core::deploy` for
 //! its per-decision measurements.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Percentile summary of a latency sample set (seconds). Percentiles use
 /// the floor-index convention (`samples[floor(p/100 * (len-1))]` of the
 /// sorted samples) so they match the historical `deploy::measure_latency`
 /// numbers exactly.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
     pub count: usize,
     pub mean_s: f64,
@@ -103,7 +103,7 @@ pub fn summarize_sorted(sorted: &[f64]) -> LatencySummary {
 
 /// Accumulates per-request latencies. Single-writer by design (the
 /// engine's batcher thread owns one); summarization is on demand.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct LatencyRecorder {
     samples_s: Vec<f64>,
 }
@@ -123,8 +123,22 @@ impl LatencyRecorder {
     /// virtual. The subtraction lives here so every recorder in the
     /// engine and the fabric turns clock readings into samples the same
     /// way.
+    ///
+    /// A completion stamp earlier than its submit stamp is a caller bug
+    /// (stamps from two different clocks, or a rewound time source): it
+    /// trips a debug assertion, and in release builds the span **clamps
+    /// to zero** rather than silently recording negative latency —
+    /// negative samples would deflate the mean and the low percentiles
+    /// of every summary downstream. NaN stamps pass through unclamped
+    /// (`NaN < 0.0` is false), preserving the NaN-poisons-the-tail
+    /// contract of [`summarize`].
     pub fn record_span(&mut self, submitted_s: f64, completed_s: f64) -> f64 {
-        let span_s = completed_s - submitted_s;
+        let raw_s = completed_s - submitted_s;
+        debug_assert!(
+            raw_s >= 0.0 || raw_s.is_nan(),
+            "record_span: completion stamp {completed_s} earlier than submit stamp {submitted_s}"
+        );
+        let span_s = if raw_s < 0.0 { 0.0 } else { raw_s };
         self.samples_s.push(span_s);
         span_s
     }
@@ -327,5 +341,93 @@ mod tests {
         assert_eq!(s.p99_s, 0.5);
         assert_eq!(s.max_s, 0.5);
         assert_eq!(s.count, 1);
+    }
+
+    /// Debug builds reject a completion stamp earlier than its submit
+    /// stamp outright — the silent-negative-latency regression.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "earlier than submit stamp")]
+    fn record_span_rejects_negative_spans_in_debug() {
+        LatencyRecorder::new().record_span(2.0, 1.0);
+    }
+
+    /// Release builds clamp the same bug to zero instead of deflating
+    /// the summary with a negative sample.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn record_span_clamps_negative_spans_in_release() {
+        let mut rec = LatencyRecorder::new();
+        assert_eq!(rec.record_span(2.0, 1.0), 0.0);
+        assert_eq!(rec.samples_s(), &[0.0]);
+        assert!(rec.summary().mean_s >= 0.0);
+    }
+
+    #[test]
+    fn record_span_passes_nan_through_unclamped() {
+        let mut rec = LatencyRecorder::new();
+        assert!(rec.record_span(1.0, f64::NAN).is_nan());
+        assert!(
+            rec.summary().max_s.is_nan(),
+            "NaN span must poison the tail"
+        );
+    }
+}
+
+#[cfg(test)]
+mod summarize_order_props {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Field-wise bitwise equality — `PartialEq` would reject the
+    /// NaN-poisoned summaries this property must also cover.
+    fn assert_summary_bits(a: LatencySummary, b: LatencySummary) {
+        assert_eq!(a.count, b.count);
+        for (x, y, field) in [
+            (a.mean_s, b.mean_s, "mean_s"),
+            (a.p50_s, b.p50_s, "p50_s"),
+            (a.p95_s, b.p95_s, "p95_s"),
+            (a.p99_s, b.p99_s, "p99_s"),
+            (a.max_s, b.max_s, "max_s"),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{field} diverges: {x} vs {y}");
+        }
+    }
+
+    proptest! {
+        /// `summarize(xs)` must equal `summarize_sorted` of the
+        /// `total_cmp`-sorted samples, bit for bit, for **any** capture
+        /// order — including NaN-salted sample sets, whose NaNs order
+        /// last and inflate the tail identically on both paths.
+        #[test]
+        fn prop_summarize_is_order_independent(
+            n in 1usize..120,
+            shuffle_seed in 0u64..10_000,
+            nan_every in 0usize..8,
+        ) {
+            let mut rng = StdRng::seed_from_u64(shuffle_seed ^ 0xA5A5);
+            let mut samples: Vec<f64> = (0..n)
+                .map(|k| {
+                    if nan_every > 0 && k % (nan_every + 2) == nan_every {
+                        f64::NAN
+                    } else {
+                        rng.gen_range(0.0..0.25)
+                    }
+                })
+                .collect();
+            // Deterministic Fisher–Yates shuffle into an arbitrary order.
+            for i in (1..samples.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                samples.swap(i, j);
+            }
+            let via_unsorted = summarize(&samples);
+            let mut sorted = samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            let via_sorted = summarize_sorted(&sorted);
+            assert_summary_bits(via_unsorted, via_sorted);
+            prop_assert_eq!(via_unsorted.count, n);
+        }
     }
 }

@@ -29,6 +29,15 @@
 //!   inter-arrivals and Poisson (flowsched-style) arrival processes driven
 //!   against a server without ever waiting for responses.
 //!
+//! The engine and registry optionally report into the live telemetry
+//! plane (`metis_telemetry`): hand [`ServeConfig::telemetry`] a
+//! registered scope and every flush decomposes into stage-attributed
+//! spans (queue-wait / batch-form / kernel / collect), feeds streaming
+//! percentile sketches and flight-recorder events;
+//! [`ModelRegistry::attach_telemetry`] does the same for publish/swap
+//! cost. All stamps come from the engine's [`Clock`], so under virtual
+//! time the telemetry is as deterministic as the responses.
+//!
 //! Determinism contract: every response is bit-identical to evaluating
 //! the reported epoch's model sequentially — `DecisionTree::predict` for
 //! tree epochs, the forest's majority vote for ensemble epochs — for any

@@ -15,12 +15,14 @@
 //! on this enum, so a scenario can hot-swap between shapes with the same
 //! CAS / bit-exactness guarantees.
 
+use crate::clock::Clock;
 use metis_dt::{
     diff_predictions, BatchDiff, CompiledTree, DecisionTree, Forest, ForestError, Prediction,
     TreeKind,
 };
+use metis_telemetry::ShardTelemetry;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// What an epoch actually serves: one compiled tree, or a majority-vote
 /// [`Forest`] over several. Both carry their source trees (the sequential
@@ -145,11 +147,19 @@ pub struct EpochModel {
     pub model: ServedModel,
 }
 
+/// A telemetry scope attached to a registry: publishes record their
+/// hot-swap span/event on it, stamped from the given clock.
+struct TelemetryHook {
+    scope: Arc<ShardTelemetry>,
+    clock: Arc<Clock>,
+}
+
 /// Epoch-pointer registry. See the module docs for the swap contract.
 pub struct ModelRegistry {
     current: RwLock<Arc<EpochModel>>,
     next_epoch: AtomicU64,
     swaps: AtomicU64,
+    telemetry: Mutex<Option<TelemetryHook>>,
 }
 
 impl ModelRegistry {
@@ -167,7 +177,28 @@ impl ModelRegistry {
             })),
             next_epoch: AtomicU64::new(1),
             swaps: AtomicU64::new(0),
+            telemetry: Mutex::new(None),
         }
+    }
+
+    /// Attach a live telemetry scope (normally a scenario's **control
+    /// scope**): every subsequent publish records its hot-swap span and
+    /// flight event there, stamped from `clock`. Under a virtual clock
+    /// the swap cost is reported as 0 (a schedule event has no wall
+    /// duration), keeping the event stream deterministic; under a real
+    /// clock the cost spans compile + pointer swap.
+    pub fn attach_telemetry(&self, scope: Arc<ShardTelemetry>, clock: Arc<Clock>) {
+        *self.telemetry.lock().unwrap() = Some(TelemetryHook { scope, clock });
+    }
+
+    /// Wall stamp at publish entry, read only when a real-clock scope is
+    /// attached — virtual publishes must never take live clock readings
+    /// for durations.
+    fn publish_start_s(&self) -> Option<f64> {
+        let guard = self.telemetry.lock().unwrap();
+        guard
+            .as_ref()
+            .and_then(|h| (!h.clock.is_virtual()).then(|| h.clock.now_s()))
     }
 
     /// Publish a newly fitted tree, returning its epoch. The tree is
@@ -179,7 +210,10 @@ impl ModelRegistry {
     /// feature schema: a model with a different `n_features` is rejected
     /// (queued requests were validated against the old width).
     pub fn publish(&self, tree: DecisionTree) -> u64 {
-        self.publish_model(ServedModel::from_tree(tree))
+        // Stamp before the compile so the reported swap cost covers it.
+        let started_s = self.publish_start_s();
+        self.install(ServedModel::from_tree(tree), None, started_s)
+            .expect("unconditional publish cannot be superseded")
     }
 
     /// Publish an already-compiled model (tree or ensemble) — the same
@@ -187,7 +221,8 @@ impl ModelRegistry {
     /// callers holding source trees for a forest compile via
     /// [`ServedModel::from_trees`] first.
     pub fn publish_model(&self, model: ServedModel) -> u64 {
-        self.install(model, None)
+        let started_s = self.publish_start_s();
+        self.install(model, None, started_s)
             .expect("unconditional publish cannot be superseded")
     }
 
@@ -199,10 +234,16 @@ impl ModelRegistry {
     /// supplies the compiled artifact (shadow audits already hold one),
     /// so the lock covers no compile work.
     pub fn publish_if_current(&self, model: ServedModel, expected_epoch: u64) -> Option<u64> {
-        self.install(model, Some(expected_epoch))
+        let started_s = self.publish_start_s();
+        self.install(model, Some(expected_epoch), started_s)
     }
 
-    fn install(&self, model: ServedModel, expected_epoch: Option<u64>) -> Option<u64> {
+    fn install(
+        &self,
+        model: ServedModel,
+        expected_epoch: Option<u64>,
+        started_s: Option<f64>,
+    ) -> Option<u64> {
         let mut current = self.current.write().unwrap();
         if expected_epoch.is_some_and(|e| current.epoch != e) {
             return None;
@@ -215,9 +256,22 @@ impl ModelRegistry {
             current.model.n_features(),
             model.n_features()
         );
+        let width = model.n_trees();
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
         *current = Arc::new(EpochModel { epoch, model });
         self.swaps.fetch_add(1, Ordering::Relaxed);
+        // Recorded while the write lock serializes publishers, so swap
+        // events land in epoch order on the scope.
+        if let Some(hook) = self.telemetry.lock().unwrap().as_ref() {
+            let (start_s, cost_s) = if hook.clock.is_virtual() {
+                (hook.clock.now_s(), 0.0)
+            } else {
+                let now_s = hook.clock.now_s();
+                let start_s = started_s.unwrap_or(now_s);
+                (start_s, (now_s - start_s).max(0.0))
+            };
+            hook.scope.on_hot_swap(start_s, epoch, width, cost_s);
+        }
         Some(epoch)
     }
 
@@ -311,6 +365,45 @@ mod tests {
         assert_eq!(reg.publish_if_current(candidate, 1), None);
         assert_eq!(reg.epoch(), 2, "refused publish must install nothing");
         assert_eq!(reg.swap_count(), 2);
+    }
+
+    /// An attached control scope sees every publish as a hot-swap event
+    /// and a publish-stage span; under a virtual clock the cost is 0
+    /// and the stamp is the schedule time — fully deterministic.
+    #[test]
+    fn attached_scope_records_hot_swaps() {
+        use metis_telemetry::{Stage, Telemetry, CONTROL_SHARD};
+        let reg = ModelRegistry::new(tree(0.0));
+        let telemetry = Telemetry::enabled();
+        let scope = telemetry.register("abr", CONTROL_SHARD, "gold").unwrap();
+        let clock = Clock::virtual_at(3.0);
+        reg.attach_telemetry(Arc::clone(&scope), Arc::clone(&clock));
+        reg.publish(tree(0.1));
+        reg.publish_model(ServedModel::from_trees(vec![tree(0.0), tree(0.1), tree(0.2)]).unwrap());
+        // A refused CAS publish must record nothing.
+        assert_eq!(
+            reg.publish_if_current(ServedModel::from_tree(tree(0.3)), 0),
+            None
+        );
+        let events = scope.events.events();
+        assert_eq!(events.len(), 2, "one event per completed swap");
+        for (event, (want_epoch, want_trees)) in events.iter().zip([(1u64, 1usize), (2, 3)]) {
+            assert_eq!(event.time_s, 3.0, "stamped at virtual schedule time");
+            match &event.kind {
+                metis_telemetry::EventKind::HotSwap {
+                    epoch,
+                    trees,
+                    cost_s,
+                } => {
+                    assert_eq!(*epoch, want_epoch);
+                    assert_eq!(*trees, want_trees);
+                    assert_eq!(*cost_s, 0.0, "virtual swaps cost no wall time");
+                }
+                other => panic!("expected HotSwap, got {other:?}"),
+            }
+        }
+        assert_eq!(scope.stage_sketch(Stage::Publish).count(), 2);
+        assert_eq!(scope.spans.len(), 2);
     }
 
     #[test]

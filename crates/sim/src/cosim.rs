@@ -394,6 +394,14 @@ mod tests {
     }
 
     fn virtual_router(initial: DecisionTree, shards: usize) -> Router {
+        virtual_router_with_telemetry(initial, shards, metis_telemetry::Telemetry::off())
+    }
+
+    fn virtual_router_with_telemetry(
+        initial: DecisionTree,
+        shards: usize,
+        telemetry: metis_telemetry::Telemetry,
+    ) -> Router {
         Router::new(
             vec![TenantSpec::new("abr")],
             vec![ScenarioSpec::new("pensieve", "abr", initial).shards(shards)],
@@ -405,6 +413,7 @@ mod tests {
                 },
                 mirror_batch: 0,
                 clock: Clock::virtual_at(0.0),
+                telemetry,
             },
         )
     }
@@ -523,6 +532,92 @@ mod tests {
         // saw the old model.
         assert_eq!(swapped.qoe_digest, native.qoe_digest);
         assert_eq!(swapped.sessions, native.sessions);
+    }
+
+    /// A telemetry-enabled co-simulation exports a valid Chrome
+    /// trace-event document, its shard scopes account for every fabric
+    /// decision, the control scope records the mid-run hot swap, and the
+    /// live streaming sketch's p99 brackets the exact recorder p99
+    /// within the sketch's documented relative error ([`GAMMA`]).
+    #[test]
+    fn telemetry_cosim_exports_a_trace_and_tracks_live_percentiles() {
+        use metis_telemetry::{Telemetry, CONTROL_SHARD, GAMMA};
+
+        let (video, traces) = pool();
+        let telemetry = Telemetry::enabled();
+        let router =
+            virtual_router_with_telemetry(buffer_tree(video.n_qualities()), 2, telemetry.clone());
+        let cfg = CosimConfig {
+            sessions: 30,
+            seed: 11,
+            ..Default::default()
+        };
+        let swaps = vec![ModelSwap {
+            at_s: 25.0,
+            trees: vec![constant_tree(2, video.n_qualities())],
+        }];
+        let report = run_abr_cosim(&router, "pensieve", &video, &traces, &swaps, &cfg);
+
+        // The trace export is a valid JSON document of the expected
+        // shape: {"traceEvents": [...], "displayTimeUnit": ...}.
+        let json = telemetry.chrome_trace_json();
+        let doc: serde::Value = serde_json::from_str(&json).expect("trace is valid JSON");
+        let obj = doc.as_object().expect("trace root is an object");
+        let events = obj
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v.as_array().expect("traceEvents is an array"))
+            .expect("trace has a traceEvents key");
+        assert!(
+            events.len() > report.waves as usize,
+            "at least one duration event per wave plus metadata"
+        );
+
+        let scopes = telemetry.scopes();
+        assert_eq!(scopes.len(), 3, "2 shard scopes + 1 control scope");
+        let control = scopes
+            .iter()
+            .find(|s| s.shard() == CONTROL_SHARD)
+            .expect("control scope");
+        assert!(
+            control
+                .events
+                .events()
+                .iter()
+                .any(|e| e.kind.name() == "hot_swap"),
+            "the scheduled swap must land on the control scope"
+        );
+
+        let fabric = router.shutdown();
+        assert_eq!(fabric.served, report.decisions);
+        let shard_reports = &fabric.scenarios[0].shards;
+        let mut scoped_served = 0u64;
+        for scope in scopes.iter().filter(|s| s.shard() != CONTROL_SHARD) {
+            scoped_served += scope.served.get();
+            let exact = &shard_reports[scope.shard()].latency;
+            let sketch = scope.latency.cumulative();
+            assert_eq!(
+                sketch.count(),
+                exact.count as u64,
+                "sketch saw every sample"
+            );
+            let sketch_p99 = sketch.quantile(0.99).expect("non-empty sketch");
+            // The log-spaced sketch over-estimates by at most GAMMA;
+            // the epsilon absorbs the smallest bucket's upper edge when
+            // the exact p99 is a virtual-time zero.
+            let eps = 1.2e-7;
+            assert!(
+                sketch_p99 >= exact.p99_s - eps && sketch_p99 <= exact.p99_s * GAMMA + eps,
+                "sketch p99 {} outside [{}, {}]",
+                sketch_p99,
+                exact.p99_s - eps,
+                exact.p99_s * GAMMA + eps
+            );
+        }
+        assert_eq!(
+            scoped_served, report.decisions,
+            "shard scopes account for every decision"
+        );
     }
 
     #[test]

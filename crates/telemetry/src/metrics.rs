@@ -1,0 +1,85 @@
+//! Lock-free counters and gauges — the live metrics a scraper (or the
+//! future autoscaler) reads mid-run. All operations are relaxed
+//! atomics: they impose no ordering on the hot path and no determinism
+//! burden — instantaneous gauge values are monitoring data, explicitly
+//! **excluded** from the deterministic event-stream digest (counters
+//! written by a single batcher thread, e.g. `served`, are still exact).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+
+/// Monotone event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Instantaneous level (queue depth, in-flight batches, ensemble width).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    pub fn set(&self, n: i64) {
+        self.0.store(n, Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_levels() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        g.add(5);
+        assert_eq!(g.get(), 2);
+    }
+}

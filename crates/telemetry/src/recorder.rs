@@ -1,0 +1,192 @@
+//! The flight recorder: a bounded ring of structured events with
+//! per-scope sequence numbers — what happened, in order, dumpable on
+//! demand (or from a panic handler) without grepping logs.
+//!
+//! Writes are single-writer per scope on the deterministic paths (the
+//! shard's batcher thread; the driver thread for control scopes), so
+//! under a virtual clock the event stream is a pure function of the
+//! submission/swap schedule — the determinism tests digest it
+//! bit-identical across thread counts. The ring drops the **oldest**
+//! events when full and counts the drops, so the recorder's memory is
+//! bounded no matter how long the run.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// What a flight-recorder entry describes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A micro-batch was admitted; `queued` requests went into it.
+    /// Stamped at the batch's open time, recorded at flush (when the
+    /// batch's composition is deterministic).
+    Admission { queued: usize },
+    /// A batch flushed through the kernel.
+    Flush {
+        rows: usize,
+        epoch: u64,
+        width: usize,
+    },
+    /// A model hot-swap was published to the registry.
+    HotSwap {
+        epoch: u64,
+        trees: usize,
+        cost_s: f64,
+    },
+    /// A shadow audit concluded.
+    AuditVerdict {
+        epoch: u64,
+        mismatches: u64,
+        promoted: bool,
+    },
+    /// Shutdown drained queued requests.
+    Drain { rows: usize },
+}
+
+impl EventKind {
+    /// Short tag for trace export and log lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Admission { .. } => "admission",
+            EventKind::Flush { .. } => "flush",
+            EventKind::HotSwap { .. } => "hot_swap",
+            EventKind::AuditVerdict { .. } => "audit_verdict",
+            EventKind::Drain { .. } => "drain",
+        }
+    }
+}
+
+/// One recorded event: scope-local sequence number, stamp, payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightEvent {
+    pub seq: u64,
+    pub time_s: f64,
+    pub kind: EventKind,
+}
+
+#[derive(Debug, Default)]
+struct RecorderState {
+    ring: VecDeque<FlightEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Bounded ring of [`FlightEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    state: Mutex<RecorderState>,
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            state: Mutex::new(RecorderState::default()),
+        }
+    }
+
+    /// Append an event, evicting the oldest entry when full.
+    pub fn record(&self, time_s: f64, kind: EventKind) {
+        let mut s = self.state.lock().unwrap();
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        if s.ring.len() == self.capacity {
+            s.ring.pop_front();
+            s.dropped += 1;
+        }
+        s.ring.push_back(FlightEvent { seq, time_s, kind });
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.state.lock().unwrap().ring.iter().cloned().collect()
+    }
+
+    /// Events recorded over the recorder's lifetime (including dropped).
+    pub fn recorded(&self) -> u64 {
+        self.state.lock().unwrap().next_seq
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().unwrap().dropped
+    }
+
+    /// FNV-1a digest of the retained event stream (JSON-rendered), the
+    /// value the determinism suites compare across thread counts.
+    pub fn digest(&self) -> u64 {
+        crate::fnv1a(
+            serde_json::to_string(&self.events())
+                .expect("flight events serialize infallibly")
+                .as_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_events_and_counts_drops() {
+        let r = FlightRecorder::new(3);
+        for k in 0..5u64 {
+            r.record(k as f64, EventKind::Drain { rows: k as usize });
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "oldest evicted, sequence numbers survive"
+        );
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.recorded(), 5);
+    }
+
+    #[test]
+    fn identical_streams_have_identical_digests() {
+        let build = || {
+            let r = FlightRecorder::new(64);
+            r.record(0.5, EventKind::Admission { queued: 3 });
+            r.record(
+                1.0,
+                EventKind::Flush {
+                    rows: 4,
+                    epoch: 1,
+                    width: 2,
+                },
+            );
+            r.record(
+                1.0,
+                EventKind::HotSwap {
+                    epoch: 2,
+                    trees: 3,
+                    cost_s: 0.0,
+                },
+            );
+            r.digest()
+        };
+        assert_eq!(build(), build());
+        let other = FlightRecorder::new(64);
+        other.record(0.5, EventKind::Admission { queued: 4 });
+        assert_ne!(build(), other.digest());
+    }
+
+    #[test]
+    fn events_round_trip_through_the_serde_shim() {
+        let r = FlightRecorder::new(8);
+        r.record(
+            2.5,
+            EventKind::AuditVerdict {
+                epoch: 7,
+                mismatches: 0,
+                promoted: true,
+            },
+        );
+        let json = serde_json::to_string(&r.events()).unwrap();
+        let back: Vec<FlightEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r.events());
+    }
+}

@@ -1,0 +1,624 @@
+//! Streaming percentile sketch: a fixed log-spaced histogram over
+//! latency seconds, mergeable and bounded-memory, in the spirit of
+//! DDSketch's relative-error guarantee but with **static** bucket edges
+//! so that merging is a plain bucket-wise add — commutative and
+//! associative, hence bit-identical for any interleaving of writers.
+//!
+//! Geometry: 8 buckets per octave (`γ = 2^(1/8) ≈ 1.0905`). Bucket `i`
+//! covers `(2^((i-1)/8), 2^(i/8)]` seconds; indices span
+//! [`IDX_MIN`]..=[`IDX_MAX`] (≈ 1.1e-7 s .. 1024 s), values outside
+//! land in dedicated under/overflow buckets and NaNs in an `invalid`
+//! count. A quantile estimate returns the **upper edge** of the bucket
+//! holding the exact order statistic at the same floor-index rank the
+//! exact recorder uses (`metis_serve::summarize_sorted`), so for
+//! in-range samples:
+//!
+//! ```text
+//!   exact_p  ≤  sketch_p  ≤  exact_p · γ        (γ − 1 ≈ 9.05% relative error)
+//! ```
+//!
+//! Underflow reports 0.0 (absolute error < 1.2e-7 s); overflow saturates
+//! at the 1024 s edge. All counters are relaxed atomics: recording is
+//! lock-free and wait-free; snapshots are racy against concurrent
+//! writers (each bucket individually consistent), which is fine for live
+//! scraping — deterministic reads happen after the writers quiesce.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+
+/// Buckets per octave: `γ = 2^(1/8)`.
+const BUCKETS_PER_OCTAVE: f64 = 8.0;
+/// The sketch's relative-error factor, `2^(1/8)`.
+pub const GAMMA: f64 = 1.090_507_732_665_257_7;
+/// Lowest bucket index: lower edge `2^((IDX_MIN-1)/8) ≈ 9.2e-8 s`.
+pub const IDX_MIN: i64 = -186;
+/// Highest bucket index: upper edge `2^(IDX_MAX/8) = 1024 s`.
+pub const IDX_MAX: i64 = 80;
+const N_BUCKETS: usize = (IDX_MAX - IDX_MIN + 1) as usize;
+
+/// Upper edge of bucket `i`: `2^(i/8)`.
+fn edge(i: i64) -> f64 {
+    (i as f64 / BUCKETS_PER_OCTAVE).exp2()
+}
+
+/// `edge(IDX_MIN - 1)` = `2^(-187/8)`, precomputed so the record path
+/// never calls libm.
+const UNDERFLOW_EDGE: f64 = 9.192_292_841_720_228e-8;
+/// `edge(IDX_MAX)` = `2^(80/8)` = 1024 s exactly.
+const OVERFLOW_EDGE: f64 = 1024.0;
+
+/// Where one sample lands: computed once, recordable into several
+/// sketches (cumulative + window) without re-classifying.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Invalid,
+    Underflow,
+    Overflow,
+    /// Offset into `buckets`, already rebased by `IDX_MIN`.
+    Bucket(usize),
+}
+
+impl Slot {
+    #[inline]
+    fn classify(v: f64) -> Slot {
+        if v.is_nan() {
+            Slot::Invalid
+        } else if v <= UNDERFLOW_EDGE {
+            // Zero, negatives (upstream clamps, but be total), tiny.
+            Slot::Underflow
+        } else if v > OVERFLOW_EDGE {
+            Slot::Overflow
+        } else {
+            let i = bucket_index(v).clamp(IDX_MIN, IDX_MAX);
+            Slot::Bucket((i - IDX_MIN) as usize)
+        }
+    }
+
+    /// `(lo, hi]` bounds such that `lo < v && v <= hi` iff `v` lands in
+    /// this slot — the two-compare membership test `record_runs` uses to
+    /// extend a run without re-classifying. NaN fails every test
+    /// (including `Invalid`'s, whose bounds are NaN), which safely
+    /// forces a re-classify.
+    #[inline]
+    fn range(self) -> (f64, f64) {
+        match self {
+            Slot::Invalid => (f64::NAN, f64::NAN),
+            Slot::Underflow => (f64::NEG_INFINITY, UNDERFLOW_EDGE),
+            Slot::Overflow => (OVERFLOW_EDGE, f64::INFINITY),
+            Slot::Bucket(k) => {
+                let i = IDX_MIN + k as i64;
+                (edge(i - 1), edge(i))
+            }
+        }
+    }
+}
+
+/// Sub-octave edges `2^(k/8)` for `k = 0..=7` — the thresholds a
+/// mantissa in `[1, 2)` is compared against to find its bucket within
+/// the octave.
+const SUB_EDGES: [f64; 8] = [
+    1.0,
+    1.090_507_732_665_257_7, // 2^(1/8)
+    1.189_207_115_002_721,   // 2^(2/8)
+    1.296_839_554_651_009_6, // 2^(3/8)
+    std::f64::consts::SQRT_2, // 2^(4/8)
+    1.542_210_825_407_940_7, // 2^(5/8)
+    1.681_792_830_507_429,   // 2^(6/8)
+    1.834_008_086_409_342_4, // 2^(7/8)
+];
+
+/// Bucket index `ceil(8·log2(v))` for a positive, finite, **normal**
+/// `v` (the record path only calls this between the under/overflow
+/// edges, both far inside normal range), computed from the float's bits:
+/// the exponent gives the octave, eight branchless mantissa compares
+/// give the sub-octave — no libm call on the per-request hot path. Exact
+/// by construction: the mantissa is compared against the correctly
+/// rounded `2^(k/8)` edges, with ties (a sample exactly on an edge)
+/// landing in the lower bucket, matching the `(lo, hi]` bucket contract.
+#[inline]
+fn bucket_index(v: f64) -> i64 {
+    let bits = v.to_bits();
+    let octave = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mantissa = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    let mut k = 0i64;
+    for e in SUB_EDGES {
+        k += (e < mantissa) as i64;
+    }
+    8 * octave + k
+}
+
+/// Classify each sample and hand `(slot, run length)` pairs to `sink`,
+/// merging adjacent equal slots — the amortization behind
+/// [`LogSketch::record_all`] / [`WindowedSketch::record_all`].
+#[inline]
+fn record_runs(vs: &[f64], mut sink: impl FnMut(Slot, u64)) {
+    let mut idx = 0;
+    while idx < vs.len() {
+        let slot = Slot::classify(vs[idx]);
+        let (lo, hi) = slot.range();
+        let start = idx;
+        idx += 1;
+        // Extend the run with the slot's own `(lo, hi]` test: two f64
+        // compares per sample instead of a full classify.
+        while idx < vs.len() && lo < vs[idx] && vs[idx] <= hi {
+            idx += 1;
+        }
+        sink(slot, (idx - start) as u64);
+    }
+}
+
+/// A fixed-geometry log-spaced histogram of non-negative seconds.
+#[derive(Debug)]
+pub struct LogSketch {
+    buckets: Vec<AtomicU64>,
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+    invalid: AtomicU64,
+}
+
+impl Default for LogSketch {
+    fn default() -> Self {
+        LogSketch {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            underflow: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogSketch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample (seconds). Lock-free; NaN counts as `invalid`
+    /// and is excluded from quantiles (unlike the exact recorder, whose
+    /// NaNs inflate the tail — documented divergence).
+    pub fn record(&self, v: f64) {
+        self.record_slot(Slot::classify(v));
+    }
+
+    #[inline]
+    fn record_slot(&self, slot: Slot) {
+        self.add_slot(slot, 1);
+    }
+
+    #[inline]
+    fn add_slot(&self, slot: Slot, n: u64) {
+        match slot {
+            Slot::Invalid => self.invalid.fetch_add(n, Relaxed),
+            Slot::Underflow => self.underflow.fetch_add(n, Relaxed),
+            Slot::Overflow => self.overflow.fetch_add(n, Relaxed),
+            Slot::Bucket(k) => self.buckets[k].fetch_add(n, Relaxed),
+        };
+    }
+
+    /// Record a slice of samples in one pass. Samples are classified
+    /// locally and each *run* of equal buckets lands as a single atomic
+    /// add — for batch-sorted inputs (an engine flush's latencies are
+    /// monotone within the batch) the RMW count collapses from one per
+    /// sample to one per bucket spanned.
+    pub fn record_all(&self, vs: &[f64]) {
+        record_runs(vs, |slot, n| self.add_slot(slot, n));
+    }
+
+    /// Bucket-wise add of `other` into `self` — commutative, so any
+    /// merge order over the same multiset of samples yields identical
+    /// contents.
+    pub fn merge(&self, other: &LogSketch) {
+        for (dst, src) in self.buckets.iter().zip(&other.buckets) {
+            let n = src.load(Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Relaxed);
+            }
+        }
+        self.underflow
+            .fetch_add(other.underflow.load(Relaxed), Relaxed);
+        self.overflow
+            .fetch_add(other.overflow.load(Relaxed), Relaxed);
+        self.invalid.fetch_add(other.invalid.load(Relaxed), Relaxed);
+    }
+
+    /// Reset to the contents of `other` (single-writer window rotation).
+    pub(crate) fn reset_from(&self, other: &LogSketch) {
+        for (dst, src) in self.buckets.iter().zip(&other.buckets) {
+            dst.store(src.load(Relaxed), Relaxed);
+        }
+        self.underflow.store(other.underflow.load(Relaxed), Relaxed);
+        self.overflow.store(other.overflow.load(Relaxed), Relaxed);
+        self.invalid.store(other.invalid.load(Relaxed), Relaxed);
+    }
+
+    pub(crate) fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.underflow.store(0, Relaxed);
+        self.overflow.store(0, Relaxed);
+        self.invalid.store(0, Relaxed);
+    }
+
+    /// Sparse point-in-time copy of the contents.
+    pub fn snapshot(&self) -> SketchSnapshot {
+        let mut counts = Vec::new();
+        let mut total = 0u64;
+        for (k, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Relaxed);
+            if n > 0 {
+                counts.push((IDX_MIN + k as i64, n));
+                total += n;
+            }
+        }
+        let underflow = self.underflow.load(Relaxed);
+        let overflow = self.overflow.load(Relaxed);
+        SketchSnapshot {
+            counts,
+            underflow,
+            overflow,
+            invalid: self.invalid.load(Relaxed),
+            total: total + underflow + overflow,
+        }
+    }
+
+    /// Quantile estimate (see module docs for the error contract).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.snapshot().quantile(q)
+    }
+
+    /// Samples recorded (excluding `invalid`).
+    pub fn count(&self) -> u64 {
+        self.snapshot().total
+    }
+}
+
+/// Point-in-time sketch contents: sparse `(bucket index, count)` pairs
+/// plus the out-of-range counts. Comparable, serializable, mergeable —
+/// the unit the determinism tests pin bit-identical across thread
+/// counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SketchSnapshot {
+    pub counts: Vec<(i64, u64)>,
+    pub underflow: u64,
+    pub overflow: u64,
+    pub invalid: u64,
+    pub total: u64,
+}
+
+impl SketchSnapshot {
+    /// Merge with another snapshot (bucket-wise add).
+    pub fn merged(&self, other: &SketchSnapshot) -> SketchSnapshot {
+        let mut map: std::collections::BTreeMap<i64, u64> = self.counts.iter().copied().collect();
+        for &(i, n) in &other.counts {
+            *map.entry(i).or_insert(0) += n;
+        }
+        SketchSnapshot {
+            counts: map.into_iter().collect(),
+            underflow: self.underflow + other.underflow,
+            overflow: self.overflow + other.overflow,
+            invalid: self.invalid + other.invalid,
+            total: self.total + other.total,
+        }
+    }
+
+    /// Quantile estimate at the same floor-index rank as
+    /// `summarize_sorted`: the upper edge of the bucket containing the
+    /// `floor(q·(n−1))`-th smallest sample. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * (self.total - 1) as f64).floor() as u64;
+        let mut cum = self.underflow;
+        if cum > target {
+            return Some(0.0);
+        }
+        for &(i, n) in &self.counts {
+            cum += n;
+            if cum > target {
+                return Some(edge(i));
+            }
+        }
+        Some(edge(IDX_MAX))
+    }
+}
+
+/// A [`LogSketch`] tripled into cumulative + rotating time windows, so a
+/// scraper can read both all-of-run and recent percentiles mid-run.
+/// Window rotation keys off the **stamp** passed to [`Self::record`]
+/// (virtual or real seconds), so rotation is a pure function of the
+/// sample schedule. Recording is single-writer per sketch (the engine's
+/// batcher thread); reads may race a rotation and see a freshly cleared
+/// current window — the `window_quantile` read merges current + previous
+/// to smooth that seam.
+#[derive(Debug)]
+pub struct WindowedSketch {
+    /// `1 / window_s` when windowing is active, else 0.0 — the record
+    /// path multiplies instead of dividing.
+    inv_window_s: f64,
+    cumulative: LogSketch,
+    cur: LogSketch,
+    prev: LogSketch,
+    cur_window: AtomicI64,
+}
+
+impl WindowedSketch {
+    pub fn new(window_s: f64) -> Self {
+        WindowedSketch {
+            inv_window_s: if window_s.is_finite() && window_s > 0.0 {
+                window_s.recip()
+            } else {
+                0.0
+            },
+            cumulative: LogSketch::new(),
+            cur: LogSketch::new(),
+            prev: LogSketch::new(),
+            cur_window: AtomicI64::new(0),
+        }
+    }
+
+    /// Rotate the current window if `stamp_s` has crossed a boundary.
+    #[inline]
+    fn rotate_to(&self, stamp_s: f64) {
+        let w = if self.inv_window_s > 0.0 && stamp_s.is_finite() {
+            (stamp_s * self.inv_window_s).floor() as i64
+        } else {
+            0
+        };
+        if w != self.cur_window.load(Relaxed) {
+            self.prev.reset_from(&self.cur);
+            self.cur.clear();
+            self.cur_window.store(w, Relaxed);
+        }
+    }
+
+    /// Record `v` stamped at `stamp_s`. Single writer per sketch.
+    pub fn record(&self, stamp_s: f64, v: f64) {
+        self.rotate_to(stamp_s);
+        let slot = Slot::classify(v);
+        self.cumulative.record_slot(slot);
+        self.cur.record_slot(slot);
+    }
+
+    /// Record a batch of samples sharing one window stamp (an engine
+    /// flush's close): one rotation check, then run-length classified
+    /// adds into cumulative + current (see [`LogSketch::record_all`]).
+    /// Keying every sample off the batch stamp can shift a sample by at
+    /// most one flush interval at a window seam — windows are seconds,
+    /// flushes sub-millisecond, and under a virtual clock the per-batch
+    /// and per-sample stamps coincide exactly.
+    pub fn record_all(&self, stamp_s: f64, vs: &[f64]) {
+        self.rotate_to(stamp_s);
+        record_runs(vs, |slot, n| {
+            self.cumulative.add_slot(slot, n);
+            self.cur.add_slot(slot, n);
+        });
+    }
+
+    /// All-of-run sketch.
+    pub fn cumulative(&self) -> &LogSketch {
+        &self.cumulative
+    }
+
+    /// All-of-run quantile estimate.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.cumulative.quantile(q)
+    }
+
+    /// Recent quantile estimate over the current + previous windows.
+    pub fn window_quantile(&self, q: f64) -> Option<f64> {
+        self.cur
+            .snapshot()
+            .merged(&self.prev.snapshot())
+            .quantile(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact floor-index percentile, the `summarize_sorted` rule.
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        sorted[((q * (sorted.len() - 1) as f64) as usize).min(sorted.len() - 1)]
+    }
+
+    #[test]
+    fn quantile_brackets_the_exact_order_statistic() {
+        let sketch = LogSketch::new();
+        let mut xs: Vec<f64> = (1..=1000).map(|k| 1e-5 * k as f64 * 1.37).collect();
+        for &x in &xs {
+            sketch.record(x);
+        }
+        xs.sort_by(f64::total_cmp);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&xs, q);
+            let est = sketch.quantile(q).unwrap();
+            assert!(
+                est >= exact && est <= exact * GAMMA,
+                "q={q}: est {est} not in [{exact}, {}]",
+                exact * GAMMA
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_order_independent_bitwise() {
+        let parts: Vec<LogSketch> = (0..4).map(|_| LogSketch::new()).collect();
+        for (k, part) in parts.iter().enumerate() {
+            for j in 0..50 {
+                part.record(1e-4 * ((k * 50 + j) as f64 + 1.0));
+            }
+        }
+        let forward = LogSketch::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let backward = LogSketch::new();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        assert_eq!(forward.snapshot(), backward.snapshot());
+        assert_eq!(forward.count(), 200);
+    }
+
+    #[test]
+    fn out_of_range_and_nan_are_bucketed_not_lost() {
+        let sketch = LogSketch::new();
+        sketch.record(0.0);
+        sketch.record(-1.0);
+        sketch.record(1e-9);
+        sketch.record(5000.0);
+        sketch.record(f64::INFINITY);
+        sketch.record(f64::NAN);
+        let snap = sketch.snapshot();
+        assert_eq!(snap.underflow, 3);
+        assert_eq!(snap.overflow, 2);
+        assert_eq!(snap.invalid, 1);
+        assert_eq!(snap.total, 5, "invalid excluded from total");
+        // All-underflow quantile reports 0.0; overflow tail saturates.
+        assert_eq!(sketch.quantile(0.0).unwrap(), 0.0);
+        assert_eq!(sketch.quantile(1.0).unwrap(), edge(IDX_MAX));
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantile() {
+        assert_eq!(LogSketch::new().quantile(0.5), None);
+        assert_eq!(LogSketch::new().count(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_the_serde_shim() {
+        let sketch = LogSketch::new();
+        for k in 1..=100 {
+            sketch.record(1e-3 * k as f64);
+        }
+        sketch.record(f64::NAN);
+        let snap = sketch.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SketchSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn windows_rotate_on_the_stamp_and_cumulative_keeps_everything() {
+        let w = WindowedSketch::new(1.0);
+        for k in 0..100 {
+            w.record(0.5, 1e-3 * (k + 1) as f64); // window 0: 1ms..100ms
+        }
+        for k in 0..100 {
+            w.record(1.5, 1.0 + 1e-3 * k as f64); // window 1: ~1s
+        }
+        for _ in 0..100 {
+            w.record(2.5, 10.0); // window 2: 10s
+        }
+        // Cumulative p50 sits in the ~1s region (rank 149 of 0..=299).
+        let cum = w.quantile(0.5).unwrap();
+        assert!((1.0..=1.2 * GAMMA).contains(&cum), "cumulative p50 {cum}");
+        // Recent (windows 1+2 after rotation... window 0 aged out) median
+        // covers only the 1s/10s samples.
+        let recent = w.window_quantile(0.5).unwrap();
+        assert!(recent >= 1.0, "recent p50 {recent} must not see window 0");
+        let recent_p99 = w.window_quantile(0.99).unwrap();
+        assert!(
+            (10.0..=10.0 * GAMMA).contains(&recent_p99),
+            "recent p99 {recent_p99}"
+        );
+    }
+
+    /// The branchless bit-twiddled bucket index must agree with the
+    /// reference `ceil(8·log2(v))` everywhere in range — dense sweep
+    /// plus every edge and its representable neighbours (at an exact
+    /// edge the bit path is authoritative: it compares the mantissa
+    /// against the correctly rounded `2^(k/8)`, where libm's log2 can
+    /// round either way).
+    #[test]
+    fn bucket_index_matches_the_log_reference() {
+        let reference = |v: f64| (BUCKETS_PER_OCTAVE * v.log2()).ceil() as i64;
+        let mut v = edge(IDX_MIN - 1) * 1.0001;
+        while v <= edge(IDX_MAX) {
+            let got = bucket_index(v);
+            let want = reference(v);
+            assert!(
+                (got - want).abs() <= 1,
+                "bucket index diverged at {v}: bit path {got}, log2 path {want}"
+            );
+            // Off-by-one is only legal exactly on an edge, where the
+            // (lo, hi] contract puts the sample in the lower bucket.
+            if got != want {
+                assert_eq!(got + 1, want);
+                assert!((edge(got) - v).abs() <= v * 1e-15, "not an edge: {v}");
+            }
+            v *= 1.000_37;
+        }
+        for i in IDX_MIN..=IDX_MAX {
+            let e = edge(i);
+            assert_eq!(bucket_index(e), i, "edge {i} must land in its own bucket");
+            let above = f64::from_bits(e.to_bits() + 1);
+            assert_eq!(bucket_index(above), i + 1, "just above edge {i}");
+        }
+    }
+
+    #[test]
+    fn precomputed_range_edges_match_the_bucket_geometry() {
+        assert_eq!(UNDERFLOW_EDGE, edge(IDX_MIN - 1));
+        assert_eq!(OVERFLOW_EDGE, edge(IDX_MAX));
+    }
+
+    /// The amortized batch path must produce the identical histogram to
+    /// per-sample recording — exercised with exact edges, their ulp
+    /// neighbours, NaNs, out-of-range values, runs, and non-monotone
+    /// order (the run optimization must not *require* sorted input).
+    #[test]
+    fn record_all_matches_per_sample_recording() {
+        let mut vs = vec![
+            0.0,
+            -3.0,
+            f64::NAN,
+            f64::NAN,
+            1e-9,
+            5000.0,
+            f64::INFINITY,
+            0.2,
+            0.2,
+            0.2,
+            0.19,
+            1.0,
+        ];
+        for i in [IDX_MIN, -5, 0, 7, IDX_MAX] {
+            let e = edge(i);
+            vs.push(e);
+            vs.push(e);
+            vs.push(f64::from_bits(e.to_bits() + 1));
+        }
+        for k in 0..200 {
+            vs.push(0.3 - k as f64 * 1e-4); // monotone sweep across buckets
+        }
+        let batched = LogSketch::new();
+        batched.record_all(&vs);
+        let singles = LogSketch::new();
+        for &v in &vs {
+            singles.record(v);
+        }
+        assert_eq!(batched.snapshot(), singles.snapshot());
+
+        let windowed = WindowedSketch::new(1.0);
+        windowed.record_all(7.25, &vs);
+        assert_eq!(windowed.cumulative().snapshot(), singles.snapshot());
+        assert_eq!(windowed.cur.snapshot(), singles.snapshot());
+    }
+
+    #[test]
+    fn bucket_edges_bound_single_samples() {
+        let sketch = LogSketch::new();
+        for v in [1.19e-7, 1e-6, 0.003, 1.0, 42.0, 1023.9] {
+            sketch.clear();
+            sketch.record(v);
+            let est = sketch.quantile(0.5).unwrap();
+            assert!(
+                est >= v && est <= v * GAMMA,
+                "sample {v}: estimate {est} outside [v, v·γ]"
+            );
+        }
+    }
+}

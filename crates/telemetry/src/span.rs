@@ -1,0 +1,167 @@
+//! Stage-attributed spans: each flushed micro-batch decomposes into
+//! batch-formation / kernel-compute / collect segments (plus
+//! publish/swap cost on the registry path); per-request queue-wait is
+//! accounted in the stage sketches rather than as per-request spans, so
+//! the span log stays batch-granular and bounded.
+//!
+//! Under a virtual clock all stamps derive from the submission schedule
+//! (batch-formation spans the min→max submit stamps; kernel and collect
+//! are zero-width at the batch close), so the span log is bit-identical
+//! across thread counts. Under a real clock the stamps are wall-time
+//! reads around the actual work.
+
+use crate::metrics::Counter;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// The span/stage taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Submit → kernel start, per request (sketch-only, no spans).
+    QueueWait,
+    /// Batch open → kernel start (the micro-batcher filling the batch).
+    BatchForm,
+    /// The batched model evaluation itself.
+    KernelCompute,
+    /// Kernel end → responses delivered.
+    Collect,
+    /// Registry publish/hot-swap cost (compile + pointer swap).
+    Publish,
+}
+
+/// Stages indexed densely — the order of [`Stage::ALL`].
+impl Stage {
+    pub const ALL: [Stage; 5] = [
+        Stage::QueueWait,
+        Stage::BatchForm,
+        Stage::KernelCompute,
+        Stage::Collect,
+        Stage::Publish,
+    ];
+
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::BatchForm => "batch_form",
+            Stage::KernelCompute => "kernel_compute",
+            Stage::Collect => "collect",
+            Stage::Publish => "publish",
+        }
+    }
+}
+
+/// One completed span on a scope's timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    pub stage: Stage,
+    pub start_s: f64,
+    pub dur_s: f64,
+    /// Rows in the batch (0 for registry-path spans).
+    pub rows: usize,
+    pub epoch: u64,
+}
+
+/// Bounded span timeline: keeps the **first** `capacity` spans (the
+/// head of the run a trace viewer wants) and counts the overflow.
+#[derive(Debug)]
+pub struct SpanLog {
+    capacity: usize,
+    spans: Mutex<Vec<SpanRecord>>,
+    dropped: Counter,
+}
+
+impl SpanLog {
+    pub fn new(capacity: usize) -> Self {
+        SpanLog {
+            capacity,
+            spans: Mutex::new(Vec::new()),
+            dropped: Counter::new(),
+        }
+    }
+
+    pub fn push(&self, span: SpanRecord) {
+        let mut spans = self.spans.lock().unwrap();
+        if spans.len() < self.capacity {
+            spans.push(span);
+        } else {
+            self.dropped.inc();
+        }
+    }
+
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans rejected by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// FNV-1a digest of the retained spans (JSON-rendered).
+    pub fn digest(&self) -> u64 {
+        crate::fnv1a(
+            serde_json::to_string(&self.records())
+                .expect("spans serialize infallibly")
+                .as_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_keeps_the_head_and_counts_drops() {
+        let log = SpanLog::new(2);
+        for k in 0..4 {
+            log.push(SpanRecord {
+                stage: Stage::KernelCompute,
+                start_s: k as f64,
+                dur_s: 0.1,
+                rows: 16,
+                epoch: 0,
+            });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records()[0].start_s, 0.0);
+        assert_eq!(log.records()[1].start_s, 1.0);
+        assert_eq!(log.dropped(), 2);
+    }
+
+    #[test]
+    fn stage_indices_are_dense_and_names_stable() {
+        for (k, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), k);
+        }
+        assert_eq!(Stage::QueueWait.name(), "queue_wait");
+        assert_eq!(Stage::Publish.name(), "publish");
+    }
+
+    #[test]
+    fn spans_round_trip_through_the_serde_shim() {
+        let log = SpanLog::new(8);
+        log.push(SpanRecord {
+            stage: Stage::BatchForm,
+            start_s: 1.25,
+            dur_s: 0.5,
+            rows: 32,
+            epoch: 3,
+        });
+        let json = serde_json::to_string(&log.records()).unwrap();
+        let back: Vec<SpanRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log.records());
+    }
+}

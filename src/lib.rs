@@ -23,6 +23,9 @@
 //! * [`sim`] — deterministic discrete-event core and the closed-loop ABR
 //!   co-simulation: millions of client sessions driving the live fabric
 //!   in virtual time, bit-identical for any thread or shard count,
+//! * [`telemetry`] — the live telemetry plane: stage-attributed spans,
+//!   streaming percentile sketches, a flight recorder, and Chrome
+//!   trace-event timeline export across the serving fabric,
 //! * [`dt`] — CART trees with cost-complexity pruning and export,
 //! * [`rl`] — env/policy traits, rollouts, actor-critic, VIPER utilities,
 //! * [`nn`] — matrices, layers, optimizers, losses, autodiff tape.
@@ -42,3 +45,4 @@ pub use metis_rl as rl;
 pub use metis_routing as routing;
 pub use metis_serve as serve;
 pub use metis_sim as sim;
+pub use metis_telemetry as telemetry;

@@ -88,6 +88,7 @@ fn virtual_router(
             },
             mirror_batch: 0,
             clock: Clock::virtual_at(0.0),
+            ..Default::default()
         },
     )
 }

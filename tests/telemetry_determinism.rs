@@ -1,0 +1,222 @@
+//! Determinism suite for the live telemetry plane
+//! (`metis::telemetry`) on the serving fabric:
+//!
+//! * **Schedule purity** — under a virtual clock, every deterministic
+//!   telemetry surface (span log, flight-recorder events, latency and
+//!   stage sketches, served/per-epoch splits) is a pure function of the
+//!   submission/swap schedule: the combined [`Telemetry::digest`] and
+//!   the full Chrome trace-event JSON are **bit-identical** across
+//!   worker thread counts, shard stripe widths, and batch sizes that
+//!   preserve batch composition.
+//! * **Disabled plane** — [`Telemetry::off`] registers no scopes and
+//!   digests to 0; the serving path's behaviour (responses, reports) is
+//!   identical with the plane on or off.
+//!
+//! The plane under test comes from [`Telemetry::from_env`], so CI's
+//! `METIS_TELEMETRY=0` runs exercise the disabled plane through the
+//! exact same schedules (the digest assertions gate on
+//! [`Telemetry::is_enabled`]).
+//!
+//! Thread counts sweep 1/2/8 plus an optional CI-injected
+//! `METIS_TEST_THREADS=<n>`.
+
+use metis::dt::{fit, Dataset, DecisionTree, TreeConfig};
+use metis::fabric::{FabricConfig, PromotePolicy, Router, ScenarioSpec, ShadowConfig, TenantSpec};
+use metis::serve::{Clock, ServeConfig};
+use metis::telemetry::Telemetry;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Thread counts every property sweeps, plus an optional CI-injected one.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 8];
+    if let Ok(extra) = std::env::var("METIS_TEST_THREADS") {
+        if let Ok(n) = extra.trim().parse::<usize>() {
+            if !counts.contains(&n) {
+                counts.push(n);
+            }
+        }
+    }
+    counts
+}
+
+/// A fitted 2-feature policy tree, varied by seed.
+fn policy_tree(seed: u64, leaves: usize) -> DecisionTree {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    let x: Vec<Vec<f64>> = (0..160)
+        .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..9.0)])
+        .collect();
+    let y: Vec<usize> = x
+        .iter()
+        .map(|xi| ((xi[0] * 3.0 + xi[1] * 0.5) as usize) % 5)
+        .collect();
+    fit(
+        &Dataset::classification(x, y, 5).unwrap(),
+        &TreeConfig {
+            max_leaf_nodes: leaves,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn request_features(k: u64, salt: u64) -> Vec<f64> {
+    let h = metis::nn::par::mix_seed(k ^ salt);
+    vec![(h % 1000) as f64 / 1000.0, ((h >> 10) % 9) as f64]
+}
+
+/// A virtual-time schedule: waves of `(advance-to time, session ids)`,
+/// with an optional mid-run hot swap `(time, tree seed)` applied from
+/// the driver thread between waves.
+struct Schedule {
+    waves: Vec<(f64, Vec<u64>)>,
+    swap: Option<(usize, u64)>,
+    salt: u64,
+}
+
+/// Drive `schedule` through a telemetry-enabled fabric at the given
+/// knobs; returns (response fingerprint, telemetry digest, trace JSON).
+fn run_schedule(
+    schedule: &Schedule,
+    threads: usize,
+    shards: usize,
+    stripe: usize,
+    plane: Telemetry,
+) -> (u64, u64, String) {
+    let clock = Clock::virtual_at(0.0);
+    let router = Router::new(
+        vec![TenantSpec::new("t")],
+        vec![ScenarioSpec::new("s", "t", policy_tree(1, 12))
+            .shards(shards)
+            .shadow(ShadowConfig {
+                audit_rows: 16,
+                policy: PromotePolicy::AfterAudit,
+            })],
+        FabricConfig {
+            serve: ServeConfig {
+                max_batch: usize::MAX,                // composition = exactly one wave
+                max_delay: Duration::from_secs(3600), // never consulted
+                threads,
+                stripe_rows: stripe,
+                ..Default::default()
+            },
+            mirror_batch: 0,
+            clock: Arc::clone(&clock),
+            telemetry: plane.clone(),
+        },
+    );
+    let mut handle = router.handle();
+    let mut fingerprint = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        fingerprint ^= v;
+        fingerprint = fingerprint.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for (wave_idx, (at_s, sessions)) in schedule.waves.iter().enumerate() {
+        if let Some((swap_wave, seed)) = schedule.swap {
+            if swap_wave == wave_idx {
+                router.publish("s", policy_tree(seed, 8));
+            }
+        }
+        clock.advance_to(*at_s);
+        for &session in sessions {
+            handle.submit(0, session, request_features(session, schedule.salt));
+        }
+        for resp in handle.collect() {
+            eat(resp.id);
+            eat(resp.response.epoch);
+            eat(resp.response.prediction.class() as u64);
+        }
+    }
+    drop(handle);
+    let digest = plane.digest();
+    let trace = plane.chrome_trace_json();
+    router.shutdown();
+    (fingerprint, digest, trace)
+}
+
+proptest! {
+    /// The tentpole pin: for any schedule, the virtual-time telemetry
+    /// digest and the full trace JSON are bit-identical across thread
+    /// counts and stripe widths — and so are the responses.
+    #[test]
+    fn virtual_time_telemetry_is_bit_identical_across_thread_counts(
+        n_waves in 1usize..5,
+        wave_seed in 0u64..1_000,
+        shards in 1usize..3,
+        swap_on in 0u64..2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(wave_seed ^ 0x7E1E);
+        let mut t = 0.0;
+        let waves: Vec<(f64, Vec<u64>)> = (0..n_waves)
+            .map(|_| {
+                t += rng.gen_range(0.05..1.5);
+                let n = rng.gen_range(1..24usize);
+                (t, (0..n).map(|_| rng.gen_range(0..40u64)).collect())
+            })
+            .collect();
+        let schedule = Schedule {
+            swap: (swap_on == 1 && n_waves > 1).then(|| (n_waves / 2, wave_seed + 7)),
+            waves,
+            salt: wave_seed,
+        };
+        let mut baseline: Option<(u64, u64, String)> = None;
+        for threads in thread_counts() {
+            for stripe in [4usize, 64] {
+                let plane = Telemetry::from_env();
+                let got = run_schedule(&schedule, threads, shards, stripe, plane.clone());
+                if plane.is_enabled() {
+                    prop_assert!(
+                        got.1 != 0 || plane.scopes().is_empty(),
+                        "enabled plane with scopes digests nonzero"
+                    );
+                } else {
+                    prop_assert_eq!(got.1, 0, "disabled plane must digest zero");
+                }
+                match &baseline {
+                    None => baseline = Some(got),
+                    Some(b) => {
+                        prop_assert_eq!(got.0, b.0, "responses drifted (threads={}, stripe={})", threads, stripe);
+                        prop_assert_eq!(got.1, b.1, "telemetry digest drifted (threads={}, stripe={})", threads, stripe);
+                        prop_assert_eq!(&got.2, &b.2, "trace JSON drifted (threads={}, stripe={})", threads, stripe);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The disabled plane is inert — no scopes, digest 0, an empty trace —
+/// and serving behaviour is identical with the plane on or off.
+#[test]
+fn disabled_plane_is_inert_and_behaviour_invariant() {
+    let schedule = Schedule {
+        waves: vec![
+            (0.5, (0..20u64).collect()),
+            (1.25, (5..30u64).collect()),
+            (3.0, (0..10u64).collect()),
+        ],
+        swap: Some((1, 42)),
+        salt: 9,
+    };
+    let off = Telemetry::off();
+    let (fp_off, digest_off, trace_off) = run_schedule(&schedule, 2, 2, 16, off.clone());
+    assert_eq!(digest_off, 0);
+    assert!(off.scopes().is_empty());
+    assert!(
+        !trace_off.contains("\"ph\":\"X\""),
+        "a disabled plane exports no duration events"
+    );
+    let on = Telemetry::enabled();
+    let (fp_on, digest_on, trace_on) = run_schedule(&schedule, 2, 2, 16, on.clone());
+    assert_eq!(
+        fp_on, fp_off,
+        "observability must never change what is served"
+    );
+    assert_ne!(digest_on, 0, "an enabled plane digests its surfaces");
+    assert_eq!(on.scopes().len(), 3, "2 shards + 1 control scope");
+    assert!(trace_on.contains("\"traceEvents\""));
+    assert!(trace_on.len() > trace_off.len());
+}
