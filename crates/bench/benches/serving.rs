@@ -451,6 +451,111 @@ fn telemetry_overhead(
     (median(on_rates), median(off_rates), overhead_pct)
 }
 
+/// One burst through a telemetry-enabled 1-shard fabric, optionally with
+/// a live health observer scraping it from a side thread (ticking every
+/// ~5 ms — three orders of magnitude harder than a real scraper's
+/// 10–15 s cadence, while keeping the measured figure about per-tick
+/// cost rather than a pathological tick *rate*). Returns
+/// `(requests/s, cpu_s)`; the scraper thread's CPU is inside the
+/// measured region, so the cost of snapshotting sketches, updating
+/// rings, and evaluating burn/drift monitors all lands on the observed
+/// side.
+fn obs_burst_once(
+    tree: &DecisionTree,
+    pool: &[Vec<f64>],
+    requests: usize,
+    observe: bool,
+) -> (f64, f64) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let plane = Telemetry::enabled();
+    let router = Router::new(
+        vec![TenantSpec {
+            name: "bench".into(),
+            deadline_class: 0,
+            // A finite budget the burst actually brushes against, so the
+            // burn monitors do real window arithmetic instead of
+            // short-circuiting on infinity.
+            p99_budget_s: 1e-3,
+        }],
+        vec![ScenarioSpec::new("s0", "bench", tree.clone())],
+        FabricConfig {
+            telemetry: plane,
+            ..fabric_cfg()
+        },
+    );
+    let observer = observe.then(|| {
+        Arc::new(router.observer(metis_obs::ObserverConfig {
+            tick_s: 5e-3,
+            ..Default::default()
+        }))
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = observer.as_ref().map(|obs| {
+        let obs = Arc::clone(obs);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                obs.tick_now();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    });
+    let mut handle = router.handle();
+    let cpu_start = process_cpu_s();
+    let start = Instant::now();
+    for k in 0..requests {
+        handle.submit(0, (k % 101) as u64, pool[k % pool.len()].clone());
+    }
+    let responses = handle.collect();
+    let rate = requests as f64 / start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    if let Some(t) = scraper {
+        t.join().expect("scraper thread");
+    }
+    let cpu_s = process_cpu_s() - cpu_start;
+    assert_eq!(responses.len(), requests);
+    if let Some(obs) = &observer {
+        // A final tick so the report covers the burst's tail, then audit
+        // the health plane end to end: it observed real traffic.
+        obs.tick_now();
+        let health = obs.health_report();
+        assert!(health.ticks > 0, "scraper never ticked");
+        let served: u64 = health.tenants.iter().map(|t| t.served_total).sum();
+        assert_eq!(served, requests as u64, "observer missed traffic");
+    }
+    drop(handle);
+    let report = router.shutdown();
+    assert_eq!(report.served, requests as u64, "fabric dropped requests");
+    (rate, cpu_s)
+}
+
+/// Health-observer A/B on the telemetry-enabled burst fabric: identical
+/// runs with and without a live observer + scraper thread, interleaved
+/// pair by pair. Same minimum-CPU discipline as [`telemetry_overhead`]
+/// (wall rates are informational; the gated figure compares each side's
+/// interference-free floor). Returns `(observed_rps, overhead_pct)` —
+/// the marginal cost of the health plane *on top of* the telemetry
+/// plane, gated by bench_guard's absolute `overhead_pct` ceiling.
+fn obs_overhead(
+    tree: &DecisionTree,
+    pool: &[Vec<f64>],
+    requests: usize,
+    pairs: usize,
+) -> (f64, f64) {
+    let mut on_rates = Vec::new();
+    let (mut on_cpu, mut off_cpu) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..pairs {
+        let (_, off_c) = obs_burst_once(tree, pool, requests, false);
+        let (on, on_c) = obs_burst_once(tree, pool, requests, true);
+        on_rates.push(on);
+        off_cpu = off_cpu.min(off_c);
+        on_cpu = on_cpu.min(on_c);
+    }
+    let overhead_pct = ((on_cpu - off_cpu) / off_cpu.max(1e-12) * 100.0).max(0.0);
+    (median(on_rates), overhead_pct)
+}
+
 /// Two tenants in different deadline classes flooding the fabric from
 /// separate client threads: the per-tenant p99s out of the merged
 /// `FabricReport` show how far the SLO scheduler's class ordering reaches
@@ -838,6 +943,13 @@ fn emit_report(_c: &mut Criterion) {
     let (telemetry_enabled_rps, telemetry_disabled_rps, telemetry_overhead_pct) =
         telemetry_overhead(tree, pool, 250_000, 7);
 
+    // Health-observer A/B: the streaming health plane (time-series
+    // rings, burn/drift monitors, attribution) scraping an enabled
+    // telemetry plane at a punishing ~5 ms cadence, against the same
+    // enabled plane unobserved. Marginal cost, gated at the same
+    // absolute `overhead_pct` ceiling.
+    let (obs_enabled_rps, obs_overhead_pct) = obs_overhead(tree, pool, 250_000, 5);
+
     // Streaming sketch merge: the aggregation cost of folding 64
     // populated shard sketches into one fleet view (what a scrape or a
     // cross-shard percentile query pays). Gated as a `per_sec` metric.
@@ -922,6 +1034,8 @@ fn emit_report(_c: &mut Criterion) {
         telemetry_enabled_rps,
         telemetry_disabled_rps,
         telemetry_overhead_pct,
+        obs_enabled_rps,
+        obs_overhead_pct,
         sketch_merge_per_sec,
         fabric_urgent_p99_us,
         fabric_lax_p99_us,
@@ -958,6 +1072,7 @@ fn emit_report(_c: &mut Criterion) {
          fabric 1-shard {:.0} rps ({:.2}x engine), 4-shard {:.0} rps (ungated on {} cores), \
          3-way fan-out {:.0} rps; \
          telemetry plane {:.2}% overhead ({:.0} rps on vs {:.0} rps off), \
+         health observer {:.2}% overhead ({:.0} rps observed), \
          sketch merge {:.0}/s; \
          contention p99 urgent {:.0} us vs lax {:.0} us; \
          shadow: {} rows mirrored, {} promoted clean, {} rejected ({} diff rows) -> {}",
@@ -987,6 +1102,8 @@ fn emit_report(_c: &mut Criterion) {
         report.telemetry_overhead_pct,
         report.telemetry_enabled_rps,
         report.telemetry_disabled_rps,
+        report.obs_overhead_pct,
+        report.obs_enabled_rps,
         report.sketch_merge_per_sec,
         report.fabric_urgent_p99_us,
         report.fabric_lax_p99_us,
@@ -1121,6 +1238,13 @@ struct ServingReport {
     /// Gated against bench_guard's absolute `overhead_pct` ceiling (5%):
     /// the throughput cost of the telemetry plane, clamped at 0.
     telemetry_overhead_pct: f64,
+    /// Ungated: burst throughput with a live health observer scraping
+    /// the enabled telemetry plane every ~5 ms from a side thread.
+    obs_enabled_rps: f64,
+    /// Gated against bench_guard's absolute `overhead_pct` ceiling (5%):
+    /// the *marginal* CPU cost of the streaming health plane (rings,
+    /// burn/drift monitors, attribution) on top of the telemetry plane.
+    obs_overhead_pct: f64,
     /// Gated: folding 64 populated shard sketches into one fleet sketch
     /// (merges/s) — the cross-shard percentile aggregation cost.
     sketch_merge_per_sec: f64,

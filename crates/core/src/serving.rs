@@ -255,6 +255,11 @@ where
         time_scale.is_finite() && time_scale >= 0.0,
         "time_scale must be finite and non-negative"
     );
+    // The runner reports into the same plane the fabric serves on: its
+    // scope rides shard slot `CONTROL_SHARD` under a synthetic "runner"
+    // scenario, so health observers see admission queueing next to the
+    // serving stages it competes with.
+    let plane = fabric_cfg.telemetry.clone();
     let router = Router::new(
         vec![TenantSpec::new("convert-serve")],
         vec![
@@ -269,7 +274,13 @@ where
     let mut session = session;
     let mut stage = stage;
     let pace_clock = Arc::clone(router.clock());
-    let (results, runner) = WorkloadRunner::new(2).run_detailed(vec![
+    let mut workload_runner = WorkloadRunner::new(2);
+    if let Some(scope) =
+        plane.register_scope("runner", metis_telemetry::CONTROL_SHARD, "convert-serve", 0)
+    {
+        workload_runner = workload_runner.telemetry(scope);
+    }
+    let (results, runner) = workload_runner.run_detailed(vec![
         Workload::new("convert", {
             let router = &router;
             move || {
@@ -486,19 +497,32 @@ mod tests {
         assert_eq!(tenant.served, 500);
         assert!(tenant.met_p99_budget);
         // The telemetry plane flowed through the fabric: one scope per
-        // shard plus the control scope, every request accounted for, and
-        // each concluded audit on the control scope's flight recorder.
+        // shard, the scenario's control scope, and the workload runner's
+        // admission scope; every request accounted for, and each
+        // concluded audit on the control scope's flight recorder.
         let scopes = telemetry.scopes();
-        assert_eq!(scopes.len(), 3, "2 shard scopes + 1 control scope");
+        assert_eq!(
+            scopes.len(),
+            4,
+            "2 shard scopes + 1 control scope + 1 runner scope"
+        );
         let served: u64 = scopes
             .iter()
             .filter(|s| s.shard() != metis_telemetry::CONTROL_SHARD)
             .map(|s| s.served.get())
             .sum();
         assert_eq!(served, 500);
+        let runner_scope = scopes
+            .iter()
+            .find(|s| s.scenario() == "runner")
+            .expect("runner scope");
+        // Both workloads (convert + serve) landed as runner requests.
+        assert_eq!(runner_scope.latency.cumulative().count(), 2);
         let control = scopes
             .iter()
-            .find(|s| s.shard() == metis_telemetry::CONTROL_SHARD)
+            .find(|s| {
+                s.shard() == metis_telemetry::CONTROL_SHARD && s.scenario() == FABRIC_STUDENT_KEY
+            })
             .expect("control scope");
         let verdicts = control
             .events

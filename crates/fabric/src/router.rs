@@ -24,6 +24,7 @@
 use crate::report::{FabricReport, ScenarioReport, TenantReport};
 use crate::shadow::{ShadowConfig, ShadowState};
 use metis_dt::DecisionTree;
+use metis_obs::{Observer, ObserverConfig, SloSpec};
 use metis_serve::{
     Clock, LatencyRecorder, LatencySummary, ModelRegistry, Response, ServeConfig, ServedModel,
     ServerHandle, TreeServer,
@@ -230,9 +231,12 @@ impl Router {
                 });
             let registry = Arc::new(ModelRegistry::new(spec.initial));
             let tenant_name = &tenants[tenant].name;
-            let control = cfg
-                .telemetry
-                .register(&spec.key, CONTROL_SHARD, tenant_name);
+            let control = cfg.telemetry.register_scope(
+                &spec.key,
+                CONTROL_SHARD,
+                tenant_name,
+                tenants[tenant].deadline_class,
+            );
             if let Some(scope) = &control {
                 registry.attach_telemetry(Arc::clone(scope), Arc::clone(&cfg.clock));
             }
@@ -246,7 +250,12 @@ impl Router {
                             // group across tenants would let the last
                             // flusher's class re-tag every queued ticket.
                             group: None,
-                            telemetry: cfg.telemetry.register(&spec.key, shard_idx, tenant_name),
+                            telemetry: cfg.telemetry.register_scope(
+                                &spec.key,
+                                shard_idx,
+                                tenant_name,
+                                tenants[tenant].deadline_class,
+                            ),
                             ..cfg.serve.clone()
                         },
                         Arc::clone(&cfg.clock),
@@ -285,6 +294,22 @@ impl Router {
     /// the [`Telemetry::chrome_trace_json`] timeline export.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Build a streaming health-plane [`Observer`] over this fabric:
+    /// one SLO monitor per tenant (budget and deadline class straight
+    /// from the [`TenantSpec`]s), watching every scope the router
+    /// registered, stamping [`Observer::tick_now`] from the fabric's
+    /// clock. The observer holds no thread — drive it from a scraper
+    /// loop (real clock) or schedule its ticks as simulation events
+    /// (`metis_sim`'s `run_abr_cosim_observed`).
+    pub fn observer(&self, cfg: ObserverConfig) -> Observer {
+        let slos = self
+            .tenants
+            .iter()
+            .map(|t| SloSpec::new(&t.name, t.deadline_class, t.p99_budget_s))
+            .collect();
+        Observer::new(self.telemetry.clone(), slos, cfg).with_clock(Arc::clone(&self.clock))
     }
 
     /// Index of a scenario key (stable for the router's lifetime; submit
@@ -962,6 +987,67 @@ mod tests {
         // The trace export carries all three scopes' thread metadata.
         let trace = router.telemetry().chrome_trace_json();
         assert!(trace.contains("\"traceEvents\""));
+        drop(handle);
+        router.shutdown();
+    }
+
+    /// `Router::observer` derives one SLO monitor per tenant from the
+    /// `TenantSpec`s (budget + deadline class), watches the router's
+    /// scopes, and stamps from the router's clock: a tenant with an
+    /// impossible budget burns its error budget on the first tick, with
+    /// tail attribution over the fabric's stage sketches.
+    #[test]
+    fn observer_monitors_tenant_slos_over_the_fabric() {
+        let router = Router::new(
+            vec![TenantSpec {
+                name: "gold".into(),
+                deadline_class: 2,
+                p99_budget_s: 1e-12,
+            }],
+            vec![ScenarioSpec::new("s", "gold", tree(24, 6)).shards(2)],
+            FabricConfig {
+                telemetry: Telemetry::enabled(),
+                ..quick_cfg()
+            },
+        );
+        let obs = router.observer(metis_obs::ObserverConfig {
+            fast_window: 1,
+            clear_ticks: 1,
+            ..Default::default()
+        });
+        assert_eq!(obs.slos().len(), 1);
+        assert_eq!(obs.slos()[0].deadline_class, 2);
+        let mut handle = router.handle();
+        for k in 0..200u64 {
+            handle.submit(0, k, features(k));
+        }
+        assert_eq!(handle.collect().len(), 200);
+        obs.tick_now();
+        let report = obs.health_report();
+        assert_eq!(report.ticks, 1);
+        assert_eq!(report.tenants[0].served_total, 200);
+        assert_eq!(
+            report.tenants[0].over_total, 200,
+            "every request misses a 1ps budget"
+        );
+        let fired = obs
+            .alerts()
+            .into_iter()
+            .find(|a| a.kind == metis_obs::AlertKind::FastBurn && a.firing)
+            .expect("impossible budget fires fast burn on tick 1");
+        assert_eq!(fired.tenant, "gold");
+        assert_eq!(fired.deadline_class, 2);
+        assert!(
+            !fired.attribution.is_empty(),
+            "fired alert attributes stages"
+        );
+        // Scope series cover both shards + control, classes attached.
+        assert_eq!(report.scopes.len(), 3);
+        assert!(report.scopes.iter().all(|s| s.deadline_class == 2));
+        assert!(report.scopes.iter().any(|s| s.shard == -1), "control row");
+        // The observed trace carries the alert mark on top of the spans.
+        let trace = obs.chrome_trace_json();
+        assert!(trace.contains("alert/gold/fast_burn"));
         drop(handle);
         router.shutdown();
     }

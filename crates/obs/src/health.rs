@@ -1,0 +1,373 @@
+//! Health reporting surfaces: the alert stream, the structured
+//! [`HealthReport`], its deterministic digest, and the Prometheus-style
+//! text exposition.
+
+use metis_telemetry::fnv1a;
+use serde::{Serialize, Value};
+
+/// What an alert is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AlertKind {
+    /// Fast-window burn rate crossed its threshold: a sharp regression.
+    FastBurn,
+    /// Slow-window burn rate crossed its threshold: sustained smoulder.
+    SlowBurn,
+    /// The latency distribution shifted versus the trailing baseline.
+    Drift,
+}
+
+impl AlertKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertKind::FastBurn => "fast_burn",
+            AlertKind::SlowBurn => "slow_burn",
+            AlertKind::Drift => "drift",
+        }
+    }
+}
+
+/// One stage's contribution to an inflated window: estimated summed
+/// duration (`mass_s`, upper bound via bucket edges) and its share of
+/// the window's total stage mass.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageShare {
+    pub stage: String,
+    pub mass_s: f64,
+    pub share: f64,
+}
+
+/// One alert transition — a fire (`firing = true`, with tail
+/// attribution) or a clear. `seq` orders the stream; `severity` is the
+/// burn rate (or drift score in buckets) at the transition.
+#[derive(Debug, Clone, Serialize)]
+pub struct Alert {
+    pub seq: u64,
+    pub time_s: f64,
+    pub tenant: String,
+    pub deadline_class: u8,
+    pub kind: AlertKind,
+    pub firing: bool,
+    pub severity: f64,
+    /// Stages of the fired window ranked by duration mass, descending.
+    /// Empty on clears and on windows with no stage mass.
+    pub attribution: Vec<StageShare>,
+}
+
+impl Alert {
+    /// Render as a global instant mark for the Chrome trace timeline.
+    pub fn trace_mark(&self) -> Value {
+        Value::Object(vec![
+            (
+                "name".to_string(),
+                Value::String(format!(
+                    "alert/{}/{}{}",
+                    self.tenant,
+                    self.kind.name(),
+                    if self.firing { "" } else { "/clear" }
+                )),
+            ),
+            ("ph".to_string(), Value::String("i".to_string())),
+            ("s".to_string(), Value::String("g".to_string())),
+            ("ts".to_string(), Value::Number(self.time_s * 1e6)),
+            ("pid".to_string(), Value::Number(0.0)),
+            ("tid".to_string(), Value::Number(0.0)),
+            ("args".to_string(), self.to_value()),
+        ])
+    }
+
+    /// Canonical text rendering fed to [`HealthReport::digest`]: floats
+    /// by bit pattern, so equality means bit-identity.
+    fn digest_text(&self, out: &mut String) {
+        out.push_str(&format!(
+            "|a{}@{:x}:{}/dc{}:{}:{}:{:x}",
+            self.seq,
+            self.time_s.to_bits(),
+            self.tenant,
+            self.deadline_class,
+            self.kind.name(),
+            if self.firing { "fire" } else { "clear" },
+            self.severity.to_bits(),
+        ));
+        for share in &self.attribution {
+            out.push_str(&format!(
+                "<{}:{:x}:{:x}>",
+                share.stage,
+                share.mass_s.to_bits(),
+                share.share.to_bits(),
+            ));
+        }
+    }
+}
+
+/// One tenant's current health.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantHealth {
+    pub tenant: String,
+    pub deadline_class: u8,
+    pub p99_budget_s: f64,
+    pub fast_burn: f64,
+    pub slow_burn: f64,
+    pub fast_firing: bool,
+    pub slow_firing: bool,
+    /// Worst quantile shift vs the trailing baseline, in sketch buckets.
+    pub drift_score: i64,
+    pub drift_firing: bool,
+    /// Served / over-budget counts in the slow window.
+    pub window_served: u64,
+    pub window_over: u64,
+    /// All-of-run totals.
+    pub served_total: u64,
+    pub over_total: u64,
+}
+
+/// One scope's retained time series.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScopeSeries {
+    pub scenario: String,
+    /// Shard index, `-1` for a control scope.
+    pub shard: i64,
+    pub tenant: String,
+    pub deadline_class: u8,
+    pub evicted: u64,
+    pub samples: Vec<crate::TickSample>,
+}
+
+/// Everything the observer knows, snapshotted: serializable to JSON
+/// ([`crate::Observer::health_json`]), renderable as Prometheus text,
+/// digestable for the determinism suites.
+#[derive(Debug, Clone, Serialize)]
+pub struct HealthReport {
+    pub ticks: u64,
+    pub time_s: f64,
+    pub tenants: Vec<TenantHealth>,
+    pub alerts: Vec<Alert>,
+    pub scopes: Vec<ScopeSeries>,
+}
+
+impl HealthReport {
+    /// FNV-1a digest of the report's **deterministic** surfaces: tick
+    /// count and stamp, per-tenant monitor state, the full alert
+    /// stream, and each scope series' counter/sketch history. Gauge
+    /// watermarks (`queue_depth`, `inflight_batches`) are excluded, the
+    /// same exception the telemetry plane's digest makes.
+    pub fn digest(&self) -> u64 {
+        let mut text = format!("ticks:{}@{:x}", self.ticks, self.time_s.to_bits());
+        for t in &self.tenants {
+            text.push_str(&format!(
+                "|t:{}/dc{}:b{:x}:f{:x}{}:s{:x}{}:d{}{}:w{}/{}:c{}/{}",
+                t.tenant,
+                t.deadline_class,
+                t.p99_budget_s.to_bits(),
+                t.fast_burn.to_bits(),
+                t.fast_firing as u8,
+                t.slow_burn.to_bits(),
+                t.slow_firing as u8,
+                t.drift_score,
+                t.drift_firing as u8,
+                t.window_over,
+                t.window_served,
+                t.over_total,
+                t.served_total,
+            ));
+        }
+        for a in &self.alerts {
+            a.digest_text(&mut text);
+        }
+        for s in &self.scopes {
+            text.push_str(&format!(
+                "|s:{}/{}/{}:e{}",
+                s.scenario, s.shard, s.tenant, s.evicted
+            ));
+            for sample in &s.samples {
+                text.push_str(&format!(
+                    "[{:x}:{}:{}:{:?}",
+                    sample.time_s.to_bits(),
+                    sample.served_delta,
+                    sample.batches_delta,
+                    sample.latency,
+                ));
+                for stage in &sample.stages {
+                    text.push_str(&format!(":{stage:?}"));
+                }
+                text.push(']');
+            }
+        }
+        fnv1a(text.as_bytes())
+    }
+
+    /// Prometheus text-exposition rendering (gauges included — this is
+    /// the monitoring surface, not the digestable one).
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE metis_observer_ticks_total counter\n");
+        out.push_str(&format!("metis_observer_ticks_total {}\n", self.ticks));
+        out.push_str("# TYPE metis_tenant_burn_rate gauge\n");
+        for t in &self.tenants {
+            for (window, burn) in [("fast", t.fast_burn), ("slow", t.slow_burn)] {
+                out.push_str(&format!(
+                    "metis_tenant_burn_rate{{tenant=\"{}\",window=\"{}\"}} {}\n",
+                    t.tenant, window, burn
+                ));
+            }
+        }
+        out.push_str("# TYPE metis_tenant_drift_score gauge\n");
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "metis_tenant_drift_score{{tenant=\"{}\"}} {}\n",
+                t.tenant, t.drift_score
+            ));
+        }
+        out.push_str("# TYPE metis_tenant_slo_firing gauge\n");
+        for t in &self.tenants {
+            for (kind, firing) in [
+                ("fast_burn", t.fast_firing),
+                ("slow_burn", t.slow_firing),
+                ("drift", t.drift_firing),
+            ] {
+                out.push_str(&format!(
+                    "metis_tenant_slo_firing{{tenant=\"{}\",kind=\"{}\"}} {}\n",
+                    t.tenant, kind, firing as u8
+                ));
+            }
+        }
+        out.push_str("# TYPE metis_tenant_over_budget_total counter\n");
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "metis_tenant_over_budget_total{{tenant=\"{}\"}} {}\n",
+                t.tenant, t.over_total
+            ));
+        }
+        out.push_str("# TYPE metis_alert_transitions_total counter\n");
+        out.push_str(&format!(
+            "metis_alert_transitions_total {}\n",
+            self.alerts.len()
+        ));
+        out.push_str("# TYPE metis_scope_served_total counter\n");
+        out.push_str("# TYPE metis_scope_queue_depth gauge\n");
+        out.push_str("# TYPE metis_scope_window_p99_seconds gauge\n");
+        for s in &self.scopes {
+            let labels = format!(
+                "scenario=\"{}\",shard=\"{}\",tenant=\"{}\"",
+                s.scenario,
+                if s.shard < 0 {
+                    "control".to_string()
+                } else {
+                    s.shard.to_string()
+                },
+                s.tenant
+            );
+            let served: u64 = s.samples.iter().map(|t| t.served_delta).sum();
+            out.push_str(&format!("metis_scope_served_total{{{labels}}} {served}\n"));
+            if let Some(last) = s.samples.last() {
+                out.push_str(&format!(
+                    "metis_scope_queue_depth{{{labels}}} {}\n",
+                    last.queue_depth
+                ));
+                if let Some(p99) = last.latency.quantile(0.99) {
+                    out.push_str(&format!(
+                        "metis_scope_window_p99_seconds{{{labels}}} {p99}\n"
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> HealthReport {
+        HealthReport {
+            ticks: 2,
+            time_s: 4.0,
+            tenants: vec![TenantHealth {
+                tenant: "gold".to_string(),
+                deadline_class: 1,
+                p99_budget_s: 0.01,
+                fast_burn: 12.5,
+                slow_burn: 1.5,
+                fast_firing: true,
+                slow_firing: false,
+                drift_score: 2,
+                drift_firing: false,
+                window_served: 100,
+                window_over: 10,
+                served_total: 300,
+                over_total: 10,
+            }],
+            alerts: vec![Alert {
+                seq: 0,
+                time_s: 4.0,
+                tenant: "gold".to_string(),
+                deadline_class: 1,
+                kind: AlertKind::FastBurn,
+                firing: true,
+                severity: 12.5,
+                attribution: vec![StageShare {
+                    stage: "kernel_compute".to_string(),
+                    mass_s: 0.8,
+                    share: 1.0,
+                }],
+            }],
+            scopes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive_but_ignores_gauges() {
+        let a = report();
+        assert_eq!(a.digest(), report().digest());
+        let mut hotter = report();
+        hotter.alerts[0].severity = 13.0;
+        assert_ne!(a.digest(), hotter.digest());
+        let mut sample = crate::TickSample {
+            time_s: 1.0,
+            served_delta: 5,
+            batches_delta: 1,
+            queue_depth: 0,
+            inflight_batches: 0,
+            latency: Default::default(),
+            stages: Vec::new(),
+        };
+        let mut with_scope = report();
+        with_scope.scopes.push(ScopeSeries {
+            scenario: "s".to_string(),
+            shard: 0,
+            tenant: "gold".to_string(),
+            deadline_class: 1,
+            evicted: 0,
+            samples: vec![sample.clone()],
+        });
+        let base = with_scope.digest();
+        // Gauges are monitoring-only: changing one must not move the digest.
+        sample.queue_depth = 42;
+        sample.inflight_batches = 3;
+        with_scope.scopes[0].samples[0] = sample.clone();
+        assert_eq!(with_scope.digest(), base);
+        // Counters are deterministic surfaces: changing one must.
+        sample.served_delta = 6;
+        with_scope.scopes[0].samples[0] = sample;
+        assert_ne!(with_scope.digest(), base);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let json = serde_json::to_string(&report()).unwrap();
+        for needle in ["\"fast_burn\"", "FastBurn", "\"attribution\"", "gold"] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn trace_marks_are_global_instants() {
+        let mark = report().alerts[0].trace_mark();
+        let o = mark.as_object().unwrap();
+        let get = |key: &str| o.iter().find(|(k, _)| k == key).map(|(_, v)| v).unwrap();
+        assert_eq!(get("name").as_str(), Some("alert/gold/fast_burn"));
+        assert_eq!(get("ph").as_str(), Some("i"));
+        assert_eq!(get("s").as_str(), Some("g"));
+        assert_eq!(get("ts").as_f64(), Some(4e6));
+    }
+}

@@ -1,0 +1,92 @@
+//! Bounded per-scope time-series: one [`TickSample`] per observer tick,
+//! oldest evicted, evictions counted — the "what did the last N ticks
+//! look like" substrate under the burn/drift monitors.
+
+use metis_telemetry::SketchSnapshot;
+use serde::Serialize;
+
+/// One observer tick's view of a telemetry scope: counter **deltas**
+/// since the previous tick, gauge watermarks at the tick instant, and
+/// the windowed sketch deltas (latency plus every stage).
+///
+/// Counter/sketch fields are deterministic under a virtual clock; the
+/// gauge fields (`queue_depth`, `inflight_batches`) are instantaneous
+/// monitoring data and are excluded from digests.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TickSample {
+    pub time_s: f64,
+    pub served_delta: u64,
+    pub batches_delta: u64,
+    pub queue_depth: i64,
+    pub inflight_batches: i64,
+    /// Latency recorded in the tick's window (sketch delta).
+    pub latency: SketchSnapshot,
+    /// Per-stage duration deltas, indexed like `Stage::ALL`.
+    pub stages: Vec<SketchSnapshot>,
+}
+
+/// Bounded ring of [`TickSample`]s, oldest-first.
+#[derive(Debug)]
+pub struct TimeSeriesRing {
+    capacity: usize,
+    samples: Vec<TickSample>,
+    evicted: u64,
+}
+
+impl TimeSeriesRing {
+    pub fn new(capacity: usize) -> Self {
+        TimeSeriesRing {
+            capacity: capacity.max(1),
+            samples: Vec::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Append a sample, evicting the oldest when full.
+    pub fn push(&mut self, sample: TickSample) {
+        if self.samples.len() == self.capacity {
+            self.samples.remove(0);
+            self.evicted += 1;
+        }
+        self.samples.push(sample);
+    }
+
+    /// Retained samples, oldest first.
+    pub fn samples(&self) -> &[TickSample] {
+        &self.samples
+    }
+
+    /// Samples aged out by the capacity bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64) -> TickSample {
+        TickSample {
+            time_s: t,
+            served_delta: 1,
+            batches_delta: 1,
+            queue_depth: 0,
+            inflight_batches: 0,
+            latency: SketchSnapshot::default(),
+            stages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_and_counts_evictions() {
+        let mut ring = TimeSeriesRing::new(3);
+        for k in 0..5 {
+            ring.push(sample(k as f64));
+        }
+        assert_eq!(ring.samples().len(), 3);
+        assert_eq!(ring.samples()[0].time_s, 2.0);
+        assert_eq!(ring.samples()[2].time_s, 4.0);
+        assert_eq!(ring.evicted(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! SLO definitions and the hysteretic alert state machine.
+//!
+//! Burn rate is the classic multi-window construction: with an error
+//! budget of `b` (fraction of traffic allowed over the latency budget),
+//! a window whose over-budget fraction is `f` burns at `f / b` — 1.0
+//! consumes budget exactly as provisioned, 8.0 exhausts a month's
+//! budget in ~4 days. A **fast** window (few ticks) catches sharp
+//! regressions quickly; a **slow** window catches smoulder a fast
+//! window averages away. [`BurnMonitor`] adds hysteresis so an alert
+//! oscillating around its threshold fires once, not every tick.
+
+use serde::Serialize;
+
+/// One tenant's service-level objective, derived from the fabric's
+/// `TenantSpec` (see `Router::observer`): requests should finish within
+/// `p99_budget_s`, and at most the observer's `error_budget` fraction
+/// may run over.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloSpec {
+    pub tenant: String,
+    pub deadline_class: u8,
+    /// Latency budget in seconds (`f64::INFINITY` = unconstrained:
+    /// nothing counts as over, so burn monitors stay quiet).
+    pub p99_budget_s: f64,
+}
+
+impl SloSpec {
+    pub fn new(tenant: &str, deadline_class: u8, p99_budget_s: f64) -> Self {
+        SloSpec {
+            tenant: tenant.to_string(),
+            deadline_class,
+            p99_budget_s,
+        }
+    }
+}
+
+/// Two-state alert machine with clear-side hysteresis: fires the tick
+/// its condition first holds, clears only after `clear_ticks`
+/// consecutive calm ticks.
+#[derive(Debug, Default)]
+pub struct BurnMonitor {
+    firing: bool,
+    calm_ticks: u32,
+}
+
+impl BurnMonitor {
+    pub fn new() -> Self {
+        BurnMonitor::default()
+    }
+
+    pub fn firing(&self) -> bool {
+        self.firing
+    }
+
+    /// Advance one tick; clearing needs `clear_ticks` consecutive calm
+    /// ticks (min 1). Returns `Some(true)` on a fire transition,
+    /// `Some(false)` on a clear transition, `None` when steady.
+    pub fn step(&mut self, hot: bool, clear_ticks: u32) -> Option<bool> {
+        if hot {
+            self.calm_ticks = 0;
+            if !self.firing {
+                self.firing = true;
+                return Some(true);
+            }
+        } else if self.firing {
+            self.calm_ticks += 1;
+            if self.calm_ticks >= clear_ticks.max(1) {
+                self.firing = false;
+                self.calm_ticks = 0;
+                return Some(false);
+            }
+        } else {
+            self.calm_ticks = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_once_and_clears_after_hysteresis() {
+        let mut m = BurnMonitor::new();
+        assert_eq!(m.step(false, 2), None);
+        assert_eq!(m.step(true, 2), Some(true), "first hot tick fires");
+        assert_eq!(m.step(true, 2), None, "staying hot is steady");
+        assert_eq!(m.step(false, 2), None, "one calm tick: hysteresis holds");
+        assert_eq!(m.step(false, 2), Some(false), "second calm tick clears");
+        assert!(!m.firing());
+    }
+
+    #[test]
+    fn flapping_at_the_threshold_does_not_reclear() {
+        let mut m = BurnMonitor::new();
+        assert_eq!(m.step(true, 2), Some(true));
+        // Alternating hot/calm never reaches 3 consecutive calm ticks.
+        for _ in 0..10 {
+            assert_eq!(m.step(false, 2), None);
+            assert_eq!(m.step(true, 2), None);
+        }
+        assert!(m.firing());
+    }
+
+    #[test]
+    fn zero_clear_ticks_still_requires_one_calm_tick() {
+        let mut m = BurnMonitor::new();
+        assert_eq!(m.step(true, 0), Some(true));
+        assert_eq!(m.step(false, 0), Some(false));
+    }
+}

@@ -13,27 +13,35 @@
 //!
 //! Sessions advance in **decision waves**. The earliest pending event
 //! opens a wave; every `Decide` within `decision_quantum_s` of it (up to
-//! `wave_cap`, and never past a pending model swap) is popped in
-//! `(time, seq)` order, submitted to the fabric in that order, and
-//! answered by one [`FabricHandle::collect`] — whose responses come back
-//! sorted by global submission id, i.e. exactly wave order, regardless of
-//! shard count, batch sizes, or pool thread count. Session timelines are
+//! `wave_cap`, and never past a pending model swap or observer tick) is
+//! popped in `(time, seq)` order, **submitted as it pops** — so each
+//! request's fabric-side stamp is its own event time, and the wave's
+//! latency spread (`[0, decision_quantum_s)` back from the closing
+//! flush) is schedule-derived, not a wall-clock artifact — and answered
+//! by one [`FabricHandle::collect`], whose responses come back sorted by
+//! global submission id, i.e. exactly wave order, regardless of shard
+//! count, batch sizes, or pool thread count. Session timelines are
 //! **exact**: the next `Decide` is scheduled at the popped event's own
-//! time plus the chunk's download+sleep, not at the wave boundary. Only
-//! the fabric-side latency stamps quantize: the virtual clock is a
-//! monotone high-water mark, so a request "from" slightly inside the
-//! current wave stamps at the wave's edge — an error bounded by
-//! `decision_quantum_s`, identical on every run.
+//! time plus the chunk's download+sleep, not at the wave boundary.
 //!
 //! Model swaps are scheduled **before** any session start, so at equal
 //! virtual times the swap's lower sequence number pops first: a decision
 //! at time `T` always sees the latest swap with `at_s <= T`, the same
 //! rule a sequential oracle applies (`tests/sim_determinism.rs`).
+//!
+//! Health-plane observation composes the same way
+//! ([`run_abr_cosim_observed`]): observer ticks are scheduled as
+//! ordinary simulation events, fire at quiescent points (between
+//! waves), and re-arm themselves while work remains — so every ring
+//! sample, burn-rate window, and alert the [`metis_obs::Observer`]
+//! produces is a pure function of the schedule, pinned bit-identical
+//! across thread counts in `tests/obs_determinism.rs`.
 
 use crate::sim::Simulation;
 use metis_abr::{AbrEnv, ChunkDownload, NetworkTrace, VideoModel, OBS_DIM};
 use metis_dt::DecisionTree;
 use metis_fabric::Router;
+use metis_obs::Observer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -86,6 +94,9 @@ pub enum CosimEvent {
     Decide(u32),
     /// Apply [`ModelSwap`] `i`.
     Swap(u32),
+    /// Health-plane observer tick ([`run_abr_cosim_observed`]); re-arms
+    /// itself every `ObserverConfig::tick_s` while events remain.
+    Tick,
 }
 
 /// Where and when one session runs — a pure function of
@@ -189,6 +200,9 @@ pub struct CosimReport {
     pub events: u64,
     /// Virtual time when the last session finished.
     pub virtual_end_s: f64,
+    /// Observer ticks fired (0 without an observer; includes the final
+    /// end-of-run tick).
+    pub ticks: u64,
     /// Mean per-session QoE sum.
     pub mean_qoe: f64,
     /// FNV-1a over every session's bit patterns — one u64 that differs if
@@ -238,6 +252,31 @@ pub fn run_abr_cosim(
     swaps: &[ModelSwap],
     cfg: &CosimConfig,
 ) -> CosimReport {
+    run_abr_cosim_observed(router, scenario, video, traces, swaps, cfg, None)
+}
+
+/// [`run_abr_cosim`] with a streaming health plane riding along: the
+/// observer's ticks are scheduled as simulation events every
+/// `observer.config().tick_s` virtual seconds (first tick one period
+/// in), firing between waves — quiescent points where every counter and
+/// sketch reflects exactly the waves before them — plus one final tick
+/// at end-of-run so the tail is observed. The whole health surface
+/// (rings, burn rates, alerts, [`metis_obs::HealthReport`]) is therefore
+/// a pure function of the schedule.
+///
+/// Ticks are scheduled whenever an observer is passed, even one whose
+/// telemetry plane is disabled (its ticks no-op): the *event schedule*
+/// — and with it wave composition and every serving outcome — is
+/// identical between an enabled and a disabled observed run.
+pub fn run_abr_cosim_observed(
+    router: &Router,
+    scenario: &str,
+    video: &Arc<VideoModel>,
+    traces: &[Arc<NetworkTrace>],
+    swaps: &[ModelSwap],
+    cfg: &CosimConfig,
+    observer: Option<&Observer>,
+) -> CosimReport {
     assert!(
         router.clock().is_virtual(),
         "co-simulation needs a router built on Clock::virtual_at"
@@ -278,23 +317,44 @@ pub fn run_abr_cosim(
         });
         sim.schedule_at(plan.start_s, CosimEvent::Decide(i as u32));
     }
+    let tick_s = observer.map(|o| o.config().tick_s).unwrap_or(0.0);
+    if observer.is_some() && tick_s > 0.0 {
+        sim.schedule_at(tick_s, CosimEvent::Tick);
+    }
 
     let mut handle = router.handle();
     let wave_cap = cfg.wave_cap.max(1);
     let mut wave: Vec<(u32, f64)> = Vec::new();
     let mut decisions = 0u64;
     let mut waves = 0u64;
+    let mut ticks = 0u64;
     while let Some(front) = sim.peek() {
         let front_time = front.time_s;
-        if let CosimEvent::Swap(k) = front.event {
-            sim.pop();
-            let swap = &swaps[k as usize];
-            if swap.trees.len() == 1 {
-                router.publish(scenario, swap.trees[0].clone());
-            } else {
-                router.publish_forest(scenario, swap.trees.to_vec());
+        match front.event {
+            CosimEvent::Swap(k) => {
+                sim.pop();
+                let swap = &swaps[k as usize];
+                if swap.trees.len() == 1 {
+                    router.publish(scenario, swap.trees[0].clone());
+                } else {
+                    router.publish_forest(scenario, swap.trees.to_vec());
+                }
+                continue;
             }
-            continue;
+            CosimEvent::Tick => {
+                sim.pop();
+                ticks += 1;
+                if let Some(obs) = observer {
+                    obs.tick(front_time);
+                }
+                // Re-arm only while work remains: the final flush tick
+                // after the loop covers the tail.
+                if sim.peek().is_some() {
+                    sim.schedule_at(front_time + tick_s, CosimEvent::Tick);
+                }
+                continue;
+            }
+            CosimEvent::Decide(_) => {}
         }
         // Open a decision wave at the front event's time.
         let horizon = front_time + cfg.decision_quantum_s;
@@ -314,10 +374,12 @@ pub fn run_abr_cosim(
             let CosimEvent::Decide(s) = entry.event else {
                 unreachable!()
             };
-            wave.push((s, entry.time_s));
-        }
-        for &(s, _) in &wave {
+            // Submit as we pop: the pop advanced the virtual clock to
+            // this event's time, so the fabric stamps the request at its
+            // own schedule time — the wave's closing flush then carries a
+            // deterministic in-wave latency spread instead of zeros.
             handle.submit(scen_idx, s as u64, states[s as usize].obs.clone());
+            wave.push((s, entry.time_s));
         }
         let responses = handle.collect(); // sorted by global id == wave order
         waves += 1;
@@ -339,6 +401,14 @@ pub fn run_abr_cosim(
         }
     }
 
+    // Final flush tick at the run's end: the stretch after the last
+    // scheduled tick (or a sub-period run) still reaches the rings and
+    // monitors, stamped at the deterministic virtual end time.
+    if let Some(obs) = observer {
+        obs.tick(sim.now_s());
+        ticks += 1;
+    }
+
     let sessions: Vec<SessionOutcome> = states.into_iter().map(|s| s.outcome).collect();
     let mean_qoe = sessions.iter().map(|s| s.qoe_sum).sum::<f64>() / sessions.len() as f64;
     let qoe_digest = outcome_digest(&sessions);
@@ -347,6 +417,7 @@ pub fn run_abr_cosim(
         waves,
         events: sim.processed(),
         virtual_end_s: sim.now_s(),
+        ticks,
         mean_qoe,
         qoe_digest,
         sessions,
@@ -618,6 +689,55 @@ mod tests {
             scoped_served, report.decisions,
             "shard scopes account for every decision"
         );
+    }
+
+    /// An observed co-simulation schedules ticks as simulation events:
+    /// ticks fire, the health digest is run-to-run stable, and — because
+    /// the tick schedule is identical whether the underlying telemetry
+    /// plane is enabled or not — serving outcomes are bit-identical
+    /// between an enabled-plane and a disabled-plane observed run (the
+    /// disabled observer staying fully inert).
+    #[test]
+    fn observed_runs_tick_and_stay_behaviour_invariant() {
+        use metis_obs::ObserverConfig;
+        use metis_telemetry::Telemetry;
+
+        let (video, traces) = pool();
+        let cfg = CosimConfig {
+            sessions: 20,
+            seed: 3,
+            ..Default::default()
+        };
+        let run = |telemetry: Telemetry| {
+            let router =
+                virtual_router_with_telemetry(buffer_tree(video.n_qualities()), 2, telemetry);
+            let obs = router.observer(ObserverConfig {
+                tick_s: 10.0,
+                ..Default::default()
+            });
+            let report =
+                run_abr_cosim_observed(&router, "pensieve", &video, &traces, &[], &cfg, Some(&obs));
+            let digest = obs.digest();
+            let n_alerts = obs.alerts().len();
+            let obs_ticks = obs.health_report().ticks;
+            router.shutdown();
+            (report, digest, n_alerts, obs_ticks)
+        };
+        let (on, digest_on, _, ticks_on) = run(Telemetry::enabled());
+        assert!(on.ticks > 1, "periodic + final ticks fired: {}", on.ticks);
+        assert_eq!(ticks_on, on.ticks, "every tick event reached the observer");
+        let (on2, digest_on2, _, _) = run(Telemetry::enabled());
+        assert_eq!(digest_on, digest_on2, "health digest is run-to-run stable");
+        assert_eq!(on.qoe_digest, on2.qoe_digest);
+        let (off, digest_off, alerts_off, ticks_off) = run(Telemetry::off());
+        assert_eq!(
+            on.qoe_digest, off.qoe_digest,
+            "observation must never change what is served"
+        );
+        assert_eq!(on.ticks, off.ticks, "tick schedule is plane-independent");
+        assert_eq!(ticks_off, 0, "disabled plane: observer ticks no-op");
+        assert_eq!(alerts_off, 0, "disabled plane: observer stays inert");
+        assert_ne!(digest_on, digest_off);
     }
 
     #[test]

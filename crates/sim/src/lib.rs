@@ -30,8 +30,8 @@ pub mod events;
 pub mod sim;
 
 pub use cosim::{
-    outcome_digest, run_abr_cosim, session_plan, CosimConfig, CosimEvent, CosimReport, ModelSwap,
-    SessionOutcome, SessionPlan,
+    outcome_digest, run_abr_cosim, run_abr_cosim_observed, session_plan, CosimConfig, CosimEvent,
+    CosimReport, ModelSwap, SessionOutcome, SessionPlan,
 };
 pub use events::{EventEntry, EventQueue};
 pub use sim::{run, Component, Routed, Simulation};

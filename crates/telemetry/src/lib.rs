@@ -43,7 +43,7 @@ pub mod trace;
 
 pub use metrics::{Counter, Gauge};
 pub use recorder::{EventKind, FlightEvent, FlightRecorder};
-pub use sketch::{LogSketch, SketchSnapshot, WindowedSketch, GAMMA};
+pub use sketch::{bucket_edge, LogSketch, SketchSnapshot, WindowedSketch, GAMMA};
 pub use span::{SpanLog, SpanRecord, Stage};
 
 use std::collections::BTreeMap;
@@ -93,6 +93,7 @@ pub struct ShardTelemetry {
     scenario: String,
     shard: usize,
     tenant: String,
+    deadline_class: u8,
     /// Requests submitted but not yet batched (client-side inc, batcher dec).
     pub queue_depth: Gauge,
     /// Batches opened but not yet flushed.
@@ -141,11 +142,18 @@ pub struct FlushStamps {
 }
 
 impl ShardTelemetry {
-    fn new(scenario: &str, shard: usize, tenant: &str, cfg: &TelemetryConfig) -> Self {
+    fn new(
+        scenario: &str,
+        shard: usize,
+        tenant: &str,
+        deadline_class: u8,
+        cfg: &TelemetryConfig,
+    ) -> Self {
         ShardTelemetry {
             scenario: scenario.to_string(),
             shard,
             tenant: tenant.to_string(),
+            deadline_class,
             queue_depth: Gauge::new(),
             inflight_batches: Gauge::new(),
             served: Counter::new(),
@@ -170,6 +178,12 @@ impl ShardTelemetry {
 
     pub fn tenant(&self) -> &str {
         &self.tenant
+    }
+
+    /// The tenant's deadline class at registration (0 when the caller
+    /// predates classes) — labels trace rows and health reports.
+    pub fn deadline_class(&self) -> u8 {
+        self.deadline_class
     }
 
     /// Duration sketch of one stage.
@@ -288,18 +302,22 @@ impl ShardTelemetry {
     }
 
     /// Digest of the scope's deterministic surfaces: the span log, the
-    /// event ring, the latency sketch, every stage sketch, the served
-    /// count, and the per-epoch split. Gauges (instantaneous levels) are
-    /// excluded by design.
+    /// event ring (retained entries **and** overflow drop counts, so a
+    /// saturated recorder is visible, not silently lossy), the latency
+    /// sketch, every stage sketch, the served count, and the per-epoch
+    /// split. Gauges (instantaneous levels) are excluded by design.
     pub fn digest(&self) -> u64 {
         let mut text = String::new();
         text.push_str(&self.scenario);
         text.push('/');
         text.push_str(&self.tenant);
         text.push_str(&format!(
-            "|spans:{:x}|events:{:x}|served:{}|epochs:{:?}|lat:{:?}",
+            "|spans:{:x}/{}|events:{:x}/{}/{}|served:{}|epochs:{:?}|lat:{:?}",
             self.spans.digest(),
+            self.spans.dropped(),
             self.events.digest(),
+            self.events.recorded(),
+            self.events.dropped(),
             self.served.get(),
             self.served_per_epoch(),
             self.latency.cumulative().snapshot(),
@@ -379,14 +397,33 @@ impl Telemetry {
     /// Register a scope (a serving shard, or a scenario control scope
     /// with [`CONTROL_SHARD`]). `None` when the plane is disabled —
     /// callers store the `Option` and skip all instrumentation on `None`.
+    /// Deadline class defaults to 0; see [`Telemetry::register_scope`].
     pub fn register(
         &self,
         scenario: &str,
         shard: usize,
         tenant: &str,
     ) -> Option<Arc<ShardTelemetry>> {
+        self.register_scope(scenario, shard, tenant, 0)
+    }
+
+    /// [`Telemetry::register`] carrying the tenant's deadline class, so
+    /// trace rows and health reports can label scopes by service tier.
+    pub fn register_scope(
+        &self,
+        scenario: &str,
+        shard: usize,
+        tenant: &str,
+        deadline_class: u8,
+    ) -> Option<Arc<ShardTelemetry>> {
         let plane = self.inner.as_ref()?;
-        let scope = Arc::new(ShardTelemetry::new(scenario, shard, tenant, &plane.cfg));
+        let scope = Arc::new(ShardTelemetry::new(
+            scenario,
+            shard,
+            tenant,
+            deadline_class,
+            &plane.cfg,
+        ));
         plane.scopes.lock().unwrap().push(Arc::clone(&scope));
         Some(scope)
     }

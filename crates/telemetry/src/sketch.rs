@@ -41,6 +41,14 @@ fn edge(i: i64) -> f64 {
     (i as f64 / BUCKETS_PER_OCTAVE).exp2()
 }
 
+/// Public view of the bucket geometry: the upper edge (seconds) of
+/// bucket `i` — what a consumer of [`SketchSnapshot::counts`] needs to
+/// turn bucket indices back into durations (e.g. the health plane's
+/// stage-attribution mass estimates).
+pub fn bucket_edge(i: i64) -> f64 {
+    edge(i)
+}
+
 /// `edge(IDX_MIN - 1)` = `2^(-187/8)`, precomputed so the record path
 /// never calls libm.
 const UNDERFLOW_EDGE: f64 = 9.192_292_841_720_228e-8;
@@ -98,13 +106,13 @@ impl Slot {
 /// the octave.
 const SUB_EDGES: [f64; 8] = [
     1.0,
-    1.090_507_732_665_257_7, // 2^(1/8)
-    1.189_207_115_002_721,   // 2^(2/8)
-    1.296_839_554_651_009_6, // 2^(3/8)
+    1.090_507_732_665_257_7,  // 2^(1/8)
+    1.189_207_115_002_721,    // 2^(2/8)
+    1.296_839_554_651_009_6,  // 2^(3/8)
     std::f64::consts::SQRT_2, // 2^(4/8)
-    1.542_210_825_407_940_7, // 2^(5/8)
-    1.681_792_830_507_429,   // 2^(6/8)
-    1.834_008_086_409_342_4, // 2^(7/8)
+    1.542_210_825_407_940_7,  // 2^(5/8)
+    1.681_792_830_507_429,    // 2^(6/8)
+    1.834_008_086_409_342_4,  // 2^(7/8)
 ];
 
 /// Bucket index `ceil(8·log2(v))` for a positive, finite, **normal**
@@ -320,6 +328,91 @@ impl SketchSnapshot {
             }
         }
         Some(edge(IDX_MAX))
+    }
+
+    /// Bucket **index** holding the `floor(q·(n−1))`-th sample: the
+    /// resolution the health plane's drift score works in (shift counted
+    /// in buckets, i.e. multiples of γ, rather than seconds). Underflow
+    /// reports `IDX_MIN − 1`, a rank past every retained bucket reports
+    /// `IDX_MAX + 1`. `None` when empty.
+    pub fn quantile_index(&self, q: f64) -> Option<i64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * (self.total - 1) as f64).floor() as u64;
+        let mut cum = self.underflow;
+        if cum > target {
+            return Some(IDX_MIN - 1);
+        }
+        for &(i, n) in &self.counts {
+            cum += n;
+            if cum > target {
+                return Some(i);
+            }
+        }
+        Some(IDX_MAX + 1)
+    }
+
+    /// Samples strictly attributable above `threshold_s`: buckets whose
+    /// **lower** edge clears the threshold, plus overflow (≥ 1024 s)
+    /// when the threshold is below the overflow edge, plus underflow
+    /// only for negative thresholds. Conservative by up to one bucket
+    /// (γ relative) — a sample inside the threshold's own bucket is not
+    /// counted. Non-finite thresholds count nothing.
+    pub fn count_over(&self, threshold_s: f64) -> u64 {
+        if !threshold_s.is_finite() {
+            return 0;
+        }
+        let mut over = 0u64;
+        for &(i, n) in &self.counts {
+            if edge(i - 1) > threshold_s {
+                over += n;
+            }
+        }
+        if threshold_s < OVERFLOW_EDGE {
+            over += self.overflow;
+        }
+        if threshold_s < 0.0 {
+            over += self.underflow;
+        }
+        over
+    }
+
+    /// Bucket-wise `self − earlier`, saturating at zero: the per-window
+    /// delta between two snapshots of one monotone (cumulative) sketch.
+    /// `total` is recomputed from the surviving counts.
+    pub fn saturating_delta(&self, earlier: &SketchSnapshot) -> SketchSnapshot {
+        let prev: std::collections::BTreeMap<i64, u64> = earlier.counts.iter().copied().collect();
+        let mut counts = Vec::new();
+        let mut total = 0u64;
+        for &(i, n) in &self.counts {
+            let d = n.saturating_sub(prev.get(&i).copied().unwrap_or(0));
+            if d > 0 {
+                counts.push((i, d));
+                total += d;
+            }
+        }
+        let underflow = self.underflow.saturating_sub(earlier.underflow);
+        let overflow = self.overflow.saturating_sub(earlier.overflow);
+        SketchSnapshot {
+            counts,
+            underflow,
+            overflow,
+            invalid: self.invalid.saturating_sub(earlier.invalid),
+            total: total + underflow + overflow,
+        }
+    }
+
+    /// Upper-bound estimate of the summed duration mass (seconds) in the
+    /// snapshot: each bucket contributes `count × upper edge`, overflow
+    /// contributes at the overflow edge, underflow contributes nothing.
+    /// The health plane ranks stages by this when attributing a tail.
+    pub fn mass_s(&self) -> f64 {
+        let mut mass = 0.0;
+        for &(i, n) in &self.counts {
+            mass += n as f64 * edge(i);
+        }
+        mass + self.overflow as f64 * OVERFLOW_EDGE
     }
 }
 
@@ -619,6 +712,212 @@ mod tests {
                 est >= v && est <= v * GAMMA,
                 "sample {v}: estimate {est} outside [v, v·γ]"
             );
+        }
+    }
+
+    #[test]
+    fn snapshot_delta_recovers_a_window_and_saturates() {
+        let sketch = LogSketch::new();
+        sketch.record(0.01);
+        sketch.record(f64::NAN);
+        let before = sketch.snapshot();
+        sketch.record(0.01);
+        sketch.record(0.5);
+        sketch.record(5000.0);
+        sketch.record(-1.0);
+        let delta = sketch.snapshot().saturating_delta(&before);
+        assert_eq!(delta.total, 4);
+        assert_eq!(delta.overflow, 1);
+        assert_eq!(delta.underflow, 1);
+        assert_eq!(delta.invalid, 0);
+        assert_eq!(delta.counts.iter().map(|&(_, n)| n).sum::<u64>(), 2);
+        // Deltas against a *later* snapshot saturate instead of wrapping.
+        let wrapped = before.saturating_delta(&sketch.snapshot());
+        assert_eq!(wrapped.total, 0);
+        assert!(wrapped.counts.is_empty());
+    }
+
+    #[test]
+    fn count_over_splits_on_the_budget_edge() {
+        let sketch = LogSketch::new();
+        for _ in 0..10 {
+            sketch.record(0.001);
+        }
+        for _ in 0..4 {
+            sketch.record(1.0);
+        }
+        sketch.record(5000.0);
+        sketch.record(0.0);
+        let snap = sketch.snapshot();
+        // Budget between the clusters: the 1s samples + overflow clear it.
+        assert_eq!(snap.count_over(0.1), 5);
+        // Budget above everything finite in range: only overflow remains.
+        assert_eq!(snap.count_over(1023.0), 1);
+        // Nothing is "over" an infinite or invalid budget.
+        assert_eq!(snap.count_over(f64::INFINITY), 0);
+        assert_eq!(snap.count_over(f64::NAN), 0);
+        // A negative budget counts every sample, underflow included.
+        assert_eq!(snap.count_over(-1.0), snap.total);
+    }
+
+    #[test]
+    fn quantile_index_tracks_the_value_quantile() {
+        let sketch = LogSketch::new();
+        for k in 1..=100 {
+            sketch.record(1e-3 * k as f64);
+        }
+        let snap = sketch.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let i = snap.quantile_index(q).unwrap();
+            assert_eq!(snap.quantile(q).unwrap(), bucket_edge(i));
+        }
+        let under = LogSketch::new();
+        under.record(0.0);
+        assert_eq!(under.snapshot().quantile_index(0.5), Some(IDX_MIN - 1));
+        let over = LogSketch::new();
+        over.record(f64::INFINITY);
+        assert_eq!(over.snapshot().quantile_index(0.5), Some(IDX_MAX + 1));
+        assert_eq!(SketchSnapshot::default().quantile_index(0.5), None);
+    }
+
+    #[test]
+    fn mass_upper_bounds_the_recorded_sum() {
+        let sketch = LogSketch::new();
+        let mut sum = 0.0;
+        for k in 1..=500 {
+            let v = 1e-4 * k as f64 * 2.13;
+            sketch.record(v);
+            sum += v;
+        }
+        let mass = sketch.snapshot().mass_s();
+        assert!(mass >= sum, "mass {mass} must bound the true sum {sum}");
+        assert!(mass <= sum * GAMMA, "mass {mass} over-estimates past γ");
+    }
+
+    /// Satellite: `LogSketch::merge` algebra under proptest — the merged
+    /// histogram is a commutative monoid (associative, commutative,
+    /// empty-sketch identity) and merging can only move quantiles
+    /// monotonically toward the union's, never invent mass. Includes
+    /// empty and single-bucket operands via the `0` sample-count case.
+    mod merge_algebra {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Decode a proptest-chosen integer into a sample: mostly
+        /// in-range log-uniform magnitudes, with underflow, overflow,
+        /// and invalid classes mixed in.
+        fn decode(code: u64) -> f64 {
+            match code % 16 {
+                0 => 0.0,
+                1 => -2.5,
+                2 => 1e-9,
+                3 => 4096.0,
+                4 => f64::INFINITY,
+                5 => f64::NAN,
+                _ => ((code / 16) as f64 / 62_500.0 * 32.9 - 23.0).exp2(),
+            }
+        }
+
+        /// Build a sketch from the first `n` decoded codes — `n = 0`
+        /// yields the empty sketch, `n = 1` a single-bucket one.
+        fn sketch_of(codes: &[u64], n: usize) -> LogSketch {
+            let samples: Vec<f64> = codes[..n.min(codes.len())]
+                .iter()
+                .map(|&c| decode(c))
+                .collect();
+            let s = LogSketch::new();
+            s.record_all(&samples);
+            s
+        }
+
+        proptest! {
+            #[test]
+            fn merge_is_associative_and_commutative(
+                a in collection::vec(0u64..1_000_000, 24),
+                b in collection::vec(0u64..1_000_000, 24),
+                c in collection::vec(0u64..1_000_000, 24),
+                na in 0usize..25,
+                nb in 0usize..25,
+                nc in 0usize..25,
+            ) {
+                let (sa, sb, sc) = (sketch_of(&a, na), sketch_of(&b, nb), sketch_of(&c, nc));
+                // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c), built via fresh accumulators.
+                let left = LogSketch::new();
+                left.merge(&sa);
+                left.merge(&sb);
+                let lhs = LogSketch::new();
+                lhs.merge(&left);
+                lhs.merge(&sc);
+                let right = LogSketch::new();
+                right.merge(&sb);
+                right.merge(&sc);
+                let rhs = LogSketch::new();
+                rhs.merge(&sa);
+                rhs.merge(&right);
+                prop_assert_eq!(lhs.snapshot(), rhs.snapshot());
+                // Commutativity, snapshot-level and sketch-level.
+                let ab = LogSketch::new();
+                ab.merge(&sa);
+                ab.merge(&sb);
+                let ba = LogSketch::new();
+                ba.merge(&sb);
+                ba.merge(&sa);
+                prop_assert_eq!(ab.snapshot(), ba.snapshot());
+                prop_assert_eq!(
+                    sa.snapshot().merged(&sb.snapshot()),
+                    sb.snapshot().merged(&sa.snapshot())
+                );
+            }
+
+            #[test]
+            fn empty_sketch_is_the_merge_identity(
+                a in collection::vec(0u64..1_000_000, 24),
+                na in 0usize..25,
+            ) {
+                let sa = sketch_of(&a, na);
+                let merged = LogSketch::new();
+                merged.merge(&sa);
+                merged.merge(&LogSketch::new());
+                prop_assert_eq!(merged.snapshot(), sa.snapshot());
+                prop_assert_eq!(
+                    sa.snapshot().merged(&SketchSnapshot::default()),
+                    sa.snapshot()
+                );
+            }
+
+            #[test]
+            fn merged_quantiles_stay_bracketed_and_monotone(
+                a in collection::vec(0u64..1_000_000, 24),
+                b in collection::vec(0u64..1_000_000, 24),
+                na in 0usize..25,
+                nb in 0usize..25,
+            ) {
+                let (sa, sb) = (sketch_of(&a, na), sketch_of(&b, nb));
+                let union = sa.snapshot().merged(&sb.snapshot());
+                prop_assert_eq!(union.total, sa.count() + sb.count());
+                // Quantiles are monotone in q after a merge…
+                let mut prev = f64::NEG_INFINITY;
+                for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+                    if let Some(v) = union.quantile(q) {
+                        prop_assert!(v >= prev, "q={} regressed: {} < {}", q, v, prev);
+                        prev = v;
+                    }
+                }
+                // …and bracketed by the operands' extremes: the union's
+                // min/max quantile cannot escape [min of mins, max of maxes].
+                if union.total > 0 && sa.count() > 0 && sb.count() > 0 {
+                    let lo = sa
+                        .quantile(0.0)
+                        .unwrap()
+                        .min(sb.quantile(0.0).unwrap());
+                    let hi = sa
+                        .quantile(1.0)
+                        .unwrap()
+                        .max(sb.quantile(1.0).unwrap());
+                    prop_assert!(union.quantile(0.0).unwrap() >= lo);
+                    prop_assert!(union.quantile(1.0).unwrap() <= hi);
+                }
+            }
         }
     }
 }

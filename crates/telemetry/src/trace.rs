@@ -63,16 +63,28 @@ pub fn chrome_trace(scopes: &[Arc<ShardTelemetry>]) -> Value {
         };
         let tid = tid_of(scope);
         let thread_name = if scope.shard() == CONTROL_SHARD {
-            "control".to_string()
+            format!("control ({}, dc{})", scope.tenant(), scope.deadline_class())
         } else {
-            format!("shard{} ({})", scope.shard(), scope.tenant())
+            format!(
+                "shard{} ({}, dc{})",
+                scope.shard(),
+                scope.tenant(),
+                scope.deadline_class()
+            )
         };
         events.push(obj(vec![
             ("name", s("thread_name")),
             ("ph", s("M")),
             ("pid", num(pid)),
             ("tid", num(tid)),
-            ("args", obj(vec![("name", s(&thread_name))])),
+            (
+                "args",
+                obj(vec![
+                    ("name", s(&thread_name)),
+                    ("tenant", s(scope.tenant())),
+                    ("deadline_class", num(scope.deadline_class() as f64)),
+                ]),
+            ),
         ]));
         for span in scope.spans.records() {
             events.push(obj(vec![
@@ -104,6 +116,29 @@ pub fn chrome_trace(scopes: &[Arc<ShardTelemetry>]) -> Value {
                     obj(vec![
                         ("seq", num(event.seq as f64)),
                         ("event", event.kind.to_value()),
+                    ]),
+                ),
+            ]));
+        }
+        // Ring-wrap visibility: a scope whose recorder or span log
+        // overflowed gets an instant mark carrying the drop counts, so
+        // a saturated timeline reads as truncated, not complete.
+        let event_drops = scope.events.dropped();
+        let span_drops = scope.spans.dropped();
+        if event_drops > 0 || span_drops > 0 {
+            events.push(obj(vec![
+                ("name", s("recorder_drops")),
+                ("ph", s("i")),
+                ("s", s("t")),
+                ("ts", num(0.0)),
+                ("pid", num(pid)),
+                ("tid", num(tid)),
+                (
+                    "args",
+                    obj(vec![
+                        ("events_dropped", num(event_drops as f64)),
+                        ("events_recorded", num(scope.events.recorded() as f64)),
+                        ("spans_dropped", num(span_drops as f64)),
                     ]),
                 ),
             ]));
@@ -180,6 +215,39 @@ mod tests {
         let event = field(args, "event");
         let trees = field(field(event, "HotSwap"), "trees").as_f64().unwrap();
         assert_eq!(trees, 3.0);
+    }
+
+    #[test]
+    fn rows_are_labeled_and_saturated_recorders_surface_drop_marks() {
+        let t = Telemetry::with_config(crate::TelemetryConfig {
+            span_capacity: 1,
+            recorder_capacity: 2,
+            ..Default::default()
+        });
+        let scope = t.register_scope("abr", 0, "gold", 2).unwrap();
+        for k in 0..5u64 {
+            scope.on_hot_swap(k as f64, k, 1, 0.0);
+        }
+        let json = t.chrome_trace_json();
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let events = field(&doc, "traceEvents").as_array().unwrap();
+        // Thread metadata names the tenant + deadline class.
+        let thread = events
+            .iter()
+            .find(|e| field(e, "name").as_str() == Some("thread_name"))
+            .unwrap();
+        let args = field(thread, "args");
+        assert_eq!(field(args, "name").as_str(), Some("shard0 (gold, dc2)"));
+        assert_eq!(field(args, "deadline_class").as_f64(), Some(2.0));
+        // One drop mark carrying both overflow counts.
+        let drops = events
+            .iter()
+            .find(|e| field(e, "name").as_str() == Some("recorder_drops"))
+            .expect("overflowed scope exports a drop mark");
+        let args = field(drops, "args");
+        assert_eq!(field(args, "events_dropped").as_f64(), Some(3.0));
+        assert_eq!(field(args, "events_recorded").as_f64(), Some(5.0));
+        assert_eq!(field(args, "spans_dropped").as_f64(), Some(4.0));
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //! * [`telemetry`] — the live telemetry plane: stage-attributed spans,
 //!   streaming percentile sketches, a flight recorder, and Chrome
 //!   trace-event timeline export across the serving fabric,
+//! * [`obs`] — the streaming health plane over [`telemetry`]: per-scope
+//!   time-series rings, multi-window SLO burn-rate alerts with
+//!   hysteresis, quantile-drift detection, and per-stage tail-latency
+//!   attribution, deterministic under the virtual clock,
 //! * [`dt`] — CART trees with cost-complexity pruning and export,
 //! * [`rl`] — env/policy traits, rollouts, actor-critic, VIPER utilities,
 //! * [`nn`] — matrices, layers, optimizers, losses, autodiff tape.
@@ -41,6 +45,7 @@ pub use metis_fabric as fabric;
 pub use metis_flowsched as flowsched;
 pub use metis_hypergraph as hypergraph;
 pub use metis_nn as nn;
+pub use metis_obs as obs;
 pub use metis_rl as rl;
 pub use metis_routing as routing;
 pub use metis_serve as serve;
